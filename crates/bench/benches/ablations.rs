@@ -1,0 +1,32 @@
+//! Criterion bench for the §5 challenge demonstrations and ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{challenges, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 1, scale: 0.1 };
+    let mut g = c.benchmark_group("challenges");
+    g.sample_size(10);
+    g.bench_function("estimator_ablation", |b| {
+        b.iter(|| challenges::estimator_ablation(&cfg))
+    });
+    g.bench_function("trajectory_variance", |b| {
+        b.iter(|| challenges::trajectory_variance(&cfg, 12))
+    });
+    g.bench_function("exploration_coverage", |b| {
+        b.iter(|| challenges::exploration_coverage(&cfg))
+    });
+    g.bench_function("dr_pdis_comparison", |b| {
+        b.iter(|| challenges::dr_pdis_comparison(&cfg, &[2, 6]))
+    });
+    g.bench_function("staleness_sweep", |b| {
+        b.iter(|| challenges::staleness_sweep(&cfg, &[0.0, 2.0]))
+    });
+    g.bench_function("simultaneous_evaluation", |b| {
+        b.iter(|| challenges::simultaneous_evaluation(&cfg, 100, &[1_000]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Criterion bench for the Fig 1 bound computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{fig1, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::fast();
+    c.bench_function("fig1_series", |b| b.iter(|| fig1::run(&cfg)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Criterion bench for the Fig 2 accuracy curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{fig2, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::fast();
+    c.bench_function("fig2_curves", |b| b.iter(|| fig2::run(&cfg)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Fig 3 off-policy-evaluation error sweep.
+//!
+//! Runs a shrunken version of the full experiment (fewer trials) so the
+//! bench exercises every stage: dataset generation, policy training,
+//! partial-information simulation, IPS estimation, percentile extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{fig3, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 1, scale: 0.05 };
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("ope_error_sweep", |b| b.iter(|| fig3::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

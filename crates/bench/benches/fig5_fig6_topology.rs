@@ -1,0 +1,16 @@
+//! Criterion bench for the Fig 5 latency model and Fig 6 hierarchy runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{fig5, fig6, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 1, scale: 0.1 };
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(10);
+    g.bench_function("fig5_latency_model", |b| b.iter(|| fig5::run(&cfg)));
+    g.bench_function("fig6_hierarchy", |b| b.iter(|| fig6::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Table 3 cache-eviction experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harvest_bench::{table3, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 1, scale: 0.2 };
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("eviction_policies", |b| b.iter(|| table3::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

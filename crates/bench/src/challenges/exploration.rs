@@ -1,0 +1,147 @@
+//! Exploration coverage and context staleness (§5).
+
+use harvest_sim_lb::policy::{EpisodeWeightedRouting, RandomRouting, RoutingPolicy};
+use harvest_sim_lb::sim::{run_simulation, SimConfig};
+use harvest_sim_lb::ClusterConfig;
+
+use crate::ExperimentConfig;
+
+/// Coverage of sustained single-server runs under an exploration scheme.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CoverageRow {
+    /// Exploration policy name.
+    pub policy: String,
+    /// Number of length-≥`run_len` all-one-server runs observed per 10k
+    /// requests, for each probed run length.
+    pub runs_per_10k: Vec<(usize, f64)>,
+}
+
+/// Compares per-request uniform randomization against episode-randomized
+/// weights (paper §5's proposal) on sustained-sequence coverage.
+pub fn exploration_coverage(cfg: &ExperimentConfig) -> Vec<CoverageRow> {
+    let sim_cfg = SimConfig::table2(
+        ClusterConfig::fig5(),
+        cfg.scaled(60_000, 10_000),
+        cfg.seed,
+    );
+    let probes = [5usize, 10, 20];
+    let mut rows = Vec::new();
+    let mut uniform = RandomRouting;
+    let mut episodic = EpisodeWeightedRouting::new(200, 0.3);
+    let policies: [(&str, &mut dyn RoutingPolicy); 2] =
+        [("uniform-random", &mut uniform), ("episode-weighted", &mut episodic)];
+    for (name, policy) in policies {
+        let run = run_simulation(&sim_cfg, policy);
+        let servers: Vec<usize> = run.measured_requests().iter().map(|r| r.server).collect();
+        let per_10k = 10_000.0 / servers.len() as f64;
+        let runs_per_10k = probes
+            .iter()
+            .map(|&len| {
+                let mut count = 0usize;
+                let mut current = 0usize;
+                let mut last = usize::MAX;
+                for &s in &servers {
+                    if s == last {
+                        current += 1;
+                    } else {
+                        current = 1;
+                        last = s;
+                    }
+                    if current == len {
+                        count += 1; // counts each run once, when it reaches `len`
+                    }
+                }
+                (len, count as f64 * per_10k)
+            })
+            .collect();
+        rows.push(CoverageRow {
+            policy: name.to_string(),
+            runs_per_10k,
+        });
+    }
+    rows
+}
+
+/// Renders the coverage comparison.
+pub fn render_coverage(rows: &[CoverageRow]) -> String {
+    let mut out = String::from(
+        "Exploration coverage: sustained same-server runs per 10k requests\n",
+    );
+    out.push_str(&format!("{:<18}", "Policy"));
+    for (len, _) in &rows[0].runs_per_10k {
+        out.push_str(&format!(" {:>12}", format!("len>={len}")));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<18}", r.policy));
+        for (_, count) in &r.runs_per_10k {
+            out.push_str(&format!(" {:>12.2}", count));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the staleness sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StalenessRow {
+    /// Context refresh period, seconds (0 = live).
+    pub staleness_s: f64,
+    /// Least-loaded online mean latency.
+    pub least_loaded_s: f64,
+    /// CB-policy online mean latency (model trained on live-context
+    /// exploration, deployed against stale contexts).
+    pub cb_policy_s: f64,
+    /// Random routing (context-free control).
+    pub random_s: f64,
+}
+
+/// Sweeps context staleness (paper §5: distributed state "will inevitably
+/// result in stale or incomplete contexts. We suspect that CB algorithms
+/// can naturally tolerate staleness").
+pub fn staleness_sweep(cfg: &ExperimentConfig, periods_s: &[f64]) -> Vec<StalenessRow> {
+    use harvest_sim_lb::policy::{CbRouting, LeastLoadedRouting};
+    use harvest_sim_net::SimDuration;
+
+    let requests = cfg.scaled(40_000, 8_000);
+    let base = SimConfig::table2(ClusterConfig::fig5(), requests, cfg.seed);
+    // Train the CB model once, on live-context exploration data.
+    let explore = run_simulation(&base, &mut RandomRouting);
+    let scorer = explore.fit_cb_scorer(1e-3).expect("model fits");
+
+    periods_s
+        .iter()
+        .map(|&s| {
+            let sim_cfg = base
+                .clone()
+                .with_staleness(SimDuration::from_secs_f64(s));
+            StalenessRow {
+                staleness_s: s,
+                least_loaded_s: run_simulation(&sim_cfg, &mut LeastLoadedRouting)
+                    .mean_latency_s,
+                cb_policy_s: run_simulation(&sim_cfg, &mut CbRouting::greedy(scorer.clone()))
+                    .mean_latency_s,
+                random_s: run_simulation(&sim_cfg, &mut RandomRouting).mean_latency_s,
+            }
+        })
+        .collect()
+}
+
+/// Renders the staleness sweep.
+pub fn render_staleness(rows: &[StalenessRow]) -> String {
+    let mut out = String::from(
+        "Context staleness sweep: online mean latency vs context refresh period\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>12} {:>10}\n",
+        "staleness", "least-loaded", "cb-policy", "random"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>11.1}s {:>13.3}s {:>11.3}s {:>9.3}s\n",
+            r.staleness_s, r.least_loaded_s, r.cb_policy_s, r.random_s
+        ));
+    }
+    out
+}
+

@@ -1,0 +1,145 @@
+//! Learner ablation: regression vs direct IPS optimization vs online epoch-greedy.
+
+use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
+use harvest_core::policy::UniformPolicy;
+use harvest_sim_mh::{generate_dataset, MachineHealthConfig};
+use harvest_sim_net::rng::fork_rng_indexed;
+
+use crate::ExperimentConfig;
+
+/// One learner's end-of-curve performance on the machine-health scenario.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LearnerRow {
+    /// Learner name.
+    pub learner: String,
+    /// Ground-truth test value of the learned policy.
+    pub test_value: f64,
+    /// Fraction of the default→skyline gap left open (0 = matches the
+    /// supervised skyline).
+    pub remaining_gap: f64,
+}
+
+/// Ablates the CB learner design: reward-model regression (per-action
+/// ridge) vs direct IPS policy optimization (softmax-linear) vs the online
+/// epoch-greedy learner, all trained from the same exploration budget and
+/// scored against the supervised skyline.
+pub fn learner_ablation(cfg: &ExperimentConfig) -> Vec<LearnerRow> {
+    use harvest_core::learner::{EpochGreedyLearner, IpsPolicyLearner, SupervisedLearner};
+    use harvest_core::policy::ConstantPolicy;
+    use harvest_core::simulate::simulate_exploration_n;
+    use harvest_sim_mh::failure::DEFAULT_ACTION;
+    use harvest_sim_mh::machine::MachineSpec;
+
+    let train_n = cfg.scaled(10_000, 2_000);
+    let test_n = cfg.scaled(10_000, 2_000);
+    let full = generate_dataset(&MachineHealthConfig {
+        incidents: train_n + test_n,
+        seed: cfg.seed,
+    });
+    let (train, test) = full.split_at(train_n);
+
+    let skyline = SupervisedLearner::new(1e-2)
+        .expect("valid lambda")
+        .fit_policy(&train)
+        .expect("training succeeds");
+    let skyline_value = test.value_of_policy(&skyline).expect("non-empty");
+    let default_value = test
+        .value_of_policy(&ConstantPolicy::new(DEFAULT_ACTION))
+        .expect("non-empty");
+    let gap = |v: f64| {
+        let total = skyline_value - default_value;
+        if total > 0.0 {
+            ((skyline_value - v) / total).max(0.0)
+        } else {
+            0.0
+        }
+    };
+
+    let mut rng = fork_rng_indexed(cfg.seed, "learner-ablation", 0);
+    let expl = simulate_exploration_n(&train, &UniformPolicy::new(), train_n, &mut rng);
+
+    let mut rows = Vec::new();
+
+    // (a) Reward-model regression, greedy deployment.
+    let regression = RegressionCbLearner::new(
+        ModelingMode::PerAction,
+        SampleWeighting::Uniform,
+        1e-2,
+    )
+    .expect("valid lambda")
+    .fit_policy(&expl)
+    .expect("training succeeds");
+    let v = test.value_of_policy(&regression).expect("non-empty");
+    rows.push(LearnerRow {
+        learner: "regression (ridge)".to_string(),
+        test_value: v,
+        remaining_gap: gap(v),
+    });
+
+    // (b) Direct IPS policy optimization.
+    let ips_policy = IpsPolicyLearner::default_config()
+        .fit(&expl)
+        .expect("training succeeds")
+        .greedy();
+    let v = test.value_of_policy(&ips_policy).expect("non-empty");
+    rows.push(LearnerRow {
+        learner: "ips-policy (softmax)".to_string(),
+        test_value: v,
+        remaining_gap: gap(v),
+    });
+
+    // (c) Online epoch-greedy, replayed over the training incidents (it
+    // generates its own exploration instead of consuming ours).
+    let mut online = EpochGreedyLearner::new(
+        harvest_sim_mh::failure::NUM_ACTIONS,
+        MachineSpec::FEATURE_DIM,
+        0.5,
+        0.05,
+        500.0,
+    )
+    .expect("valid schedule");
+    let mut online_rng = fork_rng_indexed(cfg.seed, "learner-ablation-online", 1);
+    for s in train.samples() {
+        let (a, _p) = online.act(&s.context, &mut online_rng);
+        online.learn(&s.context, a, s.rewards[a]);
+    }
+    let v = test.value_of_policy(&online.policy()).expect("non-empty");
+    rows.push(LearnerRow {
+        learner: "epoch-greedy (online)".to_string(),
+        test_value: v,
+        remaining_gap: gap(v),
+    });
+
+    rows.push(LearnerRow {
+        learner: "supervised skyline".to_string(),
+        test_value: skyline_value,
+        remaining_gap: 0.0,
+    });
+    rows.push(LearnerRow {
+        learner: "default (wait 10)".to_string(),
+        test_value: default_value,
+        remaining_gap: 1.0,
+    });
+    rows
+}
+
+/// Renders the learner ablation.
+pub fn render_learners(rows: &[LearnerRow]) -> String {
+    let mut out = String::from(
+        "Learner ablation (machine health): same exploration budget, different optimizers\n",
+    );
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>16}\n",
+        "Learner", "test value", "remaining gap"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>12.4} {:>15.1}%\n",
+            r.learner,
+            r.test_value,
+            100.0 * r.remaining_gap
+        ));
+    }
+    out
+}
+

@@ -1,0 +1,187 @@
+//! §5 challenge demonstrations and design ablations.
+//!
+//! Three quantitative companions to the paper's challenges section:
+//!
+//! * [`estimator_ablation`] — IPS vs SNIPS vs direct method vs doubly
+//!   robust on the machine-health scenario: the bias/variance trade-off
+//!   that motivates the paper's doubly-robust plan.
+//! * [`trajectory_variance`] — per-decision importance sampling over
+//!   load-balancer episodes: unbiased in principle, but the match fraction
+//!   and effective sample size collapse exponentially with horizon
+//!   ("a uniform random load balancing policy will almost never choose the
+//!   same server twenty times in a row").
+//! * [`exploration_coverage`] — the paper's proposed fix: randomizing
+//!   traffic *shares per episode* instead of per request yields sustained
+//!   skewed-load sequences that per-request randomization never produces.
+
+mod cache_ablation;
+mod estimators;
+mod exploration;
+mod learners;
+mod sequences;
+mod validation;
+
+pub use cache_ablation::{
+    cache_ope_mismatch, eviction_samples_sweep, render_ope_mismatch, render_samples_sweep,
+    render_zipf, zipf_workload_check, OpeMismatchRow, SamplesRow, ZipfRow,
+};
+pub use estimators::{estimator_ablation, render_estimators, EstimatorRow};
+pub use exploration::{
+    exploration_coverage, render_coverage, render_staleness, staleness_sweep, CoverageRow,
+    StalenessRow,
+};
+pub use learners::{learner_ablation, render_learners, LearnerRow};
+pub use sequences::{
+    dr_pdis_comparison, lb_episodes, render_dr_pdis, render_trajectory, trajectory_variance,
+    DrPdisRow,
+};
+pub use validation::{
+    drift_tripwire, render_drift, render_simultaneous, simultaneous_evaluation, DriftRow,
+    SimultaneousEvalRow,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig { seed: 9, scale: 0.2 }
+    }
+
+    #[test]
+    fn ips_and_dr_are_nearly_unbiased_dm_is_not_guaranteed() {
+        let rows = estimator_ablation(&cfg());
+        assert_eq!(rows.len(), 4);
+        let by = |n: &str| rows.iter().find(|r| r.estimator == n).unwrap();
+        let ips_r = by("ips");
+        let dr = by("doubly-robust");
+        let snips_r = by("snips");
+        assert!(ips_r.bias.abs() < 0.02, "ips bias {}", ips_r.bias);
+        assert!(dr.bias.abs() < 0.02, "dr bias {}", dr.bias);
+        assert!(snips_r.bias.abs() < 0.03);
+        // DR should not be more variable than IPS (it has a baseline).
+        assert!(dr.std_dev <= ips_r.std_dev * 1.1);
+    }
+
+    #[test]
+    fn trajectory_match_fraction_collapses() {
+        let profile = trajectory_variance(&cfg(), 12);
+        assert_eq!(profile.len(), 12);
+        assert!(profile[0].match_fraction > 0.3);
+        assert!(profile[11].match_fraction < 0.01);
+        assert!(profile[11].effective_sample_size < profile[0].effective_sample_size / 10.0);
+    }
+
+    #[test]
+    fn episode_weights_create_long_runs() {
+        let rows = exploration_coverage(&cfg());
+        let uniform = &rows[0];
+        let episodic = &rows[1];
+        // Length-20 runs: essentially never under per-request uniform,
+        // plentiful under episode-randomized weights.
+        let u20 = uniform.runs_per_10k.iter().find(|(l, _)| *l == 20).unwrap().1;
+        let e20 = episodic.runs_per_10k.iter().find(|(l, _)| *l == 20).unwrap().1;
+        assert!(e20 > 10.0 * (u20 + 0.1), "episodic {e20} vs uniform {u20}");
+    }
+
+    #[test]
+    fn dr_pdis_cuts_variance_on_lb_episodes() {
+        let rows = dr_pdis_comparison(&cfg(), &[2, 4, 6]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // DR must not be more variable, and at longer horizons it must
+            // be clearly better.
+            assert!(
+                r.dr_pdis.1 <= r.pdis.1 * 1.05,
+                "horizon {}: dr se {} vs pdis se {}",
+                r.horizon,
+                r.dr_pdis.1,
+                r.pdis.1
+            );
+        }
+        let last = rows.last().unwrap();
+        assert!(
+            last.dr_pdis.1 < 0.9 * last.pdis.1,
+            "at horizon {} dr se {} should clearly beat pdis se {}",
+            last.horizon,
+            last.dr_pdis.1,
+            last.pdis.1
+        );
+    }
+
+    #[test]
+    fn staleness_degrades_least_loaded_more_than_cb() {
+        let rows = staleness_sweep(&cfg(), &[0.0, 2.0]);
+        let fresh = &rows[0];
+        let stale = &rows[1];
+        // Least-loaded suffers from herding on stale counts.
+        assert!(
+            stale.least_loaded_s > fresh.least_loaded_s + 0.02,
+            "ll fresh {} stale {}",
+            fresh.least_loaded_s,
+            stale.least_loaded_s
+        );
+        // The CB policy leans on per-server/class priors, so its absolute
+        // degradation is smaller.
+        let cb_delta = stale.cb_policy_s - fresh.cb_policy_s;
+        let ll_delta = stale.least_loaded_s - fresh.least_loaded_s;
+        assert!(
+            cb_delta < ll_delta,
+            "cb delta {cb_delta} vs ll delta {ll_delta}"
+        );
+        // Random is unaffected (control).
+        assert!((stale.random_s - fresh.random_s).abs() < 0.02);
+    }
+
+    #[test]
+    fn eq1_bound_holds_empirically_over_a_policy_class() {
+        let rows = simultaneous_evaluation(&cfg(), 100, &[1_000, 4_000]);
+        for r in &rows {
+            assert!(
+                r.max_abs_error < r.eq1_radius,
+                "N={}: worst error {} exceeds Eq.1 radius {}",
+                r.n,
+                r.max_abs_error,
+                r.eq1_radius
+            );
+        }
+        // Error shrinks with N.
+        assert!(rows[1].max_abs_error < rows[0].max_abs_error);
+    }
+
+    #[test]
+    fn drift_tripwire_flags_send_to_one_only() {
+        let rows = drift_tripwire(&cfg());
+        let by = |n: &str| rows.iter().find(|r| r.policy.starts_with(n)).unwrap();
+        assert!(!by("random").suspected, "control must not trip: {rows:?}");
+        assert!(by("send-to-1").suspected, "send-to-1 must trip: {rows:?}");
+        assert!(
+            by("send-to-1").max_effect_size > by("random").max_effect_size * 3.0,
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn all_learners_beat_the_default_and_trail_the_skyline() {
+        let rows = learner_ablation(&ExperimentConfig { seed: 9, scale: 0.4 });
+        let by = |n: &str| rows.iter().find(|r| r.learner.starts_with(n)).unwrap();
+        let default = by("default").test_value;
+        let skyline = by("supervised").test_value;
+        for name in ["regression", "ips-policy", "epoch-greedy"] {
+            let r = by(name);
+            assert!(
+                r.test_value > default,
+                "{name} must beat the default: {rows:?}"
+            );
+            assert!(
+                r.test_value <= skyline + 1e-9,
+                "{name} cannot beat full feedback: {rows:?}"
+            );
+        }
+        // The regression learner is the strongest of the partial-feedback
+        // learners in this setting (matching the paper's choice).
+        assert!(by("regression").remaining_gap < 0.25, "{rows:?}");
+    }
+}
+

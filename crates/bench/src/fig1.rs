@@ -1,0 +1,179 @@
+//! Fig 1 — the amount of data N required to simultaneously evaluate K
+//! policies: A/B testing (linear-ish in K) vs contextual bandits
+//! (logarithmic in K), at a fixed target error.
+
+use harvest_estimators::bounds::{fig1_series, BoundConfig, Fig1Row};
+
+use crate::ExperimentConfig;
+
+/// The target simultaneous error used for the figure.
+pub const TARGET_ERROR: f64 = 0.05;
+
+/// The exploration floor used for the CB curve: uniform logging over 10
+/// actions (the machine-health action space).
+pub const EPSILON: f64 = 0.1;
+
+/// Regenerates the Fig 1 series over `K ∈ {10⁰ … 10⁶}`.
+pub fn run(_cfg: &ExperimentConfig) -> Vec<Fig1Row> {
+    let ks: Vec<f64> = (0..=6).map(|e| 10f64.powi(e)).collect();
+    fig1_series(&BoundConfig::fig1(), EPSILON, TARGET_ERROR, &ks)
+}
+
+/// Renders the series as aligned text rows.
+pub fn render(rows: &[Fig1Row]) -> String {
+    let mut out = String::from(
+        "Fig 1: data required to evaluate K policies (target error 0.05, eps=0.1, delta=0.01)\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>16} {:>16} {:>10}\n",
+        "K policies", "N (CB, offline)", "N (A/B test)", "A/B / CB"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12.0} {:>16.0} {:>16.0} {:>10.1}\n",
+            r.k,
+            r.n_cb,
+            r.n_ab,
+            r.n_ab / r.n_cb
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cb_curve_is_flat_ab_curve_explodes() {
+        let rows = run(&ExperimentConfig::default());
+        assert_eq!(rows.len(), 7);
+        // CB grows ≤ 10× from K=1 to K=10^6; A/B grows ≥ 10^5×.
+        let cb_growth = rows[6].n_cb / rows[0].n_cb;
+        let ab_growth = rows[6].n_ab / rows[0].n_ab;
+        assert!(cb_growth < 10.0, "cb growth {cb_growth}");
+        assert!(ab_growth > 1e5, "ab growth {ab_growth}");
+        // At K = 10^6 the gap is at least four orders of magnitude.
+        assert!(rows[6].n_ab / rows[6].n_cb > 1e4);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = run(&ExperimentConfig::default());
+        let text = render(&rows);
+        assert_eq!(text.lines().count(), 2 + rows.len());
+        assert!(text.contains("1000000"));
+    }
+}
+
+/// One row of the empirical Fig 1 companion: with a fixed data budget N,
+/// how accurately can each methodology score K candidate policies?
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig1EmpiricalRow {
+    /// Number of candidate policies.
+    pub k: usize,
+    /// Interactions available (shared across all candidates).
+    pub n: usize,
+    /// Mean |estimate − truth| across candidates under A/B testing (each
+    /// candidate gets ~N/K of the traffic).
+    pub ab_mean_abs_error: f64,
+    /// Mean |estimate − truth| across candidates under CB off-policy
+    /// evaluation (every candidate reuses all N logged interactions).
+    pub cb_mean_abs_error: f64,
+}
+
+/// Measures Fig 1's claim empirically on the machine-health scenario: as K
+/// grows with N fixed, A/B error explodes (per-arm traffic vanishes) while
+/// IPS error stays flat (every policy reuses the whole log).
+pub fn run_empirical(cfg: &crate::ExperimentConfig, ks: &[usize]) -> Vec<Fig1EmpiricalRow> {
+    use harvest_core::policy::{enumerate_stumps, UniformPolicy};
+    use harvest_core::simulate::simulate_exploration;
+    use harvest_estimators::ab::ab_test;
+    use harvest_estimators::ips::ips;
+    use harvest_sim_mh::failure::NUM_ACTIONS;
+    use harvest_sim_mh::machine::MachineSpec;
+    use harvest_sim_mh::{generate_dataset, MachineHealthConfig};
+    use harvest_sim_net::rng::fork_rng;
+
+    let n = cfg.scaled(20_000, 4_000);
+    let full = generate_dataset(&MachineHealthConfig {
+        incidents: n,
+        seed: cfg.seed,
+    });
+    let mut rng = fork_rng(cfg.seed, "fig1-empirical");
+    let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
+
+    // Candidate policies: decision stumps over the machine features.
+    let max_k = *ks.iter().max().expect("non-empty ks");
+    let per_threshold = MachineSpec::FEATURE_DIM * NUM_ACTIONS * NUM_ACTIONS;
+    let t = max_k.div_ceil(per_threshold).max(1);
+    let thresholds: Vec<f64> = (0..t).map(|i| (i as f64 + 0.5) / t as f64).collect();
+    let mut class = enumerate_stumps(MachineSpec::FEATURE_DIM, &thresholds, NUM_ACTIONS);
+    class.truncate(max_k);
+
+    ks.iter()
+        .map(|&k| {
+            let candidates = &class[..k.min(class.len())];
+            // A/B: split the N interactions across the K arms.
+            let arms = ab_test(&full, candidates, &mut rng);
+            let mut ab_err = 0.0;
+            let mut cb_err = 0.0;
+            for (p, arm) in candidates.iter().zip(&arms) {
+                let truth = full.value_of_policy(p).expect("non-empty");
+                ab_err += (arm.estimate.value - truth).abs();
+                cb_err += (ips(&expl, p).value - truth).abs();
+            }
+            Fig1EmpiricalRow {
+                k: candidates.len(),
+                n,
+                ab_mean_abs_error: ab_err / candidates.len() as f64,
+                cb_mean_abs_error: cb_err / candidates.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the empirical companion.
+pub fn render_empirical(rows: &[Fig1EmpiricalRow]) -> String {
+    let mut out = String::from(
+        "Fig 1 (empirical): mean |error| scoring K policies from one budget of N interactions\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>16} {:>16}\n",
+        "K", "N", "A/B mean |err|", "CB mean |err|"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>16.4} {:>16.4}\n",
+            r.k, r.n, r.ab_mean_abs_error, r.cb_mean_abs_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod empirical_tests {
+    use super::*;
+
+    #[test]
+    fn ab_error_explodes_with_k_while_cb_stays_flat() {
+        let rows = run_empirical(
+            &crate::ExperimentConfig { seed: 11, scale: 0.5 },
+            &[4, 64, 1024],
+        );
+        assert_eq!(rows.len(), 3);
+        // CB error is insensitive to K (same data reused).
+        let cb_growth = rows[2].cb_mean_abs_error / rows[0].cb_mean_abs_error.max(1e-9);
+        assert!(cb_growth < 2.0, "cb growth {cb_growth}: {rows:?}");
+        // A/B error grows sharply as per-arm traffic shrinks.
+        assert!(
+            rows[2].ab_mean_abs_error > 2.0 * rows[0].ab_mean_abs_error,
+            "{rows:?}"
+        );
+        // And at large K, CB is decisively more accurate.
+        assert!(
+            rows[2].cb_mean_abs_error < rows[2].ab_mean_abs_error / 2.0,
+            "{rows:?}"
+        );
+    }
+}

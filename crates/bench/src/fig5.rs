@@ -1,0 +1,136 @@
+//! Fig 5 — the two-server setup: each server's latency as a linear
+//! function of its open connections, server 2 slower by an additive
+//! constant.
+//!
+//! The figure is the latency model itself; we render both the configured
+//! lines and empirical confirmation measured from the simulator (mean
+//! observed latency bucketed by connection count at admission, under
+//! uniform-random routing).
+
+use harvest_sim_lb::policy::RandomRouting;
+use harvest_sim_lb::sim::{run_simulation, SimConfig};
+use harvest_sim_lb::ClusterConfig;
+use harvest_sim_net::stats::RunningStats;
+
+use crate::ExperimentConfig;
+
+/// One point of the figure: per-server latencies at a connection count.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Fig5Row {
+    /// Open connections at admission.
+    pub conns: u32,
+    /// Server 1's configured (class-averaged) latency.
+    pub model_s1: f64,
+    /// Server 2's configured (class-averaged) latency.
+    pub model_s2: f64,
+    /// Server 1's measured mean latency at this connection count (NaN if
+    /// never observed).
+    pub measured_s1: f64,
+    /// Server 2's measured mean latency (NaN if never observed).
+    pub measured_s2: f64,
+}
+
+/// Regenerates Fig 5: model lines for 0..30 connections plus empirical
+/// means from a random-routing run.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Fig5Row> {
+    let cluster = ClusterConfig::fig5();
+    let sim_cfg = SimConfig::table2(cluster.clone(), cfg.scaled(40_000, 5_000), cfg.seed);
+    let result = run_simulation(&sim_cfg, &mut RandomRouting);
+
+    let max_conns = 30u32;
+    let mut buckets = vec![[RunningStats::new(), RunningStats::new()]; (max_conns + 1) as usize];
+    for r in result.measured_requests() {
+        let c = r.connections[r.server];
+        if c <= max_conns {
+            buckets[c as usize][r.server].push(r.latency_s);
+        }
+    }
+
+    (0..=max_conns)
+        .map(|c| {
+            let b = &buckets[c as usize];
+            let mean_of = |s: &RunningStats| {
+                if s.count() >= 5 {
+                    s.mean()
+                } else {
+                    f64::NAN
+                }
+            };
+            Fig5Row {
+                conns: c,
+                model_s1: cluster.servers[0].mean_base(&cluster.class_probs)
+                    + cluster.servers[0].per_conn_latency_s * c as f64,
+                model_s2: cluster.servers[1].mean_base(&cluster.class_probs)
+                    + cluster.servers[1].per_conn_latency_s * c as f64,
+                measured_s1: mean_of(&b[0]),
+                measured_s2: mean_of(&b[1]),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as aligned text.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut out = String::from(
+        "Fig 5: latency vs open connections (model lines and measured means, random routing)\n",
+    );
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}\n",
+        "conns", "model s1", "model s2", "measured s1", "measured s2"
+    ));
+    for r in rows {
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "      -".to_string()
+            } else {
+                format!("{v:>11.3}")
+            }
+        };
+        out.push_str(&format!(
+            "{:>6} {:>10.3} {:>10.3} {} {}\n",
+            r.conns,
+            r.model_s1,
+            r.model_s2,
+            fmt(r.measured_s1),
+            fmt(r.measured_s2)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_latencies_track_the_model() {
+        let rows = run(&ExperimentConfig { seed: 7, scale: 0.5 });
+        let mut checked = 0;
+        for r in &rows {
+            // The lines are parallel: constant additive gap of 0.2 s.
+            assert!((r.model_s2 - r.model_s1 - 0.2).abs() < 1e-9);
+            if !r.measured_s1.is_nan() {
+                // Class mix + 5% noise allow some spread around the mean
+                // line; the big-picture fit must hold.
+                assert!(
+                    (r.measured_s1 - r.model_s1).abs() < 0.05,
+                    "conns {}: measured {} vs model {}",
+                    r.conns,
+                    r.measured_s1,
+                    r.model_s1
+                );
+                checked += 1;
+            }
+            if !r.measured_s2.is_nan() {
+                assert!(
+                    (r.measured_s2 - r.model_s2).abs() < 0.25,
+                    "conns {}: measured {} vs model {} (server 2 mixes two class bases)",
+                    r.conns,
+                    r.measured_s2,
+                    r.model_s2
+                );
+            }
+        }
+        assert!(checked > 5, "need populated buckets, got {checked}");
+    }
+}

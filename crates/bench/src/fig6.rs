@@ -1,0 +1,161 @@
+//! Fig 6 — hierarchical (Front Door) architecture: how two-level load
+//! balancing shrinks action spaces and multiplies the value of harvested
+//! data.
+//!
+//! We run the two-level simulator with uniform exploration at both levels,
+//! harvest a dataset per level, and compare the Eq. 1 accuracy each level
+//! achieves against a hypothetical *flat* balancer over all E×S servers
+//! with the same amount of data.
+
+use harvest_core::policy::ConstantPolicy;
+use harvest_estimators::bounds::{ips_radius, BoundConfig};
+use harvest_estimators::ips::ips;
+use harvest_sim_lb::hierarchy::{
+    run_hierarchical, run_hierarchical_with_policies, CbLevel, HierarchyConfig, UniformLevel,
+};
+
+use crate::ExperimentConfig;
+
+/// One row: a decision level (or the flat strawman) and its evaluation
+/// power.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig6Row {
+    /// Level name.
+    pub level: String,
+    /// Action-space size at this level.
+    pub actions: usize,
+    /// Exploration floor ε at this level.
+    pub epsilon: f64,
+    /// Harvested samples.
+    pub n: usize,
+    /// Eq. 1 radius for evaluating 10⁶ policies with this data.
+    pub eq1_radius: f64,
+    /// IPS estimate (negated latency) of the best constant action at this
+    /// level, as a sanity signal (NaN for the flat strawman).
+    pub best_constant_value: f64,
+}
+
+/// Policy-class size used for the radius comparison.
+pub const K: f64 = 1e6;
+
+/// Online latencies of hierarchical deployments: uniform exploration vs a
+/// CB model trained and deployed per level.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Fig6Online {
+    /// Mean latency of uniform two-level routing.
+    pub uniform_latency_s: f64,
+    /// Mean latency after deploying the per-level CB models.
+    pub cb_latency_s: f64,
+}
+
+/// Trains a CB model per level from the hierarchical exploration run and
+/// deploys the pair — Fig 6 made actionable.
+pub fn run_online(cfg: &ExperimentConfig) -> Fig6Online {
+    let hcfg = HierarchyConfig::front_door(cfg.scaled(40_000, 5_000), cfg.seed);
+    let harvest = run_hierarchical(&hcfg);
+    let mut edge = CbLevel::fit(&harvest.edge_dataset, 1e-3).expect("edge model fits");
+    let mut local = CbLevel::fit(&harvest.local_dataset, 1e-3).expect("local model fits");
+    let cb_latency_s = run_hierarchical_with_policies(&hcfg, &mut edge, &mut local);
+    let mut ue = UniformLevel;
+    let mut ul = UniformLevel;
+    let uniform_latency_s = run_hierarchical_with_policies(&hcfg, &mut ue, &mut ul);
+    Fig6Online {
+        uniform_latency_s,
+        cb_latency_s,
+    }
+}
+
+/// Renders the online comparison.
+pub fn render_online(online: &Fig6Online) -> String {
+    format!(
+        "Fig 6 (deployed): uniform two-level routing {:.3}s -> per-level CB deployment {:.3}s\n",
+        online.uniform_latency_s, online.cb_latency_s
+    )
+}
+
+/// Regenerates Fig 6's quantitative comparison.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
+    let hcfg = HierarchyConfig::front_door(cfg.scaled(40_000, 5_000), cfg.seed);
+    let result = run_hierarchical(&hcfg);
+    let bounds = BoundConfig::fig2();
+    let n = result.edge_dataset.len();
+
+    let best_edge = (0..hcfg.endpoints)
+        .map(|a| ips(&result.edge_dataset, &ConstantPolicy::new(a)).value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best_local = (0..hcfg.servers_per_endpoint)
+        .map(|a| ips(&result.local_dataset, &ConstantPolicy::new(a)).value)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    vec![
+        Fig6Row {
+            level: "flat (E*S servers)".to_string(),
+            actions: hcfg.endpoints * hcfg.servers_per_endpoint,
+            epsilon: hcfg.flat_epsilon(),
+            n,
+            eq1_radius: ips_radius(&bounds, hcfg.flat_epsilon(), n as f64, K),
+            best_constant_value: f64::NAN,
+        },
+        Fig6Row {
+            level: "edge (endpoints)".to_string(),
+            actions: hcfg.endpoints,
+            epsilon: hcfg.edge_epsilon(),
+            n,
+            eq1_radius: ips_radius(&bounds, hcfg.edge_epsilon(), n as f64, K),
+            best_constant_value: best_edge,
+        },
+        Fig6Row {
+            level: "local (in-cluster)".to_string(),
+            actions: hcfg.servers_per_endpoint,
+            epsilon: hcfg.local_epsilon(),
+            n,
+            eq1_radius: ips_radius(&bounds, hcfg.local_epsilon(), n as f64, K),
+            best_constant_value: best_local,
+        },
+    ]
+}
+
+/// Renders the comparison as aligned text.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let mut out = String::from(
+        "Fig 6: hierarchical Front Door — per-level action spaces multiply evaluation power\n",
+    );
+    out.push_str(&format!(
+        "{:<20} {:>8} {:>8} {:>10} {:>12} {:>14}\n",
+        "Level", "actions", "eps", "N", "Eq.1 radius", "best constant"
+    ));
+    for r in rows {
+        let best = if r.best_constant_value.is_nan() {
+            "       -".to_string()
+        } else {
+            format!("{:>13.3}", r.best_constant_value)
+        };
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>8.3} {:>10} {:>12.4} {}\n",
+            r.level, r.actions, r.epsilon, r.n, r.eq1_radius, best
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_beats_flat_at_both_levels() {
+        let rows = run(&ExperimentConfig { seed: 8, scale: 0.3 });
+        assert_eq!(rows.len(), 3);
+        let flat = &rows[0];
+        let edge = &rows[1];
+        let local = &rows[2];
+        // Same data, smaller action space per level => tighter radius.
+        assert!(edge.eq1_radius < flat.eq1_radius);
+        assert!(local.eq1_radius < flat.eq1_radius);
+        // ε composes: flat ε = edge ε × local ε.
+        assert!((flat.epsilon - edge.epsilon * local.epsilon).abs() < 1e-12);
+        // radius scales as 1/sqrt(eps): edge radius = flat radius * sqrt(flat_eps/edge_eps).
+        let expect = flat.eq1_radius * (flat.epsilon / edge.epsilon).sqrt();
+        assert!((edge.eq1_radius - expect).abs() < 1e-9);
+    }
+}

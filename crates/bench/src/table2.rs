@@ -1,0 +1,160 @@
+//! Table 2 — mean request latency of load-balancing policies: off-policy
+//! estimates vs online (deployed) measurements.
+//!
+//! The headline negative result: in data logged under uniform-random
+//! routing, server 1 always looks fast, so IPS scores "send to 1" as the
+//! best policy — but deploying it overloads server 1 and roughly doubles
+//! its latency. Meanwhile CB *optimization* still works: the learned
+//! policy beats least-loaded online.
+
+use harvest_core::policy::{FnPolicy, GreedyPolicy, Policy};
+use harvest_core::{Context, SimpleContext};
+use harvest_estimators::ips::ips;
+use harvest_sim_lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
+use harvest_sim_lb::sim::{run_simulation, SimConfig};
+use harvest_sim_lb::ClusterConfig;
+
+use crate::ExperimentConfig;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table2Row {
+    /// Policy name.
+    pub policy: String,
+    /// Mean latency according to off-policy evaluation on the exploration
+    /// data, in seconds.
+    pub ope_latency_s: f64,
+    /// Mean latency measured by actually deploying the policy, in seconds.
+    pub online_latency_s: f64,
+}
+
+/// Requests per simulation run at scale 1.0.
+pub const REQUESTS: usize = 60_000;
+
+/// A deterministic core-policy mirror of least-loaded routing, usable by
+/// the off-policy estimators (the first `num_servers` shared features are
+/// the scaled connection counts).
+pub fn least_loaded_core_policy(
+    num_servers: usize,
+) -> FnPolicy<impl Fn(&SimpleContext) -> usize + Clone> {
+    FnPolicy::new("least-loaded", move |ctx: &SimpleContext| {
+        let conns = &ctx.shared_features()[..num_servers.min(ctx.num_actions())];
+        let mut best = 0;
+        for (i, &c) in conns.iter().enumerate() {
+            if c < conns[best] {
+                best = i;
+            }
+        }
+        best
+    })
+}
+
+/// Regenerates Table 2.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Table2Row> {
+    let cluster = ClusterConfig::fig5();
+    let requests = cfg.scaled(REQUESTS, 5_000);
+    let sim_cfg = SimConfig::table2(cluster.clone(), requests, cfg.seed);
+
+    // Exploration: deploy uniform-random routing and harvest its logs.
+    let exploration_run = run_simulation(&sim_cfg, &mut RandomRouting);
+    let exploration = exploration_run.to_dataset();
+    let scorer = exploration_run
+        .fit_cb_scorer(1e-3)
+        .expect("CB training succeeds");
+
+    let k = cluster.num_servers();
+    let ll = least_loaded_core_policy(k);
+    let send1 = harvest_core::policy::ConstantPolicy::new(0);
+    let cb = GreedyPolicy::new(scorer.clone()).named("cb-policy");
+
+    // OPE values (rewards are negated latencies; flip sign back).
+    let ope = |p: &dyn Policy<SimpleContext>| -ips(&exploration, &p).value;
+    let rows_ope = [
+        ("random".to_string(), -exploration.mean_logged_reward().unwrap_or(0.0)),
+        ("least-loaded".to_string(), ope(&ll)),
+        ("send-to-1".to_string(), ope(&send1)),
+        ("cb-policy".to_string(), ope(&cb)),
+    ];
+
+    // Online ground truth: deploy each policy in the simulator.
+    let online = [
+        run_simulation(&sim_cfg, &mut RandomRouting).mean_latency_s,
+        run_simulation(&sim_cfg, &mut LeastLoadedRouting).mean_latency_s,
+        run_simulation(&sim_cfg, &mut SendToRouting(0)).mean_latency_s,
+        run_simulation(&sim_cfg, &mut CbRouting::greedy(scorer)).mean_latency_s,
+    ];
+
+    rows_ope
+        .into_iter()
+        .zip(online)
+        .map(|((policy, ope_latency_s), online_latency_s)| Table2Row {
+            policy,
+            ope_latency_s,
+            online_latency_s,
+        })
+        .collect()
+}
+
+/// Renders the table as aligned text.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "Table 2: mean request latency of load-balancing policies (Fig 5 cluster)\n",
+    );
+    out.push_str(&format!(
+        "{:<14} {:>22} {:>20}\n",
+        "Policy", "Off-policy evaluation", "Online evaluation"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>21.2}s {:>19.2}s\n",
+            r.policy, r.ope_latency_s, r.online_latency_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [Table2Row], name: &str) -> &'a Table2Row {
+        rows.iter().find(|r| r.policy == name).unwrap()
+    }
+
+    #[test]
+    fn table2_shape_holds() {
+        let rows = run(&ExperimentConfig { seed: 5, scale: 0.5 });
+        assert_eq!(rows.len(), 4);
+        let random = row(&rows, "random");
+        let ll = row(&rows, "least-loaded");
+        let send1 = row(&rows, "send-to-1");
+        let cb = row(&rows, "cb-policy");
+
+        // Random: OPE (= on-policy mean) agrees with online.
+        assert!(
+            (random.ope_latency_s - random.online_latency_s).abs() < 0.03,
+            "random {:?}",
+            random
+        );
+        // The catastrophic miss: send-to-1 looks great offline, is the
+        // worst policy online (paper: 0.31 s vs 0.70 s).
+        assert!(
+            send1.ope_latency_s < random.ope_latency_s - 0.05,
+            "send-to-1 must look fast offline: {send1:?}"
+        );
+        assert!(
+            send1.online_latency_s > send1.ope_latency_s * 1.8,
+            "send-to-1 must blow up online: {send1:?}"
+        );
+        assert!(send1.online_latency_s > random.online_latency_s + 0.1);
+        // Least-loaded beats random online.
+        assert!(ll.online_latency_s < random.online_latency_s - 0.02);
+        // CB optimization works: beats least-loaded online.
+        assert!(
+            cb.online_latency_s < ll.online_latency_s,
+            "cb {:?} vs ll {:?}",
+            cb,
+            ll
+        );
+    }
+}

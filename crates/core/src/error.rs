@@ -1,0 +1,114 @@
+//! Error type shared across the CB framework.
+
+use std::fmt;
+
+/// Errors produced by the contextual-bandit framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarvestError {
+    /// A logged propensity was outside `(0, 1]` or non-finite. Off-policy
+    /// estimators are undefined for zero propensities (paper §4: "the
+    /// estimate is defined only if p > 0").
+    InvalidPropensity {
+        /// The offending value.
+        value: f64,
+        /// Index of the sample within its dataset, if known.
+        index: Option<usize>,
+    },
+    /// A reward was non-finite.
+    InvalidReward {
+        /// The offending value.
+        value: f64,
+    },
+    /// A logged action index was out of range for its context's action set.
+    ActionOutOfRange {
+        /// The logged action.
+        action: usize,
+        /// The size of the context's action set.
+        num_actions: usize,
+    },
+    /// An operation that needs data was given an empty dataset.
+    EmptyDataset,
+    /// Feature vectors of inconsistent dimension were mixed.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually seen.
+        got: usize,
+    },
+    /// A linear system was singular (or not positive definite) and could not
+    /// be solved. Usually means a regularizer of zero with collinear
+    /// features.
+    SingularSystem,
+    /// A probability vector did not form a distribution (negative entries or
+    /// sum far from one).
+    InvalidDistribution {
+        /// Sum of the offending vector.
+        sum: f64,
+    },
+    /// A configuration parameter was out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for HarvestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarvestError::InvalidPropensity { value, index } => match index {
+                Some(i) => write!(f, "invalid propensity {value} at sample {i}; must be in (0, 1]"),
+                None => write!(f, "invalid propensity {value}; must be in (0, 1]"),
+            },
+            HarvestError::InvalidReward { value } => {
+                write!(f, "invalid reward {value}; must be finite")
+            }
+            HarvestError::ActionOutOfRange { action, num_actions } => {
+                write!(f, "action {action} out of range for {num_actions} actions")
+            }
+            HarvestError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            HarvestError::DimensionMismatch { expected, got } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+            HarvestError::SingularSystem => {
+                write!(f, "linear system is singular or not positive definite")
+            }
+            HarvestError::InvalidDistribution { sum } => {
+                write!(f, "probabilities do not form a distribution (sum = {sum})")
+            }
+            HarvestError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarvestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HarvestError::InvalidPropensity {
+            value: 0.0,
+            index: Some(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0") && s.contains("sample 3"), "{s}");
+
+        let e = HarvestError::DimensionMismatch {
+            expected: 4,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&HarvestError::EmptyDataset);
+    }
+}

@@ -1,0 +1,262 @@
+//! The online epoch-greedy learner.
+
+use rand::Rng;
+
+use crate::context::{phi_shared, Context};
+use crate::error::HarvestError;
+use crate::policy::GreedyPolicy;
+use crate::regression::SgdRegressor;
+use crate::scorer::LinearScorer;
+
+/// An online CB learner in the spirit of epoch-greedy (Langford & Zhang):
+/// explore uniformly with probability `ε_t`, exploit the current greedy
+/// policy otherwise, and update per-action SGD reward models from every
+/// observed reward.
+///
+/// The exploration schedule is `ε_t = max(ε_min, ε₀ / (1 + t/τ))`: early
+/// rounds explore heavily, later rounds keep the floor `ε_min > 0` so the
+/// data stream remains harvestable (every action keeps nonzero propensity —
+/// Eq. 1 needs `ε > 0` forever).
+///
+/// `EpochGreedyLearner` is itself a randomized logging policy: [`act`]
+/// returns the action together with its exact propensity, so the decisions
+/// it makes can be logged as `⟨x, a, r, p⟩` and harvested later — the
+/// continuous-learning loop of paper §3.
+///
+/// [`act`]: EpochGreedyLearner::act
+#[derive(Debug, Clone)]
+pub struct EpochGreedyLearner {
+    models: Vec<SgdRegressor>,
+    shared_dim: usize,
+    eps0: f64,
+    eps_min: f64,
+    tau: f64,
+    t: u64,
+}
+
+impl EpochGreedyLearner {
+    /// Creates a learner over `k` action slots with shared feature
+    /// dimension `shared_dim`.
+    ///
+    /// * `eps0` — initial exploration fraction, in `(0, 1]`.
+    /// * `eps_min` — exploration floor, in `(0, eps0]`.
+    /// * `tau` — schedule half-life in rounds (positive).
+    pub fn new(
+        k: usize,
+        shared_dim: usize,
+        eps0: f64,
+        eps_min: f64,
+        tau: f64,
+    ) -> Result<Self, HarvestError> {
+        if k == 0 {
+            return Err(HarvestError::InvalidParameter {
+                name: "k",
+                message: "need at least one action".to_string(),
+            });
+        }
+        if !(eps0 > 0.0 && eps0 <= 1.0) {
+            return Err(HarvestError::InvalidParameter {
+                name: "eps0",
+                message: format!("must be in (0, 1], got {eps0}"),
+            });
+        }
+        if !(eps_min > 0.0 && eps_min <= eps0) {
+            return Err(HarvestError::InvalidParameter {
+                name: "eps_min",
+                message: format!("must be in (0, eps0], got {eps_min}"),
+            });
+        }
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(HarvestError::InvalidParameter {
+                name: "tau",
+                message: format!("must be positive, got {tau}"),
+            });
+        }
+        let models = (0..k)
+            .map(|_| SgdRegressor::new(shared_dim + 1, 0.1, 0.001))
+            .collect::<Result<_, _>>()?;
+        Ok(EpochGreedyLearner {
+            models,
+            shared_dim,
+            eps0,
+            eps_min,
+            tau,
+            t: 0,
+        })
+    }
+
+    /// The current exploration fraction.
+    pub fn epsilon(&self) -> f64 {
+        (self.eps0 / (1.0 + self.t as f64 / self.tau)).max(self.eps_min)
+    }
+
+    /// Rounds played so far.
+    pub fn rounds(&self) -> u64 {
+        self.t
+    }
+
+    fn greedy_action<C: Context>(&self, ctx: &C) -> usize {
+        let x = phi_shared(ctx);
+        let k = ctx.num_actions().min(self.models.len());
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, m) in self.models.iter().take(k).enumerate() {
+            let s = m.predict(&x);
+            if s > best_score {
+                best_score = s;
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// Chooses an action for `ctx` and returns it with its exact propensity.
+    ///
+    /// The distribution is ε-greedy over the current models: the greedy
+    /// action has probability `1 − ε + ε/K`, every other action `ε/K`.
+    pub fn act<C: Context, R: Rng + ?Sized>(&mut self, ctx: &C, rng: &mut R) -> (usize, f64) {
+        let eps = self.epsilon();
+        let k = ctx.num_actions().min(self.models.len());
+        let greedy = self.greedy_action(ctx);
+        let floor = eps / k as f64;
+        let action = if rng.gen_bool(eps) {
+            rng.gen_range(0..k)
+        } else {
+            greedy
+        };
+        self.t += 1;
+        let p = if action == greedy {
+            1.0 - eps + floor
+        } else {
+            floor
+        };
+        (action, p)
+    }
+
+    /// Feeds back the observed reward for a decision. Call once per [`act`].
+    ///
+    /// [`act`]: EpochGreedyLearner::act
+    pub fn learn<C: Context>(&mut self, ctx: &C, action: usize, reward: f64) {
+        let x = phi_shared(ctx);
+        debug_assert_eq!(x.len(), self.shared_dim + 1, "context dimension changed");
+        if let Some(m) = self.models.get_mut(action) {
+            m.update(&x, reward, 1.0);
+        }
+    }
+
+    /// Snapshot of the current reward models as a [`LinearScorer`].
+    pub fn scorer(&self) -> LinearScorer {
+        LinearScorer::PerAction {
+            weights: self.models.iter().map(|m| m.to_model().weights).collect(),
+        }
+    }
+
+    /// Snapshot of the current greedy (exploitation) policy.
+    pub fn policy(&self) -> GreedyPolicy<LinearScorer> {
+        GreedyPolicy::new(self.scorer()).named("epoch-greedy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SimpleContext;
+    use crate::policy::Policy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epsilon_schedule_decays_to_floor() {
+        let mut l = EpochGreedyLearner::new(2, 1, 1.0, 0.05, 100.0).unwrap();
+        assert_eq!(l.epsilon(), 1.0);
+        let ctx = SimpleContext::new(vec![0.0], 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            let (a, _p) = l.act(&ctx, &mut rng);
+            l.learn(&ctx, a, 0.0);
+        }
+        assert!((l.epsilon() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propensities_are_correct() {
+        let mut l = EpochGreedyLearner::new(4, 1, 0.2, 0.2, 1e12).unwrap();
+        let ctx = SimpleContext::new(vec![1.0], 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut greedy_p = None;
+        let mut explore_p = None;
+        for _ in 0..200 {
+            let greedy = l.greedy_action(&ctx);
+            let (a, p) = l.act(&ctx, &mut rng);
+            if a == greedy {
+                greedy_p = Some(p);
+            } else {
+                explore_p = Some(p);
+            }
+        }
+        assert!((greedy_p.unwrap() - (0.8 + 0.05)).abs() < 1e-12);
+        assert!((explore_p.unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_context_dependent_optimum_online() {
+        // Action 0 pays x, action 1 pays 1-x.
+        let mut l = EpochGreedyLearner::new(2, 1, 0.5, 0.05, 500.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..8000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let ctx = SimpleContext::new(vec![x], 2);
+            let (a, _p) = l.act(&ctx, &mut rng);
+            let r = if a == 0 { x } else { 1.0 - x };
+            l.learn(&ctx, a, r);
+        }
+        let pol = l.policy();
+        assert_eq!(pol.choose(&SimpleContext::new(vec![0.95], 2)), 0);
+        assert_eq!(pol.choose(&SimpleContext::new(vec![0.05], 2)), 1);
+    }
+
+    #[test]
+    fn cumulative_reward_beats_uniform() {
+        // On a bandit with a clearly best arm, epoch-greedy must out-earn
+        // uniform random over the same horizon.
+        let mut l = EpochGreedyLearner::new(3, 0, 0.5, 0.05, 200.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let arm_means = [0.2, 0.8, 0.4];
+        let ctx = SimpleContext::contextless(3);
+        let mut learner_total = 0.0;
+        let mut uniform_total = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let (a, _) = l.act(&ctx, &mut rng);
+            let r = arm_means[a] + rng.gen_range(-0.1..0.1);
+            l.learn(&ctx, a, r);
+            learner_total += r;
+            let ua = rng.gen_range(0..3);
+            uniform_total += arm_means[ua] + rng.gen_range(-0.1..0.1);
+        }
+        assert!(
+            learner_total > uniform_total + 0.1 * n as f64 * 0.3,
+            "learner {learner_total} vs uniform {uniform_total}"
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(EpochGreedyLearner::new(0, 1, 0.5, 0.1, 10.0).is_err());
+        assert!(EpochGreedyLearner::new(2, 1, 0.0, 0.1, 10.0).is_err());
+        assert!(EpochGreedyLearner::new(2, 1, 0.5, 0.0, 10.0).is_err());
+        assert!(EpochGreedyLearner::new(2, 1, 0.5, 0.6, 10.0).is_err());
+        assert!(EpochGreedyLearner::new(2, 1, 0.5, 0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn smaller_contexts_restrict_the_action_set() {
+        let mut l = EpochGreedyLearner::new(5, 0, 1.0, 1.0, 10.0).unwrap();
+        let ctx = SimpleContext::contextless(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let (a, p) = l.act(&ctx, &mut rng);
+            assert!(a < 2);
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The full-feedback supervised skyline.
+
+use crate::context::{phi_shared, Context};
+use crate::error::HarvestError;
+use crate::policy::GreedyPolicy;
+use crate::regression::RidgeRegression;
+use crate::sample::FullFeedbackDataset;
+use crate::scorer::LinearScorer;
+
+/// Trains per-action reward models from *full feedback* — the reward of
+/// every action on every sample.
+///
+/// Only the machine-health scenario provides this (the safe default of
+/// waiting the maximum time reveals all shorter waits, paper §3). It is the
+/// idealized baseline of Fig 4: the CB learner, which sees only one action's
+/// reward per sample, is measured by how close it gets to this skyline.
+#[derive(Debug, Clone)]
+pub struct SupervisedLearner {
+    lambda: f64,
+}
+
+impl SupervisedLearner {
+    /// Creates a supervised learner with ridge regularizer `lambda`
+    /// (positive).
+    pub fn new(lambda: f64) -> Result<Self, HarvestError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(HarvestError::InvalidParameter {
+                name: "lambda",
+                message: format!("must be positive, got {lambda}"),
+            });
+        }
+        Ok(SupervisedLearner { lambda })
+    }
+
+    /// Fits per-action models using every action's reward on every sample.
+    pub fn fit<C: Context>(
+        &self,
+        data: &FullFeedbackDataset<C>,
+    ) -> Result<LinearScorer, HarvestError> {
+        if data.is_empty() {
+            return Err(HarvestError::EmptyDataset);
+        }
+        let k = data
+            .samples()
+            .iter()
+            .map(|s| s.context.num_actions())
+            .max()
+            .expect("non-empty");
+        let shared_dim = data.samples()[0].context.shared_features().len();
+        let mut regs: Vec<RidgeRegression> = (0..k)
+            .map(|_| RidgeRegression::new(shared_dim + 1, self.lambda))
+            .collect::<Result<_, _>>()?;
+        for s in data.samples() {
+            let x = phi_shared(&s.context);
+            if x.len() != shared_dim + 1 {
+                return Err(HarvestError::DimensionMismatch {
+                    expected: shared_dim + 1,
+                    got: x.len(),
+                });
+            }
+            for (a, &r) in s.rewards.iter().enumerate() {
+                regs[a].push(&x, r, 1.0);
+            }
+        }
+        let weights = regs
+            .iter()
+            .map(|r| r.fit().map(|m| m.weights))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LinearScorer::PerAction { weights })
+    }
+
+    /// Fits and wraps in a greedy policy.
+    pub fn fit_policy<C: Context>(
+        &self,
+        data: &FullFeedbackDataset<C>,
+    ) -> Result<GreedyPolicy<LinearScorer>, HarvestError> {
+        Ok(GreedyPolicy::new(self.fit(data)?).named("supervised"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SimpleContext;
+    use crate::policy::Policy;
+    use crate::sample::FullFeedbackSample;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn crossing_full_feedback(n: usize, seed: u64) -> FullFeedbackDataset<SimpleContext> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut d = FullFeedbackDataset::default();
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            d.push(FullFeedbackSample {
+                context: SimpleContext::new(vec![x], 2),
+                rewards: vec![x, 1.0 - x],
+            })
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn supervised_learner_recovers_optimal_policy() {
+        let data = crossing_full_feedback(500, 1);
+        let learner = SupervisedLearner::new(1e-3).unwrap();
+        let pol = learner.fit_policy(&data).unwrap();
+        assert_eq!(pol.choose(&SimpleContext::new(vec![0.9], 2)), 0);
+        assert_eq!(pol.choose(&SimpleContext::new(vec![0.1], 2)), 1);
+        // Its achieved value should be near the oracle.
+        let v = data.value_of_policy(&pol).unwrap();
+        let oracle = data.oracle_value().unwrap();
+        assert!(oracle - v < 0.02, "value {v} vs oracle {oracle}");
+    }
+
+    #[test]
+    fn supervised_beats_best_fixed_action_when_context_matters() {
+        let data = crossing_full_feedback(500, 2);
+        let learner = SupervisedLearner::new(1e-3).unwrap();
+        let pol = learner.fit_policy(&data).unwrap();
+        let v = data.value_of_policy(&pol).unwrap();
+        let (_, fixed) = data.best_fixed_action().unwrap();
+        assert!(v > fixed + 0.1, "contextual {v} vs fixed {fixed}");
+    }
+
+    #[test]
+    fn empty_data_is_an_error() {
+        let learner = SupervisedLearner::new(1.0).unwrap();
+        let data: FullFeedbackDataset<SimpleContext> = FullFeedbackDataset::default();
+        assert_eq!(learner.fit(&data), Err(HarvestError::EmptyDataset));
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(SupervisedLearner::new(0.0).is_err());
+        assert!(SupervisedLearner::new(f64::NAN).is_err());
+    }
+}

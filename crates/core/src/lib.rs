@@ -1,0 +1,61 @@
+//! Contextual-bandit (CB) framework for harvesting randomness in systems.
+//!
+//! This crate implements the machine-learning core of *Harvesting Randomness
+//! to Optimize Distributed Systems* (HotNets'17): the `⟨x, a, r, p⟩`
+//! exploration-data model, policies over contexts, and learners that
+//! optimize policies from logged partial feedback.
+//!
+//! # The model
+//!
+//! An interaction is: observe a *context* `x`, take an *action* `a` from a
+//! finite set, obtain a *reward* `r`. A deployed randomized policy records
+//! the *propensity* `p` with which it chose `a`. The resulting tuples are
+//! [`LoggedDecision`]s collected into a [`Dataset`]; off-policy estimators
+//! (the `harvest-estimators` crate) consume them to evaluate any candidate
+//! [`Policy`] offline.
+//!
+//! Contextual bandits add two independence assumptions (paper §2):
+//! contexts are i.i.d. (**A1**) and rewards given (context, action) are
+//! i.i.d. (**A2**). The simulators in this workspace deliberately include
+//! scenarios that violate each, reproducing the paper's negative results.
+//!
+//! # Layout
+//!
+//! * [`context`] — the [`Context`] trait (shared + per-action features) and
+//!   [`SimpleContext`], the standard implementation.
+//! * [`sample`] — logged decisions, datasets, and *full-feedback* datasets
+//!   (the machine-health scenario observes the reward of every action).
+//! * [`policy`] — deterministic [`Policy`] and randomized
+//!   [`StochasticPolicy`] traits with the standard implementations
+//!   (constant, uniform, ε-greedy, softmax, weighted).
+//! * [`scorer`] — the [`Scorer`] abstraction (a score per (context,
+//!   action)) bridging reward models and greedy policies.
+//! * [`linalg`] — small dense linear algebra (Cholesky solves) for ridge
+//!   regression; hand-rolled because the reproduction mandate is to build
+//!   estimators from scratch.
+//! * [`regression`] — batch ridge and online SGD regressors with importance
+//!   weighting.
+//! * [`learner`] — CB learners: batch regression learner (per-action or
+//!   pooled features), the online epoch-greedy algorithm, and the
+//!   full-feedback supervised skyline.
+//! * [`simulate`] — turning a full-feedback dataset into exploration data by
+//!   revealing only a randomly chosen action's reward (paper §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod error;
+pub mod learner;
+pub mod linalg;
+pub mod policy;
+pub mod regression;
+pub mod sample;
+pub mod scorer;
+pub mod simulate;
+
+pub use context::{Context, SimpleContext};
+pub use error::HarvestError;
+pub use policy::{Policy, StochasticPolicy};
+pub use sample::{Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
+pub use scorer::Scorer;

@@ -1,0 +1,310 @@
+//! Small dense linear algebra: just enough for ridge regression.
+//!
+//! Hand-rolled per the reproduction mandate (no external linear-algebra or
+//! bandit crates). Provides a row-major [`Matrix`], Cholesky factorization
+//! for symmetric positive-definite systems, and the vector helpers the
+//! regressors need. Dimensions in this workspace are tiny (tens of
+//! features), so clarity beats blocking/SIMD tricks.
+
+use crate::error::HarvestError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from rows; all rows must share a length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input or zero rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must share a length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds `value` to each diagonal entry (ridge regularization).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Rank-1 symmetric update: `self += weight · x xᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `len(x) × len(x)`.
+    pub fn rank1_update(&mut self, x: &[f64], weight: f64) {
+        assert_eq!(self.rows, x.len(), "rank1 dimension mismatch");
+        assert_eq!(self.cols, x.len(), "rank1 dimension mismatch");
+        for i in 0..x.len() {
+            let wxi = weight * x[i];
+            for j in 0..x.len() {
+                self[(i, j)] += wxi * x[j];
+            }
+        }
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "mat_vec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                dot(row, x)
+            })
+            .collect()
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for a symmetric positive-definite
+    /// matrix; returns the lower-triangular `L`.
+    ///
+    /// Fails with [`HarvestError::SingularSystem`] if a pivot is not
+    /// strictly positive (matrix not PD, e.g. λ = 0 with collinear
+    /// features).
+    pub fn cholesky(&self) -> Result<Matrix, HarvestError> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(HarvestError::SingularSystem);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A w = b` for symmetric positive-definite `A` (this matrix)
+    /// via Cholesky: forward substitution then back substitution.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, HarvestError> {
+        assert_eq!(self.rows, b.len(), "solve dimension mismatch");
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        // Backward: Lᵀ w = y.
+        let mut w = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[(k, i)] * w[k];
+            }
+            w[i] = sum / l[(i, i)];
+        }
+        Ok(w)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`, in place.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let w = a.solve_spd(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(w, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // A = [[4,2],[2,3]], b = [2,1] => w = [0.5, 0].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let w = a.solve_spd(&[2.0, 1.0]).unwrap();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!(w[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_matches_reference() {
+        // Classic example: A = [[25,15,-5],[15,18,0],[-5,0,11]].
+        let a = Matrix::from_rows(&[
+            vec![25.0, 15.0, -5.0],
+            vec![15.0, 18.0, 0.0],
+            vec![-5.0, 0.0, 11.0],
+        ]);
+        let l = a.cholesky().unwrap();
+        let expect = [
+            [5.0, 0.0, 0.0],
+            [3.0, 3.0, 0.0],
+            [-1.0, 1.0, 3.0],
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((l[(i, j)] - expect[i][j]).abs() < 1e-12, "L[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(a.solve_spd(&[1.0, 1.0]), Err(HarvestError::SingularSystem));
+        // But ridge-regularizing it makes it solvable.
+        let mut a2 = a.clone();
+        a2.add_diagonal(0.1);
+        assert!(a2.solve_spd(&[1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn rank1_update_accumulates_gram_matrix() {
+        let mut g = Matrix::zeros(2, 2);
+        g.rank1_update(&[1.0, 2.0], 1.0);
+        g.rank1_update(&[3.0, -1.0], 2.0);
+        // G = [1,2]^T[1,2] + 2*[3,-1]^T[3,-1] = [[19,-4],[-4,6]].
+        assert_eq!(g[(0, 0)], 19.0);
+        assert_eq!(g[(0, 1)], -4.0);
+        assert_eq!(g[(1, 0)], -4.0);
+        assert_eq!(g[(1, 1)], 6.0);
+    }
+
+    #[test]
+    fn mat_vec_multiplies() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mat_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn solve_recovers_random_spd_solution() {
+        // Build an SPD system from a random-ish Gram matrix and check the
+        // residual, exercising larger dimensions.
+        let n = 8;
+        let mut g = Matrix::zeros(n, n);
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let row: Vec<f64> = (0..n)
+                .map(|j| ((i * 7 + j * 13) % 11) as f64 / 11.0 - 0.4)
+                .collect();
+            rows.push(row);
+        }
+        for r in &rows {
+            g.rank1_update(r, 1.0);
+        }
+        g.add_diagonal(0.5);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let w = g.solve_spd(&b).unwrap();
+        let r = g.mat_vec(&w);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-9, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

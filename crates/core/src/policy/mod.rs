@@ -1,0 +1,174 @@
+//! Policies: mappings from contexts to actions.
+//!
+//! Two traits:
+//!
+//! * [`Policy`] — deterministic: each context maps to one action. Candidate
+//!   policies being *evaluated* offline are deterministic in this
+//!   reproduction (as in the paper's Fig 3 / Tables 2–3).
+//! * [`StochasticPolicy`] — randomized: each context maps to a distribution
+//!   over actions. *Logging* policies must be stochastic — the whole premise
+//!   of harvesting randomness is that the deployed policy explores every
+//!   action with nonzero probability.
+//!
+//! Every deterministic policy is trivially stochastic (a point mass), and a
+//! stochastic policy's mode gives a deterministic policy; the adapters here
+//! provide both directions.
+
+mod basic;
+mod stochastic;
+mod tree;
+
+pub use basic::{ConstantPolicy, FnPolicy, GreedyPolicy};
+pub use stochastic::{
+    EpsilonGreedyPolicy, PointMassPolicy, SoftmaxPolicy, UniformPolicy, WeightedPolicy,
+};
+pub use tree::{enumerate_stumps, DecisionStump, DepthTwoTree};
+
+use rand::Rng;
+
+use crate::context::Context;
+use crate::error::HarvestError;
+
+/// A deterministic decision rule.
+pub trait Policy<C: Context> {
+    /// The action this policy takes in `ctx`. Must be `< ctx.num_actions()`.
+    fn choose(&self, ctx: &C) -> usize;
+
+    /// A short human-readable name for reports and tables.
+    fn name(&self) -> String {
+        "policy".to_string()
+    }
+}
+
+// Allow `&P` and boxed policies wherever a policy is expected.
+impl<C: Context, P: Policy<C> + ?Sized> Policy<C> for &P {
+    fn choose(&self, ctx: &C) -> usize {
+        (**self).choose(ctx)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<C: Context> Policy<C> for Box<dyn Policy<C> + '_> {
+    fn choose(&self, ctx: &C) -> usize {
+        (**self).choose(ctx)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// A randomized decision rule: a distribution over eligible actions per
+/// context.
+pub trait StochasticPolicy<C: Context> {
+    /// The probability assigned to each action in `ctx`. Must have length
+    /// `ctx.num_actions()`, non-negative entries summing to ~1.
+    fn action_probabilities(&self, ctx: &C) -> Vec<f64>;
+
+    /// Samples an action and returns it with its propensity.
+    ///
+    /// The default implementation inverse-CDF samples from
+    /// [`action_probabilities`](Self::action_probabilities).
+    fn sample<R: Rng + ?Sized>(&self, ctx: &C, rng: &mut R) -> (usize, f64) {
+        let probs = self.action_probabilities(ctx);
+        debug_assert_eq!(probs.len(), ctx.num_actions());
+        let u: f64 = rng.gen();
+        let mut cum = 0.0;
+        for (a, &p) in probs.iter().enumerate() {
+            cum += p;
+            if u < cum {
+                return (a, p);
+            }
+        }
+        // Numerical slack: fall back to the last action with positive mass.
+        let a = probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .unwrap_or(probs.len() - 1);
+        (a, probs[a])
+    }
+
+    /// The probability this policy assigns to a specific action.
+    fn propensity_of(&self, ctx: &C, action: usize) -> f64 {
+        self.action_probabilities(ctx)[action]
+    }
+
+    /// The minimum probability assigned to any action in `ctx` — the
+    /// per-context `ε` of Eq. 1.
+    fn min_propensity(&self, ctx: &C) -> f64 {
+        self.action_probabilities(ctx)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A short human-readable name for reports and tables.
+    fn name(&self) -> String {
+        "stochastic-policy".to_string()
+    }
+}
+
+/// Validates that `probs` is a distribution: non-negative, finite, summing
+/// to 1 within `1e-6`.
+pub fn validate_distribution(probs: &[f64]) -> Result<(), HarvestError> {
+    let mut sum = 0.0;
+    for &p in probs {
+        if !p.is_finite() || p < 0.0 {
+            return Err(HarvestError::InvalidDistribution { sum: f64::NAN });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(HarvestError::InvalidDistribution { sum });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SimpleContext;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validate_distribution_accepts_simplex() {
+        assert!(validate_distribution(&[0.25, 0.25, 0.5]).is_ok());
+        assert!(validate_distribution(&[1.0]).is_ok());
+    }
+
+    #[test]
+    fn validate_distribution_rejects_bad() {
+        assert!(validate_distribution(&[0.5, 0.6]).is_err());
+        assert!(validate_distribution(&[-0.1, 1.1]).is_err());
+        assert!(validate_distribution(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn default_sample_matches_probabilities() {
+        let ctx = SimpleContext::contextless(3);
+        let pol = WeightedPolicy::new(vec![1.0, 2.0, 7.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let (a, p) = pol.sample(&ctx, &mut rng);
+            counts[a] += 1;
+            let expect = [0.1, 0.2, 0.7][a];
+            assert!((p - expect).abs() < 1e-12);
+        }
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.02);
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn boxed_policy_dispatches() {
+        let ctx = SimpleContext::contextless(4);
+        let boxed: Box<dyn Policy<SimpleContext>> = Box::new(ConstantPolicy::new(2));
+        assert_eq!(boxed.choose(&ctx), 2);
+        assert_eq!(boxed.name(), "send-to-2");
+        // And a reference to a policy is a policy.
+        let by_ref = &ConstantPolicy::new(1);
+        assert_eq!(Policy::choose(&by_ref, &ctx), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Scorers: per-(context, action) values that drive greedy and softmax
+//! policies and serve as reward models for direct-method / doubly-robust
+//! estimation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{phi, phi_shared, Context};
+
+/// Assigns a score to each action in a context. Higher is better.
+///
+/// The same trait serves two roles: a *policy driver* (greedy/softmax pick
+/// by score) and a *reward model* (direct-method and doubly-robust
+/// estimators use scores as predicted rewards `r̂(x, a)`).
+pub trait Scorer<C: Context> {
+    /// The score of taking `action` in `ctx`.
+    fn score(&self, ctx: &C, action: usize) -> f64;
+
+    /// Scores for every eligible action.
+    fn scores(&self, ctx: &C) -> Vec<f64> {
+        (0..ctx.num_actions()).map(|a| self.score(ctx, a)).collect()
+    }
+}
+
+impl<C: Context, S: Scorer<C> + ?Sized> Scorer<C> for &S {
+    fn score(&self, ctx: &C, action: usize) -> f64 {
+        (**self).score(ctx, action)
+    }
+}
+
+impl<C: Context> Scorer<C> for Box<dyn Scorer<C> + '_> {
+    fn score(&self, ctx: &C, action: usize) -> f64 {
+        (**self).score(ctx, action)
+    }
+}
+
+/// A linear model over the assembled feature vector.
+///
+/// Two variants matching the two modeling modes:
+///
+/// * [`LinearScorer::PerAction`] — one weight vector per action slot over
+///   `φ_shared(x) = [shared ‖ 1]`. Right when actions are fixed semantic
+///   slots (wait times, named servers). If a context offers more actions
+///   than there are weight vectors, extra actions score `-∞` (never chosen
+///   greedily).
+/// * [`LinearScorer::Pooled`] — a single weight vector over
+///   `φ(x, a) = [shared ‖ action_features(a) ‖ 1]`. Right when actions are
+///   interchangeable candidates described by features (eviction candidates),
+///   so the action set may vary per context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinearScorer {
+    /// One weight vector per action slot.
+    PerAction {
+        /// `weights[a]` scores action `a` against `phi_shared(ctx)`.
+        weights: Vec<Vec<f64>>,
+    },
+    /// One pooled weight vector over `phi(ctx, a)`.
+    Pooled {
+        /// Scores any action against `phi(ctx, a)`.
+        weights: Vec<f64>,
+    },
+}
+
+impl LinearScorer {
+    /// A per-action scorer of all-zero weights, `k` actions of shared
+    /// feature dimension `shared_dim` (bias included automatically).
+    pub fn zero_per_action(k: usize, shared_dim: usize) -> Self {
+        LinearScorer::PerAction {
+            weights: vec![vec![0.0; shared_dim + 1]; k],
+        }
+    }
+
+    /// A pooled scorer of all-zero weights over `phi` dimension
+    /// `shared_dim + action_dim + 1`.
+    pub fn zero_pooled(shared_dim: usize, action_dim: usize) -> Self {
+        LinearScorer::Pooled {
+            weights: vec![0.0; shared_dim + action_dim + 1],
+        }
+    }
+
+    fn dot(w: &[f64], x: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), x.len(), "weight/feature dimension mismatch");
+        w.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl<C: Context> Scorer<C> for LinearScorer {
+    fn score(&self, ctx: &C, action: usize) -> f64 {
+        match self {
+            LinearScorer::PerAction { weights } => match weights.get(action) {
+                Some(w) => Self::dot(w, &phi_shared(ctx)),
+                None => f64::NEG_INFINITY,
+            },
+            LinearScorer::Pooled { weights } => Self::dot(weights, &phi(ctx, action)),
+        }
+    }
+}
+
+/// A context-independent score table — one value per action. The simplest
+/// possible reward model (a multi-armed-bandit estimate); useful as a
+/// baseline and in tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableScorer {
+    values: Vec<f64>,
+}
+
+impl TableScorer {
+    /// A table scorer with fixed per-action values.
+    pub fn new(values: Vec<f64>) -> Self {
+        TableScorer { values }
+    }
+
+    /// The per-action values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl<C: Context> Scorer<C> for TableScorer {
+    fn score(&self, _ctx: &C, action: usize) -> f64 {
+        self.values.get(action).copied().unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// Negates another scorer. Converts cost models (latency, downtime — the
+/// paper's `[-]` rewards) into reward models and vice versa.
+#[derive(Debug, Clone)]
+pub struct Negated<S>(pub S);
+
+impl<C: Context, S: Scorer<C>> Scorer<C> for Negated<S> {
+    fn score(&self, ctx: &C, action: usize) -> f64 {
+        -self.0.score(ctx, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SimpleContext;
+
+    #[test]
+    fn per_action_scores_with_bias() {
+        let s = LinearScorer::PerAction {
+            // score_0 = 2*x + 1; score_1 = -x.
+            weights: vec![vec![2.0, 1.0], vec![-1.0, 0.0]],
+        };
+        let ctx = SimpleContext::new(vec![3.0], 2);
+        assert_eq!(s.score(&ctx, 0), 7.0);
+        assert_eq!(s.score(&ctx, 1), -3.0);
+        assert_eq!(s.scores(&ctx), vec![7.0, -3.0]);
+    }
+
+    #[test]
+    fn per_action_out_of_table_scores_neg_inf() {
+        let s = LinearScorer::zero_per_action(2, 1);
+        let ctx = SimpleContext::new(vec![0.0], 3);
+        assert_eq!(s.score(&ctx, 2), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pooled_scores_action_features() {
+        // score = 1*shared + 10*af + 100 (bias).
+        let s = LinearScorer::Pooled {
+            weights: vec![1.0, 10.0, 100.0],
+        };
+        let ctx =
+            SimpleContext::with_action_features(vec![2.0], vec![vec![0.5], vec![-0.5]]);
+        assert_eq!(s.score(&ctx, 0), 2.0 + 5.0 + 100.0);
+        assert_eq!(s.score(&ctx, 1), 2.0 - 5.0 + 100.0);
+    }
+
+    #[test]
+    fn zero_constructors_have_right_dims() {
+        let ctx = SimpleContext::with_action_features(vec![1.0, 2.0], vec![vec![3.0]]);
+        let p = LinearScorer::zero_pooled(2, 1);
+        assert_eq!(p.score(&ctx, 0), 0.0);
+        let pa = LinearScorer::zero_per_action(1, 2);
+        assert_eq!(pa.score(&ctx, 0), 0.0);
+    }
+
+    #[test]
+    fn table_scorer_ignores_context() {
+        let s = TableScorer::new(vec![0.1, 0.9]);
+        let a = SimpleContext::new(vec![1.0], 2);
+        let b = SimpleContext::new(vec![-9.0], 2);
+        assert_eq!(s.score(&a, 1), s.score(&b, 1));
+        assert_eq!(s.score(&a, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn negated_flips_sign() {
+        let s = Negated(TableScorer::new(vec![2.0, -3.0]));
+        let ctx = SimpleContext::contextless(2);
+        assert_eq!(s.score(&ctx, 0), -2.0);
+        assert_eq!(s.score(&ctx, 1), 3.0);
+    }
+
+    #[test]
+    fn scorer_usable_through_references_and_boxes() {
+        let t = TableScorer::new(vec![1.0]);
+        let ctx = SimpleContext::contextless(1);
+        let r: &dyn Scorer<SimpleContext> = &t;
+        assert_eq!(r.score(&ctx, 0), 1.0);
+        let b: Box<dyn Scorer<SimpleContext>> = Box::new(t);
+        assert_eq!(b.score(&ctx, 0), 1.0);
+    }
+}

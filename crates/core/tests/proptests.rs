@@ -1,0 +1,238 @@
+//! Property tests for the CB framework's core laws.
+
+use proptest::prelude::*;
+
+use harvest_core::context::{phi, phi_dim, phi_shared, SimpleContext};
+use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
+use harvest_core::linalg::{axpy, dot, Matrix};
+use harvest_core::policy::{
+    ConstantPolicy, GreedyPolicy, Policy, SoftmaxPolicy, StochasticPolicy, UniformPolicy,
+};
+use harvest_core::regression::{LinearModel, RidgeRegression, SgdRegressor};
+use harvest_core::sample::{Dataset, LoggedDecision};
+use harvest_core::scorer::{Scorer, TableScorer};
+
+fn ctx_with_features(shared: Vec<f64>, k: usize) -> SimpleContext {
+    SimpleContext::new(shared, k)
+}
+
+proptest! {
+    #[test]
+    fn phi_has_consistent_dimension(
+        shared in proptest::collection::vec(-10.0f64..10.0, 0..8),
+        af in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 2), 1..5)
+    ) {
+        let ctx = SimpleContext::with_action_features(shared.clone(), af.clone());
+        for a in 0..af.len() {
+            prop_assert_eq!(phi(&ctx, a).len(), phi_dim(&ctx));
+        }
+        prop_assert_eq!(phi_shared(&ctx).len(), shared.len() + 1);
+        // The bias term is always the trailing 1.
+        prop_assert_eq!(*phi(&ctx, 0).last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn greedy_policy_always_picks_a_maximal_action(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..12)
+    ) {
+        let k = scores.len();
+        let pol = GreedyPolicy::new(TableScorer::new(scores.clone()));
+        let ctx = SimpleContext::contextless(k);
+        let a = pol.choose(&ctx);
+        prop_assert!(a < k);
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(scores[a], max);
+        // Low-index tie break: no earlier action has the same score.
+        for (i, &s) in scores.iter().enumerate().take(a) {
+            prop_assert!(s < max, "index {i} also maximal, tie-break broken");
+        }
+    }
+
+    #[test]
+    fn softmax_probabilities_order_matches_scores(
+        scores in proptest::collection::vec(-5.0f64..5.0, 2..8),
+        temp in 0.1f64..10.0
+    ) {
+        let k = scores.len();
+        let pol = SoftmaxPolicy::new(TableScorer::new(scores.clone()), temp).unwrap();
+        let probs = pol.action_probabilities(&SimpleContext::contextless(k));
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 0..k {
+            for j in 0..k {
+                if scores[i] > scores[j] {
+                    prop_assert!(probs[i] >= probs[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_policy_min_propensity_is_one_over_k(k in 1usize..32) {
+        let ctx = SimpleContext::contextless(k);
+        let p = UniformPolicy::new().min_propensity(&ctx);
+        prop_assert!((p - 1.0 / k as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linalg_dot_axpy_laws(
+        x in proptest::collection::vec(-10.0f64..10.0, 1..16),
+        alpha in -5.0f64..5.0
+    ) {
+        let mut y = vec![0.0; x.len()];
+        axpy(alpha, &x, &mut y);
+        // y = alpha x  =>  dot(y, x) = alpha * |x|^2.
+        prop_assert!((dot(&y, &x) - alpha * dot(&x, &x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cholesky_of_gram_plus_ridge_always_succeeds(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-3.0f64..3.0, 3), 0..20),
+        lambda in 0.01f64..10.0
+    ) {
+        let mut g = Matrix::zeros(3, 3);
+        for r in &rows {
+            g.rank1_update(r, 1.0);
+        }
+        g.add_diagonal(lambda);
+        prop_assert!(g.cholesky().is_ok());
+    }
+
+    #[test]
+    fn ridge_interpolates_consistent_data(
+        w_true in proptest::collection::vec(-2.0f64..2.0, 3),
+        xs in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..1.0, 2), 10..60)
+    ) {
+        // y = w·[x ‖ 1] exactly; a tiny ridge must recover predictions.
+        let mut reg = RidgeRegression::new(3, 1e-8).unwrap();
+        for x in &xs {
+            let mut xb = x.clone();
+            xb.push(1.0);
+            reg.push(&xb, dot(&w_true, &xb), 1.0);
+        }
+        let model = reg.fit().unwrap();
+        for x in xs.iter().take(5) {
+            let mut xb = x.clone();
+            xb.push(1.0);
+            let err = (model.predict(&xb) - dot(&w_true, &xb)).abs();
+            prop_assert!(err < 1e-3, "prediction error {err}");
+        }
+    }
+
+    #[test]
+    fn sgd_predictions_stay_finite_under_any_updates(
+        updates in proptest::collection::vec(
+            (proptest::collection::vec(-100.0f64..100.0, 2), -1e6f64..1e6, 0.0f64..1e3),
+            0..200)
+    ) {
+        let mut sgd = SgdRegressor::new(2, 0.05, 0.01).unwrap();
+        for (x, y, w) in &updates {
+            sgd.update(x, *y, *w);
+        }
+        prop_assert!(sgd.predict(&[1.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn linear_model_prediction_is_linear(
+        w in proptest::collection::vec(-5.0f64..5.0, 4),
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+        y in proptest::collection::vec(-5.0f64..5.0, 4),
+        a in -3.0f64..3.0
+    ) {
+        let m = LinearModel { weights: w };
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let lhs = m.predict(&combo);
+        let rhs = a * m.predict(&x) + m.predict(&y);
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn learner_never_panics_on_arbitrary_valid_datasets(
+        samples in proptest::collection::vec(
+            (0usize..3, -10.0f64..10.0, 0.1f64..1.0, -5.0f64..5.0), 1..60)
+    ) {
+        let decisions: Vec<LoggedDecision<SimpleContext>> = samples.iter()
+            .map(|&(a, r, p, x)| LoggedDecision {
+                context: ctx_with_features(vec![x], 3),
+                action: a,
+                reward: r,
+                propensity: p,
+            })
+            .collect();
+        let data = Dataset::from_samples(decisions).unwrap();
+        for weighting in [SampleWeighting::Uniform, SampleWeighting::InversePropensity] {
+            let learner = RegressionCbLearner::new(ModelingMode::PerAction, weighting, 0.5)
+                .unwrap();
+            let scorer = learner.fit(&data).unwrap();
+            let probe = ctx_with_features(vec![0.0], 3);
+            for a in 0..3 {
+                prop_assert!(scorer.score(&probe, a).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_policy_is_constant(
+        action in 0usize..10, k in 1usize..10,
+        features in proptest::collection::vec(-1.0f64..1.0, 0..5)
+    ) {
+        let pol = ConstantPolicy::new(action);
+        let ctx = SimpleContext::new(features, k);
+        let choice = pol.choose(&ctx);
+        prop_assert_eq!(choice, action.min(k - 1));
+    }
+}
+
+proptest! {
+    #[test]
+    fn stumps_always_choose_valid_actions(
+        feature in 0usize..12,
+        threshold in -10.0f64..10.0,
+        low in 0usize..20,
+        high in 0usize..20,
+        shared in proptest::collection::vec(-10.0f64..10.0, 0..6),
+        k in 1usize..8
+    ) {
+        use harvest_core::policy::DecisionStump;
+        let s = DecisionStump { feature, threshold, low_action: low, high_action: high };
+        let ctx = SimpleContext::new(shared, k);
+        prop_assert!(s.choose(&ctx) < k);
+    }
+
+    #[test]
+    fn depth_two_trees_always_choose_valid_actions(
+        rf in 0usize..6, rt in -5.0f64..5.0,
+        lf in 0usize..6, lt in -5.0f64..5.0, la in 0usize..10, lb in 0usize..10,
+        hf in 0usize..6, ht in -5.0f64..5.0, ha in 0usize..10, hb in 0usize..10,
+        shared in proptest::collection::vec(-10.0f64..10.0, 0..6),
+        k in 1usize..6
+    ) {
+        use harvest_core::policy::{DecisionStump, DepthTwoTree};
+        let t = DepthTwoTree {
+            root_feature: rf,
+            root_threshold: rt,
+            low: DecisionStump { feature: lf, threshold: lt, low_action: la, high_action: lb },
+            high: DecisionStump { feature: hf, threshold: ht, low_action: ha, high_action: hb },
+        };
+        let ctx = SimpleContext::new(shared, k);
+        prop_assert!(t.choose(&ctx) < k);
+    }
+
+    #[test]
+    fn stump_enumeration_members_partition_the_feature_space(
+        thresholds in proptest::collection::vec(-1.0f64..1.0, 1..4),
+        x in -1.0f64..1.0
+    ) {
+        use harvest_core::policy::enumerate_stumps;
+        // For any single-feature context, each stump picks exactly its
+        // low/high action according to the threshold test.
+        let class = enumerate_stumps(1, &thresholds, 3);
+        let ctx = SimpleContext::new(vec![x], 3);
+        for s in &class {
+            let expected = if x <= s.threshold { s.low_action } else { s.high_action };
+            prop_assert_eq!(s.choose(&ctx), expected.min(2));
+        }
+    }
+}

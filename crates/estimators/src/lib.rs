@@ -1,0 +1,54 @@
+//! Off-policy estimators and evaluation harness.
+//!
+//! Implements §4 of *Harvesting Randomness to Optimize Distributed Systems*
+//! (HotNets'17): estimating a candidate policy's average reward from
+//! exploration data `⟨x, a, r, p⟩` logged by a different (randomized)
+//! policy, without deploying the candidate.
+//!
+//! Estimators:
+//!
+//! * [`ips`] — inverse propensity scoring (Horvitz–Thompson), the paper's
+//!   Eq. before (1): unbiased, possibly high variance. Includes a clipped
+//!   variant.
+//! * [`snips`] — self-normalized IPS: biased but lower variance, bounded by
+//!   the observed reward range.
+//! * [`direct`] — the direct method: plug in a reward model `r̂(x, a)`.
+//!   Biased when the model is wrong.
+//! * [`dr`] — doubly robust: model plus IPS correction (Dudík–Langford–Li),
+//!   the paper's §5 plan for variance reduction.
+//! * [`trajectory`] — per-trajectory and per-decision importance sampling
+//!   over episodes, the paper's §5 route to "estimators that account for
+//!   long-term effects" (and a demonstration of their variance blow-up).
+//!
+//! Supporting pieces:
+//!
+//! * [`bounds`] — the finite-sample guarantees of Eq. 1 and the A/B-testing
+//!   counterpart, used to regenerate Figs. 1 and 2.
+//! * [`ab`] — a simulated A/B test that splits data across policies, the
+//!   baseline CB is measured against.
+//! * [`evaluator`] — one entry point over all estimators with bootstrap
+//!   confidence intervals and data diagnostics (match rate, effective
+//!   sample size).
+//! * [`drift`] — context-drift detection (standardized mean shifts and KS
+//!   distances), the operational tripwire for assumption-A1 violations.
+//! * [`search`] — exhaustive policy search over finite policy classes
+//!   ("optimize over a large class of policies" §1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ab;
+pub mod bounds;
+pub mod direct;
+pub mod dr;
+pub mod drift;
+pub mod evaluator;
+pub mod ips;
+pub mod search;
+pub mod snips;
+pub mod trajectory;
+
+mod estimate;
+
+pub use estimate::Estimate;
+pub use evaluator::{EstimatorKind, OffPolicyEvaluator};

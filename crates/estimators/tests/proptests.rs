@@ -1,0 +1,272 @@
+//! Property tests for estimator identities and laws.
+
+use proptest::prelude::*;
+
+use harvest_core::policy::{ConstantPolicy, PointMassPolicy, UniformPolicy};
+use harvest_core::sample::{Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
+use harvest_core::scorer::TableScorer;
+use harvest_core::simulate::simulate_exploration;
+use harvest_core::SimpleContext;
+use harvest_estimators::ab::ab_test;
+use harvest_estimators::bounds::{ab_radius, ips_min_n, ips_radius, BoundConfig};
+use harvest_estimators::direct::direct_method;
+use harvest_estimators::dr::doubly_robust;
+use harvest_estimators::evaluator::diagnose;
+use harvest_estimators::ips::{clipped_ips, ips, ips_terms};
+use harvest_estimators::snips::snips;
+use harvest_estimators::trajectory::{per_decision_is, trajectory_is, Episode, Step};
+
+fn arb_dataset(k: usize) -> impl Strategy<Value = Dataset<SimpleContext>> {
+    proptest::collection::vec((0..k, -3.0f64..3.0, 0.05f64..1.0), 1..80).prop_map(move |v| {
+        Dataset::from_samples(
+            v.into_iter()
+                .map(|(a, r, p)| LoggedDecision {
+                    context: SimpleContext::contextless(k),
+                    action: a,
+                    reward: r,
+                    propensity: p,
+                })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn ips_value_equals_mean_of_terms(data in arb_dataset(4), target in 0usize..4) {
+        let pol = ConstantPolicy::new(target);
+        let terms = ips_terms(&data, &pol);
+        let est = ips(&data, &pol);
+        let mean = terms.iter().sum::<f64>() / terms.len() as f64;
+        prop_assert!((est.value - mean).abs() < 1e-9);
+        prop_assert_eq!(est.n, data.len());
+    }
+
+    #[test]
+    fn clipping_never_increases_magnitude_on_positive_rewards(
+        samples in proptest::collection::vec((0usize..3, 0.0f64..3.0, 0.05f64..1.0), 1..60),
+        max_w in 1.0f64..20.0,
+        target in 0usize..3
+    ) {
+        let data = Dataset::from_samples(samples.into_iter().map(|(a, r, p)| LoggedDecision {
+            context: SimpleContext::contextless(3),
+            action: a, reward: r, propensity: p,
+        }).collect()).unwrap();
+        let pol = ConstantPolicy::new(target);
+        let clipped = clipped_ips(&data, &pol, max_w);
+        let raw = ips(&data, &pol);
+        prop_assert!(clipped.value <= raw.value + 1e-12);
+        prop_assert!(clipped.value >= 0.0);
+    }
+
+    #[test]
+    fn dr_with_zero_model_equals_ips(data in arb_dataset(3), target in 0usize..3) {
+        let pol = ConstantPolicy::new(target);
+        let zero = TableScorer::new(vec![0.0; 3]);
+        let dr = doubly_robust(&data, &pol, &zero);
+        let plain = ips(&data, &pol);
+        prop_assert!((dr.value - plain.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dm_is_invariant_to_logged_rewards(
+        data in arb_dataset(3),
+        model_scores in proptest::collection::vec(-2.0f64..2.0, 3),
+        target in 0usize..3
+    ) {
+        let pol = ConstantPolicy::new(target);
+        let model = TableScorer::new(model_scores.clone());
+        let dm = direct_method(&data, &pol, &model);
+        // For a constant policy and a context-free model, DM is exactly the
+        // model's score of the target action.
+        prop_assert!((dm.value - model_scores[target]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snips_and_ips_agree_when_all_propensities_equal(
+        rewards_actions in proptest::collection::vec((0usize..2, -2.0f64..2.0), 2..60),
+        target in 0usize..2
+    ) {
+        // With constant propensity p, snips = (sum matched r)/(#matched)
+        // and ips = (sum matched r/p)/N. They agree when the match count
+        // equals p·N exactly; more usefully, snips must equal the plain
+        // mean of matched rewards.
+        let p = 0.5;
+        let data = Dataset::from_samples(rewards_actions.iter().map(|&(a, r)| LoggedDecision {
+            context: SimpleContext::contextless(2),
+            action: a, reward: r, propensity: p,
+        }).collect()).unwrap();
+        let pol = ConstantPolicy::new(target);
+        let matched: Vec<f64> = rewards_actions.iter()
+            .filter(|(a, _)| *a == target).map(|&(_, r)| r).collect();
+        let est = snips(&data, &pol);
+        if matched.is_empty() {
+            prop_assert_eq!(est.matched, 0);
+        } else {
+            let mean = matched.iter().sum::<f64>() / matched.len() as f64;
+            prop_assert!((est.value - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bound_functions_are_monotone(
+        eps1 in 0.01f64..0.5, eps2 in 0.01f64..0.5,
+        n in 1e3f64..1e8, k in 1.0f64..1e7
+    ) {
+        let cfg = BoundConfig { c: 2.0, delta: 0.05 };
+        let (lo, hi) = if eps1 < eps2 { (eps1, eps2) } else { (eps2, eps1) };
+        prop_assert!(ips_radius(&cfg, hi, n, k) <= ips_radius(&cfg, lo, n, k));
+        prop_assert!(ips_radius(&cfg, lo, 2.0 * n, k) < ips_radius(&cfg, lo, n, k));
+        prop_assert!(ab_radius(&cfg, n, k) >= 0.0);
+        // min_n inverts radius.
+        let target = 0.05;
+        let n_req = ips_min_n(&cfg, lo, k, target);
+        prop_assert!((ips_radius(&cfg, lo, n_req, k) - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ab_test_partitions_all_samples(
+        n in 1usize..500, arms in 1usize..6, seed in 0u64..100
+    ) {
+        use rand::SeedableRng;
+        let data = FullFeedbackDataset::from_samples(
+            (0..n).map(|_| FullFeedbackSample {
+                context: SimpleContext::contextless(2),
+                rewards: vec![0.2, 0.8],
+            }).collect()
+        ).unwrap();
+        let policies: Vec<ConstantPolicy> =
+            (0..arms).map(|i| ConstantPolicy::new(i % 2)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let results = ab_test(&data, &policies, &mut rng);
+        prop_assert_eq!(results.len(), arms);
+        let total: usize = results.iter().map(|a| a.estimate.n).sum();
+        prop_assert_eq!(total, n);
+        for arm in &results {
+            if arm.estimate.n > 0 {
+                // Each arm's estimate is an average of 0.2s and 0.8s
+                // (within float summation slack).
+                prop_assert!(arm.estimate.value > 0.2 - 1e-9);
+                prop_assert!(arm.estimate.value < 0.8 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_is_horizon_one_equals_single_step_pdis(
+        steps in proptest::collection::vec((0usize..2, -2.0f64..2.0), 1..50),
+        target in 0usize..2
+    ) {
+        let episodes: Vec<Episode<SimpleContext>> = steps.iter().map(|&(a, r)| Episode {
+            steps: vec![Step {
+                context: SimpleContext::contextless(2),
+                action: a, reward: r, propensity: 0.5,
+            }],
+        }).collect();
+        let pol = PointMassPolicy::new(ConstantPolicy::new(target));
+        let tis = trajectory_is(&episodes, &pol);
+        let pdis = per_decision_is(&episodes, &pol);
+        prop_assert!((tis.value - pdis.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostics_are_consistent(data in arb_dataset(3), target in 0usize..3) {
+        let pol = ConstantPolicy::new(target);
+        let d = diagnose(&data, &pol);
+        prop_assert_eq!(d.n, data.len());
+        prop_assert!((0.0..=1.0).contains(&d.match_rate));
+        prop_assert!(d.effective_sample_size <= data.len() as f64 + 1e-9);
+        prop_assert!(d.min_propensity > 0.0);
+        if d.match_rate > 0.0 {
+            prop_assert!(d.max_weight >= 1.0);
+            prop_assert!(d.effective_sample_size > 0.0);
+        }
+    }
+
+    #[test]
+    fn ips_is_unbiased_in_expectation_over_seeds(
+        k in 2usize..5,
+        rewards in proptest::collection::vec(0.0f64..1.0, 2..5)
+    ) {
+        use rand::SeedableRng;
+        // Small-scale empirical unbiasedness: average IPS over many action
+        // reveals approaches the constant truth.
+        let k = rewards.len().max(2).min(k.max(2));
+        let rewards: Vec<f64> = (0..k).map(|i| rewards[i % rewards.len()]).collect();
+        let full = FullFeedbackDataset::from_samples(
+            (0..200).map(|_| FullFeedbackSample {
+                context: SimpleContext::contextless(k),
+                rewards: rewards.clone(),
+            }).collect()
+        ).unwrap();
+        let pol = ConstantPolicy::new(0);
+        let truth = rewards[0];
+        let mut acc = 0.0;
+        let reps = 40;
+        for seed in 0..reps {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
+            acc += ips(&expl, &pol).value;
+        }
+        let mean = acc / reps as f64;
+        // Standard error of the mean over reps is small; allow generous slack.
+        prop_assert!((mean - truth).abs() < 0.15, "mean {mean} vs truth {truth}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn drift_report_is_reflexively_clean_and_ks_bounded(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..80),
+        other in proptest::collection::vec(-100.0f64..100.0, 2..80)
+    ) {
+        use harvest_estimators::drift::context_drift;
+        let make = |vals: &[f64]| {
+            Dataset::from_samples(vals.iter().map(|&x| LoggedDecision {
+                context: SimpleContext::new(vec![x], 2),
+                action: 0,
+                reward: 0.0,
+                propensity: 0.5,
+            }).collect()).unwrap()
+        };
+        let a = make(&values);
+        let b = make(&other);
+        // Self-comparison never trips the wire.
+        let self_report = context_drift(&a, &a);
+        prop_assert!(!self_report.a1_violation_suspected(), "{self_report:?}");
+        // Cross-comparison statistics are well-formed and symmetric.
+        let ab = context_drift(&a, &b);
+        let ba = context_drift(&b, &a);
+        for (x, y) in ab.features.iter().zip(&ba.features) {
+            prop_assert!((0.0..=1.0).contains(&x.ks_statistic));
+            prop_assert!((x.ks_statistic - y.ks_statistic).abs() < 1e-9);
+            prop_assert!((x.effect_size - y.effect_size).abs() < 1e-9
+                || (x.effect_size.is_infinite() && y.effect_size.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn weighted_pdis_is_bounded_by_stepwise_reward_range(
+        steps in proptest::collection::vec(
+            proptest::collection::vec((0usize..2, -3.0f64..3.0), 1..6), 1..50)
+    ) {
+        use harvest_estimators::trajectory::weighted_per_decision_is;
+        let episodes: Vec<Episode<SimpleContext>> = steps.iter().map(|ep| Episode {
+            steps: ep.iter().map(|&(a, r)| Step {
+                context: SimpleContext::contextless(2),
+                action: a,
+                reward: r,
+                propensity: 0.5,
+            }).collect(),
+        }).collect();
+        let target = PointMassPolicy::new(ConstantPolicy::new(0));
+        let est = weighted_per_decision_is(&episodes, &target);
+        // Each step's normalized contribution lies within that step's
+        // observed reward range, so |estimate| ≤ H · max |r|.
+        let max_h = steps.iter().map(Vec::len).max().unwrap();
+        let max_r = steps.iter().flatten().map(|&(_, r)| r.abs()).fold(0.0, f64::max);
+        prop_assert!(est.value.abs() <= max_h as f64 * max_r + 1e-9,
+            "wpdis {} exceeds {}", est.value, max_h as f64 * max_r);
+    }
+}

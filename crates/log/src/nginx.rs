@@ -1,0 +1,370 @@
+//! Nginx-style access-log emission and parsing.
+//!
+//! The paper's load-balancing prototype harvested data from Nginx's
+//! existing logging modules: "we were able to use existing logging modules
+//! to log the context (e.g., active connections per server) and reward
+//! (request latency) information" (§3). This module defines the
+//! `log_format` such a deployment would configure and a strict,
+//! error-reporting parser for it:
+//!
+//! ```text
+//! log_format harvest '$remote_addr - - [$msec] "$request" $status '
+//!                    '$body_bytes_sent upstream=$upstream_index '
+//!                    'rt=$request_time conns="$conns_active_per_upstream" '
+//!                    'req_id=$request_id';
+//! ```
+//!
+//! Example line:
+//!
+//! ```text
+//! 10.0.0.1 - - [12.345678] "GET /api/maps HTTP/1.1" 200 512 upstream=2 rt=0.034 conns="3 5 2" req_id=77
+//! ```
+//!
+//! The `conns` variable (active connections per upstream at decision time)
+//! is the context; `upstream` is the action; `rt` (request time) is the
+//! cost whose negation is the reward. The propensity is *not* in the log —
+//! exactly as in reality — and must be inferred (step 2 of the
+//! methodology).
+
+use std::fmt;
+
+use crate::record::DecisionRecord;
+
+/// One parsed access-log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NginxLogLine {
+    /// Client address (opaque to the learner; kept for realism).
+    pub remote_addr: String,
+    /// Request timestamp in fractional seconds (`$msec`).
+    pub msec: f64,
+    /// HTTP method.
+    pub method: String,
+    /// Request URI.
+    pub uri: String,
+    /// HTTP protocol version string.
+    pub protocol: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body_bytes: u64,
+    /// Index of the upstream server the request was routed to (the action).
+    pub upstream: usize,
+    /// Request service time in seconds (the cost).
+    pub request_time: f64,
+    /// Active connections per upstream at decision time (the context).
+    pub connections: Vec<u32>,
+    /// Request correlation id.
+    pub request_id: u64,
+}
+
+impl NginxLogLine {
+    /// Renders the line exactly as the `harvest` log format would.
+    pub fn format_line(&self) -> String {
+        let conns: Vec<String> = self.connections.iter().map(u32::to_string).collect();
+        format!(
+            "{} - - [{:.6}] \"{} {} {}\" {} {} upstream={} rt={:.6} conns=\"{}\" req_id={}",
+            self.remote_addr,
+            self.msec,
+            self.method,
+            self.uri,
+            self.protocol,
+            self.status,
+            self.body_bytes,
+            self.upstream,
+            self.request_time,
+            conns.join(" "),
+            self.request_id,
+        )
+    }
+
+    /// Converts to a [`DecisionRecord`]: context = per-upstream connection
+    /// counts, action = upstream index, reward = −request_time (latency is
+    /// a `[-]` reward, Table 1). Propensity is left for inference.
+    pub fn to_decision_record(&self) -> DecisionRecord {
+        DecisionRecord {
+            request_id: self.request_id,
+            timestamp_ns: (self.msec * 1e9) as u64,
+            component: "nginx-lb".to_string(),
+            shared_features: self.connections.iter().map(|&c| c as f64).collect(),
+            action_features: None,
+            num_actions: self.connections.len(),
+            action: self.upstream,
+            propensity: None,
+            reward: Some(-self.request_time),
+        }
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NginxParseError {
+    /// The line did not have the expected overall shape.
+    Malformed(&'static str),
+    /// A field failed numeric conversion.
+    BadNumber {
+        /// Which field.
+        field: &'static str,
+    },
+    /// The upstream index was not a member of the `conns` vector.
+    UpstreamOutOfRange {
+        /// The parsed upstream index.
+        upstream: usize,
+        /// Number of upstreams in `conns`.
+        servers: usize,
+    },
+}
+
+impl fmt::Display for NginxParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NginxParseError::Malformed(what) => write!(f, "malformed log line: {what}"),
+            NginxParseError::BadNumber { field } => write!(f, "unparseable number in `{field}`"),
+            NginxParseError::UpstreamOutOfRange { upstream, servers } => {
+                write!(f, "upstream {upstream} out of range for {servers} servers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NginxParseError {}
+
+fn take_between<'a>(
+    s: &'a str,
+    open: char,
+    close: char,
+    what: &'static str,
+) -> Result<(&'a str, &'a str), NginxParseError> {
+    let start = s.find(open).ok_or(NginxParseError::Malformed(what))?;
+    let rest = &s[start + open.len_utf8()..];
+    let end = rest.find(close).ok_or(NginxParseError::Malformed(what))?;
+    Ok((&rest[..end], &rest[end + close.len_utf8()..]))
+}
+
+fn kv_field<'a>(s: &'a str, key: &'static str) -> Result<&'a str, NginxParseError> {
+    let pat = format!("{key}=");
+    let start = s.find(&pat).ok_or(NginxParseError::Malformed(key))?;
+    let rest = &s[start + pat.len()..];
+    let end = rest.find(' ').unwrap_or(rest.len());
+    Ok(&rest[..end])
+}
+
+/// Parses one `harvest`-format access-log line.
+pub fn parse_line(line: &str) -> Result<NginxLogLine, NginxParseError> {
+    let line = line.trim();
+    let mut head = line.splitn(2, ' ');
+    let remote_addr = head
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or(NginxParseError::Malformed("remote_addr"))?
+        .to_string();
+    let rest = head.next().ok_or(NginxParseError::Malformed("truncated"))?;
+
+    let (msec_str, rest) = take_between(rest, '[', ']', "timestamp")?;
+    let msec: f64 = msec_str
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "msec" })?;
+
+    let (request, rest) = take_between(rest, '"', '"', "request")?;
+    let mut req_parts = request.split(' ');
+    let method = req_parts
+        .next()
+        .ok_or(NginxParseError::Malformed("method"))?
+        .to_string();
+    let uri = req_parts
+        .next()
+        .ok_or(NginxParseError::Malformed("uri"))?
+        .to_string();
+    let protocol = req_parts
+        .next()
+        .ok_or(NginxParseError::Malformed("protocol"))?
+        .to_string();
+
+    let mut tail = rest.trim_start().split(' ');
+    let status: u16 = tail
+        .next()
+        .ok_or(NginxParseError::Malformed("status"))?
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "status" })?;
+    let body_bytes: u64 = tail
+        .next()
+        .ok_or(NginxParseError::Malformed("body_bytes"))?
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "body_bytes" })?;
+
+    let upstream: usize = kv_field(rest, "upstream")?
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "upstream" })?;
+    let request_time: f64 = kv_field(rest, "rt")?
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "rt" })?;
+    let request_id: u64 = kv_field(rest, "req_id")?
+        .parse()
+        .map_err(|_| NginxParseError::BadNumber { field: "req_id" })?;
+
+    let (conns_str, _) = take_between(rest, '"', '"', "conns")
+        .and_then(|_| {
+            // conns="…" is the second quoted group after the request; find
+            // it explicitly.
+            let start = rest
+                .find("conns=\"")
+                .ok_or(NginxParseError::Malformed("conns"))?;
+            let inner = &rest[start + 7..];
+            let end = inner.find('"').ok_or(NginxParseError::Malformed("conns"))?;
+            Ok((&inner[..end], &inner[end + 1..]))
+        })?;
+    let connections: Vec<u32> = conns_str
+        .split_whitespace()
+        .map(|c| {
+            c.parse()
+                .map_err(|_| NginxParseError::BadNumber { field: "conns" })
+        })
+        .collect::<Result<_, _>>()?;
+    if connections.is_empty() {
+        return Err(NginxParseError::Malformed("conns"));
+    }
+    if upstream >= connections.len() {
+        return Err(NginxParseError::UpstreamOutOfRange {
+            upstream,
+            servers: connections.len(),
+        });
+    }
+
+    Ok(NginxLogLine {
+        remote_addr,
+        msec,
+        method,
+        uri,
+        protocol,
+        status,
+        body_bytes,
+        upstream,
+        request_time,
+        connections,
+        request_id,
+    })
+}
+
+/// Parses a whole log, returning parsed lines and the indices of lines that
+/// failed (with their errors).
+pub fn parse_log(text: &str) -> (Vec<NginxLogLine>, Vec<(usize, NginxParseError)>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(l) => ok.push(l),
+            Err(e) => bad.push((i, e)),
+        }
+    }
+    (ok, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NginxLogLine {
+        NginxLogLine {
+            remote_addr: "10.0.0.1".to_string(),
+            msec: 12.345678,
+            method: "GET".to_string(),
+            uri: "/api/maps".to_string(),
+            protocol: "HTTP/1.1".to_string(),
+            status: 200,
+            body_bytes: 512,
+            upstream: 2,
+            request_time: 0.034,
+            connections: vec![3, 5, 2],
+            request_id: 77,
+        }
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let line = sample().format_line();
+        assert_eq!(
+            line,
+            "10.0.0.1 - - [12.345678] \"GET /api/maps HTTP/1.1\" 200 512 \
+             upstream=2 rt=0.034000 conns=\"3 5 2\" req_id=77"
+        );
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.remote_addr, "10.0.0.1");
+        assert!((parsed.msec - 12.345678).abs() < 1e-9);
+        assert_eq!(parsed.uri, "/api/maps");
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.upstream, 2);
+        assert!((parsed.request_time - 0.034).abs() < 1e-9);
+        assert_eq!(parsed.connections, vec![3, 5, 2]);
+        assert_eq!(parsed.request_id, 77);
+    }
+
+    #[test]
+    fn conversion_to_decision_record() {
+        let rec = sample().to_decision_record();
+        assert_eq!(rec.request_id, 77);
+        assert_eq!(rec.shared_features, vec![3.0, 5.0, 2.0]);
+        assert_eq!(rec.num_actions, 3);
+        assert_eq!(rec.action, 2);
+        assert_eq!(rec.reward, Some(-0.034));
+        assert_eq!(rec.propensity, None, "propensity must be inferred");
+    }
+
+    #[test]
+    fn rejects_truncated_lines() {
+        assert!(matches!(
+            parse_line("10.0.0.1 - -"),
+            Err(NginxParseError::Malformed(_))
+        ));
+        assert!(parse_line("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let bad = sample().format_line().replace("rt=0.034000", "rt=fast");
+        assert_eq!(
+            parse_line(&bad),
+            Err(NginxParseError::BadNumber { field: "rt" })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_upstream() {
+        let bad = sample().format_line().replace("upstream=2", "upstream=9");
+        assert_eq!(
+            parse_line(&bad),
+            Err(NginxParseError::UpstreamOutOfRange {
+                upstream: 9,
+                servers: 3
+            })
+        );
+    }
+
+    #[test]
+    fn parse_log_collects_errors_with_line_numbers() {
+        let good = sample().format_line();
+        let text = format!("{good}\ngarbage line here\n\n{good}\n");
+        let (ok, bad) = parse_log(&text);
+        assert_eq!(ok.len(), 2);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, 1);
+    }
+
+    #[test]
+    fn uri_with_query_string_survives() {
+        let mut l = sample();
+        l.uri = "/search?q=a+b&lang=en".to_string();
+        let parsed = parse_line(&l.format_line()).unwrap();
+        assert_eq!(parsed.uri, "/search?q=a+b&lang=en");
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = NginxParseError::UpstreamOutOfRange {
+            upstream: 4,
+            servers: 2,
+        };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Step 2 of the methodology: inferring the decision probability `p`.
+//!
+//! "In our experience, p can often be inferred from code inspection, but a
+//! more robust approach is to do a regression on the ⟨x, a, r⟩ data to learn
+//! the probability distribution over actions" (paper §3). Both are here:
+//!
+//! * [`KnownPropensity`] — code inspection: the operator knows the deployed
+//!   policy (uniform over K, static weights, ε-greedy, …) and supplies it as
+//!   a [`StochasticPolicy`].
+//! * [`EstimatedPropensity`] — a hand-rolled multinomial logistic
+//!   (softmax) regression of action on context, trained with mini-epoch
+//!   SGD on the scavenged `(x, a)` pairs.
+//!
+//! Estimated propensities are floored away from zero: a propensity of
+//! exactly zero would make IPS undefined, and the floor also caps the
+//! weight any single sample can carry under estimation error.
+
+use harvest_core::context::{phi_shared, Context};
+use harvest_core::error::HarvestError;
+use harvest_core::policy::StochasticPolicy;
+
+/// Anything that can assign a probability to a logged (context, action)
+/// pair.
+pub trait PropensityModel<C: Context> {
+    /// The probability with which the deployed policy chose `action` in
+    /// `ctx`. Must be in `(0, 1]` for usable exploration data.
+    fn propensity(&self, ctx: &C, action: usize) -> f64;
+}
+
+/// Propensities from code inspection: delegate to the known deployed
+/// policy.
+#[derive(Debug, Clone)]
+pub struct KnownPropensity<S> {
+    policy: S,
+}
+
+impl<S> KnownPropensity<S> {
+    /// Wraps the deployed policy.
+    pub fn new(policy: S) -> Self {
+        KnownPropensity { policy }
+    }
+}
+
+impl<C: Context, S: StochasticPolicy<C>> PropensityModel<C> for KnownPropensity<S> {
+    fn propensity(&self, ctx: &C, action: usize) -> f64 {
+        self.policy.propensity_of(ctx, action)
+    }
+}
+
+/// Hyperparameters for [`EstimatedPropensity::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct PropensityFitConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Minimum probability the fitted model will ever report.
+    pub floor: f64,
+}
+
+impl Default for PropensityFitConfig {
+    fn default() -> Self {
+        PropensityFitConfig {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            floor: 1e-3,
+        }
+    }
+}
+
+/// Multinomial logistic regression of action on context.
+///
+/// Weights are one vector per action over the *standardized* `[shared ‖ 1]`
+/// features (per-dimension mean/variance are estimated from the training
+/// data, so callers need not pre-scale); probabilities are the softmax of
+/// the per-action logits. Contexts with fewer eligible actions than `k`
+/// renormalize over the eligible prefix.
+#[derive(Debug, Clone)]
+pub struct EstimatedPropensity {
+    weights: Vec<Vec<f64>>,
+    means: Vec<f64>,
+    inv_stds: Vec<f64>,
+    floor: f64,
+}
+
+impl EstimatedPropensity {
+    /// Fits the model from `(context, action)` pairs over `k` actions.
+    pub fn fit<C: Context>(
+        samples: &[(C, usize)],
+        k: usize,
+        cfg: &PropensityFitConfig,
+    ) -> Result<Self, HarvestError> {
+        if samples.is_empty() {
+            return Err(HarvestError::EmptyDataset);
+        }
+        if k == 0 {
+            return Err(HarvestError::InvalidParameter {
+                name: "k",
+                message: "need at least one action".to_string(),
+            });
+        }
+        if !(cfg.floor > 0.0 && cfg.floor < 1.0 / k as f64) {
+            return Err(HarvestError::InvalidParameter {
+                name: "floor",
+                message: format!("must be in (0, 1/k); got {}", cfg.floor),
+            });
+        }
+        let dim = phi_shared(&samples[0].0).len();
+
+        // Estimate per-dimension standardization from the data. The bias
+        // dimension (last) is left untouched. Without this, large raw
+        // features (queue lengths, byte counts) destabilize SGD.
+        let mut means = vec![0.0; dim];
+        let mut vars = vec![0.0; dim];
+        for (ctx, _) in samples {
+            let x = phi_shared(ctx);
+            if x.len() != dim {
+                return Err(HarvestError::DimensionMismatch {
+                    expected: dim,
+                    got: x.len(),
+                });
+            }
+            for (m, &xi) in means.iter_mut().zip(&x) {
+                *m += xi;
+            }
+        }
+        for m in &mut means {
+            *m /= samples.len() as f64;
+        }
+        for (ctx, _) in samples {
+            let x = phi_shared(ctx);
+            for ((v, &m), &xi) in vars.iter_mut().zip(&means).zip(&x) {
+                *v += (xi - m) * (xi - m);
+            }
+        }
+        let mut inv_stds: Vec<f64> = vars
+            .iter()
+            .map(|&v| {
+                let std = (v / samples.len() as f64).sqrt();
+                if std > 1e-9 {
+                    1.0 / std
+                } else {
+                    0.0 // constant feature carries no signal
+                }
+            })
+            .collect();
+        // Keep the bias term as a plain 1.
+        means[dim - 1] = 0.0;
+        inv_stds[dim - 1] = 1.0;
+
+        let standardize = |x: &[f64]| -> Vec<f64> {
+            x.iter()
+                .zip(&means)
+                .zip(&inv_stds)
+                .map(|((&xi, &m), &s)| (xi - m) * s)
+                .collect()
+        };
+
+        // SGD with tail averaging (Polyak–Ruppert): the averaged iterate
+        // from the last half of the epochs suppresses the hover-noise of
+        // constant-ish step sizes, which otherwise shows up as confidently
+        // wrong propensities at extreme contexts.
+        let mut weights = vec![vec![0.0; dim]; k];
+        let mut averaged = vec![vec![0.0; dim]; k];
+        let mut averaged_count = 0u64;
+        let avg_start = cfg.epochs / 2;
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.learning_rate / (1.0 + epoch as f64);
+            for (ctx, action) in samples {
+                if *action >= k {
+                    return Err(HarvestError::ActionOutOfRange {
+                        action: *action,
+                        num_actions: k,
+                    });
+                }
+                let x = standardize(&phi_shared(ctx));
+                let probs = softmax_logits(&weights, &x);
+                for (a, w) in weights.iter_mut().enumerate() {
+                    let err = probs[a] - if a == *action { 1.0 } else { 0.0 };
+                    for (wi, &xi) in w.iter_mut().zip(&x) {
+                        *wi -= lr * (err * xi + cfg.l2 * *wi);
+                    }
+                }
+                if epoch >= avg_start {
+                    averaged_count += 1;
+                    for (aw, w) in averaged.iter_mut().zip(&weights) {
+                        for (ai, &wi) in aw.iter_mut().zip(w) {
+                            *ai += (wi - *ai) / averaged_count as f64;
+                        }
+                    }
+                }
+            }
+        }
+        let final_weights = if averaged_count > 0 { averaged } else { weights };
+        Ok(EstimatedPropensity {
+            weights: final_weights,
+            means,
+            inv_stds,
+            floor: cfg.floor,
+        })
+    }
+
+    /// The full (floored, renormalized) distribution over the context's
+    /// eligible actions.
+    pub fn distribution<C: Context>(&self, ctx: &C) -> Vec<f64> {
+        let raw = phi_shared(ctx);
+        let x: Vec<f64> = raw
+            .iter()
+            .zip(&self.means)
+            .zip(&self.inv_stds)
+            .map(|((&xi, &m), &s)| (xi - m) * s)
+            .collect();
+        let k = ctx.num_actions().min(self.weights.len());
+        let mut probs = softmax_logits(&self.weights[..k], &x);
+        // Floor and renormalize.
+        let mut total = 0.0;
+        for p in &mut probs {
+            *p = p.max(self.floor);
+            total += *p;
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        probs
+    }
+}
+
+impl<C: Context> PropensityModel<C> for EstimatedPropensity {
+    fn propensity(&self, ctx: &C, action: usize) -> f64 {
+        let d = self.distribution(ctx);
+        d.get(action).copied().unwrap_or(self.floor)
+    }
+}
+
+fn softmax_logits(weights: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    let logits: Vec<f64> = weights
+        .iter()
+        .map(|w| w.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect();
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_core::policy::{ConstantPolicy, EpsilonGreedyPolicy, UniformPolicy};
+    use harvest_core::SimpleContext;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_propensity_delegates() {
+        let m = KnownPropensity::new(UniformPolicy::new());
+        let ctx = SimpleContext::contextless(4);
+        assert_eq!(m.propensity(&ctx, 0), 0.25);
+        let eg = KnownPropensity::new(
+            EpsilonGreedyPolicy::new(ConstantPolicy::new(1), 0.2).unwrap(),
+        );
+        assert!((eg.propensity(&ctx, 1) - 0.85).abs() < 1e-12);
+        assert!((eg.propensity(&ctx, 0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_uniform_logging_as_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let samples: Vec<(SimpleContext, usize)> = (0..3000)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                (SimpleContext::new(vec![x], 3), rng.gen_range(0..3))
+            })
+            .collect();
+        let m = EstimatedPropensity::fit(&samples, 3, &PropensityFitConfig::default()).unwrap();
+        let ctx = SimpleContext::new(vec![0.2], 3);
+        let d = m.distribution(&ctx);
+        for &p in &d {
+            assert!((p - 1.0 / 3.0).abs() < 0.07, "distribution {d:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_context_dependent_logging() {
+        // Logging: action 0 with prob ~0.9 when x > 0, else ~0.1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let samples: Vec<(SimpleContext, usize)> = (0..8000)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                let p0 = if x > 0.0 { 0.9 } else { 0.1 };
+                let a = if rng.gen_bool(p0) { 0 } else { 1 };
+                (SimpleContext::new(vec![x], 2), a)
+            })
+            .collect();
+        let cfg = PropensityFitConfig {
+            epochs: 40,
+            ..PropensityFitConfig::default()
+        };
+        let m = EstimatedPropensity::fit(&samples, 2, &cfg).unwrap();
+        let pos = m.propensity(&SimpleContext::new(vec![0.8], 2), 0);
+        let neg = m.propensity(&SimpleContext::new(vec![-0.8], 2), 0);
+        assert!(pos > 0.75, "p(a=0 | x=0.8) = {pos}");
+        assert!(neg < 0.25, "p(a=0 | x=-0.8) = {neg}");
+    }
+
+    #[test]
+    fn floor_keeps_propensities_positive() {
+        // Logging that *never* takes action 1 — the estimate must still be
+        // positive so downstream IPS stays defined.
+        let samples: Vec<(SimpleContext, usize)> = (0..500)
+            .map(|_| (SimpleContext::contextless(2), 0usize))
+            .collect();
+        let m = EstimatedPropensity::fit(&samples, 2, &PropensityFitConfig::default()).unwrap();
+        let p = m.propensity(&SimpleContext::contextless(2), 1);
+        assert!(p > 0.0);
+        assert!(p < 0.1);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let samples: Vec<(SimpleContext, usize)> = (0..100)
+            .map(|i| (SimpleContext::new(vec![i as f64 / 100.0], 4), i % 4))
+            .collect();
+        let m = EstimatedPropensity::fit(&samples, 4, &PropensityFitConfig::default()).unwrap();
+        let d = m.distribution(&SimpleContext::new(vec![0.5], 4));
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let empty: Vec<(SimpleContext, usize)> = Vec::new();
+        assert!(matches!(
+            EstimatedPropensity::fit(&empty, 2, &PropensityFitConfig::default()),
+            Err(HarvestError::EmptyDataset)
+        ));
+        let samples = vec![(SimpleContext::contextless(2), 5usize)];
+        assert!(matches!(
+            EstimatedPropensity::fit(&samples, 2, &PropensityFitConfig::default()),
+            Err(HarvestError::ActionOutOfRange { .. })
+        ));
+        let samples = vec![(SimpleContext::contextless(2), 0usize)];
+        let bad_floor = PropensityFitConfig {
+            floor: 0.9,
+            ..PropensityFitConfig::default()
+        };
+        assert!(EstimatedPropensity::fit(&samples, 2, &bad_floor).is_err());
+    }
+
+    #[test]
+    fn smaller_action_sets_renormalize() {
+        let samples: Vec<(SimpleContext, usize)> = (0..300)
+            .map(|i| (SimpleContext::contextless(3), i % 3))
+            .collect();
+        let m = EstimatedPropensity::fit(&samples, 3, &PropensityFitConfig::default()).unwrap();
+        let small = SimpleContext::contextless(2);
+        let d = m.distribution(&small);
+        assert_eq!(d.len(), 2);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Step 1 of the methodology: joining decision and outcome records into
+//! `⟨x, a, r⟩` triples.
+
+use std::collections::HashMap;
+
+use harvest_core::{LoggedDecision, SimpleContext};
+
+use crate::record::{DecisionRecord, LogRecord, OutcomeRecord};
+
+/// A scavenged triple: context, action, reward — with the propensity still
+/// possibly unknown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScavengedSample {
+    /// The reconstructed context.
+    pub context: SimpleContext,
+    /// The logged action.
+    pub action: usize,
+    /// The (possibly reconstructed) reward.
+    pub reward: f64,
+    /// The propensity, if the decision site logged it.
+    pub propensity: Option<f64>,
+}
+
+impl ScavengedSample {
+    /// Finalizes into a [`LoggedDecision`] using `propensity` when the log
+    /// lacked one.
+    pub fn with_propensity(self, fallback: f64) -> LoggedDecision<SimpleContext> {
+        LoggedDecision {
+            context: self.context,
+            action: self.action,
+            reward: self.reward,
+            propensity: self.propensity.unwrap_or(fallback),
+        }
+    }
+}
+
+/// Counters describing what the scavenger kept and dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScavengeStats {
+    /// Decisions joined with a reward.
+    pub joined: usize,
+    /// Decisions with no matching outcome (reward never observed).
+    pub missing_outcome: usize,
+    /// Outcomes with no matching decision (decision log rotated away).
+    pub orphan_outcomes: usize,
+    /// Decisions dropped because their fields were inconsistent.
+    pub invalid: usize,
+}
+
+fn context_of(d: &DecisionRecord) -> Option<SimpleContext> {
+    if d.num_actions == 0 || d.action >= d.num_actions {
+        return None;
+    }
+    match &d.action_features {
+        Some(af) => {
+            if af.len() != d.num_actions || af.is_empty() {
+                return None;
+            }
+            let dim = af[0].len();
+            if af.iter().any(|f| f.len() != dim) {
+                return None;
+            }
+            Some(SimpleContext::with_action_features(
+                d.shared_features.clone(),
+                af.clone(),
+            ))
+        }
+        None => Some(SimpleContext::new(d.shared_features.clone(), d.num_actions)),
+    }
+}
+
+/// Joins decision and outcome records by `request_id`.
+///
+/// A decision's reward comes from its own `reward` field when present,
+/// otherwise from the matching outcome record; decisions with neither are
+/// dropped (and counted). When both exist the outcome wins — it is the
+/// later, more authoritative measurement.
+pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) {
+    let mut outcomes: HashMap<u64, &OutcomeRecord> = HashMap::new();
+    let mut decision_ids: HashMap<u64, ()> = HashMap::new();
+    for r in records {
+        match r {
+            LogRecord::Outcome(o) => {
+                outcomes.insert(o.request_id, o);
+            }
+            LogRecord::Decision(d) => {
+                decision_ids.insert(d.request_id, ());
+            }
+        }
+    }
+    let mut stats = ScavengeStats {
+        orphan_outcomes: outcomes
+            .keys()
+            .filter(|id| !decision_ids.contains_key(id))
+            .count(),
+        ..ScavengeStats::default()
+    };
+
+    let mut samples = Vec::new();
+    for r in records {
+        let d = match r {
+            LogRecord::Decision(d) => d,
+            LogRecord::Outcome(_) => continue,
+        };
+        let Some(context) = context_of(d) else {
+            stats.invalid += 1;
+            continue;
+        };
+        let reward = match (outcomes.get(&d.request_id), d.reward) {
+            (Some(o), _) => o.reward,
+            (None, Some(r)) => r,
+            (None, None) => {
+                stats.missing_outcome += 1;
+                continue;
+            }
+        };
+        if !reward.is_finite() {
+            stats.invalid += 1;
+            continue;
+        }
+        stats.joined += 1;
+        samples.push(ScavengedSample {
+            context,
+            action: d.action,
+            reward,
+            propensity: d.propensity,
+        });
+    }
+    (samples, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(id: u64, reward: Option<f64>) -> LogRecord {
+        LogRecord::Decision(DecisionRecord {
+            request_id: id,
+            timestamp_ns: id * 1000,
+            component: "test".to_string(),
+            shared_features: vec![id as f64],
+            action_features: None,
+            num_actions: 2,
+            action: (id % 2) as usize,
+            propensity: Some(0.5),
+            reward,
+        })
+    }
+
+    fn outcome(id: u64, reward: f64) -> LogRecord {
+        LogRecord::Outcome(OutcomeRecord {
+            request_id: id,
+            timestamp_ns: id * 2000,
+            reward,
+        })
+    }
+
+    #[test]
+    fn joins_by_request_id() {
+        let records = vec![decision(1, None), decision(2, None), outcome(2, 0.9), outcome(1, 0.1)];
+        let (samples, stats) = scavenge(&records);
+        assert_eq!(stats.joined, 2);
+        assert_eq!(samples[0].reward, 0.1);
+        assert_eq!(samples[1].reward, 0.9);
+    }
+
+    #[test]
+    fn synchronous_reward_needs_no_outcome() {
+        let (samples, stats) = scavenge(&[decision(5, Some(0.42))]);
+        assert_eq!(stats.joined, 1);
+        assert_eq!(samples[0].reward, 0.42);
+    }
+
+    #[test]
+    fn outcome_overrides_synchronous_reward() {
+        let (samples, _) = scavenge(&[decision(5, Some(0.42)), outcome(5, 0.9)]);
+        assert_eq!(samples[0].reward, 0.9);
+    }
+
+    #[test]
+    fn missing_and_orphan_records_are_counted() {
+        let records = vec![decision(1, None), outcome(99, 1.0)];
+        let (samples, stats) = scavenge(&records);
+        assert!(samples.is_empty());
+        assert_eq!(stats.missing_outcome, 1);
+        assert_eq!(stats.orphan_outcomes, 1);
+    }
+
+    #[test]
+    fn invalid_decisions_are_dropped() {
+        let mut d = match decision(1, Some(1.0)) {
+            LogRecord::Decision(d) => d,
+            _ => unreachable!(),
+        };
+        d.action = 5; // out of range for num_actions = 2
+        let (samples, stats) = scavenge(&[LogRecord::Decision(d)]);
+        assert!(samples.is_empty());
+        assert_eq!(stats.invalid, 1);
+    }
+
+    #[test]
+    fn non_finite_rewards_are_dropped() {
+        let (samples, stats) = scavenge(&[decision(1, None), outcome(1, f64::NAN)]);
+        assert!(samples.is_empty());
+        assert_eq!(stats.invalid, 1);
+    }
+
+    #[test]
+    fn action_features_are_reconstructed() {
+        let rec = LogRecord::Decision(DecisionRecord {
+            request_id: 1,
+            timestamp_ns: 0,
+            component: "redis-evict".to_string(),
+            shared_features: vec![],
+            action_features: Some(vec![vec![1.0, 2.0], vec![3.0, 4.0]]),
+            num_actions: 2,
+            action: 1,
+            propensity: None,
+            reward: Some(10.0),
+        });
+        let (samples, stats) = scavenge(&[rec]);
+        assert_eq!(stats.joined, 1);
+        use harvest_core::Context;
+        assert_eq!(samples[0].context.action_features(1), &[3.0, 4.0]);
+        assert_eq!(samples[0].propensity, None);
+    }
+
+    #[test]
+    fn ragged_action_features_are_invalid() {
+        let rec = LogRecord::Decision(DecisionRecord {
+            request_id: 1,
+            timestamp_ns: 0,
+            component: "x".to_string(),
+            shared_features: vec![],
+            action_features: Some(vec![vec![1.0], vec![2.0, 3.0]]),
+            num_actions: 2,
+            action: 0,
+            propensity: None,
+            reward: Some(1.0),
+        });
+        let (samples, stats) = scavenge(&[rec]);
+        assert!(samples.is_empty());
+        assert_eq!(stats.invalid, 1);
+    }
+
+    #[test]
+    fn with_propensity_prefers_logged_value() {
+        let s = ScavengedSample {
+            context: SimpleContext::contextless(2),
+            action: 0,
+            reward: 1.0,
+            propensity: Some(0.3),
+        };
+        assert_eq!(s.clone().with_propensity(0.9).propensity, 0.3);
+        let s2 = ScavengedSample {
+            propensity: None,
+            ..s
+        };
+        assert_eq!(s2.with_propensity(0.9).propensity, 0.9);
+    }
+}

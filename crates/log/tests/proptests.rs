@@ -1,0 +1,90 @@
+//! Property tests for the log pipeline: round-trips and join laws.
+
+use proptest::prelude::*;
+
+use harvest_log::pipeline::HarvestPipeline;
+use harvest_log::propensity::KnownPropensity;
+use harvest_log::record::{
+    read_json_lines, DecisionRecord, JsonLinesWriter, LogRecord, OutcomeRecord,
+};
+use harvest_log::scavenge::scavenge;
+use harvest_core::policy::UniformPolicy;
+
+fn arb_decision() -> impl Strategy<Value = DecisionRecord> {
+    (
+        0u64..1000,
+        0u64..1_000_000,
+        proptest::collection::vec(-100.0f64..100.0, 0..6),
+        1usize..8,
+        proptest::option::of(0.05f64..1.0),
+        proptest::option::of(-10.0f64..10.0),
+    )
+        .prop_map(|(id, ts, shared, k, propensity, reward)| DecisionRecord {
+            request_id: id,
+            timestamp_ns: ts,
+            component: "prop".to_string(),
+            shared_features: shared,
+            action_features: None,
+            num_actions: k,
+            action: (id as usize) % k,
+            propensity,
+            reward,
+        })
+}
+
+proptest! {
+    #[test]
+    fn json_lines_round_trip_any_records(
+        decisions in proptest::collection::vec(arb_decision(), 0..40),
+        outcomes in proptest::collection::vec((0u64..1000, 0u64..1_000_000, -10.0f64..10.0), 0..40)
+    ) {
+        let mut records: Vec<LogRecord> =
+            decisions.into_iter().map(LogRecord::Decision).collect();
+        records.extend(outcomes.into_iter().map(|(id, ts, r)| {
+            LogRecord::Outcome(OutcomeRecord { request_id: id, timestamp_ns: ts, reward: r })
+        }));
+        let mut w = JsonLinesWriter::new(Vec::new());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let (back, stats) = read_json_lines(w.into_inner().as_slice()).unwrap();
+        prop_assert_eq!(stats.malformed, 0);
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn scavenge_join_accounting_balances(
+        decisions in proptest::collection::vec(arb_decision(), 0..50)
+    ) {
+        let records: Vec<LogRecord> = decisions.iter().cloned().map(LogRecord::Decision).collect();
+        let (samples, stats) = scavenge(&records);
+        // Every decision is either joined (had inline reward), missing its
+        // outcome, or invalid.
+        prop_assert_eq!(
+            stats.joined + stats.missing_outcome + stats.invalid,
+            decisions.len()
+        );
+        prop_assert_eq!(samples.len(), stats.joined);
+        prop_assert_eq!(stats.orphan_outcomes, 0);
+    }
+
+    #[test]
+    fn pipeline_output_is_always_a_valid_dataset(
+        decisions in proptest::collection::vec(arb_decision(), 0..50)
+    ) {
+        let records: Vec<LogRecord> = decisions.iter().cloned().map(LogRecord::Decision).collect();
+        let pipeline = HarvestPipeline::new(KnownPropensity::new(UniformPolicy::new()), true);
+        let (dataset, report) = pipeline.run(&records).unwrap();
+        // Validation is enforced sample-by-sample: everything in the
+        // dataset has a usable propensity and finite reward.
+        for s in &dataset {
+            prop_assert!(s.propensity > 0.0 && s.propensity <= 1.0);
+            prop_assert!(s.reward.is_finite());
+        }
+        prop_assert!(dataset.len() <= decisions.len());
+        prop_assert_eq!(
+            report.logged_propensities + report.inferred_propensities,
+            dataset.len() + report.dropped_invalid_propensity
+        );
+    }
+}

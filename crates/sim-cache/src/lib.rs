@@ -1,0 +1,36 @@
+//! Key-value cache simulator — the Redis scenario.
+//!
+//! Reproduces the paper's Table 3 experiment: a byte-budget cache under the
+//! big/small workload ("a few frequently-queried large items and many
+//! less-frequently-queried small items. The large items are queried twice
+//! as frequently but are four times as big: it is thus more efficient to
+//! cache the small items").
+//!
+//! Eviction follows Redis' mechanism: when an insert exceeds the budget,
+//! the cache samples a handful of resident keys uniformly at random
+//! (`maxmemory-samples`) and the eviction policy picks a victim among them.
+//! That uniform candidate sampling is harvestable randomness; the policy's
+//! pick within the sample carries the propensity.
+//!
+//! The punchline the simulator must (and does) reproduce: greedy policies —
+//! LRU, LFU, and a CB policy trained on time-to-next-access — keep the hot
+//! large items and do no better than random, because the reward of an
+//! eviction is *long-term* (the space a big item occupies has opportunity
+//! cost far beyond the next access). Only the hand-designed frequency/size
+//! heuristic, which encodes that opportunity cost, wins (~+10 points).
+//!
+//! * [`store`] — the byte-budget cache with Redis-style candidate sampling.
+//! * [`policy`] — eviction policies: random, LRU, LFU, freq/size, CB.
+//! * [`runner`] — workload execution, hit-rate measurement, decision
+//!   logging, and look-ahead dataset construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod runner;
+pub mod store;
+
+pub use policy::{Candidate, EvictionChoice, EvictionPolicy};
+pub use runner::{run_cache_workload, CacheRunConfig, CacheRunResult};
+pub use store::{Cache, CacheConfig};

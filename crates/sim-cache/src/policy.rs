@@ -1,0 +1,361 @@
+//! Eviction policies over sampled candidate sets.
+
+use rand::Rng;
+
+use harvest_core::policy::Policy;
+use harvest_core::scorer::LinearScorer;
+use harvest_core::SimpleContext;
+use harvest_sim_net::rng::DetRng;
+use harvest_sim_net::time::SimTime;
+
+use crate::store::Entry;
+
+/// One eviction candidate with the per-item context the paper's Redis
+/// prototype logged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate key.
+    pub key: u64,
+    /// Value size in bytes.
+    pub size_bytes: u64,
+    /// Seconds since last access (idle time — what Redis' LRU tracks).
+    pub idle_s: f64,
+    /// Seconds since insertion.
+    pub age_s: f64,
+    /// Accesses since insertion.
+    pub access_count: u64,
+}
+
+impl Candidate {
+    /// Builds a candidate from entry metadata at time `now`.
+    pub fn from_entry(key: u64, entry: &Entry, now: SimTime) -> Self {
+        Candidate {
+            key,
+            size_bytes: entry.size_bytes,
+            idle_s: (now - entry.last_access).as_secs_f64(),
+            age_s: (now - entry.inserted_at).as_secs_f64(),
+            access_count: entry.access_count,
+        }
+    }
+
+    /// Empirical access frequency (accesses per second, with a small floor
+    /// on age so fresh items are not infinitely frequent).
+    pub fn frequency(&self) -> f64 {
+        self.access_count as f64 / self.age_s.max(1.0)
+    }
+
+    /// Feature vector for CB modeling:
+    /// `[size_kb, idle_s (capped), frequency, age_s (capped)]` — all scaled
+    /// to roughly unit range.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.size_bytes as f64 / 4096.0,
+            (self.idle_s / 60.0).min(2.0),
+            self.frequency().min(10.0),
+            (self.age_s / 600.0).min(2.0),
+        ]
+    }
+}
+
+/// Builds the CB decision context for a candidate set: no shared features,
+/// one action per candidate carrying its features.
+pub fn candidates_to_cb_context(candidates: &[Candidate]) -> SimpleContext {
+    SimpleContext::with_action_features(
+        Vec::new(),
+        candidates.iter().map(Candidate::features).collect(),
+    )
+}
+
+/// A chosen victim, with the propensity when the policy knows it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictionChoice {
+    /// Index into the candidate slice.
+    pub index: usize,
+    /// Probability of that index given the candidate set, if randomized.
+    pub propensity: Option<f64>,
+}
+
+/// An eviction policy over a sampled candidate set.
+pub trait EvictionPolicy {
+    /// Picks a victim among `candidates` (never empty).
+    fn choose(&mut self, candidates: &[Candidate], rng: &mut DetRng) -> EvictionChoice;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+}
+
+/// Uniform random among candidates — Redis `allkeys-random`, the logging
+/// policy of Table 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomEviction;
+
+impl EvictionPolicy for RandomEviction {
+    fn choose(&mut self, candidates: &[Candidate], rng: &mut DetRng) -> EvictionChoice {
+        EvictionChoice {
+            index: rng.gen_range(0..candidates.len()),
+            propensity: Some(1.0 / candidates.len() as f64),
+        }
+    }
+
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+}
+
+/// Evict the candidate idle the longest — Redis `allkeys-lru` (which is
+/// also sampling-based).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruEviction;
+
+impl EvictionPolicy for LruEviction {
+    fn choose(&mut self, candidates: &[Candidate], _rng: &mut DetRng) -> EvictionChoice {
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.idle_s > candidates[best].idle_s {
+                best = i;
+            }
+        }
+        EvictionChoice {
+            index: best,
+            propensity: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        "lru".to_string()
+    }
+}
+
+/// Evict the candidate with the lowest access frequency — Redis
+/// `allkeys-lfu`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LfuEviction;
+
+impl EvictionPolicy for LfuEviction {
+    fn choose(&mut self, candidates: &[Candidate], _rng: &mut DetRng) -> EvictionChoice {
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.frequency() < candidates[best].frequency() {
+                best = i;
+            }
+        }
+        EvictionChoice {
+            index: best,
+            propensity: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        "lfu".to_string()
+    }
+}
+
+/// Evict the candidate with the lowest frequency-to-size ratio — the
+/// manually designed policy of Table 3 that "explicitly considers item
+/// size" and encodes the opportunity cost of caching big items (a
+/// GreedyDual/GDSF-style density rule).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreqSizeEviction;
+
+impl EvictionPolicy for FreqSizeEviction {
+    fn choose(&mut self, candidates: &[Candidate], _rng: &mut DetRng) -> EvictionChoice {
+        let density =
+            |c: &Candidate| c.frequency() / c.size_bytes.max(1) as f64;
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate() {
+            if density(c) < density(&candidates[best]) {
+                best = i;
+            }
+        }
+        EvictionChoice {
+            index: best,
+            propensity: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        "freq-size".to_string()
+    }
+}
+
+/// A CB-learned eviction policy: evicts the candidate with the highest
+/// predicted time-to-next-access (the CB reward of Table 1).
+///
+/// This is the greedy use of a model trained by
+/// `harvest_core::learner::RegressionCbLearner` in pooled mode on harvested
+/// eviction data. Table 3's point is that even a *good* model of this
+/// short-term reward does not beat random, because the reward ignores the
+/// long-term space-opportunity cost.
+#[derive(Debug, Clone)]
+pub struct CbEviction {
+    scorer: LinearScorer,
+    epsilon: f64,
+}
+
+impl CbEviction {
+    /// Greedy eviction on a learned time-to-next-access model.
+    pub fn greedy(scorer: LinearScorer) -> Self {
+        CbEviction {
+            scorer,
+            epsilon: 0.0,
+        }
+    }
+
+    /// ε-greedy variant that keeps its own decisions harvestable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `[0, 1]`.
+    pub fn epsilon_greedy(scorer: LinearScorer, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon in [0,1]");
+        CbEviction { scorer, epsilon }
+    }
+}
+
+impl EvictionPolicy for CbEviction {
+    fn choose(&mut self, candidates: &[Candidate], rng: &mut DetRng) -> EvictionChoice {
+        let ctx = candidates_to_cb_context(candidates);
+        let greedy = harvest_core::policy::GreedyPolicy::new(&self.scorer).choose(&ctx);
+        if self.epsilon == 0.0 {
+            return EvictionChoice {
+                index: greedy,
+                propensity: None,
+            };
+        }
+        let k = candidates.len();
+        let floor = self.epsilon / k as f64;
+        let explore = rng.gen_bool(self.epsilon);
+        let index = if explore { rng.gen_range(0..k) } else { greedy };
+        EvictionChoice {
+            index,
+            propensity: Some(if index == greedy {
+                1.0 - self.epsilon + floor
+            } else {
+                floor
+            }),
+        }
+    }
+
+    fn name(&self) -> String {
+        "cb-policy".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_sim_net::fork_rng;
+
+    fn cand(key: u64, size: u64, idle: f64, age: f64, count: u64) -> Candidate {
+        Candidate {
+            key,
+            size_bytes: size,
+            idle_s: idle,
+            age_s: age,
+            access_count: count,
+        }
+    }
+
+    #[test]
+    fn random_is_uniform_with_propensity() {
+        let cands = vec![cand(0, 1, 0.0, 1.0, 1); 4];
+        let mut p = RandomEviction;
+        let mut rng = fork_rng(1, "re");
+        let mut hits = [0u32; 4];
+        for _ in 0..8000 {
+            let ch = p.choose(&cands, &mut rng);
+            assert_eq!(ch.propensity, Some(0.25));
+            hits[ch.index] += 1;
+        }
+        for &h in &hits {
+            assert!((h as f64 - 2000.0).abs() < 200.0);
+        }
+    }
+
+    #[test]
+    fn lru_picks_longest_idle() {
+        let cands = vec![
+            cand(0, 1, 5.0, 100.0, 10),
+            cand(1, 1, 50.0, 100.0, 10),
+            cand(2, 1, 20.0, 100.0, 10),
+        ];
+        let mut rng = fork_rng(2, "lru");
+        assert_eq!(LruEviction.choose(&cands, &mut rng).index, 1);
+    }
+
+    #[test]
+    fn lfu_picks_lowest_frequency() {
+        let cands = vec![
+            cand(0, 1, 0.0, 100.0, 50),
+            cand(1, 1, 0.0, 100.0, 2),
+            cand(2, 1, 0.0, 100.0, 30),
+        ];
+        let mut rng = fork_rng(3, "lfu");
+        assert_eq!(LfuEviction.choose(&cands, &mut rng).index, 1);
+    }
+
+    #[test]
+    fn freq_size_prefers_evicting_big_unproductive_items() {
+        // Big item: 2× frequency, 4× size => density half of the small's.
+        let cands = vec![
+            cand(0, 4096, 0.0, 100.0, 20), // density = 0.2/4096
+            cand(1, 1024, 0.0, 100.0, 10), // density = 0.1/1024
+        ];
+        let mut rng = fork_rng(4, "fs");
+        assert_eq!(FreqSizeEviction.choose(&cands, &mut rng).index, 0);
+        // LFU makes the opposite (worse) call: it protects the big item.
+        assert_eq!(LfuEviction.choose(&cands, &mut rng).index, 1);
+    }
+
+    #[test]
+    fn candidate_features_are_bounded_and_ordered() {
+        let c = cand(0, 4096, 120.0, 1200.0, 1000);
+        let f = c.features();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 2.0, "idle capped");
+        assert!(f[2] <= 10.0, "frequency capped");
+        assert_eq!(f[3], 2.0, "age capped");
+    }
+
+    #[test]
+    fn cb_greedy_evicts_highest_predicted_reward() {
+        // Scorer that predicts time-to-next-access = idle feature (index 1
+        // of candidate features; phi = [features..., bias]).
+        let scorer = LinearScorer::Pooled {
+            weights: vec![0.0, 1.0, 0.0, 0.0, 0.0],
+        };
+        let cands = vec![
+            cand(0, 1, 5.0, 10.0, 1),
+            cand(1, 1, 50.0, 10.0, 1),
+        ];
+        let mut p = CbEviction::greedy(scorer);
+        let mut rng = fork_rng(5, "cb");
+        let ch = p.choose(&cands, &mut rng);
+        assert_eq!(ch.index, 1);
+        assert_eq!(ch.propensity, None);
+    }
+
+    #[test]
+    fn cb_epsilon_greedy_propensities() {
+        let scorer = LinearScorer::Pooled {
+            weights: vec![0.0, 1.0, 0.0, 0.0, 0.0],
+        };
+        let cands = vec![
+            cand(0, 1, 5.0, 10.0, 1),
+            cand(1, 1, 50.0, 10.0, 1),
+        ];
+        let mut p = CbEviction::epsilon_greedy(scorer, 0.4);
+        let mut rng = fork_rng(6, "cbe");
+        let mut greedy_hits = 0;
+        for _ in 0..5000 {
+            let ch = p.choose(&cands, &mut rng);
+            let expect = if ch.index == 1 { 0.8 } else { 0.2 };
+            assert!((ch.propensity.unwrap() - expect).abs() < 1e-12);
+            if ch.index == 1 {
+                greedy_hits += 1;
+            }
+        }
+        assert!((greedy_hits as f64 / 5000.0 - 0.8).abs() < 0.02);
+    }
+}

@@ -1,0 +1,339 @@
+//! Workload execution, hit-rate measurement, and decision harvesting.
+//!
+//! Every policy comparison in Table 3 replays the *same* request trace, so
+//! hit-rate differences are attributable to the eviction policy alone. Each
+//! eviction decision is logged with its sampled candidate set; rewards
+//! (time to next access of the evicted item) are reconstructed afterwards
+//! by looking ahead in the access log, exactly as the paper describes for
+//! Redis.
+
+use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
+use harvest_core::sample::{Dataset, LoggedDecision};
+use harvest_core::scorer::LinearScorer;
+use harvest_core::{HarvestError, SimpleContext};
+use harvest_log::reward::{reconstruct_rewards, AccessEvent, EvictionEvent};
+use harvest_sim_net::rng::fork_rng;
+use harvest_sim_net::time::SimTime;
+use harvest_sim_net::workload::Request;
+
+use crate::policy::{candidates_to_cb_context, Candidate, EvictionPolicy};
+use crate::store::{Cache, CacheConfig};
+
+/// Parameters of one cache run.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheRunConfig {
+    /// The cache shape.
+    pub cache: CacheConfig,
+    /// Requests at the head of the trace excluded from hit-rate accounting
+    /// (cold-start fill).
+    pub warmup: usize,
+    /// Master seed (drives candidate sampling and randomized policies).
+    pub seed: u64,
+}
+
+/// One logged eviction decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictionLog {
+    /// When the eviction happened.
+    pub at: SimTime,
+    /// The sampled candidate set (the action space).
+    pub candidates: Vec<Candidate>,
+    /// Index of the evicted candidate.
+    pub chosen: usize,
+    /// Propensity, when the policy reported one.
+    pub propensity: Option<f64>,
+}
+
+impl EvictionLog {
+    /// The evicted key.
+    pub fn evicted_key(&self) -> u64 {
+        self.candidates[self.chosen].key
+    }
+}
+
+/// The outcome of one cache run.
+#[derive(Debug, Clone)]
+pub struct CacheRunResult {
+    /// Name of the eviction policy that ran.
+    pub policy_name: String,
+    /// Post-warmup hits.
+    pub hits: u64,
+    /// Post-warmup misses.
+    pub misses: u64,
+    /// All eviction decisions, in time order.
+    pub evictions: Vec<EvictionLog>,
+    /// The full access log (for look-ahead reward reconstruction).
+    pub accesses: Vec<AccessEvent>,
+    /// Requests that could never be cached (larger than the whole budget).
+    pub uncacheable: u64,
+}
+
+impl CacheRunResult {
+    /// Post-warmup hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Builds the exploration dataset for CB learning / OPE.
+    ///
+    /// Context: the candidate set (one action per candidate, with item
+    /// features). Reward: reconstructed time-to-next-access of the evicted
+    /// item, normalized by `horizon_s` into `[0, 1]` (longer = better: the
+    /// evicted item wasn't needed). Only decisions with known propensities
+    /// are usable.
+    pub fn to_dataset(&self, horizon_s: f64) -> Dataset<SimpleContext> {
+        let events: Vec<EvictionEvent> = self
+            .evictions
+            .iter()
+            .map(|e| EvictionEvent {
+                timestamp_ns: e.at.as_nanos(),
+                key: e.evicted_key(),
+            })
+            .collect();
+        let rewards = reconstruct_rewards(&self.accesses, &events, horizon_s);
+        let mut data = Dataset::new();
+        for (ev, rw) in self.evictions.iter().zip(&rewards) {
+            let Some(p) = ev.propensity else { continue };
+            data.push(LoggedDecision {
+                context: candidates_to_cb_context(&ev.candidates),
+                action: ev.chosen,
+                reward: rw.time_to_next_access_s / horizon_s,
+                propensity: p,
+            })
+            .expect("simulator produces valid samples");
+        }
+        data
+    }
+
+    /// Trains a pooled CB model predicting (normalized) time-to-next-access
+    /// from candidate features — the model behind Table 3's "CB policy"
+    /// column.
+    pub fn fit_cb_scorer(&self, horizon_s: f64, lambda: f64) -> Result<LinearScorer, HarvestError> {
+        let data = self.to_dataset(horizon_s);
+        RegressionCbLearner::new(ModelingMode::Pooled, SampleWeighting::Uniform, lambda)?
+            .fit(&data)
+    }
+}
+
+/// Replays `trace` through a cache under `policy`.
+pub fn run_cache_workload<P: EvictionPolicy + ?Sized>(
+    cfg: &CacheRunConfig,
+    policy: &mut P,
+    trace: &[Request],
+) -> CacheRunResult {
+    assert!(cfg.warmup < trace.len(), "warmup must leave requests");
+    let mut cache = Cache::new(cfg.cache);
+    let mut rng = fork_rng(cfg.seed, "cache-eviction");
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut uncacheable = 0u64;
+    let mut evictions = Vec::new();
+    let mut accesses = Vec::with_capacity(trace.len());
+
+    for (i, req) in trace.iter().enumerate() {
+        accesses.push(AccessEvent {
+            timestamp_ns: req.at.as_nanos(),
+            key: req.key,
+        });
+        let hit = cache.access(req.key, req.at);
+        if i >= cfg.warmup {
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        if hit {
+            continue;
+        }
+        // Read-through fill, Redis-style: evict sampled victims until the
+        // new value fits.
+        if !cache.fits(req.size_bytes) {
+            uncacheable += 1;
+            continue;
+        }
+        while cache.bytes_to_free(req.size_bytes) > 0 {
+            let candidates = cache.sample_candidates(req.at, &mut rng);
+            debug_assert!(!candidates.is_empty(), "over budget but no residents");
+            let choice = policy.choose(&candidates, &mut rng);
+            let chosen = choice.index.min(candidates.len() - 1);
+            cache.evict(candidates[chosen].key);
+            evictions.push(EvictionLog {
+                at: req.at,
+                candidates,
+                chosen,
+                propensity: choice.propensity,
+            });
+        }
+        cache.insert(req.key, req.size_bytes, req.at);
+    }
+
+    CacheRunResult {
+        policy_name: policy.name(),
+        hits,
+        misses,
+        evictions,
+        accesses,
+        uncacheable,
+    }
+}
+
+/// Generates the paper's big/small trace: `n` Poisson-arrival requests over
+/// the big/small key mix (each large item 2× as frequent and 4× as big as
+/// each small item): 12 large 4 KiB items and 100 small 1 KiB items.
+pub fn big_small_trace(n: usize, seed: u64) -> Vec<Request> {
+    use harvest_sim_net::workload::{BigSmallKeys, PoissonArrivals, WorkloadGenerator};
+    let mut rng = fork_rng(seed, "cache-workload");
+    let mut generator = WorkloadGenerator::new(
+        PoissonArrivals::new(200.0),
+        BigSmallKeys::paper_default(12, 100, 1024),
+    );
+    generator.take(n, &mut rng)
+}
+
+/// The Table 3 cache configuration: roughly half the 148 KiB working set
+/// fits, and evictions sample 10 candidates (Redis `maxmemory-samples 10`).
+pub fn table3_cache_config() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 75 * 1024,
+        eviction_samples: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        CbEviction, FreqSizeEviction, LfuEviction, LruEviction, RandomEviction,
+    };
+
+    fn cfg() -> CacheRunConfig {
+        CacheRunConfig {
+            cache: table3_cache_config(),
+            warmup: 5_000,
+            seed: 11,
+        }
+    }
+
+    fn cfg_short_warmup() -> CacheRunConfig {
+        CacheRunConfig {
+            warmup: 500,
+            ..cfg()
+        }
+    }
+
+    fn hit_rate<P: EvictionPolicy>(mut p: P, trace: &[Request]) -> f64 {
+        run_cache_workload(&cfg(), &mut p, trace).hit_rate()
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let trace = big_small_trace(20_000, 1);
+        let r = run_cache_workload(&cfg(), &mut RandomEviction, &trace);
+        assert_eq!(r.hits + r.misses, 15_000);
+        assert!(r.hit_rate() > 0.2 && r.hit_rate() < 0.9, "{}", r.hit_rate());
+        assert!(!r.evictions.is_empty());
+        assert_eq!(r.uncacheable, 0);
+    }
+
+    #[test]
+    fn byte_budget_never_exceeded() {
+        // Exercised via the cache's debug assertion; also check evictions
+        // only happen when needed by replaying a tiny trace.
+        let trace = big_small_trace(3_000, 2);
+        let r = run_cache_workload(&cfg_short_warmup(), &mut LruEviction, &trace);
+        for ev in &r.evictions {
+            assert!(ev.chosen < ev.candidates.len());
+            assert!(ev.candidates.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn table3_shape_freq_size_wins_big() {
+        let trace = big_small_trace(60_000, 3);
+        let random = hit_rate(RandomEviction, &trace);
+        let lru = hit_rate(LruEviction, &trace);
+        let lfu = hit_rate(LfuEviction, &trace);
+        let fs = hit_rate(FreqSizeEviction, &trace);
+        // The paper's ordering: freq/size beats random by ~10 points;
+        // LRU is within noise of random; LFU is the worst.
+        assert!(
+            fs > random + 0.05,
+            "freq-size {fs} must clearly beat random {random}"
+        );
+        assert!(
+            (lru - random).abs() < 0.05,
+            "lru {lru} should be near random {random}"
+        );
+        assert!(lfu < random + 0.01, "lfu {lfu} must not beat random {random}");
+        assert!(lfu < fs - 0.08, "lfu {lfu} far below freq-size {fs}");
+    }
+
+    #[test]
+    fn cb_policy_matches_random_not_freq_size() {
+        // Train the CB model on harvested random-eviction data, deploy it,
+        // and observe Table 3's negative result: ≈ random, nowhere near
+        // freq/size.
+        let trace = big_small_trace(60_000, 4);
+        let explore = run_cache_workload(&cfg(), &mut RandomEviction, &trace);
+        let scorer = explore.fit_cb_scorer(60.0, 1e-2).unwrap();
+        let cb = hit_rate(CbEviction::greedy(scorer), &trace);
+        let random = explore.hit_rate();
+        let fs = hit_rate(FreqSizeEviction, &trace);
+        // The paper's qualitative claim: the CB policy "performs as poorly
+        // as random eviction" — it must not beat random, and must sit far
+        // below freq/size. (In our reproduction it lands at LFU's level,
+        // slightly below random, because the greedy model protects the hot
+        // large items deterministically.)
+        assert!(cb < random + 0.02, "cb {cb} must not beat random {random}");
+        assert!(cb > random - 0.12, "cb {cb} unreasonably far below random {random}");
+        assert!(cb < fs - 0.04, "cb {cb} must not reach freq-size {fs}");
+    }
+
+    #[test]
+    fn dataset_rewards_are_normalized_time_to_next_access() {
+        let trace = big_small_trace(10_000, 5);
+        let r = run_cache_workload(&cfg(), &mut RandomEviction, &trace);
+        let data = r.to_dataset(60.0);
+        assert_eq!(data.len(), r.evictions.len());
+        for s in &data {
+            assert!((0.0..=1.0).contains(&s.reward), "reward {}", s.reward);
+            assert!((s.propensity - 1.0 / 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_eviction_policies_produce_no_dataset() {
+        let trace = big_small_trace(10_000, 6);
+        let r = run_cache_workload(&cfg(), &mut LruEviction, &trace);
+        assert!(r.to_dataset(60.0).is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let trace = big_small_trace(5_000, 7);
+        let a = run_cache_workload(&cfg_short_warmup(), &mut RandomEviction, &trace);
+        let b = run_cache_workload(&cfg_short_warmup(), &mut RandomEviction, &trace);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.evictions, b.evictions);
+    }
+
+    #[test]
+    fn oversized_items_are_skipped() {
+        let trace = vec![Request {
+            at: SimTime::from_secs(1),
+            key: 1,
+            size_bytes: 10_000_000,
+        }];
+        let mut cfg = cfg();
+        cfg.warmup = 0;
+        let r = run_cache_workload(&cfg, &mut RandomEviction, &trace);
+        assert_eq!(r.uncacheable, 1);
+        assert_eq!(r.misses, 1);
+    }
+}

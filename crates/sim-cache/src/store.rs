@@ -1,0 +1,346 @@
+//! The byte-budget key-value store with Redis-style eviction sampling.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use harvest_sim_net::rng::DetRng;
+use harvest_sim_net::time::SimTime;
+
+use crate::policy::Candidate;
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident bytes (Redis `maxmemory`).
+    pub capacity_bytes: u64,
+    /// Eviction candidates sampled per eviction (Redis
+    /// `maxmemory-samples`, default 5).
+    pub eviction_samples: usize,
+}
+
+impl CacheConfig {
+    /// Redis-like defaults at a given capacity.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            eviction_samples: 5,
+        }
+    }
+}
+
+/// Metadata kept per resident entry — the "per-item contextual information
+/// (e.g., last accessed time)" the paper added logging for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Value size in bytes.
+    pub size_bytes: u64,
+    /// When the entry was inserted.
+    pub inserted_at: SimTime,
+    /// When the entry was last read or written.
+    pub last_access: SimTime,
+    /// Number of accesses since insertion.
+    pub access_count: u64,
+}
+
+/// A byte-budget cache with uniform candidate sampling at eviction.
+///
+/// Key bookkeeping keeps an index vector alongside the map so uniform
+/// sampling over resident keys is O(1) per draw (the standard
+/// swap-remove trick), exactly the cost profile Redis achieves with its
+/// dict sampling.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    entries: HashMap<u64, Entry>,
+    keys: Vec<u64>,
+    pos: HashMap<u64, usize>,
+    used_bytes: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is zero or the sample count is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity_bytes > 0, "capacity must be positive");
+        assert!(config.eviction_samples > 0, "need at least one sample");
+        Cache {
+            config,
+            entries: HashMap::new(),
+            keys: Vec::new(),
+            pos: HashMap::new(),
+            used_bytes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Reads `key` at time `now`, updating recency/frequency metadata.
+    /// Returns whether it was a hit.
+    pub fn access(&mut self, key: u64, now: SimTime) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_access = now;
+                e.access_count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Entry metadata for a resident key.
+    pub fn entry(&self, key: u64) -> Option<&Entry> {
+        self.entries.get(&key)
+    }
+
+    /// Whether an item of `size_bytes` can ever fit.
+    pub fn fits(&self, size_bytes: u64) -> bool {
+        size_bytes <= self.config.capacity_bytes
+    }
+
+    /// Bytes that must be freed before an item of `size_bytes` fits.
+    pub fn bytes_to_free(&self, size_bytes: u64) -> u64 {
+        (self.used_bytes + size_bytes).saturating_sub(self.config.capacity_bytes)
+    }
+
+    /// Samples up to `eviction_samples` *distinct* resident keys uniformly
+    /// at random and returns them as eviction candidates with their
+    /// features at time `now`.
+    ///
+    /// This is the harvestable randomness: the candidate set is a uniform
+    /// subsample of residents, independent of the workload's intent.
+    pub fn sample_candidates(&self, now: SimTime, rng: &mut DetRng) -> Vec<Candidate> {
+        let n = self.keys.len();
+        let k = self.config.eviction_samples.min(n);
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        // Floyd's algorithm for a uniform k-subset of 0..n.
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked
+            .into_iter()
+            .map(|i| {
+                let key = self.keys[i];
+                let e = &self.entries[&key];
+                Candidate::from_entry(key, e, now)
+            })
+            .collect()
+    }
+
+    /// Removes `key`, returning its entry.
+    pub fn evict(&mut self, key: u64) -> Option<Entry> {
+        let entry = self.entries.remove(&key)?;
+        self.used_bytes -= entry.size_bytes;
+        let idx = self.pos.remove(&key).expect("pos tracks entries");
+        let last = self.keys.len() - 1;
+        self.keys.swap(idx, last);
+        self.keys.pop();
+        if idx < self.keys.len() {
+            self.pos.insert(self.keys[idx], idx);
+        }
+        Some(entry)
+    }
+
+    /// Inserts `key` with `size_bytes` at `now` **without** checking the
+    /// budget — the runner is responsible for evicting first. Re-inserting
+    /// a resident key updates its size and counts as an access.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the budget would be exceeded, which indicates a
+    /// runner bug.
+    pub fn insert(&mut self, key: u64, size_bytes: u64, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.used_bytes = self.used_bytes - e.size_bytes + size_bytes;
+            e.size_bytes = size_bytes;
+            e.last_access = now;
+            e.access_count += 1;
+        } else {
+            self.entries.insert(
+                key,
+                Entry {
+                    size_bytes,
+                    inserted_at: now,
+                    last_access: now,
+                    access_count: 1,
+                },
+            );
+            self.pos.insert(key, self.keys.len());
+            self.keys.push(key);
+            self.used_bytes += size_bytes;
+        }
+        debug_assert!(
+            self.used_bytes <= self.config.capacity_bytes,
+            "budget exceeded: {} > {}",
+            self.used_bytes,
+            self.config.capacity_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_sim_net::fork_rng;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cache(cap: u64) -> Cache {
+        Cache::new(CacheConfig::with_capacity(cap))
+    }
+
+    #[test]
+    fn insert_access_evict_lifecycle() {
+        let mut c = cache(100);
+        c.insert(1, 40, t(0));
+        c.insert(2, 60, t(1));
+        assert_eq!(c.used_bytes(), 100);
+        assert_eq!(c.len(), 2);
+        assert!(c.access(1, t(2)));
+        assert!(!c.access(99, t(2)));
+        let e = c.entry(1).unwrap();
+        assert_eq!(e.access_count, 2);
+        assert_eq!(e.last_access, t(2));
+        let evicted = c.evict(1).unwrap();
+        assert_eq!(evicted.size_bytes, 40);
+        assert_eq!(c.used_bytes(), 60);
+        assert!(!c.contains(1));
+        assert!(c.evict(1).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_counts() {
+        let mut c = cache(100);
+        c.insert(1, 40, t(0));
+        c.insert(1, 50, t(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 50);
+        assert_eq!(c.entry(1).unwrap().access_count, 2);
+    }
+
+    #[test]
+    fn bytes_to_free_accounts_for_usage() {
+        let mut c = cache(100);
+        c.insert(1, 80, t(0));
+        assert_eq!(c.bytes_to_free(10), 0);
+        assert_eq!(c.bytes_to_free(30), 10);
+        assert!(c.fits(100));
+        assert!(!c.fits(101));
+    }
+
+    #[test]
+    fn sampling_returns_distinct_resident_keys() {
+        let mut c = cache(1000);
+        for k in 0..20 {
+            c.insert(k, 10, t(k));
+        }
+        let mut rng = fork_rng(1, "sample");
+        for _ in 0..100 {
+            let cands = c.sample_candidates(t(30), &mut rng);
+            assert_eq!(cands.len(), 5);
+            let mut keys: Vec<u64> = cands.iter().map(|c| c.key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 5, "candidates must be distinct");
+            assert!(keys.iter().all(|&k| k < 20));
+        }
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_keys() {
+        let mut c = cache(1000);
+        for k in 0..10 {
+            c.insert(k, 10, t(k));
+        }
+        let mut rng = fork_rng(2, "uniform");
+        let mut counts = [0u32; 10];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for cand in c.sample_candidates(t(20), &mut rng) {
+                counts[cand.key as usize] += 1;
+            }
+        }
+        // Each key appears in a 5-of-10 sample with probability 1/2.
+        for (k, &cnt) in counts.iter().enumerate() {
+            let p = cnt as f64 / trials as f64;
+            assert!((p - 0.5).abs() < 0.03, "key {k} sampled at rate {p}");
+        }
+    }
+
+    #[test]
+    fn sampling_small_caches_returns_everything() {
+        let mut c = cache(1000);
+        c.insert(1, 10, t(0));
+        c.insert(2, 10, t(0));
+        let mut rng = fork_rng(3, "small");
+        let cands = c.sample_candidates(t(1), &mut rng);
+        assert_eq!(cands.len(), 2);
+        let empty = cache(10);
+        let mut rng2 = fork_rng(4, "empty");
+        assert!(empty.sample_candidates(t(0), &mut rng2).is_empty());
+    }
+
+    #[test]
+    fn eviction_keeps_key_index_consistent() {
+        let mut c = cache(1000);
+        for k in 0..10 {
+            c.insert(k, 10, t(k));
+        }
+        // Evict several from the middle; sampling must still cover exactly
+        // the residents.
+        c.evict(3);
+        c.evict(0);
+        c.evict(9);
+        let mut rng = fork_rng(5, "consistency");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for cand in c.sample_candidates(t(20), &mut rng) {
+                assert!(c.contains(cand.key));
+                seen.insert(cand.key);
+            }
+        }
+        assert_eq!(seen.len(), 7, "all residents eventually sampled");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 0,
+            eviction_samples: 5,
+        });
+    }
+}

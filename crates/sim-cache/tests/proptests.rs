@@ -1,0 +1,144 @@
+//! Property tests for cache-store invariants under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+
+use harvest_sim_cache::policy::{
+    CbEviction, Candidate, EvictionPolicy, FreqSizeEviction, LfuEviction, LruEviction,
+    RandomEviction,
+};
+use harvest_sim_cache::runner::{run_cache_workload, CacheRunConfig};
+use harvest_sim_cache::store::{Cache, CacheConfig};
+use harvest_sim_net::rng::fork_rng;
+use harvest_sim_net::time::SimTime;
+use harvest_sim_net::workload::Request;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Insert(u64, u64),
+    Evict(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..20).prop_map(Op::Access),
+        (0u64..20, 1u64..40).prop_map(|(k, s)| Op::Insert(k, s)),
+        (0u64..20).prop_map(Op::Evict),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn used_bytes_always_equals_sum_of_entries(
+        ops in proptest::collection::vec(arb_op(), 0..200)
+    ) {
+        let mut cache = Cache::new(CacheConfig::with_capacity(10_000));
+        let mut shadow: std::collections::HashMap<u64, u64> = Default::default();
+        for (i, op) in ops.iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            match *op {
+                Op::Access(k) => {
+                    let hit = cache.access(k, now);
+                    prop_assert_eq!(hit, shadow.contains_key(&k));
+                }
+                Op::Insert(k, s) => {
+                    cache.insert(k, s, now);
+                    shadow.insert(k, s);
+                }
+                Op::Evict(k) => {
+                    let e = cache.evict(k);
+                    let s = shadow.remove(&k);
+                    prop_assert_eq!(e.map(|e| e.size_bytes), s);
+                }
+            }
+            prop_assert_eq!(cache.used_bytes(), shadow.values().sum::<u64>());
+            prop_assert_eq!(cache.len(), shadow.len());
+        }
+    }
+
+    #[test]
+    fn candidate_sampling_covers_only_residents(
+        keys in proptest::collection::btree_set(0u64..50, 1..30),
+        samples in 1usize..12,
+        seed in 0u64..50
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 1_000_000,
+            eviction_samples: samples,
+        });
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, 10, SimTime::from_secs(i as u64));
+        }
+        let mut rng = fork_rng(seed, "prop-sample");
+        let cands = cache.sample_candidates(SimTime::from_secs(100), &mut rng);
+        prop_assert_eq!(cands.len(), samples.min(keys.len()));
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &cands {
+            prop_assert!(keys.contains(&c.key), "sampled non-resident {}", c.key);
+            prop_assert!(seen.insert(c.key), "duplicate candidate {}", c.key);
+        }
+    }
+
+    #[test]
+    fn every_policy_picks_a_valid_candidate(
+        cand_data in proptest::collection::vec(
+            (1u64..5000, 0.0f64..100.0, 0.1f64..200.0, 1u64..100), 1..12),
+        seed in 0u64..50
+    ) {
+        let candidates: Vec<Candidate> = cand_data.iter().enumerate()
+            .map(|(i, &(size, idle, age, count))| Candidate {
+                key: i as u64,
+                size_bytes: size,
+                idle_s: idle,
+                age_s: age,
+                access_count: count,
+            }).collect();
+        let mut rng = fork_rng(seed, "prop-policy");
+        let scorer = harvest_core::scorer::LinearScorer::Pooled {
+            weights: vec![0.3, -0.2, 0.1, 0.05, 0.0],
+        };
+        let mut policies: Vec<Box<dyn EvictionPolicy>> = vec![
+            Box::new(RandomEviction),
+            Box::new(LruEviction),
+            Box::new(LfuEviction),
+            Box::new(FreqSizeEviction),
+            Box::new(CbEviction::greedy(scorer)),
+        ];
+        for p in policies.iter_mut() {
+            let choice = p.choose(&candidates, &mut rng);
+            prop_assert!(choice.index < candidates.len(), "{} out of range", p.name());
+            if let Some(prob) = choice.propensity {
+                prop_assert!(prob > 0.0 && prob <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_respects_budget_for_any_trace(
+        reqs in proptest::collection::vec((0u64..30, 1u64..3000), 1..150),
+        seed in 0u64..20
+    ) {
+        let trace: Vec<Request> = reqs.iter().enumerate().map(|(i, &(k, s))| Request {
+            at: SimTime::from_millis(i as u64 * 10),
+            key: k,
+            size_bytes: s,
+        }).collect();
+        let cfg = CacheRunConfig {
+            cache: CacheConfig::with_capacity(5_000),
+            warmup: 0,
+            seed,
+        };
+        let r = run_cache_workload(&cfg, &mut RandomEviction, &trace);
+        prop_assert_eq!(r.hits + r.misses, trace.len() as u64);
+        // Every eviction has a valid chosen index and positive propensity.
+        for ev in &r.evictions {
+            prop_assert!(ev.chosen < ev.candidates.len());
+            prop_assert_eq!(ev.propensity, Some(1.0 / ev.candidates.len() as f64));
+        }
+        // Rewards dataset reward normalization stays in [0, 1].
+        for s in &r.to_dataset(30.0) {
+            prop_assert!((0.0..=1.0).contains(&s.reward));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Load-balancer simulator — the Nginx scenario.
+//!
+//! Reproduces the paper's Fig 5 setup and Table 2 experiment: a front-end
+//! balancer routes requests over backend servers whose latency is a linear
+//! function of their open connections, with server 2 slower than server 1
+//! by an additive constant. Routing decisions feed back into future
+//! contexts (more traffic → more open connections → higher latency), which
+//! is precisely the violation of the contextual-bandit assumption **A1**
+//! that makes single-decision off-policy evaluation produce the
+//! catastrophic "send to 1" estimate of Table 2.
+//!
+//! The simulator is a discrete-event system on the `harvest-sim-net`
+//! substrate. Every request emits an Nginx-style access-log line (parsed
+//! back by `harvest-log`) and a structured decision record, so the harvest
+//! pipeline runs end-to-end exactly as it would against a real proxy's
+//! logs.
+//!
+//! * [`config`] — cluster shapes, including [`config::ClusterConfig::fig5`].
+//! * [`policy`] — routing policies: random, round-robin, least-loaded,
+//!   send-to-i, static weighted, episode-randomized weights (the paper's §5
+//!   richer-exploration proposal), and CB-model-driven.
+//! * [`sim`] — the event loop, logging, and online (ground-truth)
+//!   measurement.
+//! * [`hierarchy`] — the two-level Front Door architecture of Fig 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod hierarchy;
+pub mod policy;
+pub mod sim;
+
+pub use config::{ClusterConfig, ServerConfig};
+pub use context::LbContext;
+pub use policy::{RoutingDecision, RoutingPolicy};
+pub use sim::{run_simulation, LbRunResult, SimConfig};

@@ -1,0 +1,456 @@
+//! Routing policies.
+//!
+//! Routing policies differ from `harvest_core` policies in two ways that
+//! reflect real balancers: they may be *stateful* (round-robin counters,
+//! episode-randomized weights), and they report the propensity of their
+//! choice only when they actually know it (a deterministic heuristic logs
+//! no propensity — inference has to fill it in).
+
+use rand::Rng;
+
+use harvest_core::policy::Policy;
+use harvest_core::scorer::{LinearScorer, Scorer};
+use harvest_sim_net::rng::DetRng;
+
+use crate::context::LbContext;
+
+/// The outcome of one routing decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingDecision {
+    /// The chosen server.
+    pub server: usize,
+    /// The decision probability, when the policy knows it (randomized
+    /// policies). `None` for deterministic heuristics.
+    pub propensity: Option<f64>,
+}
+
+/// A (possibly stateful, possibly randomized) routing policy.
+pub trait RoutingPolicy {
+    /// Routes one request.
+    fn route(&mut self, ctx: &LbContext, rng: &mut DetRng) -> RoutingDecision;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+}
+
+/// Uniform random routing — Nginx's `random` directive; the canonical
+/// harvestable logging policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomRouting;
+
+impl RoutingPolicy for RandomRouting {
+    fn route(&mut self, ctx: &LbContext, rng: &mut DetRng) -> RoutingDecision {
+        let k = ctx.num_servers();
+        RoutingDecision {
+            server: rng.gen_range(0..k),
+            propensity: Some(1.0 / k as f64),
+        }
+    }
+
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+}
+
+/// Round-robin routing — deterministic given arrival order, so its *logged
+/// action is independent of the context*; the paper (§2, citing exploration
+/// scavenging) notes such policies can still be treated as random.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinRouting {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobinRouting {
+    fn route(&mut self, ctx: &LbContext, _rng: &mut DetRng) -> RoutingDecision {
+        let server = self.next % ctx.num_servers();
+        self.next = self.next.wrapping_add(1);
+        RoutingDecision {
+            server,
+            // Over any window, each server receives exactly 1/k of
+            // decisions independent of context.
+            propensity: Some(1.0 / ctx.num_servers() as f64),
+        }
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_string()
+    }
+}
+
+/// Least-loaded routing — Nginx `least_conn`; the production heuristic the
+/// CB policy must beat in Table 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedRouting;
+
+impl RoutingPolicy for LeastLoadedRouting {
+    fn route(&mut self, ctx: &LbContext, _rng: &mut DetRng) -> RoutingDecision {
+        RoutingDecision {
+            server: ctx.least_loaded(),
+            propensity: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        "least-loaded".to_string()
+    }
+}
+
+/// Sends every request to one fixed server — the policy whose off-policy
+/// estimate Table 2 shows is catastrophically wrong.
+#[derive(Debug, Clone, Copy)]
+pub struct SendToRouting(pub usize);
+
+impl RoutingPolicy for SendToRouting {
+    fn route(&mut self, ctx: &LbContext, _rng: &mut DetRng) -> RoutingDecision {
+        RoutingDecision {
+            server: self.0.min(ctx.num_servers() - 1),
+            propensity: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("send-to-{}", self.0)
+    }
+}
+
+/// Static weighted-random routing — Nginx `weight=` directives.
+#[derive(Debug, Clone)]
+pub struct WeightedRouting {
+    probs: Vec<f64>,
+}
+
+impl WeightedRouting {
+    /// Creates weighted routing from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are empty, negative, or all zero.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need weights");
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            sum > 0.0 && weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be non-negative with positive sum"
+        );
+        WeightedRouting {
+            probs: weights.into_iter().map(|w| w / sum).collect(),
+        }
+    }
+}
+
+impl RoutingPolicy for WeightedRouting {
+    fn route(&mut self, ctx: &LbContext, rng: &mut DetRng) -> RoutingDecision {
+        let k = ctx.num_servers().min(self.probs.len());
+        let u: f64 = rng.gen();
+        let mut cum = 0.0;
+        for a in 0..k {
+            cum += self.probs[a];
+            if u < cum {
+                return RoutingDecision {
+                    server: a,
+                    propensity: Some(self.probs[a]),
+                };
+            }
+        }
+        RoutingDecision {
+            server: k - 1,
+            propensity: Some(self.probs[k - 1]),
+        }
+    }
+
+    fn name(&self) -> String {
+        "weighted".to_string()
+    }
+}
+
+/// Episode-randomized weights: resamples the traffic split every `episode`
+/// requests — the paper's §5 proposal ("instead of randomizing each
+/// request, a load balancer could randomize the share of traffic sent to
+/// each server during the next N requests"), which yields exploration data
+/// with coverage of *sustained* skewed loads.
+#[derive(Debug, Clone)]
+pub struct EpisodeWeightedRouting {
+    episode: usize,
+    remaining: usize,
+    current: Vec<f64>,
+    alpha: f64,
+}
+
+impl EpisodeWeightedRouting {
+    /// Creates episode-randomized routing with episodes of `episode`
+    /// requests and Dirichlet-ish concentration `alpha` (lower = more
+    /// extreme splits).
+    pub fn new(episode: usize, alpha: f64) -> Self {
+        assert!(episode > 0, "episode length must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        EpisodeWeightedRouting {
+            episode,
+            remaining: 0,
+            current: Vec::new(),
+            alpha,
+        }
+    }
+
+    fn resample(&mut self, k: usize, rng: &mut DetRng) {
+        // Sample a point on the simplex by normalizing Gamma(alpha)
+        // variates, approximated via inverse-power transforms of uniforms
+        // (alpha ≤ 1 territory favours extreme splits, which is the point).
+        let mut w: Vec<f64> = (0..k)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                u.powf(1.0 / self.alpha)
+            })
+            .collect();
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+            // Keep a propensity floor so harvested data stays usable.
+            *v = v.max(0.02);
+        }
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        self.current = w;
+        self.remaining = self.episode;
+    }
+
+    /// The current traffic split (for logging).
+    pub fn current_weights(&self) -> &[f64] {
+        &self.current
+    }
+}
+
+impl RoutingPolicy for EpisodeWeightedRouting {
+    fn route(&mut self, ctx: &LbContext, rng: &mut DetRng) -> RoutingDecision {
+        let k = ctx.num_servers();
+        if self.remaining == 0 || self.current.len() != k {
+            self.resample(k, rng);
+        }
+        self.remaining -= 1;
+        let u: f64 = rng.gen();
+        let mut cum = 0.0;
+        for a in 0..k {
+            cum += self.current[a];
+            if u < cum {
+                return RoutingDecision {
+                    server: a,
+                    propensity: Some(self.current[a]),
+                };
+            }
+        }
+        RoutingDecision {
+            server: k - 1,
+            propensity: Some(self.current[k - 1]),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("episode-weighted({})", self.episode)
+    }
+}
+
+/// Routes with a learned CB model: picks the server whose predicted reward
+/// (negated latency) is highest, with an optional ε exploration floor so
+/// its own traffic stays harvestable.
+#[derive(Debug, Clone)]
+pub struct CbRouting {
+    scorer: LinearScorer,
+    epsilon: f64,
+}
+
+impl CbRouting {
+    /// Greedy routing on a learned model.
+    pub fn greedy(scorer: LinearScorer) -> Self {
+        CbRouting {
+            scorer,
+            epsilon: 0.0,
+        }
+    }
+
+    /// ε-greedy routing on a learned model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `[0, 1]`.
+    pub fn epsilon_greedy(scorer: LinearScorer, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon in [0,1]");
+        CbRouting { scorer, epsilon }
+    }
+}
+
+impl RoutingPolicy for CbRouting {
+    fn route(&mut self, ctx: &LbContext, rng: &mut DetRng) -> RoutingDecision {
+        let cb_ctx = ctx.to_cb_context();
+        let greedy = harvest_core::policy::GreedyPolicy::new(&self.scorer).choose(&cb_ctx);
+        let k = ctx.num_servers();
+        if self.epsilon == 0.0 {
+            return RoutingDecision {
+                server: greedy,
+                propensity: None,
+            };
+        }
+        let floor = self.epsilon / k as f64;
+        let explore = rng.gen_bool(self.epsilon);
+        let server = if explore { rng.gen_range(0..k) } else { greedy };
+        let p = if server == greedy {
+            1.0 - self.epsilon + floor
+        } else {
+            floor
+        };
+        RoutingDecision {
+            server,
+            propensity: Some(p),
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.epsilon == 0.0 {
+            "cb-policy".to_string()
+        } else {
+            format!("cb-policy(eps={})", self.epsilon)
+        }
+    }
+}
+
+/// Access to the scorer for diagnostics.
+impl CbRouting {
+    /// The underlying reward model.
+    pub fn scorer(&self) -> &impl Scorer<harvest_core::SimpleContext> {
+        &self.scorer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_sim_net::fork_rng;
+
+    fn ctx(conns: Vec<u32>) -> LbContext {
+        LbContext::single_class(conns)
+    }
+
+    #[test]
+    fn random_routes_uniformly_with_propensity() {
+        let mut p = RandomRouting;
+        let mut rng = fork_rng(1, "r");
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            let d = p.route(&ctx(vec![0; 4]), &mut rng);
+            assert_eq!(d.propensity, Some(0.25));
+            counts[d.server] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 200.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobinRouting::default();
+        let mut rng = fork_rng(2, "rr");
+        let order: Vec<usize> = (0..6).map(|_| p.route(&ctx(vec![0; 3]), &mut rng).server).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_follows_connections() {
+        let mut p = LeastLoadedRouting;
+        let mut rng = fork_rng(3, "ll");
+        let d = p.route(&ctx(vec![5, 2, 9]), &mut rng);
+        assert_eq!(d.server, 1);
+        assert_eq!(d.propensity, None, "deterministic heuristics log no p");
+    }
+
+    #[test]
+    fn send_to_clamps() {
+        let mut p = SendToRouting(7);
+        let mut rng = fork_rng(4, "st");
+        assert_eq!(p.route(&ctx(vec![0, 0]), &mut rng).server, 1);
+        let mut p = SendToRouting(0);
+        assert_eq!(p.route(&ctx(vec![0, 0]), &mut rng).server, 0);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut p = WeightedRouting::new(vec![1.0, 3.0]);
+        let mut rng = fork_rng(5, "w");
+        let mut hits = [0u32; 2];
+        for _ in 0..10_000 {
+            let d = p.route(&ctx(vec![0, 0]), &mut rng);
+            hits[d.server] += 1;
+            assert_eq!(d.propensity, Some([0.25, 0.75][d.server]));
+        }
+        assert!((hits[1] as f64 / 10_000.0 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_rejects_zero_weights() {
+        let _ = WeightedRouting::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn episode_weighted_holds_split_within_episode() {
+        let mut p = EpisodeWeightedRouting::new(100, 0.5);
+        let mut rng = fork_rng(6, "ep");
+        let _ = p.route(&ctx(vec![0, 0]), &mut rng);
+        let w1 = p.current_weights().to_vec();
+        for _ in 0..98 {
+            let _ = p.route(&ctx(vec![0, 0]), &mut rng);
+        }
+        assert_eq!(p.current_weights(), &w1[..], "stable within episode");
+        let _ = p.route(&ctx(vec![0, 0]), &mut rng);
+        let _ = p.route(&ctx(vec![0, 0]), &mut rng);
+        assert_ne!(p.current_weights(), &w1[..], "resampled across episodes");
+    }
+
+    #[test]
+    fn episode_weights_form_floored_distribution() {
+        let mut p = EpisodeWeightedRouting::new(10, 0.3);
+        let mut rng = fork_rng(7, "ep2");
+        for _ in 0..200 {
+            let d = p.route(&ctx(vec![0, 0, 0]), &mut rng);
+            let w = p.current_weights();
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.019), "floor violated: {w:?}");
+            assert!(d.propensity.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cb_routing_prefers_higher_scores() {
+        // Pooled scorer: reward = -own_conns (fewer connections better).
+        // phi layout for a 2-server single-class context:
+        // [shared conns (2), class one-hot (1), own conn, id (2),
+        //  interactions (2), bias] = 9 dims.
+        let scorer = LinearScorer::Pooled {
+            weights: vec![0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let mut p = CbRouting::greedy(scorer);
+        let mut rng = fork_rng(8, "cb");
+        let d = p.route(&ctx(vec![9, 2]), &mut rng);
+        assert_eq!(d.server, 1);
+        assert_eq!(d.propensity, None);
+    }
+
+    #[test]
+    fn cb_epsilon_greedy_reports_propensity() {
+        let scorer = LinearScorer::Pooled {
+            weights: vec![0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let mut p = CbRouting::epsilon_greedy(scorer, 0.2);
+        let mut rng = fork_rng(9, "cbe");
+        let mut greedy_hits = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let d = p.route(&ctx(vec![9, 2]), &mut rng);
+            let p_expected = if d.server == 1 { 0.9 } else { 0.1 };
+            assert!((d.propensity.unwrap() - p_expected).abs() < 1e-12);
+            if d.server == 1 {
+                greedy_hits += 1;
+            }
+        }
+        assert!((greedy_hits as f64 / n as f64 - 0.9).abs() < 0.02);
+    }
+}

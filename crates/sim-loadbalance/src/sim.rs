@@ -1,0 +1,522 @@
+//! The discrete-event load-balancer simulation.
+//!
+//! Arrivals are Poisson; each request is routed by a [`RoutingPolicy`],
+//! occupies one connection on its server for its service time, and
+//! completes. Service time is the Fig 5 linear function of the server's
+//! open connections at admission, times fault effects and multiplicative
+//! noise. Because routing raises connection counts which raises future
+//! latencies, deployed policies *change the context distribution* — the A1
+//! violation at the heart of Table 2.
+
+use rand::Rng;
+
+use harvest_core::learner::RegressionCbLearner;
+use harvest_core::sample::{Dataset, LoggedDecision};
+use harvest_core::scorer::LinearScorer;
+use harvest_core::SimpleContext;
+use harvest_log::nginx::NginxLogLine;
+use harvest_log::record::{DecisionRecord, LogRecord};
+use harvest_sim_net::event::{Control, Simulator};
+use harvest_sim_net::fault::FaultPlan;
+use harvest_sim_net::rng::{fork_rng, DetRng};
+use harvest_sim_net::stats::{QuantileSketch, RunningStats};
+use harvest_sim_net::time::{SimDuration, SimTime};
+
+use crate::config::ClusterConfig;
+use crate::context::LbContext;
+use crate::policy::RoutingPolicy;
+
+/// Latency charged to a request that hits a crashed server (a client
+/// timeout).
+pub const CRASH_TIMEOUT_S: f64 = 1.0;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cluster being balanced.
+    pub cluster: ClusterConfig,
+    /// Requests to simulate (including warmup).
+    pub requests: usize,
+    /// Leading requests excluded from the summary statistics, letting the
+    /// connection counts reach steady state.
+    pub warmup: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault plan (empty for the Table 2 runs).
+    pub faults: FaultPlan,
+    /// Context staleness: policies see connection counts refreshed only
+    /// every this long (zero = live counts). Models the paper's §5
+    /// observation that distributed state "will inevitably result in stale
+    /// or incomplete contexts" — e.g. backends reporting load on a gossip
+    /// period.
+    pub context_staleness: SimDuration,
+}
+
+impl SimConfig {
+    /// The standard Table 2 configuration on a cluster.
+    pub fn table2(cluster: ClusterConfig, requests: usize, seed: u64) -> Self {
+        SimConfig {
+            cluster,
+            requests,
+            warmup: (requests / 10).min(2_000),
+            seed,
+            faults: FaultPlan::none(),
+            context_staleness: SimDuration::ZERO,
+        }
+    }
+
+    /// The same configuration with stale contexts.
+    pub fn with_staleness(mut self, staleness: SimDuration) -> Self {
+        self.context_staleness = staleness;
+        self
+    }
+}
+
+/// One request's record, as the simulator observed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestLog {
+    /// Sequence number (also the `req_id` in the access log).
+    pub request_id: u64,
+    /// Arrival time.
+    pub at: SimTime,
+    /// The request's class (recoverable from the URI in the access log).
+    pub request_class: usize,
+    /// Connection counts per server at decision time (the context).
+    pub connections: Vec<u32>,
+    /// The chosen server (the action).
+    pub server: usize,
+    /// Propensity if the policy reported one.
+    pub propensity: Option<f64>,
+    /// Observed latency in seconds (the cost).
+    pub latency_s: f64,
+    /// Whether the request failed (crashed server).
+    pub failed: bool,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct LbRunResult {
+    /// Name of the routing policy that ran.
+    pub policy_name: String,
+    /// Mean latency over post-warmup requests, seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile latency over post-warmup requests, seconds.
+    pub p99_latency_s: f64,
+    /// Per-request logs (all requests, including warmup).
+    pub requests: Vec<RequestLog>,
+    /// Number of requests excluded as warmup.
+    pub warmup: usize,
+    /// Requests that failed on crashed servers.
+    pub failed: usize,
+    /// Number of request classes in the workload.
+    pub num_classes: usize,
+}
+
+/// The events of the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival,
+    Completion { server: usize },
+}
+
+/// Runs one simulation of `policy` on the configured cluster.
+pub fn run_simulation<P: RoutingPolicy + ?Sized>(cfg: &SimConfig, policy: &mut P) -> LbRunResult {
+    cfg.cluster.validate();
+    assert!(cfg.requests > 0, "need at least one request");
+    assert!(cfg.warmup < cfg.requests, "warmup must leave requests");
+
+    let mut arrival_rng = fork_rng(cfg.seed, "lb-arrivals");
+    let mut policy_rng = fork_rng(cfg.seed, "lb-policy");
+    let mut service_rng = fork_rng(cfg.seed, "lb-service");
+
+    let k = cfg.cluster.num_servers();
+    let mut conns = vec![0u32; k];
+    // Stale view of the connection counts shown to policies. Refreshed at
+    // most once per `context_staleness` period; identical to `conns` when
+    // staleness is zero.
+    let mut stale_conns = vec![0u32; k];
+    let mut next_refresh = SimTime::ZERO;
+    let mut logs: Vec<RequestLog> = Vec::with_capacity(cfg.requests);
+    let mut mean = RunningStats::new();
+    let mut q = QuantileSketch::new();
+    let mut failed = 0usize;
+    let mut issued = 0usize;
+
+    let mut sim: Simulator<Event> = Simulator::new();
+    sim.schedule(SimTime::ZERO, Event::Arrival);
+    let gap = |rng: &mut DetRng| {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        SimDuration::from_secs_f64(-u.ln() / cfg.cluster.arrival_rate)
+    };
+
+    sim.run(|sim, ev| {
+        match ev.event {
+            Event::Completion { server } => {
+                conns[server] = conns[server].saturating_sub(1);
+            }
+            Event::Arrival => {
+                // The request's class, drawn from the workload mix.
+                let u: f64 = service_rng.gen();
+                let mut request_class = 0;
+                let mut cum = 0.0;
+                for (i, &p) in cfg.cluster.class_probs.iter().enumerate() {
+                    cum += p;
+                    if u < cum {
+                        request_class = i;
+                        break;
+                    }
+                }
+                let visible_conns = if cfg.context_staleness == SimDuration::ZERO {
+                    conns.clone()
+                } else {
+                    if sim.now() >= next_refresh {
+                        stale_conns.clone_from(&conns);
+                        next_refresh = sim.now() + cfg.context_staleness;
+                    }
+                    stale_conns.clone()
+                };
+                let ctx = LbContext {
+                    connections: visible_conns,
+                    request_class,
+                    num_classes: cfg.cluster.num_classes(),
+                };
+                let decision = policy.route(&ctx, &mut policy_rng);
+                let server = decision.server.min(k - 1);
+
+                let (latency_s, is_failure) =
+                    match cfg.faults.effect(server, sim.now()) {
+                        None => (CRASH_TIMEOUT_S, true),
+                        Some(eff) => {
+                            let base =
+                                cfg.cluster.servers[server].latency(request_class, conns[server]);
+                            let noise = if cfg.cluster.latency_noise > 0.0 {
+                                service_rng.gen_range(
+                                    1.0 - cfg.cluster.latency_noise
+                                        ..1.0 + cfg.cluster.latency_noise,
+                                )
+                            } else {
+                                1.0
+                            };
+                            (
+                                eff.apply(SimDuration::from_secs_f64(base * noise))
+                                    .as_secs_f64(),
+                                false,
+                            )
+                        }
+                    };
+
+                if !is_failure {
+                    conns[server] += 1;
+                    sim.schedule(
+                        sim.now() + SimDuration::from_secs_f64(latency_s),
+                        Event::Completion { server },
+                    );
+                } else {
+                    failed += 1;
+                }
+
+                let request_id = issued as u64;
+                if issued >= cfg.warmup {
+                    mean.push(latency_s);
+                    q.push(latency_s);
+                }
+                logs.push(RequestLog {
+                    request_id,
+                    at: sim.now(),
+                    request_class,
+                    connections: ctx.connections,
+                    server,
+                    propensity: decision.propensity,
+                    latency_s,
+                    failed: is_failure,
+                });
+
+                issued += 1;
+                if issued < cfg.requests {
+                    let next = sim.now() + gap(&mut arrival_rng);
+                    sim.schedule(next, Event::Arrival);
+                }
+            }
+        }
+        Control::Continue
+    });
+
+    LbRunResult {
+        policy_name: policy.name(),
+        mean_latency_s: mean.mean(),
+        p99_latency_s: q.p99().unwrap_or(0.0),
+        requests: logs,
+        warmup: cfg.warmup,
+        failed,
+        num_classes: cfg.cluster.num_classes(),
+    }
+}
+
+impl LbRunResult {
+    /// Post-warmup request logs.
+    pub fn measured_requests(&self) -> &[RequestLog] {
+        &self.requests[self.warmup.min(self.requests.len())..]
+    }
+
+    /// Renders the run as an Nginx-style access log (one line per
+    /// request), exactly what a real deployment would scavenge. The request
+    /// class is recoverable from the URI, as it would be in practice.
+    pub fn nginx_access_log(&self) -> String {
+        let mut out = String::new();
+        for r in &self.requests {
+            let line = NginxLogLine {
+                remote_addr: "10.0.0.1".to_string(),
+                msec: r.at.as_secs_f64(),
+                method: "GET".to_string(),
+                uri: format!("/api/v1/class{}", r.request_class),
+                protocol: "HTTP/1.1".to_string(),
+                status: if r.failed { 502 } else { 200 },
+                body_bytes: 512,
+                upstream: r.server,
+                request_time: r.latency_s,
+                connections: r.connections.clone(),
+                request_id: r.request_id,
+            };
+            out.push_str(&line.format_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Emits structured decision records (reward = −latency inline, since
+    /// the proxy measures request time itself).
+    pub fn decision_records(&self) -> Vec<LogRecord> {
+        self.requests
+            .iter()
+            .map(|r| {
+                let cb = LbContext {
+                    connections: r.connections.clone(),
+                    request_class: r.request_class,
+                    num_classes: self.num_classes,
+                }
+                .to_cb_context();
+                use harvest_core::Context;
+                let num_actions = cb.num_actions();
+                let action_features = (0..num_actions)
+                    .map(|a| cb.action_features(a).to_vec())
+                    .collect();
+                LogRecord::Decision(DecisionRecord {
+                    request_id: r.request_id,
+                    timestamp_ns: r.at.as_nanos(),
+                    component: "nginx-lb".to_string(),
+                    shared_features: cb.shared_features().to_vec(),
+                    action_features: Some(action_features),
+                    num_actions,
+                    action: r.server,
+                    propensity: r.propensity,
+                    reward: Some(-r.latency_s),
+                })
+            })
+            .collect()
+    }
+
+    /// Builds an exploration dataset directly from post-warmup requests
+    /// whose propensities were logged (reward = −latency).
+    pub fn to_dataset(&self) -> Dataset<SimpleContext> {
+        let mut data = Dataset::new();
+        for r in self.measured_requests() {
+            let Some(p) = r.propensity else { continue };
+            let ctx = LbContext {
+                connections: r.connections.clone(),
+                request_class: r.request_class,
+                num_classes: self.num_classes,
+            }
+            .to_cb_context();
+            data.push(LoggedDecision {
+                context: ctx,
+                action: r.server,
+                reward: -r.latency_s,
+                propensity: p,
+            })
+            .expect("simulator produces valid samples");
+        }
+        data
+    }
+
+    /// Trains a pooled CB reward model from this run's exploration data —
+    /// the "CB policy" row of Table 2 is `CbRouting::greedy` on this
+    /// scorer.
+    pub fn fit_cb_scorer(&self, lambda: f64) -> Result<LinearScorer, harvest_core::HarvestError> {
+        let data = self.to_dataset();
+        RegressionCbLearner::new(
+            harvest_core::learner::ModelingMode::Pooled,
+            harvest_core::learner::SampleWeighting::Uniform,
+            lambda,
+        )?
+        .fit(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting,
+    };
+    use harvest_sim_net::fault::{Fault, FaultKind};
+
+    fn fig5_cfg(requests: usize, seed: u64) -> SimConfig {
+        SimConfig::table2(ClusterConfig::fig5(), requests, seed)
+    }
+
+    #[test]
+    fn random_routing_matches_steady_state_theory() {
+        let cfg = fig5_cfg(30_000, 1);
+        let result = run_simulation(&cfg, &mut RandomRouting);
+        let theory = {
+            let c = &cfg.cluster;
+            (c.steady_state_latency(0, 0.5) + c.steady_state_latency(1, 0.5)) / 2.0
+        };
+        assert!(
+            (result.mean_latency_s - theory).abs() < 0.05,
+            "sim {} vs theory {theory}",
+            result.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn send_to_one_overloads_online() {
+        let cfg = fig5_cfg(30_000, 2);
+        let random = run_simulation(&cfg, &mut RandomRouting);
+        let send0 = run_simulation(&cfg, &mut SendToRouting(0));
+        // Table 2: send-to-1 online (~0.70) is much worse than random
+        // (~0.44), despite server 1 being the "fast" server.
+        assert!(
+            send0.mean_latency_s > random.mean_latency_s + 0.15,
+            "send-to-0 {} vs random {}",
+            send0.mean_latency_s,
+            random.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn least_loaded_beats_random() {
+        let cfg = fig5_cfg(30_000, 3);
+        let random = run_simulation(&cfg, &mut RandomRouting);
+        let ll = run_simulation(&cfg, &mut LeastLoadedRouting);
+        assert!(
+            ll.mean_latency_s < random.mean_latency_s - 0.02,
+            "least-loaded {} vs random {}",
+            ll.mean_latency_s,
+            random.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn cb_policy_beats_least_loaded() {
+        // The Table 2 punchline: train CB on random exploration, deploy it,
+        // and it outperforms least-loaded because it knows server 2 is
+        // intrinsically slower.
+        let cfg = fig5_cfg(40_000, 4);
+        let explore = run_simulation(&cfg, &mut RandomRouting);
+        let scorer = explore.fit_cb_scorer(1e-3).unwrap();
+        let mut cb = CbRouting::greedy(scorer);
+        let cb_run = run_simulation(&cfg, &mut cb);
+        let ll = run_simulation(&cfg, &mut LeastLoadedRouting);
+        assert!(
+            cb_run.mean_latency_s < ll.mean_latency_s,
+            "cb {} vs least-loaded {}",
+            cb_run.mean_latency_s,
+            ll.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn dataset_has_known_propensities_only() {
+        let cfg = fig5_cfg(2_000, 5);
+        let random = run_simulation(&cfg, &mut RandomRouting);
+        let data = random.to_dataset();
+        assert_eq!(data.len(), random.measured_requests().len());
+        assert!(data.iter().all(|s| (s.propensity - 0.5).abs() < 1e-12));
+        // Deterministic policies yield no usable samples directly.
+        let ll = run_simulation(&cfg, &mut LeastLoadedRouting);
+        assert!(ll.to_dataset().is_empty());
+    }
+
+    #[test]
+    fn nginx_log_round_trips_through_parser() {
+        let cfg = fig5_cfg(500, 6);
+        let run = run_simulation(&cfg, &mut RandomRouting);
+        let text = run.nginx_access_log();
+        let (lines, errors) = harvest_log::nginx::parse_log(&text);
+        assert!(errors.is_empty(), "parse errors: {errors:?}");
+        assert_eq!(lines.len(), 500);
+        assert_eq!(lines[3].request_id, 3);
+        assert_eq!(lines[3].upstream, run.requests[3].server);
+    }
+
+    #[test]
+    fn decision_records_scavenge_cleanly() {
+        let cfg = fig5_cfg(300, 7);
+        let run = run_simulation(&cfg, &mut RandomRouting);
+        let records = run.decision_records();
+        let (samples, stats) = harvest_log::scavenge::scavenge(&records);
+        assert_eq!(stats.joined, 300);
+        assert_eq!(samples.len(), 300);
+        assert!(samples.iter().all(|s| s.propensity == Some(0.5)));
+    }
+
+    #[test]
+    fn crash_fault_fails_requests() {
+        let mut cfg = fig5_cfg(5_000, 8);
+        cfg.faults = FaultPlan::from_faults(vec![Fault {
+            target: 0,
+            start: SimTime::ZERO,
+            end: SimTime::MAX,
+            kind: FaultKind::Crash,
+        }]);
+        let run = run_simulation(&cfg, &mut SendToRouting(0));
+        assert_eq!(run.failed, 5_000);
+        assert!((run.mean_latency_s - CRASH_TIMEOUT_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = fig5_cfg(1_000, 9);
+        let a = run_simulation(&cfg, &mut RandomRouting);
+        let b = run_simulation(&cfg, &mut RandomRouting);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_must_leave_requests() {
+        let mut cfg = fig5_cfg(100, 10);
+        cfg.warmup = 100;
+        let _ = run_simulation(&cfg, &mut RandomRouting);
+    }
+
+    #[test]
+    fn stale_contexts_hurt_least_loaded() {
+        // With a long refresh period, least-loaded herds: it keeps sending
+        // to the server that *looked* empty at the last refresh, overloads
+        // it, then stampedes to the other one. Fresh counts avoid that.
+        let fresh = fig5_cfg(30_000, 11);
+        let stale = fig5_cfg(30_000, 11)
+            .with_staleness(harvest_sim_net::SimDuration::from_secs(2));
+        let fresh_ll = run_simulation(&fresh, &mut LeastLoadedRouting).mean_latency_s;
+        let stale_ll = run_simulation(&stale, &mut LeastLoadedRouting).mean_latency_s;
+        assert!(
+            stale_ll > fresh_ll + 0.05,
+            "stale {stale_ll} vs fresh {fresh_ll}"
+        );
+    }
+
+    #[test]
+    fn staleness_does_not_affect_random_routing() {
+        // Random ignores the context entirely; staleness must not change
+        // its measured latency distribution materially.
+        let fresh = fig5_cfg(20_000, 12);
+        let stale = fig5_cfg(20_000, 12)
+            .with_staleness(harvest_sim_net::SimDuration::from_secs(5));
+        let a = run_simulation(&fresh, &mut RandomRouting).mean_latency_s;
+        let b = run_simulation(&stale, &mut RandomRouting).mean_latency_s;
+        assert!((a - b).abs() < 0.02, "fresh {a} vs stale {b}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the load-balancer simulator.
+
+use proptest::prelude::*;
+
+use harvest_core::Context;
+use harvest_sim_lb::config::{ClusterConfig, ServerConfig};
+use harvest_sim_lb::context::LbContext;
+use harvest_sim_lb::policy::{
+    EpisodeWeightedRouting, LeastLoadedRouting, RandomRouting, RoundRobinRouting, RoutingPolicy,
+    SendToRouting, WeightedRouting,
+};
+use harvest_sim_lb::sim::{run_simulation, SimConfig};
+use harvest_sim_net::rng::fork_rng;
+
+fn arb_cluster() -> impl Strategy<Value = ClusterConfig> {
+    (
+        proptest::collection::vec((0.05f64..0.5, 0.0f64..0.005), 1..5),
+        10.0f64..150.0,
+        0.0f64..0.2,
+    )
+        .prop_map(|(servers, rate, noise)| ClusterConfig {
+            servers: servers
+                .into_iter()
+                .map(|(b, s)| ServerConfig::single_class(b, s))
+                .collect(),
+            class_probs: vec![1.0],
+            arrival_rate: rate,
+            latency_noise: noise,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulation_invariants_hold_for_any_cluster_and_policy(
+        cluster in arb_cluster(),
+        seed in 0u64..100,
+        policy_pick in 0usize..5
+    ) {
+        let k = cluster.num_servers();
+        let cfg = SimConfig::table2(cluster, 600, seed);
+        let mut policies: Vec<Box<dyn RoutingPolicy>> = vec![
+            Box::new(RandomRouting),
+            Box::new(RoundRobinRouting::default()),
+            Box::new(LeastLoadedRouting),
+            Box::new(SendToRouting(policy_pick)),
+            Box::new(EpisodeWeightedRouting::new(50, 0.5)),
+        ];
+        let policy = &mut policies[policy_pick];
+        let run = run_simulation(&cfg, policy.as_mut());
+        prop_assert_eq!(run.requests.len(), 600);
+        for r in &run.requests {
+            prop_assert!(r.server < k);
+            prop_assert!(r.latency_s > 0.0 && r.latency_s.is_finite());
+            prop_assert_eq!(r.connections.len(), k);
+            if let Some(p) = r.propensity {
+                prop_assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+        // Arrival times are monotone.
+        for w in run.requests.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        prop_assert!(run.mean_latency_s > 0.0);
+        prop_assert!(run.p99_latency_s >= run.mean_latency_s * 0.5);
+    }
+
+    #[test]
+    fn access_log_round_trips_for_any_run(
+        cluster in arb_cluster(), seed in 0u64..50
+    ) {
+        let cfg = SimConfig::table2(cluster, 300, seed);
+        let run = run_simulation(&cfg, &mut RandomRouting);
+        let text = run.nginx_access_log();
+        let (lines, errors) = harvest_log::nginx::parse_log(&text);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        prop_assert_eq!(lines.len(), run.requests.len());
+        for (line, req) in lines.iter().zip(&run.requests) {
+            prop_assert_eq!(line.upstream, req.server);
+            prop_assert_eq!(line.request_id, req.request_id);
+            prop_assert!((line.request_time - req.latency_s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_routing_empirical_shares_match(
+        w0 in 1.0f64..10.0, w1 in 1.0f64..10.0, seed in 0u64..30
+    ) {
+        let mut pol = WeightedRouting::new(vec![w0, w1]);
+        let ctx = LbContext::single_class(vec![0, 0]);
+        let mut rng = fork_rng(seed, "prop-weighted");
+        let n = 4000;
+        let mut hits0 = 0;
+        for _ in 0..n {
+            let d = pol.route(&ctx, &mut rng);
+            if d.server == 0 {
+                hits0 += 1;
+            }
+        }
+        let expect = w0 / (w0 + w1);
+        let got = hits0 as f64 / n as f64;
+        prop_assert!((got - expect).abs() < 0.05, "share {got} vs {expect}");
+    }
+
+    #[test]
+    fn cb_context_encoding_is_well_formed(
+        conns in proptest::collection::vec(0u32..200, 1..6),
+        class in 0usize..3
+    ) {
+        let num_classes = 3;
+        let ctx = LbContext {
+            connections: conns.clone(),
+            request_class: class,
+            num_classes,
+        };
+        let cb = ctx.to_cb_context();
+        let k = conns.len();
+        prop_assert_eq!(cb.num_actions(), k);
+        prop_assert_eq!(cb.shared_features().len(), k + num_classes);
+        for a in 0..k {
+            let f = cb.action_features(a);
+            prop_assert_eq!(f.len(), 1 + k + k * num_classes);
+            // Identity one-hot is at positions 1..=k.
+            for j in 0..k {
+                prop_assert_eq!(f[1 + j], if j == a { 1.0 } else { 0.0 });
+            }
+            // Exactly one interaction bit set.
+            let set: f64 = f[1 + k..].iter().sum();
+            prop_assert_eq!(set, 1.0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Machine-health simulator — the Azure Compute scenario.
+//!
+//! The paper's most successful application (§3–§4): when a machine becomes
+//! unresponsive, the controller must decide *how long to wait* before
+//! rebooting it. Waiting risks downtime if the machine is truly dead;
+//! rebooting early wastes the chance of a quick self-recovery (and a reboot
+//! takes minutes on its own). At data-collection time Azure used a safe
+//! default of waiting the maximum (10 min), which reveals the downtime of
+//! *every* shorter wait — full feedback.
+//!
+//! The Azure logs are proprietary, so this crate generates a synthetic
+//! fleet with the same structure (see DESIGN.md): each incident has
+//! hardware/OS/failure-history context, a latent failure type (transient,
+//! recovering on its own, or hard, needing the reboot), and a
+//! context-dependent recovery-time distribution. The generator emits a
+//! [`FullFeedbackDataset`] whose rewards are negated, normalized downtimes,
+//! so greater is better — ready for `harvest_core::simulate` to turn into
+//! exploration data and for the supervised skyline of Fig 4.
+//!
+//! [`FullFeedbackDataset`]: harvest_core::FullFeedbackDataset
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod failure;
+pub mod machine;
+
+pub use dataset::{generate_dataset, MachineHealthConfig};
+pub use failure::{downtime_minutes, Incident};
+pub use machine::{FailureKind, HardwareSku, MachineSpec};

@@ -1,0 +1,116 @@
+//! Property tests for the machine-health model.
+
+use proptest::prelude::*;
+
+use harvest_core::Context;
+use harvest_sim_mh::dataset::{generate_with_incidents, MachineHealthConfig};
+use harvest_sim_mh::failure::{
+    downtime_minutes, transient_probability, wait_minutes, Incident, NUM_ACTIONS,
+};
+use harvest_sim_mh::machine::{FailureKind, HardwareSku, MachineSpec};
+
+fn arb_spec() -> impl Strategy<Value = MachineSpec> {
+    (
+        0usize..3,
+        0.0f64..7.0,
+        0u32..8,
+        0usize..4,
+        1u32..20,
+    )
+        .prop_map(|(sku, age, fails, kind, vms)| MachineSpec {
+            sku: HardwareSku::ALL[sku],
+            age_years: age,
+            recent_failures: fails,
+            failure_kind: FailureKind::ALL[kind],
+            vm_count: vms,
+        })
+}
+
+fn arb_incident() -> impl Strategy<Value = Incident> {
+    (arb_spec(), any::<bool>(), 0.5f64..20.0, 4.0f64..12.0).prop_map(
+        |(spec, transient, recovery, reboot)| Incident {
+            spec,
+            transient,
+            recovery_time_min: recovery,
+            reboot_cost_min: reboot,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn transient_probability_is_a_probability(spec in arb_spec()) {
+        let p = transient_probability(&spec);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p >= 0.02, "floor keeps every incident possible");
+    }
+
+    #[test]
+    fn downtime_is_bounded_and_sane(incident in arb_incident(), action in 0usize..NUM_ACTIONS) {
+        let d = downtime_minutes(&incident, action);
+        prop_assert!(d > 0.0);
+        // Downtime can never exceed wait + reboot.
+        prop_assert!(d <= wait_minutes(action) + incident.reboot_cost_min + 1e-12);
+        // And can never be less than the smaller of recovery and wait.
+        if incident.transient {
+            prop_assert!(d >= incident.recovery_time_min.min(wait_minutes(action)) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn hard_failures_make_waiting_monotonically_worse(incident in arb_incident()) {
+        let hard = Incident { transient: false, ..incident };
+        let mut last = 0.0;
+        for a in 0..NUM_ACTIONS {
+            let d = downtime_minutes(&hard, a);
+            prop_assert!(d > last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn transient_downtime_is_non_increasing_in_wait_after_recovery_point(
+        incident in arb_incident()
+    ) {
+        // Once the wait exceeds the recovery time, downtime is constant
+        // (the machine came back on its own).
+        let t = Incident { transient: true, ..incident };
+        let mut prev: Option<f64> = None;
+        for a in 0..NUM_ACTIONS {
+            if wait_minutes(a) >= t.recovery_time_min {
+                let d = downtime_minutes(&t, a);
+                if let Some(p) = prev {
+                    prop_assert!((d - p).abs() < 1e-12);
+                }
+                prev = Some(d);
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_are_normalized_and_shaped(incident in arb_incident()) {
+        let r = incident.rewards();
+        prop_assert_eq!(r.len(), NUM_ACTIONS);
+        for &v in &r {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generated_datasets_have_consistent_shape(
+        n in 1usize..200, seed in 0u64..50
+    ) {
+        let (data, incidents) = generate_with_incidents(&MachineHealthConfig {
+            incidents: n,
+            seed,
+        });
+        prop_assert_eq!(data.len(), n);
+        prop_assert_eq!(incidents.len(), n);
+        for (s, inc) in data.samples().iter().zip(&incidents) {
+            prop_assert_eq!(s.context.num_actions(), NUM_ACTIONS);
+            prop_assert_eq!(s.context.shared_features().len(), MachineSpec::FEATURE_DIM);
+            // The dataset's rewards are exactly the incident's.
+            prop_assert_eq!(&s.rewards, &inc.rewards());
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! A FIFO-stable discrete-event queue and a minimal simulation driver.
+//!
+//! The queue is a binary heap ordered by `(time, sequence)`. The sequence
+//! number breaks ties so that two events scheduled for the same instant pop
+//! in the order they were pushed — without it, simulator behaviour would
+//! depend on heap internals and change across `std` versions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event wrapped with its scheduled time and a tie-breaking sequence
+/// number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Push order, used to break ties at equal `at` (FIFO).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    /// Reversed so that the *earliest* event is the heap maximum.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events with stable FIFO ordering for ties.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim_net::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "second");
+/// q.push(SimTime::from_secs(1), "first");
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.pop().unwrap().event, "second");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events. Sequence numbering continues, so FIFO
+    /// stability is preserved across a clear.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The outcome of handling one event: whether the driver loop should
+/// continue or stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Stop the simulation immediately (remaining events are discarded).
+    Stop,
+}
+
+/// A minimal discrete-event simulation driver.
+///
+/// `Simulator` owns the clock and queue; user state lives outside and is
+/// borrowed by the handler closure on each event. This keeps the driver
+/// free of generic-state plumbing while letting simulators schedule new
+/// events from inside handlers.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim_net::{Simulator, SimTime};
+/// use harvest_sim_net::event::Control;
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule(SimTime::from_secs(1), 10u32);
+/// let mut total = 0;
+/// sim.run(|sim, ev| {
+///     total += ev.event;
+///     if ev.event < 30 {
+///         let next = sim.now() + harvest_sim_net::SimDuration::from_secs(1);
+///         sim.schedule(next, ev.event + 10);
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(total, 10 + 20 + 30);
+/// assert_eq!(sim.now(), SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Default)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at zero and an empty queue.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event. Events scheduled in the past (before `now`) fire
+    /// immediately-next at the current time; the clock never moves backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the queue drains or the handler returns [`Control::Stop`].
+    ///
+    /// The handler receives `&mut Simulator` so it can schedule follow-up
+    /// events, plus the event being fired (with its timestamp).
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Simulator<E>, ScheduledEvent<E>) -> Control,
+    {
+        self.run_until(SimTime::MAX, &mut handler);
+    }
+
+    /// Runs until the queue drains, the handler stops the run, or the next
+    /// event would fire after `deadline`. Events at exactly `deadline` are
+    /// processed. On deadline exhaustion the clock advances to `deadline`.
+    pub fn run_until<F>(&mut self, deadline: SimTime, handler: &mut F)
+    where
+        F: FnMut(&mut Simulator<E>, ScheduledEvent<E>) -> Control,
+    {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                self.now = deadline.max(self.now);
+                return;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(ev.at >= self.now, "event queue went back in time");
+            self.now = ev.at;
+            self.processed += 1;
+            if handler(self, ev) == Control::Stop {
+                return;
+            }
+        }
+        if deadline != SimTime::MAX {
+            self.now = deadline.max(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(7), ());
+        q.push(SimTime::from_secs(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn clear_preserves_fifo_stability() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 1);
+        q.clear();
+        assert!(q.is_empty());
+        let t = SimTime::from_secs(2);
+        q.push(t, 2);
+        q.push(t, 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn simulator_advances_clock_and_counts() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(2), ());
+        sim.schedule(SimTime::from_secs(1), ());
+        sim.run(|_, _| Control::Continue);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn simulator_stop_short_circuits() {
+        let mut sim = Simulator::new();
+        for s in 1..=10 {
+            sim.schedule(SimTime::from_secs(s), s);
+        }
+        let mut seen = 0;
+        sim.run(|_, ev| {
+            seen += 1;
+            if ev.event == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn simulator_deadline_is_inclusive() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(1), 1);
+        sim.schedule(SimTime::from_secs(2), 2);
+        sim.schedule(SimTime::from_secs(3), 3);
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_secs(2), &mut |_, ev: ScheduledEvent<i32>| {
+            seen.push(ev.event);
+            Control::Continue
+        });
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(5), "first");
+        let mut times = Vec::new();
+        sim.run(|sim, ev| {
+            times.push((sim.now(), ev.event));
+            if ev.event == "first" {
+                // Scheduled "in the past": must fire at now, not at 1s.
+                sim.schedule(SimTime::from_secs(1), "clamped");
+            }
+            Control::Continue
+        });
+        assert_eq!(
+            times,
+            vec![
+                (SimTime::from_secs(5), "first"),
+                (SimTime::from_secs(5), "clamped")
+            ]
+        );
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        sim.run(|sim, ev| {
+            count += 1;
+            if ev.event < 99 {
+                let next = sim.now() + SimDuration::from_millis(10);
+                sim.schedule(next, ev.event + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(count, 100);
+        assert_eq!(sim.now(), SimTime::from_millis(990));
+    }
+}

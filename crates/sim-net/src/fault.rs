@@ -1,0 +1,308 @@
+//! Chaos-Monkey-style fault injection.
+//!
+//! Paper §5 ("Exploration coverage") proposes leveraging reliability testing
+//! — randomized failures à la Netflix's Chaos Monkey — to push systems into
+//! uneven traffic and extreme conditions that produce broader exploration
+//! data. This module provides a deterministic fault plan generator and a
+//! per-component fault state tracker the simulators consult when computing
+//! service times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What a fault does to the targeted component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The component is unavailable for the duration; requests routed to it
+    /// fail or queue (simulator's choice).
+    Crash,
+    /// Service time is multiplied by `factor` (> 1) for the duration.
+    SlowDown {
+        /// Service-time multiplier (must exceed 1 to be a degradation).
+        factor: f64,
+    },
+    /// A fixed extra latency is added to every request for the duration.
+    LatencySpike {
+        /// Additional latency per request.
+        extra: SimDuration,
+    },
+}
+
+/// One scheduled fault: a component, a window, and an effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Index of the targeted component (server, endpoint…).
+    pub target: usize,
+    /// Start of the fault window.
+    pub start: SimTime,
+    /// End of the fault window (exclusive).
+    pub end: SimTime,
+    /// The effect during the window.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Whether the fault is active at time `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Configuration for random fault generation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlanConfig {
+    /// Mean faults per component per simulated second.
+    pub rate_per_component: f64,
+    /// Mean fault duration.
+    pub mean_duration: SimDuration,
+    /// Probability a generated fault is a crash (vs a degradation).
+    pub crash_fraction: f64,
+    /// Slow-down factor range for degradations, e.g. (2.0, 10.0).
+    pub slowdown_range: (f64, f64),
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            rate_per_component: 0.01,
+            mean_duration: SimDuration::from_secs(5),
+            crash_fraction: 0.3,
+            slowdown_range: (2.0, 8.0),
+        }
+    }
+}
+
+/// A deterministic schedule of faults over a simulation horizon.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from an explicit fault list. The list is sorted by
+    /// start time.
+    pub fn from_faults(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(|f| f.start);
+        FaultPlan { faults }
+    }
+
+    /// Generates a random plan for `components` components over `horizon`.
+    ///
+    /// Fault start times are Poisson per component; durations are
+    /// exponential with the configured mean; kinds follow
+    /// `cfg.crash_fraction`.
+    pub fn generate(
+        components: usize,
+        horizon: SimDuration,
+        cfg: &FaultPlanConfig,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(
+            cfg.rate_per_component.is_finite() && cfg.rate_per_component >= 0.0,
+            "fault rate must be non-negative"
+        );
+        let mut faults = Vec::new();
+        if cfg.rate_per_component == 0.0 {
+            return FaultPlan { faults };
+        }
+        for target in 0..components {
+            let mut t = 0.0;
+            let horizon_s = horizon.as_secs_f64();
+            loop {
+                // Exponential gap via inverse CDF (keeps rand_distr out of
+                // the per-fault path).
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / cfg.rate_per_component;
+                if t >= horizon_s {
+                    break;
+                }
+                let u2: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let dur = cfg.mean_duration.mul_f64(-u2.ln());
+                let start = SimTime::from_secs_f64(t);
+                let kind = if rng.gen_bool(cfg.crash_fraction.clamp(0.0, 1.0)) {
+                    FaultKind::Crash
+                } else {
+                    let (lo, hi) = cfg.slowdown_range;
+                    FaultKind::SlowDown {
+                        factor: rng.gen_range(lo..hi),
+                    }
+                };
+                faults.push(Fault {
+                    target,
+                    start,
+                    end: start + dur,
+                    kind,
+                });
+            }
+        }
+        FaultPlan::from_faults(faults)
+    }
+
+    /// All faults, sorted by start time.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Faults affecting `target` that are active at `t`.
+    pub fn active_for(&self, target: usize, t: SimTime) -> impl Iterator<Item = &Fault> {
+        self.faults
+            .iter()
+            .filter(move |f| f.target == target && f.active_at(t))
+    }
+
+    /// Effective service-time multiplier and additive latency for `target`
+    /// at `t`, combining all active degradations. Returns `None` if the
+    /// component is crashed.
+    pub fn effect(&self, target: usize, t: SimTime) -> Option<FaultEffect> {
+        let mut eff = FaultEffect::default();
+        for f in self.active_for(target, t) {
+            match f.kind {
+                FaultKind::Crash => return None,
+                FaultKind::SlowDown { factor } => eff.multiplier *= factor.max(1.0),
+                FaultKind::LatencySpike { extra } => eff.extra_latency += extra,
+            }
+        }
+        Some(eff)
+    }
+}
+
+/// The combined effect of active (non-crash) faults on a component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEffect {
+    /// Service-time multiplier (1.0 = healthy).
+    pub multiplier: f64,
+    /// Additive latency per request.
+    pub extra_latency: SimDuration,
+}
+
+impl Default for FaultEffect {
+    fn default() -> Self {
+        FaultEffect {
+            multiplier: 1.0,
+            extra_latency: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultEffect {
+    /// Applies this effect to a base service time.
+    pub fn apply(&self, base: SimDuration) -> SimDuration {
+        base.mul_f64(self.multiplier) + self.extra_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork_rng;
+
+    fn mk(target: usize, s: u64, e: u64, kind: FaultKind) -> Fault {
+        Fault {
+            target,
+            start: SimTime::from_secs(s),
+            end: SimTime::from_secs(e),
+            kind,
+        }
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let f = mk(0, 1, 2, FaultKind::Crash);
+        assert!(!f.active_at(SimTime::from_millis(999)));
+        assert!(f.active_at(SimTime::from_secs(1)));
+        assert!(f.active_at(SimTime::from_millis(1999)));
+        assert!(!f.active_at(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn effect_combines_degradations() {
+        let plan = FaultPlan::from_faults(vec![
+            mk(0, 0, 10, FaultKind::SlowDown { factor: 2.0 }),
+            mk(
+                0,
+                0,
+                10,
+                FaultKind::LatencySpike {
+                    extra: SimDuration::from_millis(50),
+                },
+            ),
+            mk(1, 0, 10, FaultKind::SlowDown { factor: 100.0 }),
+        ]);
+        let eff = plan.effect(0, SimTime::from_secs(5)).unwrap();
+        assert_eq!(eff.multiplier, 2.0);
+        assert_eq!(eff.extra_latency, SimDuration::from_millis(50));
+        let applied = eff.apply(SimDuration::from_millis(100));
+        assert_eq!(applied, SimDuration::from_millis(250));
+        // Target 2 has no faults.
+        assert_eq!(
+            plan.effect(2, SimTime::from_secs(5)).unwrap(),
+            FaultEffect::default()
+        );
+    }
+
+    #[test]
+    fn crash_dominates() {
+        let plan = FaultPlan::from_faults(vec![
+            mk(0, 0, 10, FaultKind::SlowDown { factor: 2.0 }),
+            mk(0, 3, 6, FaultKind::Crash),
+        ]);
+        assert!(plan.effect(0, SimTime::from_secs(4)).is_none());
+        assert!(plan.effect(0, SimTime::from_secs(7)).is_some());
+    }
+
+    #[test]
+    fn generated_plan_is_within_horizon_and_sorted() {
+        let mut rng = fork_rng(11, "faults");
+        let cfg = FaultPlanConfig {
+            rate_per_component: 0.5,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(4, SimDuration::from_secs(100), &cfg, &mut rng);
+        assert!(!plan.faults().is_empty(), "expected some faults at rate 0.5");
+        for f in plan.faults() {
+            assert!(f.start < SimTime::from_secs(100));
+            assert!(f.end > f.start);
+            assert!(f.target < 4);
+        }
+        for w in plan.faults().windows(2) {
+            assert!(w[0].start <= w[1].start, "plan must be sorted");
+        }
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let mut rng = fork_rng(12, "nofaults");
+        let cfg = FaultPlanConfig {
+            rate_per_component: 0.0,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(4, SimDuration::from_secs(100), &cfg, &mut rng);
+        assert!(plan.faults().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(
+            3,
+            SimDuration::from_secs(1000),
+            &cfg,
+            &mut fork_rng(13, "det"),
+        );
+        let b = FaultPlan::generate(
+            3,
+            SimDuration::from_secs(1000),
+            &cfg,
+            &mut fork_rng(13, "det"),
+        );
+        assert_eq!(a.faults(), b.faults());
+    }
+}

@@ -1,0 +1,184 @@
+//! Request-trace serialization: save and replay workloads as text.
+//!
+//! Policy comparisons are only meaningful on identical request sequences
+//! (Table 3 replays one trace through every eviction policy), and real
+//! deployments tune against *recorded* traces, not distributions. This
+//! module gives traces a stable on-disk form:
+//!
+//! ```text
+//! # harvest-trace v1
+//! timestamp_ns,key,size_bytes
+//! 1000000,42,1024
+//! 2500000,7,4096
+//! ```
+//!
+//! One CSV-style line per request, `#`-prefixed comments, headers
+//! optional. The parser reports malformed lines with their numbers instead
+//! of dying — recorded traces come from the same messy world as logs.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::time::SimTime;
+use crate::workload::Request;
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// Wrong number of comma-separated fields.
+    WrongFieldCount {
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed numeric conversion.
+    BadNumber {
+        /// Which field (0-based).
+        field: usize,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::WrongFieldCount { got } => {
+                write!(f, "expected 3 comma-separated fields, got {got}")
+            }
+            TraceParseError::BadNumber { field } => write!(f, "field {field} is not a number"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Writes a trace in the v1 text format.
+pub fn write_trace<W: Write>(mut w: W, trace: &[Request]) -> io::Result<()> {
+    writeln!(w, "# harvest-trace v1")?;
+    writeln!(w, "timestamp_ns,key,size_bytes")?;
+    for r in trace {
+        writeln!(w, "{},{},{}", r.at.as_nanos(), r.key, r.size_bytes)?;
+    }
+    Ok(())
+}
+
+/// Renders a trace to a `String`.
+pub fn trace_to_string(trace: &[Request]) -> String {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, trace).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("trace text is ASCII")
+}
+
+fn parse_line(line: &str) -> Result<Request, TraceParseError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 3 {
+        return Err(TraceParseError::WrongFieldCount { got: fields.len() });
+    }
+    let num = |i: usize| -> Result<u64, TraceParseError> {
+        fields[i]
+            .trim()
+            .parse()
+            .map_err(|_| TraceParseError::BadNumber { field: i })
+    };
+    Ok(Request {
+        at: SimTime::from_nanos(num(0)?),
+        key: num(1)?,
+        size_bytes: num(2)?,
+    })
+}
+
+/// Parsed requests plus the malformed lines ((0-based) numbers and errors).
+pub type TraceParseResult = (Vec<Request>, Vec<(usize, TraceParseError)>);
+
+/// Reads a trace, skipping comments, blank lines, and the optional header.
+/// Malformed data lines are returned with their (0-based) line numbers.
+pub fn read_trace<R: BufRead>(reader: R) -> io::Result<TraceParseResult> {
+    let mut requests = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("timestamp_ns") {
+            continue;
+        }
+        match parse_line(t) {
+            Ok(r) => requests.push(r),
+            Err(e) => errors.push((i, e)),
+        }
+    }
+    Ok((requests, errors))
+}
+
+/// Parses a trace from a string.
+pub fn trace_from_string(text: &str) -> TraceParseResult {
+    read_trace(text.as_bytes()).expect("reading from memory cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Request> {
+        vec![
+            Request {
+                at: SimTime::from_millis(1),
+                key: 42,
+                size_bytes: 1024,
+            },
+            Request {
+                at: SimTime::from_millis(3),
+                key: 7,
+                size_bytes: 4096,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let text = trace_to_string(&sample());
+        assert!(text.starts_with("# harvest-trace v1\n"));
+        let (back, errors) = trace_from_string(&text);
+        assert!(errors.is_empty());
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_header() {
+        let text = "# comment\n\n timestamp_ns,key,size_bytes \n1,2,3\n# more\n4,5,6\n";
+        let (back, errors) = trace_from_string(text);
+        assert!(errors.is_empty());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].key, 5);
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_numbers() {
+        let text = "1,2,3\nnot,a,number\n1,2\n4,5,6\n";
+        let (back, errors) = trace_from_string(text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            errors,
+            vec![
+                (1, TraceParseError::BadNumber { field: 0 }),
+                (2, TraceParseError::WrongFieldCount { got: 2 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let (back, errors) = trace_from_string("  10 , 20 , 30  \n");
+        assert!(errors.is_empty());
+        assert_eq!(back[0].key, 20);
+        assert_eq!(back[0].size_bytes, 30);
+        assert_eq!(back[0].at.as_nanos(), 10);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TraceParseError::WrongFieldCount { got: 1 }
+            .to_string()
+            .contains("expected 3"));
+        assert!(TraceParseError::BadNumber { field: 2 }
+            .to_string()
+            .contains("field 2"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Cache eviction, end to end: the Redis scenario of paper §3 and §5,
+//! including the Table 3 long-term-reward failure.
+//!
+//! ```text
+//! cargo run --release --example cache_eviction
+//! ```
+//!
+//! A byte-budget cache runs the big/small workload under Redis-style
+//! random candidate sampling. We harvest the eviction decisions,
+//! reconstruct rewards by looking ahead in the access log (time to next
+//! access of the evicted item), train a CB policy on them, and compare all
+//! policies on the same trace.
+
+use harvest::cache::policy::{
+    CbEviction, FreqSizeEviction, LfuEviction, LruEviction, RandomEviction,
+};
+use harvest::cache::runner::{
+    big_small_trace, run_cache_workload, table3_cache_config, CacheRunConfig,
+};
+use harvest::cache::EvictionPolicy;
+
+fn main() {
+    let trace = big_small_trace(100_000, 33);
+    let cfg = CacheRunConfig {
+        cache: table3_cache_config(),
+        warmup: 10_000,
+        seed: 33,
+    };
+    println!(
+        "big/small workload: {} requests, {} KiB budget, {} eviction samples",
+        trace.len(),
+        cfg.cache.capacity_bytes / 1024,
+        cfg.cache.eviction_samples
+    );
+
+    // Exploration: random eviction. Its decisions carry propensity 1/K.
+    let explore = run_cache_workload(&cfg, &mut RandomEviction, &trace);
+    println!(
+        "harvested {} eviction decisions; reconstructing rewards by log look-ahead…",
+        explore.evictions.len()
+    );
+    let dataset = explore.to_dataset(60.0);
+    println!(
+        "  -> {} usable ⟨x,a,r,p⟩ samples, mean normalized time-to-next-access {:.4}\n",
+        dataset.len(),
+        dataset.mean_logged_reward().unwrap()
+    );
+
+    // Train the CB eviction policy from the harvested data.
+    let scorer = explore.fit_cb_scorer(60.0, 1e-2).unwrap();
+
+    println!("{:<12} {:>10}", "policy", "hit rate");
+    println!("{:<12} {:>9.1}%", "random", 100.0 * explore.hit_rate());
+    let mut policies: Vec<(&str, Box<dyn EvictionPolicy>)> = vec![
+        ("lru", Box::new(LruEviction)),
+        ("lfu", Box::new(LfuEviction)),
+        ("cb-policy", Box::new(CbEviction::greedy(scorer))),
+        ("freq-size", Box::new(FreqSizeEviction)),
+    ];
+    let mut rates = vec![("random", explore.hit_rate())];
+    for (name, policy) in policies.iter_mut() {
+        let rate = run_cache_workload(&cfg, policy.as_mut(), &trace).hit_rate();
+        println!("{:<12} {:>9.1}%", name, 100.0 * rate);
+        rates.push((name, rate));
+    }
+
+    let fs = rates.iter().find(|(n, _)| *n == "freq-size").unwrap().1;
+    let cb = rates.iter().find(|(n, _)| *n == "cb-policy").unwrap().1;
+    println!(
+        "\nThe CB policy optimizes a *short-term* reward (time to the evicted item's\n\
+         next access) and lands at {:.1}% — no better than random — because it keeps\n\
+         the hot large items without pricing the space they occupy. Only the manual\n\
+         frequency/size rule, which encodes that opportunity cost, wins: {:.1}%.",
+        100.0 * cb,
+        100.0 * fs
+    );
+}

@@ -1,0 +1,115 @@
+//! The continuous optimization loop: repeat harvest → learn → deploy.
+//!
+//! ```text
+//! cargo run --release --example continuous_loop
+//! ```
+//!
+//! Paper §3: "we may want to repeat steps 1-3 to continuously optimize the
+//! system" (the Decision Service pattern), and §5: when the environment
+//! changes (assumption A2 breaks), "we can address this by using
+//! incremental learning algorithms that continuously update the policy."
+//!
+//! This example runs that loop on the load balancer:
+//!
+//! * epoch 0 deploys uniform-random routing (pure exploration);
+//! * every later epoch retrains the CB model on a sliding window of the
+//!   most recent harvested epochs and deploys it ε-greedily (ε = 0.1), so
+//!   its own traffic remains harvestable;
+//! * halfway through, the environment shifts: the two servers swap their
+//!   per-class fast paths (think: a cache warms up on the other replica).
+//!
+//! Watch the mean latency drop as the loop learns, jump when the world
+//! changes, and recover within two epochs — without any operator
+//! intervention.
+
+use harvest::core::Dataset;
+use harvest::lb::policy::{CbRouting, RandomRouting};
+use harvest::lb::sim::{run_simulation, LbRunResult, SimConfig};
+use harvest::lb::ClusterConfig;
+
+const EPOCHS: usize = 12;
+const REQUESTS_PER_EPOCH: usize = 12_000;
+const WINDOW: usize = 2; // train on the last 2 epochs only (adaptivity)
+const EPSILON: f64 = 0.1;
+
+fn swapped_cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::fig5();
+    // The class-A fast path migrates from server 2 to server 1.
+    let b0 = c.servers[0].bases.clone();
+    c.servers[0].bases = c.servers[1].bases.clone();
+    c.servers[1].bases = b0;
+    c
+}
+
+fn main() {
+    let before = ClusterConfig::fig5();
+    let after = swapped_cluster();
+
+    let mut window: Vec<Dataset<harvest::core::SimpleContext>> = Vec::new();
+    println!(
+        "{:>6} {:>12} {:>14} {:>10}",
+        "epoch", "policy", "mean latency", "world"
+    );
+
+    let mut latencies = Vec::new();
+    for epoch in 0..EPOCHS {
+        let cluster = if epoch < EPOCHS / 2 {
+            before.clone()
+        } else {
+            after.clone()
+        };
+        let world = if epoch < EPOCHS / 2 { "A" } else { "B (shifted)" };
+        let mut cfg = SimConfig::table2(cluster, REQUESTS_PER_EPOCH, 1000 + epoch as u64);
+        cfg.warmup = 1_000;
+
+        let (name, run): (&str, LbRunResult) = if window.is_empty() {
+            ("explore", run_simulation(&cfg, &mut RandomRouting))
+        } else {
+            // Retrain on the sliding window of recent harvested epochs.
+            let mut merged = Dataset::new();
+            for d in &window {
+                for s in d {
+                    merged.push(s.clone()).unwrap();
+                }
+            }
+            let learner = harvest::core::learner::RegressionCbLearner::new(
+                harvest::core::learner::ModelingMode::Pooled,
+                harvest::core::learner::SampleWeighting::Uniform,
+                1e-3,
+            )
+            .unwrap();
+            let scorer = learner.fit(&merged).unwrap();
+            (
+                "cb(eps=0.1)",
+                run_simulation(&cfg, &mut CbRouting::epsilon_greedy(scorer, EPSILON)),
+            )
+        };
+
+        println!(
+            "{:>6} {:>12} {:>13.3}s {:>10}",
+            epoch, name, run.mean_latency_s, world
+        );
+        latencies.push(run.mean_latency_s);
+
+        // Harvest this epoch's logs for the next round.
+        window.push(run.to_dataset());
+        if window.len() > WINDOW {
+            window.remove(0);
+        }
+    }
+
+    let explore = latencies[0];
+    let settled_a = latencies[EPOCHS / 2 - 1];
+    let shock = latencies[EPOCHS / 2];
+    let settled_b = latencies[EPOCHS - 1];
+    println!(
+        "\nexploration cost {explore:.3}s -> optimized {settled_a:.3}s; world shift \
+         bumped latency to {shock:.3}s,\nand the loop re-converged to {settled_b:.3}s \
+         without intervention."
+    );
+    assert!(settled_a < explore - 0.05, "loop must improve on exploration");
+    assert!(
+        settled_b < shock,
+        "loop must recover after the environment change"
+    );
+}

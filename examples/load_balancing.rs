@@ -1,0 +1,96 @@
+//! Load balancing, end to end: the Nginx scenario of paper §3 and §5,
+//! including the Table 2 off-policy-evaluation failure.
+//!
+//! ```text
+//! cargo run --release --example load_balancing
+//! ```
+//!
+//! This example goes through the *textual* log pipeline a real deployment
+//! would use: the simulator emits Nginx-style access-log lines; we parse
+//! them back, infer propensities (uniform-random routing is known from
+//! "code inspection" of the upstream block), assemble the exploration
+//! dataset, evaluate candidate policies offline, and then deploy each to
+//! measure ground truth.
+
+use harvest::core::policy::{ConstantPolicy, GreedyPolicy, UniformPolicy};
+use harvest::core::{Context, Dataset, LoggedDecision, SimpleContext};
+use harvest::estimators::ips::ips;
+use harvest::logs::nginx;
+use harvest::logs::propensity::{KnownPropensity, PropensityModel};
+use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
+use harvest::lb::sim::{run_simulation, SimConfig};
+use harvest::lb::ClusterConfig;
+
+fn main() {
+    let cluster = ClusterConfig::fig5();
+    let cfg = SimConfig::table2(cluster, 40_000, 21);
+
+    // Deploy uniform-random routing (the harvestable logging policy) and
+    // keep only its access log — exactly what ops would hand us.
+    let exploration_run = run_simulation(&cfg, &mut RandomRouting);
+    let access_log = exploration_run.nginx_access_log();
+    println!(
+        "harvested access log: {} lines, first line:\n  {}",
+        access_log.lines().count(),
+        access_log.lines().next().unwrap()
+    );
+
+    // Step 1 — scavenge: parse the text log back into ⟨x, a, r⟩.
+    let (lines, errors) = nginx::parse_log(&access_log);
+    assert!(errors.is_empty(), "parse errors: {errors:?}");
+
+    // Step 2 — infer propensities: the upstream block is `random`, so each
+    // of the two servers has probability 1/2 (code inspection).
+    let known = KnownPropensity::new(UniformPolicy::new());
+    let mut data = Dataset::new();
+    for line in lines.iter().skip(cfg.warmup) {
+        let context = SimpleContext::new(
+            line.connections.iter().map(|&c| c as f64 / 10.0).collect(),
+            line.connections.len(),
+        );
+        let propensity = known.propensity(&context, line.upstream);
+        data.push(LoggedDecision {
+            context,
+            action: line.upstream,
+            reward: -line.request_time,
+            propensity,
+        })
+        .unwrap();
+    }
+    println!("assembled {} exploration samples from the text log\n", data.len());
+
+    // Step 3 — evaluate candidates offline (rewards are negated latency).
+    let least_loaded = harvest::core::policy::FnPolicy::new("least-loaded", |ctx: &SimpleContext| {
+        let conns = ctx.shared_features();
+        if conns[0] <= conns[1] {
+            0
+        } else {
+            1
+        }
+    });
+    let send_to_1 = ConstantPolicy::new(0);
+    println!("{:<16} {:>12} {:>12}", "policy", "OPE latency", "online");
+    let ope_ll = -ips(&data, &least_loaded).value;
+    let ope_s1 = -ips(&data, &send_to_1).value;
+    let online_ll = run_simulation(&cfg, &mut LeastLoadedRouting).mean_latency_s;
+    let online_s1 = run_simulation(&cfg, &mut SendToRouting(0)).mean_latency_s;
+    let online_rand = exploration_run.mean_latency_s;
+    println!("{:<16} {:>11.2}s {:>11.2}s", "random", online_rand, online_rand);
+    println!("{:<16} {:>11.2}s {:>11.2}s", "least-loaded", ope_ll, online_ll);
+    println!("{:<16} {:>11.2}s {:>11.2}s", "send-to-1", ope_s1, online_s1);
+
+    // CB optimization still works where evaluation fails (paper §5).
+    let scorer = exploration_run.fit_cb_scorer(1e-3).unwrap();
+    let cb_core = GreedyPolicy::new(scorer.clone());
+    let ope_cb = -ips(&exploration_run.to_dataset(), &cb_core).value;
+    let online_cb = run_simulation(&cfg, &mut CbRouting::greedy(scorer)).mean_latency_s;
+    println!("{:<16} {:>11.2}s {:>11.2}s", "cb-policy", ope_cb, online_cb);
+
+    println!(
+        "\nOff-policy evaluation is misled by the feedback loop: send-to-1 looks like\n\
+         {ope_s1:.2}s offline but measures {online_s1:.2}s deployed — routing decisions change\n\
+         the very contexts (connection counts) the estimate conditions on (violates A1).\n\
+         Yet CB *optimization* from the same data produced a policy at {online_cb:.2}s,\n\
+         beating least-loaded at {online_ll:.2}s."
+    );
+}

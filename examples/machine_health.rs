@@ -1,0 +1,102 @@
+//! Machine health, end to end: the Azure Compute scenario of paper §3–§4.
+//!
+//! ```text
+//! cargo run --release --example machine_health
+//! ```
+//!
+//! Walks the full workflow behind Figs. 3 and 4:
+//!
+//! 1. generate the full-feedback incident dataset (the safe 10-minute
+//!    default reveals every shorter wait's downtime);
+//! 2. simulate a randomized deployment to get partial-feedback exploration
+//!    data;
+//! 3. train a CB policy and compare its learning curve against the
+//!    supervised full-feedback skyline;
+//! 4. quantify off-policy-evaluation accuracy against ground truth, with
+//!    bootstrap confidence intervals.
+
+use harvest::core::learner::{
+    ModelingMode, RegressionCbLearner, SampleWeighting, SupervisedLearner,
+};
+use harvest::core::policy::{ConstantPolicy, UniformPolicy};
+use harvest::core::simulate::{simulate_exploration, simulate_exploration_n};
+use harvest::estimators::evaluator::{EstimatorKind, OffPolicyEvaluator};
+use harvest::mh::failure::{wait_minutes, DEFAULT_ACTION};
+use harvest::mh::{generate_dataset, MachineHealthConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let full = generate_dataset(&MachineHealthConfig {
+        incidents: 30_000,
+        seed: 7,
+    });
+    let (train, test) = full.split_at(15_000);
+    println!(
+        "machine-health incidents: {} train / {} test, {} wait actions",
+        train.len(),
+        test.len(),
+        10
+    );
+
+    // The operating point Azure ran during data collection.
+    let default_policy = ConstantPolicy::new(DEFAULT_ACTION);
+    let default_value = test.value_of_policy(&default_policy).unwrap();
+    println!(
+        "safe default (wait {} min): test value {:.4}",
+        wait_minutes(DEFAULT_ACTION),
+        default_value
+    );
+
+    // Supervised skyline: trains on the counterfactual reward of *every*
+    // action — only possible because of the full-feedback quirk.
+    let skyline = SupervisedLearner::new(1e-2)
+        .unwrap()
+        .fit_policy(&train)
+        .unwrap();
+    let skyline_value = test.value_of_policy(&skyline).unwrap();
+    println!("supervised skyline:         test value {:.4}", skyline_value);
+
+    // CB learning curve from simulated exploration (Fig 4).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let exploration = simulate_exploration(&train, &UniformPolicy::new(), &mut rng);
+    let learner =
+        RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, 1e-2).unwrap();
+    println!("\nCB learning curve (partial feedback only):");
+    println!("{:>8} {:>12} {:>18}", "N", "test value", "gap to skyline");
+    for n in [500, 1_000, 2_000, 5_000, 10_000, 15_000] {
+        let policy = learner.fit_policy(&exploration.truncated(n)).unwrap();
+        let v = test.value_of_policy(&policy).unwrap();
+        println!(
+            "{:>8} {:>12.4} {:>17.1}%",
+            n,
+            v,
+            100.0 * (skyline_value - v) / (skyline_value - default_value).max(1e-9)
+        );
+    }
+
+    // Off-policy evaluation accuracy (Fig 3): estimate the final policy's
+    // value from partial feedback on the *test* set and compare to truth.
+    let policy = learner.fit_policy(&exploration).unwrap();
+    let truth = test.value_of_policy(&policy).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    println!("\nIPS estimation of the learned policy (truth {truth:.4}):");
+    println!("{:>8} {:>12} {:>12} {:>20}", "N", "estimate", "|rel err|", "bootstrap 90% CI");
+    let eval = OffPolicyEvaluator::new(EstimatorKind::Ips);
+    for n in [500, 2_000, 3_500, 10_000] {
+        let expl = simulate_exploration_n(&test, &UniformPolicy::new(), n, &mut rng);
+        let est = eval.evaluate(&expl, &policy);
+        let (lo, hi) = eval.bootstrap_ci(&expl, &policy, 200, 0.05, 0.95, &mut rng);
+        println!(
+            "{:>8} {:>12.4} {:>11.1}% {:>9.4}..{:<9.4}",
+            n,
+            est.value,
+            100.0 * (est.value - truth).abs() / truth,
+            lo,
+            hi
+        );
+    }
+    println!(
+        "\nWith ~3500 points the estimate is reliable enough to conclude the learned\n\
+         policy beats the default ({default_value:.4}) — without deploying it."
+    );
+}

@@ -1,0 +1,89 @@
+//! # harvest — Harvesting Randomness to Optimize Distributed Systems
+//!
+//! A from-scratch Rust reproduction of the HotNets'17 paper *Harvesting
+//! Randomness to Optimize Distributed Systems* (Lecuyer, Lockerman, Nelson,
+//! Sen, Sharma, Slivkins): contextual bandits and off-policy evaluation for
+//! the randomized decisions distributed systems already make, plus
+//! simulators for the paper's three scenarios (machine health, load
+//! balancing, caching) and a harness that regenerates every figure and
+//! table.
+//!
+//! This crate is an umbrella facade: it re-exports the workspace crates
+//! under stable module names so applications can depend on one crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use harvest::core::policy::{ConstantPolicy, UniformPolicy};
+//! use harvest::core::simulate::simulate_exploration;
+//! use harvest::estimators::ips::ips;
+//! use harvest::mh::{generate_dataset, MachineHealthConfig};
+//! use rand::SeedableRng;
+//!
+//! // 1. A full-feedback machine-health dataset (the Azure scenario).
+//! let full = generate_dataset(&MachineHealthConfig {
+//!     incidents: 10_000,
+//!     seed: 7,
+//! });
+//!
+//! // 2. Simulate a randomized deployment: reveal one action's reward per
+//! //    incident, logged with its propensity.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let exploration = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
+//!
+//! // 3. Evaluate a candidate policy offline — without deploying it.
+//! let candidate = ConstantPolicy::new(2); // always wait 3 minutes
+//! let estimate = ips(&exploration, &candidate);
+//! let truth = full.value_of_policy(&candidate).unwrap();
+//! assert!((estimate.value - truth).abs() < 0.1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `harvest-core` | contexts, policies, CB learners |
+//! | [`estimators`] | `harvest-estimators` | IPS, SNIPS, DM, DR, bounds, A/B |
+//! | [`logs`] | `harvest-log` | scavenging, propensity inference, rewards |
+//! | [`simnet`] | `harvest-sim-net` | event queue, workloads, faults |
+//! | [`lb`] | `harvest-sim-lb` | Nginx-style load-balancer simulator |
+//! | [`cache`] | `harvest-sim-cache` | Redis-style cache simulator |
+//! | [`mh`] | `harvest-sim-mh` | Azure-style machine-health simulator |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The contextual-bandit framework (re-export of `harvest-core`).
+pub mod core {
+    pub use harvest_core::*;
+}
+
+/// Off-policy estimators and bounds (re-export of `harvest-estimators`).
+pub mod estimators {
+    pub use harvest_estimators::*;
+}
+
+/// Log scavenging pipeline (re-export of `harvest-log`).
+pub mod logs {
+    pub use harvest_log::*;
+}
+
+/// Discrete-event simulation substrate (re-export of `harvest-sim-net`).
+pub mod simnet {
+    pub use harvest_sim_net::*;
+}
+
+/// Load-balancer simulator (re-export of `harvest-sim-lb`).
+pub mod lb {
+    pub use harvest_sim_lb::*;
+}
+
+/// Cache simulator (re-export of `harvest-sim-cache`).
+pub mod cache {
+    pub use harvest_sim_cache::*;
+}
+
+/// Machine-health simulator (re-export of `harvest-sim-mh`).
+pub mod mh {
+    pub use harvest_sim_mh::*;
+}

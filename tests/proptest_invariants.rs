@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+//!
+//! These cover the laws the estimators and data structures must uphold for
+//! *any* input, not just the hand-picked cases of the unit tests.
+
+use proptest::prelude::*;
+
+use harvest::core::linalg::Matrix;
+use harvest::core::policy::{
+    validate_distribution, ConstantPolicy, EpsilonGreedyPolicy, StochasticPolicy, UniformPolicy,
+    WeightedPolicy,
+};
+use harvest::core::sample::RewardScaling;
+use harvest::core::simulate::simulate_exploration;
+use harvest::core::{Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision, SimpleContext};
+use harvest::estimators::ips::ips;
+use harvest::estimators::snips::snips;
+use harvest::logs::nginx::{parse_line, NginxLogLine};
+use harvest::logs::reward::{reconstruct_rewards, AccessEvent, EvictionEvent};
+use harvest::simnet::{EventQueue, SimTime};
+
+/// Strategy: a logged decision over `k` featureless actions.
+fn decision(k: usize) -> impl Strategy<Value = LoggedDecision<SimpleContext>> {
+    (0..k, -10.0f64..10.0, 0.05f64..=1.0).prop_map(move |(action, reward, propensity)| {
+        LoggedDecision {
+            context: SimpleContext::contextless(k),
+            action,
+            reward,
+            propensity,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_fifo_stable(
+        times in proptest::collection::vec(0u64..1_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.at >= lt, "time order violated");
+                if ev.at == lt {
+                    prop_assert!(ev.event > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((ev.at, ev.event));
+        }
+    }
+
+    #[test]
+    fn reward_scaling_round_trips(lo in -1e6f64..1e6, span in 1e-6f64..1e6, x in -1e6f64..1e6) {
+        let hi = lo + span;
+        let s = RewardScaling::from_range(lo, hi);
+        let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+        prop_assert!(rel(s.invert(s.apply(x)), x) < 1e-9);
+        prop_assert!(s.apply(lo).abs() < 1e-9);
+        prop_assert!((s.apply(hi) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_policies_emit_valid_distributions(
+        k in 1usize..12,
+        eps in 0.0f64..=1.0,
+        weights in proptest::collection::vec(0.01f64..10.0, 1..12)
+    ) {
+        let ctx = SimpleContext::contextless(k);
+        validate_distribution(&UniformPolicy::new().action_probabilities(&ctx)).unwrap();
+        let eg = EpsilonGreedyPolicy::new(ConstantPolicy::new(0), eps).unwrap();
+        validate_distribution(&eg.action_probabilities(&ctx)).unwrap();
+        let w = WeightedPolicy::new(weights).unwrap();
+        validate_distribution(&w.action_probabilities(&ctx)).unwrap();
+    }
+
+    #[test]
+    fn sampled_propensities_match_reported_distribution(
+        k in 1usize..8,
+        eps in 0.01f64..=1.0,
+        seed in 0u64..1_000
+    ) {
+        use rand::SeedableRng;
+        let ctx = SimpleContext::contextless(k);
+        let pol = EpsilonGreedyPolicy::new(ConstantPolicy::new(k / 2), eps).unwrap();
+        let probs = pol.action_probabilities(&ctx);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (a, p) = pol.sample(&ctx, &mut rng);
+        prop_assert!(a < k);
+        prop_assert!((p - probs[a]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ips_on_own_data_with_unit_propensity_is_mean_reward(
+        rewards in proptest::collection::vec(-5.0f64..5.0, 1..100),
+    ) {
+        // A point-mass logging policy (p = 1) evaluated on itself must
+        // reproduce the empirical mean exactly.
+        let samples: Vec<_> = rewards.iter().map(|&r| LoggedDecision {
+            context: SimpleContext::contextless(3),
+            action: 1,
+            reward: r,
+            propensity: 1.0,
+        }).collect();
+        let data = Dataset::from_samples(samples).unwrap();
+        let est = ips(&data, &ConstantPolicy::new(1));
+        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        prop_assert!((est.value - mean).abs() < 1e-9);
+        prop_assert_eq!(est.matched, rewards.len());
+    }
+
+    #[test]
+    fn snips_stays_within_matched_reward_range(
+        samples in proptest::collection::vec(decision(4), 1..200),
+        target in 0usize..4
+    ) {
+        let data = Dataset::from_samples(samples.clone()).unwrap();
+        let pol = ConstantPolicy::new(target);
+        let est = snips(&data, &pol);
+        if est.matched > 0 {
+            let matched: Vec<f64> = samples.iter()
+                .filter(|s| s.action == target)
+                .map(|s| s.reward)
+                .collect();
+            let lo = matched.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = matched.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est.value >= lo - 1e-9 && est.value <= hi + 1e-9,
+                "snips {} outside [{lo}, {hi}]", est.value);
+        }
+    }
+
+    #[test]
+    fn exploration_simulation_reveals_only_true_rewards(
+        rewards_matrix in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..1.0, 3), 1..50),
+        seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let samples: Vec<_> = rewards_matrix.iter().cloned().map(|rewards| {
+            FullFeedbackSample { context: SimpleContext::contextless(3), rewards }
+        }).collect();
+        let full = FullFeedbackDataset::from_samples(samples).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
+        prop_assert_eq!(expl.len(), rewards_matrix.len());
+        for (s, row) in expl.iter().zip(&rewards_matrix) {
+            prop_assert_eq!(s.reward, row[s.action]);
+            prop_assert!((s.propensity - 1.0/3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spd_solves_have_small_residuals(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..1.0, 4), 4..20),
+        b in proptest::collection::vec(-1.0f64..1.0, 4)
+    ) {
+        let mut gram = Matrix::zeros(4, 4);
+        for r in &rows {
+            gram.rank1_update(r, 1.0);
+        }
+        gram.add_diagonal(0.5); // ridge => strictly PD
+        let w = gram.solve_spd(&b).unwrap();
+        let back = gram.mat_vec(&w);
+        for i in 0..4 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-8, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn nginx_lines_round_trip(
+        addr_a in 1u8..255, addr_b in 1u8..255,
+        msec in 0.0f64..1e6,
+        status in 100u16..600,
+        bytes in 0u64..1_000_000,
+        rt in 0.0f64..100.0,
+        conns in proptest::collection::vec(0u32..1000, 1..16),
+        req_id in 0u64..u64::MAX / 2,
+        upstream_pick in 0usize..16,
+    ) {
+        let upstream = upstream_pick % conns.len();
+        let line = NginxLogLine {
+            remote_addr: format!("10.0.{addr_a}.{addr_b}"),
+            msec: (msec * 1e6).round() / 1e6, // quantized to the format's precision
+            method: "GET".to_string(),
+            uri: "/api/v1/x".to_string(),
+            protocol: "HTTP/1.1".to_string(),
+            status,
+            body_bytes: bytes,
+            upstream,
+            request_time: (rt * 1e6).round() / 1e6,
+            connections: conns,
+            request_id: req_id,
+        };
+        let parsed = parse_line(&line.format_line()).unwrap();
+        prop_assert_eq!(parsed, line);
+    }
+
+    #[test]
+    fn reconstructed_rewards_are_capped_and_non_negative(
+        accesses in proptest::collection::vec((0u64..1_000, 0u64..20), 0..300),
+        evictions in proptest::collection::vec((0u64..1_000, 0u64..20), 1..50),
+        horizon in 1.0f64..1000.0
+    ) {
+        let acc: Vec<AccessEvent> = accesses.iter().map(|&(t, k)| AccessEvent {
+            timestamp_ns: t * 1_000_000_000,
+            key: k,
+        }).collect();
+        let ev: Vec<EvictionEvent> = evictions.iter().map(|&(t, k)| EvictionEvent {
+            timestamp_ns: t * 1_000_000_000,
+            key: k,
+        }).collect();
+        let rewards = reconstruct_rewards(&acc, &ev, horizon);
+        prop_assert_eq!(rewards.len(), ev.len());
+        for r in &rewards {
+            prop_assert!(r.time_to_next_access_s >= 0.0);
+            prop_assert!(r.time_to_next_access_s <= horizon);
+            if r.censored {
+                prop_assert_eq!(r.time_to_next_access_s, horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_split_partitions_in_order(
+        samples in proptest::collection::vec(decision(3), 0..100),
+        cut in 0usize..120
+    ) {
+        let data = Dataset::from_samples(samples.clone()).unwrap();
+        let (train, test) = data.split_at(cut);
+        prop_assert_eq!(train.len() + test.len(), samples.len());
+        let rejoined: Vec<_> = train.iter().chain(test.iter()).cloned().collect();
+        prop_assert_eq!(rejoined, samples);
+    }
+}
