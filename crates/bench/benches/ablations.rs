@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_bench::{challenges, ExperimentConfig};
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 1, scale: 0.1 };
+    let cfg = ExperimentConfig {
+        seed: 1,
+        scale: 0.1,
+    };
     let mut g = c.benchmark_group("challenges");
     g.sample_size(10);
     g.bench_function("estimator_ablation", |b| {

@@ -8,7 +8,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_bench::{fig3, ExperimentConfig};
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 1, scale: 0.05 };
+    let cfg = ExperimentConfig {
+        seed: 1,
+        scale: 0.05,
+    };
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("ope_error_sweep", |b| b.iter(|| fig3::run(&cfg)));

@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_bench::{fig4, ExperimentConfig};
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 1, scale: 0.2 };
+    let cfg = ExperimentConfig {
+        seed: 1,
+        scale: 0.2,
+    };
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
     g.bench_function("learning_curve", |b| b.iter(|| fig4::run(&cfg)));

@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_bench::{fig5, fig6, ExperimentConfig};
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 1, scale: 0.1 };
+    let cfg = ExperimentConfig {
+        seed: 1,
+        scale: 0.1,
+    };
     let mut g = c.benchmark_group("topology");
     g.sample_size(10);
     g.bench_function("fig5_latency_model", |b| b.iter(|| fig5::run(&cfg)));

@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harvest_bench::{table2, ExperimentConfig};
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 1, scale: 0.1 };
+    let cfg = ExperimentConfig {
+        seed: 1,
+        scale: 0.1,
+    };
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     g.bench_function("ope_vs_online", |b| b.iter(|| table2::run(&cfg)));

@@ -165,7 +165,11 @@ fn main() -> ExitCode {
 
 fn run_challenges(cfg: &ExperimentConfig, out: &Output) {
     let rows = challenges::estimator_ablation(cfg);
-    out.emit("estimator_ablation", &rows, challenges::render_estimators(&rows));
+    out.emit(
+        "estimator_ablation",
+        &rows,
+        challenges::render_estimators(&rows),
+    );
 
     let profile = challenges::trajectory_variance(cfg, 20);
     out.emit(
@@ -178,10 +182,18 @@ fn run_challenges(cfg: &ExperimentConfig, out: &Output) {
     out.emit("dr_pdis", &rows, challenges::render_dr_pdis(&rows));
 
     let rows = challenges::exploration_coverage(cfg);
-    out.emit("exploration_coverage", &rows, challenges::render_coverage(&rows));
+    out.emit(
+        "exploration_coverage",
+        &rows,
+        challenges::render_coverage(&rows),
+    );
 
     let rows = challenges::staleness_sweep(cfg, &[0.0, 0.5, 1.0, 2.0, 5.0]);
-    out.emit("staleness_sweep", &rows, challenges::render_staleness(&rows));
+    out.emit(
+        "staleness_sweep",
+        &rows,
+        challenges::render_staleness(&rows),
+    );
 
     let rows = challenges::simultaneous_evaluation(cfg, 1_000, &[1_000, 3_500, 10_000]);
     out.emit(
@@ -194,7 +206,11 @@ fn run_challenges(cfg: &ExperimentConfig, out: &Output) {
     out.emit("drift_tripwire", &rows, challenges::render_drift(&rows));
 
     let rows = challenges::learner_ablation(cfg);
-    out.emit("learner_ablation", &rows, challenges::render_learners(&rows));
+    out.emit(
+        "learner_ablation",
+        &rows,
+        challenges::render_learners(&rows),
+    );
 
     let rows = challenges::eviction_samples_sweep(cfg, &[1, 3, 5, 10, 20]);
     out.emit(
@@ -207,5 +223,9 @@ fn run_challenges(cfg: &ExperimentConfig, out: &Output) {
     out.emit("zipf_check", &rows, challenges::render_zipf(&rows));
 
     let rows = challenges::cache_ope_mismatch(cfg);
-    out.emit("cache_ope_mismatch", &rows, challenges::render_ope_mismatch(&rows));
+    out.emit(
+        "cache_ope_mismatch",
+        &rows,
+        challenges::render_ope_mismatch(&rows),
+    );
 }

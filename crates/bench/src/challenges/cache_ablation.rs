@@ -51,8 +51,7 @@ pub fn eviction_samples_sweep(cfg: &ExperimentConfig, sample_counts: &[usize]) -
                 samples,
                 random: run_cache_workload(&run_cfg, &mut RandomEviction, &trace).hit_rate(),
                 lru: run_cache_workload(&run_cfg, &mut LruEviction, &trace).hit_rate(),
-                freq_size: run_cache_workload(&run_cfg, &mut FreqSizeEviction, &trace)
-                    .hit_rate(),
+                freq_size: run_cache_workload(&run_cfg, &mut FreqSizeEviction, &trace).hit_rate(),
             }
         })
         .collect()
@@ -92,10 +91,8 @@ pub struct ZipfRow {
 /// keys with a budget for 100 of them.
 pub fn zipf_workload_check(cfg: &ExperimentConfig) -> Vec<ZipfRow> {
     let mut rng = fork_rng(cfg.seed, "zipf-cache");
-    let mut generator = WorkloadGenerator::new(
-        PoissonArrivals::new(200.0),
-        ZipfKeys::new(300, 0.9, 1024),
-    );
+    let mut generator =
+        WorkloadGenerator::new(PoissonArrivals::new(200.0), ZipfKeys::new(300, 0.9, 1024));
     let trace: Vec<Request> = generator.take(cfg.scaled(60_000, 15_000), &mut rng);
     let run_cfg = CacheRunConfig {
         cache: CacheConfig {
@@ -245,27 +242,21 @@ pub fn cache_ope_mismatch(cfg: &ExperimentConfig) -> Vec<OpeMismatchRow> {
     rows.push(OpeMismatchRow {
         policy: "cb-policy".to_string(),
         short_term_ope: ips(&data, &cb_core).value,
-        online_hit_rate: run_cache_workload(
-            &run_cfg,
-            &mut CbEviction::greedy(scorer),
-            &trace,
-        )
-        .hit_rate(),
+        online_hit_rate: run_cache_workload(&run_cfg, &mut CbEviction::greedy(scorer), &trace)
+            .hit_rate(),
     });
     rows.push(OpeMismatchRow {
         policy: "freq-size".to_string(),
         short_term_ope: ips(&data, &freq_size).value,
-        online_hit_rate: run_cache_workload(&run_cfg, &mut FreqSizeEviction, &trace)
-            .hit_rate(),
+        online_hit_rate: run_cache_workload(&run_cfg, &mut FreqSizeEviction, &trace).hit_rate(),
     });
     rows
 }
 
 /// Renders the mismatch table.
 pub fn render_ope_mismatch(rows: &[OpeMismatchRow]) -> String {
-    let mut out = String::from(
-        "Short-term OPE vs deployed hit rate (Table 3's root cause, quantified)\n",
-    );
+    let mut out =
+        String::from("Short-term OPE vs deployed hit rate (Table 3's root cause, quantified)\n");
     out.push_str(&format!(
         "{:<12} {:>18} {:>16}\n",
         "Policy", "short-term OPE", "online hit rate"

@@ -99,4 +99,3 @@ pub fn render_estimators(rows: &[EstimatorRow]) -> String {
     }
     out
 }
-

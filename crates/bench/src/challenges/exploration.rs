@@ -19,17 +19,15 @@ pub struct CoverageRow {
 /// Compares per-request uniform randomization against episode-randomized
 /// weights (paper §5's proposal) on sustained-sequence coverage.
 pub fn exploration_coverage(cfg: &ExperimentConfig) -> Vec<CoverageRow> {
-    let sim_cfg = SimConfig::table2(
-        ClusterConfig::fig5(),
-        cfg.scaled(60_000, 10_000),
-        cfg.seed,
-    );
+    let sim_cfg = SimConfig::table2(ClusterConfig::fig5(), cfg.scaled(60_000, 10_000), cfg.seed);
     let probes = [5usize, 10, 20];
     let mut rows = Vec::new();
     let mut uniform = RandomRouting;
     let mut episodic = EpisodeWeightedRouting::new(200, 0.3);
-    let policies: [(&str, &mut dyn RoutingPolicy); 2] =
-        [("uniform-random", &mut uniform), ("episode-weighted", &mut episodic)];
+    let policies: [(&str, &mut dyn RoutingPolicy); 2] = [
+        ("uniform-random", &mut uniform),
+        ("episode-weighted", &mut episodic),
+    ];
     for (name, policy) in policies {
         let run = run_simulation(&sim_cfg, policy);
         let servers: Vec<usize> = run.measured_requests().iter().map(|r| r.server).collect();
@@ -64,9 +62,8 @@ pub fn exploration_coverage(cfg: &ExperimentConfig) -> Vec<CoverageRow> {
 
 /// Renders the coverage comparison.
 pub fn render_coverage(rows: &[CoverageRow]) -> String {
-    let mut out = String::from(
-        "Exploration coverage: sustained same-server runs per 10k requests\n",
-    );
+    let mut out =
+        String::from("Exploration coverage: sustained same-server runs per 10k requests\n");
     out.push_str(&format!("{:<18}", "Policy"));
     for (len, _) in &rows[0].runs_per_10k {
         out.push_str(&format!(" {:>12}", format!("len>={len}")));
@@ -112,13 +109,10 @@ pub fn staleness_sweep(cfg: &ExperimentConfig, periods_s: &[f64]) -> Vec<Stalene
     periods_s
         .iter()
         .map(|&s| {
-            let sim_cfg = base
-                .clone()
-                .with_staleness(SimDuration::from_secs_f64(s));
+            let sim_cfg = base.clone().with_staleness(SimDuration::from_secs_f64(s));
             StalenessRow {
                 staleness_s: s,
-                least_loaded_s: run_simulation(&sim_cfg, &mut LeastLoadedRouting)
-                    .mean_latency_s,
+                least_loaded_s: run_simulation(&sim_cfg, &mut LeastLoadedRouting).mean_latency_s,
                 cb_policy_s: run_simulation(&sim_cfg, &mut CbRouting::greedy(scorer.clone()))
                     .mean_latency_s,
                 random_s: run_simulation(&sim_cfg, &mut RandomRouting).mean_latency_s,
@@ -129,9 +123,8 @@ pub fn staleness_sweep(cfg: &ExperimentConfig, periods_s: &[f64]) -> Vec<Stalene
 
 /// Renders the staleness sweep.
 pub fn render_staleness(rows: &[StalenessRow]) -> String {
-    let mut out = String::from(
-        "Context staleness sweep: online mean latency vs context refresh period\n",
-    );
+    let mut out =
+        String::from("Context staleness sweep: online mean latency vs context refresh period\n");
     out.push_str(&format!(
         "{:>12} {:>14} {:>12} {:>10}\n",
         "staleness", "least-loaded", "cb-policy", "random"
@@ -144,4 +137,3 @@ pub fn render_staleness(rows: &[StalenessRow]) -> String {
     }
     out
 }
-

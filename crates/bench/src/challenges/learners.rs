@@ -61,14 +61,11 @@ pub fn learner_ablation(cfg: &ExperimentConfig) -> Vec<LearnerRow> {
     let mut rows = Vec::new();
 
     // (a) Reward-model regression, greedy deployment.
-    let regression = RegressionCbLearner::new(
-        ModelingMode::PerAction,
-        SampleWeighting::Uniform,
-        1e-2,
-    )
-    .expect("valid lambda")
-    .fit_policy(&expl)
-    .expect("training succeeds");
+    let regression =
+        RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, 1e-2)
+            .expect("valid lambda")
+            .fit_policy(&expl)
+            .expect("training succeeds");
     let v = test.value_of_policy(&regression).expect("non-empty");
     rows.push(LearnerRow {
         learner: "regression (ridge)".to_string(),
@@ -142,4 +139,3 @@ pub fn render_learners(rows: &[LearnerRow]) -> String {
     }
     out
 }
-

@@ -46,7 +46,10 @@ mod tests {
     use crate::ExperimentConfig;
 
     fn cfg() -> ExperimentConfig {
-        ExperimentConfig { seed: 9, scale: 0.2 }
+        ExperimentConfig {
+            seed: 9,
+            scale: 0.2,
+        }
     }
 
     #[test]
@@ -80,8 +83,18 @@ mod tests {
         let episodic = &rows[1];
         // Length-20 runs: essentially never under per-request uniform,
         // plentiful under episode-randomized weights.
-        let u20 = uniform.runs_per_10k.iter().find(|(l, _)| *l == 20).unwrap().1;
-        let e20 = episodic.runs_per_10k.iter().find(|(l, _)| *l == 20).unwrap().1;
+        let u20 = uniform
+            .runs_per_10k
+            .iter()
+            .find(|(l, _)| *l == 20)
+            .unwrap()
+            .1;
+        let e20 = episodic
+            .runs_per_10k
+            .iter()
+            .find(|(l, _)| *l == 20)
+            .unwrap()
+            .1;
         assert!(e20 > 10.0 * (u20 + 0.1), "episodic {e20} vs uniform {u20}");
     }
 
@@ -164,7 +177,10 @@ mod tests {
 
     #[test]
     fn all_learners_beat_the_default_and_trail_the_skyline() {
-        let rows = learner_ablation(&ExperimentConfig { seed: 9, scale: 0.4 });
+        let rows = learner_ablation(&ExperimentConfig {
+            seed: 9,
+            scale: 0.4,
+        });
         let by = |n: &str| rows.iter().find(|r| r.learner.starts_with(n)).unwrap();
         let default = by("default").test_value;
         let skyline = by("supervised").test_value;
@@ -184,4 +200,3 @@ mod tests {
         assert!(by("regression").remaining_gap < 0.25, "{rows:?}");
     }
 }
-

@@ -10,7 +10,10 @@ use crate::ExperimentConfig;
 
 /// Chops a load-balancer run into fixed-horizon episodes for trajectory
 /// estimators.
-pub fn lb_episodes(result: &LbRunResult, horizon: usize) -> Vec<Episode<harvest_core::SimpleContext>> {
+pub fn lb_episodes(
+    result: &LbRunResult,
+    horizon: usize,
+) -> Vec<Episode<harvest_core::SimpleContext>> {
     let steps: Vec<Step<harvest_core::SimpleContext>> = result
         .measured_requests()
         .iter()
@@ -39,11 +42,7 @@ pub fn lb_episodes(result: &LbRunResult, horizon: usize) -> Vec<Episode<harvest_
 /// Computes the trajectory-IS variance profile for evaluating "send to 1"
 /// on episodes logged under uniform-random routing.
 pub fn trajectory_variance(cfg: &ExperimentConfig, max_horizon: usize) -> Vec<WeightProfile> {
-    let sim_cfg = SimConfig::table2(
-        ClusterConfig::fig5(),
-        cfg.scaled(40_000, 8_000),
-        cfg.seed,
-    );
+    let sim_cfg = SimConfig::table2(ClusterConfig::fig5(), cfg.scaled(40_000, 8_000), cfg.seed);
     let run = run_simulation(&sim_cfg, &mut RandomRouting);
     let episodes = lb_episodes(&run, max_horizon);
     let target = PointMassPolicy::new(ConstantPolicy::new(0));
@@ -91,11 +90,7 @@ pub fn dr_pdis_comparison(cfg: &ExperimentConfig, horizons: &[usize]) -> Vec<DrP
     use harvest_core::policy::WeightedPolicy;
     use harvest_estimators::trajectory::{doubly_robust_pdis, per_decision_is};
 
-    let sim_cfg = SimConfig::table2(
-        ClusterConfig::fig5(),
-        cfg.scaled(60_000, 10_000),
-        cfg.seed,
-    );
+    let sim_cfg = SimConfig::table2(ClusterConfig::fig5(), cfg.scaled(60_000, 10_000), cfg.seed);
     let run = run_simulation(&sim_cfg, &mut RandomRouting);
     let model = run.fit_cb_scorer(1e-3).expect("model fits");
     let target = WeightedPolicy::new(vec![0.85, 0.15]).expect("valid weights");
@@ -136,4 +131,3 @@ pub fn render_dr_pdis(rows: &[DrPdisRow]) -> String {
     }
     out
 }
-

@@ -59,10 +59,9 @@ pub fn simultaneous_evaluation(
     ns.iter()
         .map(|&n| {
             let prefix = expl.truncated(n);
-            let full_prefix = harvest_core::FullFeedbackDataset::from_samples(
-                full.samples()[..n].to_vec(),
-            )
-            .expect("valid prefix");
+            let full_prefix =
+                harvest_core::FullFeedbackDataset::from_samples(full.samples()[..n].to_vec())
+                    .expect("valid prefix");
             let mut max_abs_error = 0.0f64;
             for p in &class {
                 let est = harvest_estimators::ips::ips(&prefix, p).value;
@@ -140,7 +139,10 @@ pub fn drift_tripwire(cfg: &ExperimentConfig) -> Vec<DriftRow> {
     };
     let mut seed2 = base.clone();
     seed2.seed = cfg.seed.wrapping_add(1);
-    canary("random (control)", run_simulation(&seed2, &mut RandomRouting));
+    canary(
+        "random (control)",
+        run_simulation(&seed2, &mut RandomRouting),
+    );
     // Wrap send-to-1 in an ε exploration floor so its canary decisions log
     // propensities; ~95% of traffic still lands on server 1. The pooled
     // scorer puts all its weight on server 0's identity one-hot
@@ -183,4 +185,3 @@ pub fn render_drift(rows: &[DriftRow]) -> String {
     }
     out
 }
-

@@ -23,7 +23,9 @@ pub struct Fig2Curve {
 
 /// Regenerates the Fig 2 curves over N from 10⁵ to 10⁷.
 pub fn run(_cfg: &ExperimentConfig) -> Vec<Fig2Curve> {
-    let ns: Vec<f64> = (0..=20).map(|i| 1e5 * 10f64.powf(i as f64 / 10.0)).collect();
+    let ns: Vec<f64> = (0..=20)
+        .map(|i| 1e5 * 10f64.powf(i as f64 / 10.0))
+        .collect();
     EPSILONS
         .iter()
         .map(|&epsilon| Fig2Curve {

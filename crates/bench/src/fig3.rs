@@ -125,8 +125,12 @@ fn run_trials(
                     let trial = (w * chunk + i) as u64;
                     let mut rng =
                         fork_rng_indexed(seed, "fig3-trial", size_tag * 1_000_000 + trial);
-                    let expl =
-                        simulate_exploration_n(prefix, &UniformPolicy::new(), prefix.len(), &mut rng);
+                    let expl = simulate_exploration_n(
+                        prefix,
+                        &UniformPolicy::new(),
+                        prefix.len(),
+                        &mut rng,
+                    );
                     *slot = ips(&expl, policy).value;
                 }
             });

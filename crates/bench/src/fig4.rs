@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn converges_like_the_paper() {
-        let rows = run(&ExperimentConfig { seed: 4, scale: 0.5 });
+        let rows = run(&ExperimentConfig {
+            seed: 4,
+            scale: 0.5,
+        });
         assert_eq!(rows.len(), SIZES.len());
         let at = |n: usize| rows.iter().find(|r| r.n == n).unwrap();
         // Within 20% of the skyline (gap-wise) at 2000 points.

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn measured_latencies_track_the_model() {
-        let rows = run(&ExperimentConfig { seed: 7, scale: 0.5 });
+        let rows = run(&ExperimentConfig {
+            seed: 7,
+            scale: 0.5,
+        });
         let mut checked = 0;
         for r in &rows {
             // The lines are parallel: constant additive gap of 0.2 s.

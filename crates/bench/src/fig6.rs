@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn hierarchy_beats_flat_at_both_levels() {
-        let rows = run(&ExperimentConfig { seed: 8, scale: 0.3 });
+        let rows = run(&ExperimentConfig {
+            seed: 8,
+            scale: 0.3,
+        });
         assert_eq!(rows.len(), 3);
         let flat = &rows[0];
         let edge = &rows[1];

@@ -70,7 +70,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table2Row> {
     // OPE values (rewards are negated latencies; flip sign back).
     let ope = |p: &dyn Policy<SimpleContext>| -ips(&exploration, &p).value;
     let rows_ope = [
-        ("random".to_string(), -exploration.mean_logged_reward().unwrap_or(0.0)),
+        (
+            "random".to_string(),
+            -exploration.mean_logged_reward().unwrap_or(0.0),
+        ),
         ("least-loaded".to_string(), ope(&ll)),
         ("send-to-1".to_string(), ope(&send1)),
         ("cb-policy".to_string(), ope(&cb)),
@@ -97,9 +100,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table2Row> {
 
 /// Renders the table as aligned text.
 pub fn render(rows: &[Table2Row]) -> String {
-    let mut out = String::from(
-        "Table 2: mean request latency of load-balancing policies (Fig 5 cluster)\n",
-    );
+    let mut out =
+        String::from("Table 2: mean request latency of load-balancing policies (Fig 5 cluster)\n");
     out.push_str(&format!(
         "{:<14} {:>22} {:>20}\n",
         "Policy", "Off-policy evaluation", "Online evaluation"
@@ -123,7 +125,10 @@ mod tests {
 
     #[test]
     fn table2_shape_holds() {
-        let rows = run(&ExperimentConfig { seed: 5, scale: 0.5 });
+        let rows = run(&ExperimentConfig {
+            seed: 5,
+            scale: 0.5,
+        });
         assert_eq!(rows.len(), 4);
         let random = row(&rows, "random");
         let ll = row(&rows, "least-loaded");

@@ -55,7 +55,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table3Row> {
     let mut cb = CbEviction::greedy(scorer);
     let mut fs = FreqSizeEviction;
     for (name, policy) in [
-        ("lru", &mut lru as &mut dyn harvest_sim_cache::EvictionPolicy),
+        (
+            "lru",
+            &mut lru as &mut dyn harvest_sim_cache::EvictionPolicy,
+        ),
         ("lfu", &mut lfu),
         ("cb-policy", &mut cb),
         ("freq-size", &mut fs),
@@ -90,7 +93,10 @@ mod tests {
 
     #[test]
     fn table3_shape_holds() {
-        let rows = run(&ExperimentConfig { seed: 6, scale: 0.6 });
+        let rows = run(&ExperimentConfig {
+            seed: 6,
+            scale: 0.6,
+        });
         assert_eq!(rows.len(), 5);
         let random = rate(&rows, "random");
         let lru = rate(&rows, "lru");

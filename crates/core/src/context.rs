@@ -80,7 +80,10 @@ impl SimpleContext {
     /// Panics if `per_action` is empty or its vectors have differing
     /// lengths.
     pub fn with_action_features(shared: Vec<f64>, per_action: Vec<Vec<f64>>) -> Self {
-        assert!(!per_action.is_empty(), "a context needs at least one action");
+        assert!(
+            !per_action.is_empty(),
+            "a context needs at least one action"
+        );
         let dim = per_action[0].len();
         assert!(
             per_action.iter().all(|f| f.len() == dim),
@@ -171,10 +174,8 @@ mod tests {
 
     #[test]
     fn simple_context_with_action_features() {
-        let c = SimpleContext::with_action_features(
-            vec![0.5],
-            vec![vec![1.0, 10.0], vec![2.0, 20.0]],
-        );
+        let c =
+            SimpleContext::with_action_features(vec![0.5], vec![vec![1.0, 10.0], vec![2.0, 20.0]]);
         assert_eq!(c.num_actions(), 2);
         assert_eq!(c.action_features(1), &[2.0, 20.0]);
         assert_eq!(c.action_feature_dim(), 2);

@@ -58,18 +58,27 @@ impl fmt::Display for HarvestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarvestError::InvalidPropensity { value, index } => match index {
-                Some(i) => write!(f, "invalid propensity {value} at sample {i}; must be in (0, 1]"),
+                Some(i) => write!(
+                    f,
+                    "invalid propensity {value} at sample {i}; must be in (0, 1]"
+                ),
                 None => write!(f, "invalid propensity {value}; must be in (0, 1]"),
             },
             HarvestError::InvalidReward { value } => {
                 write!(f, "invalid reward {value}; must be finite")
             }
-            HarvestError::ActionOutOfRange { action, num_actions } => {
+            HarvestError::ActionOutOfRange {
+                action,
+                num_actions,
+            } => {
                 write!(f, "action {action} out of range for {num_actions} actions")
             }
             HarvestError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             HarvestError::DimensionMismatch { expected, got } => {
-                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {got}"
+                )
             }
             HarvestError::SingularSystem => {
                 write!(f, "linear system is singular or not positive definite")

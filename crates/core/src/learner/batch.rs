@@ -190,12 +190,9 @@ mod tests {
     #[test]
     fn per_action_learner_finds_crossing_policy() {
         let data = crossing_dataset(2000, 1);
-        let learner = RegressionCbLearner::new(
-            ModelingMode::PerAction,
-            SampleWeighting::Uniform,
-            1e-3,
-        )
-        .unwrap();
+        let learner =
+            RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, 1e-3)
+                .unwrap();
         let policy = learner.fit_policy(&data).unwrap();
         // Optimal: action 0 iff x > 0.5.
         assert_eq!(policy.choose(&SimpleContext::new(vec![0.9], 2)), 0);
@@ -222,10 +219,8 @@ mod tests {
         }
         let learner = RegressionCbLearner::default_pooled();
         let policy = learner.fit_policy(&data).unwrap();
-        let test = SimpleContext::with_action_features(
-            vec![],
-            vec![vec![0.1], vec![0.9], vec![-0.5]],
-        );
+        let test =
+            SimpleContext::with_action_features(vec![], vec![vec![0.1], vec![0.9], vec![-0.5]]);
         assert_eq!(policy.choose(&test), 1);
     }
 

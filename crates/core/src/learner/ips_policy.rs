@@ -143,10 +143,7 @@ impl IpsPolicyLearner {
     }
 
     /// Fits the policy from exploration data.
-    pub fn fit<C: Context>(
-        &self,
-        data: &Dataset<C>,
-    ) -> Result<SoftmaxLinearPolicy, HarvestError> {
+    pub fn fit<C: Context>(&self, data: &Dataset<C>) -> Result<SoftmaxLinearPolicy, HarvestError> {
         if data.is_empty() {
             return Err(HarvestError::EmptyDataset);
         }
@@ -175,8 +172,8 @@ impl IpsPolicyLearner {
                     });
                 }
                 let probs = policy.action_probabilities(&s.context);
-                let w = ((s.reward - baseline) / s.propensity)
-                    .clamp(-cfg.weight_clip, cfg.weight_clip);
+                let w =
+                    ((s.reward - baseline) / s.propensity).clamp(-cfg.weight_clip, cfg.weight_clip);
                 // ∇ log π(a|x) for softmax: (1{a=j} − π(j|x)) · x.
                 for (j, wj) in policy.weights.iter_mut().enumerate() {
                     let indicator = if j == s.action { 1.0 } else { 0.0 };
@@ -246,7 +243,10 @@ mod tests {
     #[test]
     fn beats_best_constant_on_context_dependent_rewards() {
         let data = crossing_dataset(6000, 4);
-        let policy = IpsPolicyLearner::default_config().fit(&data).unwrap().greedy();
+        let policy = IpsPolicyLearner::default_config()
+            .fit(&data)
+            .unwrap()
+            .greedy();
         // Evaluate exactly: E[r | follow policy] over fresh contexts.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut total = 0.0;

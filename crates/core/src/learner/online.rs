@@ -230,7 +230,7 @@ mod tests {
             let r = arm_means[a] + rng.gen_range(-0.1..0.1);
             l.learn(&ctx, a, r);
             learner_total += r;
-            let ua = rng.gen_range(0..3);
+            let ua = rng.gen_range(0..3usize);
             uniform_total += arm_means[ua] + rng.gen_range(-0.1..0.1);
         }
         assert!(

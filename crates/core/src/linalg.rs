@@ -228,11 +228,7 @@ mod tests {
             vec![-5.0, 0.0, 11.0],
         ]);
         let l = a.cholesky().unwrap();
-        let expect = [
-            [5.0, 0.0, 0.0],
-            [3.0, 3.0, 0.0],
-            [-1.0, 1.0, 3.0],
-        ];
+        let expect = [[5.0, 0.0, 0.0], [3.0, 3.0, 0.0], [-1.0, 1.0, 3.0]];
         for i in 0..3 {
             for j in 0..3 {
                 assert!((l[(i, j)] - expect[i][j]).abs() < 1e-12, "L[{i}][{j}]");

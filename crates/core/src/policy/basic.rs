@@ -136,13 +136,16 @@ mod tests {
 
     #[test]
     fn fn_policy_runs_closure() {
-        let p = FnPolicy::new("parity", |ctx: &SimpleContext| {
-            if ctx.shared_features()[0] > 0.0 {
-                1
-            } else {
-                0
-            }
-        });
+        let p = FnPolicy::new(
+            "parity",
+            |ctx: &SimpleContext| {
+                if ctx.shared_features()[0] > 0.0 {
+                    1
+                } else {
+                    0
+                }
+            },
+        );
         assert_eq!(p.choose(&SimpleContext::new(vec![1.0], 2)), 1);
         assert_eq!(p.choose(&SimpleContext::new(vec![-1.0], 2)), 0);
         assert_eq!(Policy::<SimpleContext>::name(&p), "parity");

@@ -101,11 +101,7 @@ impl<C: Context> Policy<C> for DepthTwoTree {
 /// Enumerates every stump over `features` feature indices, the given
 /// thresholds, and `actions` actions — the policy class Π whose size enters
 /// Eq. 1 as K = features · thresholds · actions².
-pub fn enumerate_stumps(
-    features: usize,
-    thresholds: &[f64],
-    actions: usize,
-) -> Vec<DecisionStump> {
+pub fn enumerate_stumps(features: usize, thresholds: &[f64], actions: usize) -> Vec<DecisionStump> {
     let mut out = Vec::with_capacity(features * thresholds.len() * actions * actions);
     for feature in 0..features {
         for &threshold in thresholds {

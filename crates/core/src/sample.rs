@@ -79,12 +79,10 @@ impl<C: Context> Dataset<C> {
     pub fn from_samples(samples: Vec<LoggedDecision<C>>) -> Result<Self, HarvestError> {
         for (i, s) in samples.iter().enumerate() {
             s.validate().map_err(|e| match e {
-                HarvestError::InvalidPropensity { value, .. } => {
-                    HarvestError::InvalidPropensity {
-                        value,
-                        index: Some(i),
-                    }
-                }
+                HarvestError::InvalidPropensity { value, .. } => HarvestError::InvalidPropensity {
+                    value,
+                    index: Some(i),
+                },
                 other => other,
             })?;
         }
@@ -180,7 +178,12 @@ impl<C: Context> Dataset<C> {
     pub fn split_at(mut self, n_train: usize) -> (Dataset<C>, Dataset<C>) {
         let n = n_train.min(self.samples.len());
         let test = self.samples.split_off(n);
-        (Dataset { samples: self.samples }, Dataset { samples: test })
+        (
+            Dataset {
+                samples: self.samples,
+            },
+            Dataset { samples: test },
+        )
     }
 
     /// Randomly shuffles sample order in place (Fisher–Yates).
@@ -469,8 +472,8 @@ mod tests {
 
     #[test]
     fn from_samples_reports_offending_index() {
-        let err = Dataset::from_samples(vec![decision(0, 1.0, 0.5), decision(1, 1.0, -0.1)])
-            .unwrap_err();
+        let err =
+            Dataset::from_samples(vec![decision(0, 1.0, 0.5), decision(1, 1.0, -0.1)]).unwrap_err();
         assert_eq!(
             err,
             HarvestError::InvalidPropensity {
@@ -495,8 +498,7 @@ mod tests {
 
     #[test]
     fn normalization_round_trips() {
-        let d = Dataset::from_samples(vec![decision(0, -2.0, 0.5), decision(1, 8.0, 0.5)])
-            .unwrap();
+        let d = Dataset::from_samples(vec![decision(0, -2.0, 0.5), decision(1, 8.0, 0.5)]).unwrap();
         let (nd, scaling) = d.normalized();
         assert_eq!(nd.reward_range(), Some((0.0, 1.0)));
         assert_eq!(scaling.invert(scaling.apply(3.0)), 3.0);
@@ -506,16 +508,15 @@ mod tests {
 
     #[test]
     fn normalization_of_constant_rewards() {
-        let d = Dataset::from_samples(vec![decision(0, 5.0, 0.5), decision(1, 5.0, 0.5)])
-            .unwrap();
+        let d = Dataset::from_samples(vec![decision(0, 5.0, 0.5), decision(1, 5.0, 0.5)]).unwrap();
         let (nd, _) = d.normalized();
         assert!(nd.iter().all(|s| s.reward == 0.5));
     }
 
     #[test]
     fn split_preserves_order() {
-        let d = Dataset::from_samples((0..10).map(|i| decision(0, i as f64, 0.5)).collect())
-            .unwrap();
+        let d =
+            Dataset::from_samples((0..10).map(|i| decision(0, i as f64, 0.5)).collect()).unwrap();
         let (train, test) = d.split_at(7);
         assert_eq!(train.len(), 7);
         assert_eq!(test.len(), 3);

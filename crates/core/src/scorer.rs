@@ -117,7 +117,10 @@ impl TableScorer {
 
 impl<C: Context> Scorer<C> for TableScorer {
     fn score(&self, _ctx: &C, action: usize) -> f64 {
-        self.values.get(action).copied().unwrap_or(f64::NEG_INFINITY)
+        self.values
+            .get(action)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
     }
 }
 
@@ -162,8 +165,7 @@ mod tests {
         let s = LinearScorer::Pooled {
             weights: vec![1.0, 10.0, 100.0],
         };
-        let ctx =
-            SimpleContext::with_action_features(vec![2.0], vec![vec![0.5], vec![-0.5]]);
+        let ctx = SimpleContext::with_action_features(vec![2.0], vec![vec![0.5], vec![-0.5]]);
         assert_eq!(s.score(&ctx, 0), 2.0 + 5.0 + 100.0);
         assert_eq!(s.score(&ctx, 1), 2.0 - 5.0 + 100.0);
     }

@@ -75,7 +75,7 @@ where
 mod tests {
     use super::*;
     use crate::context::SimpleContext;
-    use crate::policy::{EpsilonGreedyPolicy, ConstantPolicy, UniformPolicy};
+    use crate::policy::{ConstantPolicy, EpsilonGreedyPolicy, UniformPolicy};
     use crate::sample::FullFeedbackSample;
     use rand::SeedableRng;
 

@@ -31,11 +31,7 @@ pub struct AbArm {
 /// Each sample is assigned uniformly at random to one arm; the arm's policy
 /// picks an action and observes that action's reward. Each arm's estimate
 /// is the mean reward over its own traffic only (≈ N/K samples each).
-pub fn ab_test<C, P, R>(
-    data: &FullFeedbackDataset<C>,
-    policies: &[P],
-    rng: &mut R,
-) -> Vec<AbArm>
+pub fn ab_test<C, P, R>(data: &FullFeedbackDataset<C>, policies: &[P], rng: &mut R) -> Vec<AbArm>
 where
     C: Context,
     P: Policy<C>,

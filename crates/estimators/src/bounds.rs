@@ -31,12 +31,18 @@ pub struct BoundConfig {
 impl BoundConfig {
     /// Typical constants used for Fig 1 in the paper (δ = 0.01).
     pub fn fig1() -> Self {
-        BoundConfig { c: 2.0, delta: 0.01 }
+        BoundConfig {
+            c: 2.0,
+            delta: 0.01,
+        }
     }
 
     /// Typical constants used for Fig 2 in the paper (δ = 0.05).
     pub fn fig2() -> Self {
-        BoundConfig { c: 2.0, delta: 0.05 }
+        BoundConfig {
+            c: 2.0,
+            delta: 0.05,
+        }
     }
 
     fn validate(&self, k: f64) {
@@ -124,12 +130,7 @@ pub struct Fig1Row {
 /// Generates the Fig 1 series: for each `k` in `ks`, the N required by CB
 /// (at exploration floor `epsilon`) and by A/B testing to reach
 /// `target_error`.
-pub fn fig1_series(
-    cfg: &BoundConfig,
-    epsilon: f64,
-    target_error: f64,
-    ks: &[f64],
-) -> Vec<Fig1Row> {
+pub fn fig1_series(cfg: &BoundConfig, epsilon: f64, target_error: f64, ks: &[f64]) -> Vec<Fig1Row> {
     ks.iter()
         .map(|&k| Fig1Row {
             k,
@@ -163,7 +164,10 @@ pub fn fig2_curve(cfg: &BoundConfig, epsilon: f64, k: f64, ns: &[f64]) -> Vec<Fi
 mod tests {
     use super::*;
 
-    const CFG: BoundConfig = BoundConfig { c: 2.0, delta: 0.05 };
+    const CFG: BoundConfig = BoundConfig {
+        c: 2.0,
+        delta: 0.05,
+    };
 
     #[test]
     fn radius_shrinks_with_n_and_epsilon() {

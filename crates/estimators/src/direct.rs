@@ -101,14 +101,11 @@ mod tests {
                 })
                 .unwrap();
         }
-        let model = RegressionCbLearner::new(
-            ModelingMode::PerAction,
-            SampleWeighting::Uniform,
-            1e-3,
-        )
-        .unwrap()
-        .fit(&train)
-        .unwrap();
+        let model =
+            RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, 1e-3)
+                .unwrap()
+                .fit(&train)
+                .unwrap();
         let (small, _) = train.truncated(50).split_at(50);
         // Truth for "always 0" is E[x] = 0.5.
         let e = direct_method(&small, &ConstantPolicy::new(0), &model);
@@ -138,8 +135,7 @@ mod tests {
 
     #[test]
     fn contexts_only_variant() {
-        let contexts: Vec<SimpleContext> =
-            (0..10).map(|_| SimpleContext::contextless(2)).collect();
+        let contexts: Vec<SimpleContext> = (0..10).map(|_| SimpleContext::contextless(2)).collect();
         let model = TableScorer::new(vec![0.25, 0.5]);
         let e = direct_method_on_contexts(&contexts, &ConstantPolicy::new(1), &model);
         assert_eq!(e.value, 0.5);

@@ -49,7 +49,10 @@ impl DriftReport {
 
     /// The largest per-feature KS statistic.
     pub fn max_ks(&self) -> f64 {
-        self.features.iter().map(|f| f.ks_statistic).fold(0.0, f64::max)
+        self.features
+            .iter()
+            .map(|f| f.ks_statistic)
+            .fold(0.0, f64::max)
     }
 
     /// A conservative tripwire: true when any feature drifted by a large

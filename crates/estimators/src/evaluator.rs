@@ -212,12 +212,15 @@ mod tests {
     use super::*;
     use harvest_core::policy::{ConstantPolicy, UniformPolicy};
     use harvest_core::sample::{FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
-    use harvest_core::simulate::simulate_exploration;
     use harvest_core::scorer::TableScorer;
+    use harvest_core::simulate::simulate_exploration;
     use harvest_core::SimpleContext;
     use rand::SeedableRng;
 
-    fn bandit_exploration(n: usize, seed: u64) -> (FullFeedbackDataset<SimpleContext>, Dataset<SimpleContext>) {
+    fn bandit_exploration(
+        n: usize,
+        seed: u64,
+    ) -> (FullFeedbackDataset<SimpleContext>, Dataset<SimpleContext>) {
         let mut full = FullFeedbackDataset::default();
         for _ in 0..n {
             full.push(FullFeedbackSample {
@@ -303,7 +306,10 @@ mod tests {
         let (full, expl) = bandit_exploration(20_000, 9);
         let pol = ConstantPolicy::new(1);
         let truth = full.value_of_policy(&pol).unwrap();
-        let cfg = crate::bounds::BoundConfig { c: 2.0, delta: 0.05 };
+        let cfg = crate::bounds::BoundConfig {
+            c: 2.0,
+            delta: 0.05,
+        };
         let (est, radius) = ips_with_bernstein(&expl, &pol, &cfg, 100.0);
         assert!(radius.is_finite() && radius > 0.0);
         assert!(
@@ -320,7 +326,10 @@ mod tests {
     #[test]
     fn bernstein_on_tiny_data_is_infinite() {
         let (_, expl) = bandit_exploration(1, 11);
-        let cfg = crate::bounds::BoundConfig { c: 2.0, delta: 0.05 };
+        let cfg = crate::bounds::BoundConfig {
+            c: 2.0,
+            delta: 0.05,
+        };
         let (_, radius) = ips_with_bernstein(&expl, &ConstantPolicy::new(0), &cfg, 1.0);
         assert!(radius.is_infinite());
     }

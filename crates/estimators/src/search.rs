@@ -66,7 +66,9 @@ where
     C: Context,
     P: Policy<C>,
 {
-    rank_policies(data, candidates, estimator).into_iter().next()
+    rank_policies(data, candidates, estimator)
+        .into_iter()
+        .next()
 }
 
 #[cfg(test)]
@@ -79,7 +81,10 @@ mod tests {
     use rand::Rng;
     use rand::SeedableRng;
 
-    fn crossing_exploration(n: usize, seed: u64) -> (FullFeedbackDataset<SimpleContext>, Dataset<SimpleContext>) {
+    fn crossing_exploration(
+        n: usize,
+        seed: u64,
+    ) -> (FullFeedbackDataset<SimpleContext>, Dataset<SimpleContext>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut full = FullFeedbackDataset::default();
         for _ in 0..n {

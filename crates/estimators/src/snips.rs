@@ -137,7 +137,11 @@ mod tests {
         let pol = ConstantPolicy::new(0);
         let truth = full.value_of_policy(&pol).unwrap();
         let e = snips(&expl, &pol);
-        assert!((e.value - truth).abs() < 0.02, "est {} truth {truth}", e.value);
+        assert!(
+            (e.value - truth).abs() < 0.02,
+            "est {} truth {truth}",
+            e.value
+        );
     }
 
     #[test]

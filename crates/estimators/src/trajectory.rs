@@ -100,11 +100,7 @@ where
 /// expectation); variance shrinks with the model's residuals, because the
 /// explosive high-order weights only multiply *residuals* instead of raw
 /// rewards.
-pub fn doubly_robust_pdis<C, P, M>(
-    episodes: &[Episode<C>],
-    target: &P,
-    model: &M,
-) -> Estimate
+pub fn doubly_robust_pdis<C, P, M>(episodes: &[Episode<C>], target: &P, model: &M) -> Estimate
 where
     C: Context,
     P: StochasticPolicy<C>,
@@ -278,7 +274,11 @@ where
                 horizon: h,
                 mean_weight: sum / weights.len() as f64,
                 max_weight: weights.iter().cloned().fold(0.0, f64::max),
-                effective_sample_size: if sum_sq > 0.0 { sum * sum / sum_sq } else { 0.0 },
+                effective_sample_size: if sum_sq > 0.0 {
+                    sum * sum / sum_sq
+                } else {
+                    0.0
+                },
                 match_fraction: nonzero as f64 / weights.len() as f64,
             }
         })

@@ -189,7 +189,9 @@ pub fn parse_line(line: &str) -> Result<NginxLogLine, NginxParseError> {
         .next()
         .ok_or(NginxParseError::Malformed("body_bytes"))?
         .parse()
-        .map_err(|_| NginxParseError::BadNumber { field: "body_bytes" })?;
+        .map_err(|_| NginxParseError::BadNumber {
+            field: "body_bytes",
+        })?;
 
     let upstream: usize = kv_field(rest, "upstream")?
         .parse()
@@ -201,17 +203,16 @@ pub fn parse_line(line: &str) -> Result<NginxLogLine, NginxParseError> {
         .parse()
         .map_err(|_| NginxParseError::BadNumber { field: "req_id" })?;
 
-    let (conns_str, _) = take_between(rest, '"', '"', "conns")
-        .and_then(|_| {
-            // conns="…" is the second quoted group after the request; find
-            // it explicitly.
-            let start = rest
-                .find("conns=\"")
-                .ok_or(NginxParseError::Malformed("conns"))?;
-            let inner = &rest[start + 7..];
-            let end = inner.find('"').ok_or(NginxParseError::Malformed("conns"))?;
-            Ok((&inner[..end], &inner[end + 1..]))
-        })?;
+    let (conns_str, _) = take_between(rest, '"', '"', "conns").and_then(|_| {
+        // conns="…" is the second quoted group after the request; find
+        // it explicitly.
+        let start = rest
+            .find("conns=\"")
+            .ok_or(NginxParseError::Malformed("conns"))?;
+        let inner = &rest[start + 7..];
+        let end = inner.find('"').ok_or(NginxParseError::Malformed("conns"))?;
+        Ok((&inner[..end], &inner[end + 1..]))
+    })?;
     let connections: Vec<u32> = conns_str
         .split_whitespace()
         .map(|c| {

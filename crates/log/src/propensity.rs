@@ -194,7 +194,11 @@ impl EstimatedPropensity {
                 }
             }
         }
-        let final_weights = if averaged_count > 0 { averaged } else { weights };
+        let final_weights = if averaged_count > 0 {
+            averaged
+        } else {
+            weights
+        };
         Ok(EstimatedPropensity {
             weights: final_weights,
             means,
@@ -259,9 +263,8 @@ mod tests {
         let m = KnownPropensity::new(UniformPolicy::new());
         let ctx = SimpleContext::contextless(4);
         assert_eq!(m.propensity(&ctx, 0), 0.25);
-        let eg = KnownPropensity::new(
-            EpsilonGreedyPolicy::new(ConstantPolicy::new(1), 0.2).unwrap(),
-        );
+        let eg =
+            KnownPropensity::new(EpsilonGreedyPolicy::new(ConstantPolicy::new(1), 0.2).unwrap());
         assert!((eg.propensity(&ctx, 1) - 0.85).abs() < 1e-12);
         assert!((eg.propensity(&ctx, 0) - 0.05).abs() < 1e-12);
     }

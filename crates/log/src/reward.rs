@@ -159,8 +159,7 @@ mod tests {
     #[test]
     fn multiple_evictions_of_the_same_key() {
         let accesses = vec![acc(1.0, 7), acc(4.0, 7), acc(9.0, 7)];
-        let rewards =
-            reconstruct_rewards(&accesses, &[ev(2.0, 7), ev(5.0, 7)], 100.0);
+        let rewards = reconstruct_rewards(&accesses, &[ev(2.0, 7), ev(5.0, 7)], 100.0);
         assert!((rewards[0].time_to_next_access_s - 2.0).abs() < 1e-9);
         assert!((rewards[1].time_to_next_access_s - 4.0).abs() < 1e-9);
     }

@@ -157,7 +157,12 @@ mod tests {
 
     #[test]
     fn joins_by_request_id() {
-        let records = vec![decision(1, None), decision(2, None), outcome(2, 0.9), outcome(1, 0.1)];
+        let records = vec![
+            decision(1, None),
+            decision(2, None),
+            outcome(2, 0.9),
+            outcome(1, 0.1),
+        ];
         let (samples, stats) = scavenge(&records);
         assert_eq!(stats.joined, 2);
         assert_eq!(samples[0].reward, 0.1);

@@ -2,13 +2,13 @@
 
 use proptest::prelude::*;
 
+use harvest_core::policy::UniformPolicy;
 use harvest_log::pipeline::HarvestPipeline;
 use harvest_log::propensity::KnownPropensity;
 use harvest_log::record::{
     read_json_lines, DecisionRecord, JsonLinesWriter, LogRecord, OutcomeRecord,
 };
 use harvest_log::scavenge::scavenge;
-use harvest_core::policy::UniformPolicy;
 
 fn arb_decision() -> impl Strategy<Value = DecisionRecord> {
     (

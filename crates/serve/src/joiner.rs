@@ -1,0 +1,211 @@
+//! The reward joiner: matching delayed rewards to decisions under a TTL.
+//!
+//! A decision's consequence (request latency, machine recovery, cache hit)
+//! arrives later, on a different code path, keyed only by `request_id`. The
+//! joiner tracks every decision for a bounded logical-time window and admits
+//! at most one reward per decision inside that window. Two invariants hold
+//! unconditionally (and are property-tested):
+//!
+//! 1. **No join after expiry** — a reward arriving more than `ttl_ns` after
+//!    its decision is refused, even if the decision was never joined.
+//! 2. **No duplicate joins** — a second reward for the same decision is
+//!    refused, no matter how quickly it arrives.
+//!
+//! Time is the caller's logical clock (the same one stamped on decisions),
+//! and must be non-decreasing across calls; the joiner never reads a wall
+//! clock, so replaying a trace reproduces the exact same join outcomes.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use harvest_log::record::OutcomeRecord;
+
+use crate::metrics::ServeMetrics;
+
+/// What happened to one reward observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// Matched a tracked decision inside its TTL; an outcome record was
+    /// produced.
+    Joined,
+    /// The decision was already joined; the reward is refused.
+    Duplicate,
+    /// The decision's TTL had lapsed; the reward is refused.
+    Expired,
+    /// No decision with this id was ever tracked.
+    Unknown,
+}
+
+/// Joins delayed rewards to tracked decisions within a logical-time TTL.
+#[derive(Debug)]
+pub struct RewardJoiner {
+    ttl_ns: u64,
+    /// request_id → expiry deadline (decision time + TTL, saturating).
+    pending: HashMap<u64, u64>,
+    /// (deadline, request_id), for in-order expiry sweeps.
+    deadlines: BTreeSet<(u64, u64)>,
+    /// Tombstones. Ids only ever move pending → joined or pending →
+    /// expired, so each id is counted exactly once. Tombstones are kept
+    /// forever — the price of exact duplicate/late classification; bound
+    /// the id space (e.g. restart per epoch) if memory matters.
+    joined: HashSet<u64>,
+    expired: HashSet<u64>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl RewardJoiner {
+    /// Creates a joiner with the given TTL, reporting into `metrics`.
+    pub fn new(ttl_ns: u64, metrics: Arc<ServeMetrics>) -> Self {
+        RewardJoiner {
+            ttl_ns,
+            pending: HashMap::new(),
+            deadlines: BTreeSet::new(),
+            joined: HashSet::new(),
+            expired: HashSet::new(),
+            metrics,
+        }
+    }
+
+    /// Starts tracking a decision made at `now_ns`. A re-tracked id keeps
+    /// its original deadline.
+    pub fn track(&mut self, request_id: u64, now_ns: u64) {
+        self.sweep(now_ns);
+        if self.joined.contains(&request_id)
+            || self.expired.contains(&request_id)
+            || self.pending.contains_key(&request_id)
+        {
+            return;
+        }
+        let deadline = now_ns.saturating_add(self.ttl_ns);
+        self.pending.insert(request_id, deadline);
+        self.deadlines.insert((deadline, request_id));
+    }
+
+    /// Offers a reward observed at `now_ns`. On [`JoinOutcome::Joined`] the
+    /// matching outcome record is returned for logging.
+    pub fn join(
+        &mut self,
+        request_id: u64,
+        now_ns: u64,
+        reward: f64,
+    ) -> (JoinOutcome, Option<OutcomeRecord>) {
+        self.sweep(now_ns);
+        if self.joined.contains(&request_id) {
+            self.metrics.record_join_duplicate();
+            return (JoinOutcome::Duplicate, None);
+        }
+        if self.expired.contains(&request_id) {
+            self.metrics.record_join_late();
+            return (JoinOutcome::Expired, None);
+        }
+        match self.pending.remove(&request_id) {
+            Some(deadline) => {
+                self.deadlines.remove(&(deadline, request_id));
+                self.joined.insert(request_id);
+                self.metrics.record_join_hit();
+                (
+                    JoinOutcome::Joined,
+                    Some(OutcomeRecord {
+                        request_id,
+                        timestamp_ns: now_ns,
+                        reward,
+                    }),
+                )
+            }
+            None => {
+                self.metrics.record_join_unknown();
+                (JoinOutcome::Unknown, None)
+            }
+        }
+    }
+
+    /// Decisions still waiting for a reward.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Moves every decision whose deadline has passed to the expired set.
+    /// A reward at exactly the deadline still joins; one tick later it is
+    /// late.
+    fn sweep(&mut self, now_ns: u64) {
+        while let Some(&(deadline, id)) = self.deadlines.iter().next() {
+            if deadline >= now_ns {
+                break;
+            }
+            self.deadlines.remove(&(deadline, id));
+            self.pending.remove(&id);
+            self.expired.insert(id);
+            self.metrics.record_timed_out();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joiner(ttl: u64) -> RewardJoiner {
+        RewardJoiner::new(ttl, Arc::new(ServeMetrics::new()))
+    }
+
+    #[test]
+    fn joins_inside_ttl_and_emits_outcome() {
+        let mut j = joiner(100);
+        j.track(1, 1000);
+        let (outcome, rec) = j.join(1, 1050, 0.7);
+        assert_eq!(outcome, JoinOutcome::Joined);
+        let rec = rec.unwrap();
+        assert_eq!(rec.request_id, 1);
+        assert_eq!(rec.timestamp_ns, 1050);
+        assert_eq!(rec.reward, 0.7);
+        assert_eq!(j.pending_len(), 0);
+    }
+
+    #[test]
+    fn deadline_is_inclusive() {
+        let mut j = joiner(100);
+        j.track(1, 1000);
+        assert_eq!(j.join(1, 1100, 1.0).0, JoinOutcome::Joined);
+        let mut j = joiner(100);
+        j.track(1, 1000);
+        assert_eq!(j.join(1, 1101, 1.0).0, JoinOutcome::Expired);
+    }
+
+    #[test]
+    fn duplicates_are_refused() {
+        let mut j = joiner(100);
+        j.track(1, 0);
+        assert_eq!(j.join(1, 10, 1.0).0, JoinOutcome::Joined);
+        assert_eq!(j.join(1, 11, 2.0).0, JoinOutcome::Duplicate);
+        let s = j.metrics.snapshot();
+        assert_eq!(s.join_hits, 1);
+        assert_eq!(s.join_duplicates, 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_distinguished_from_expired() {
+        let mut j = joiner(100);
+        j.track(1, 0);
+        assert_eq!(j.join(2, 10, 1.0).0, JoinOutcome::Unknown);
+        assert_eq!(j.join(1, 500, 1.0).0, JoinOutcome::Expired);
+        let s = j.metrics.snapshot();
+        assert_eq!(s.join_unknown, 1);
+        assert_eq!(s.join_late, 1);
+        assert_eq!(s.timed_out_decisions, 1);
+    }
+
+    #[test]
+    fn retracking_keeps_the_original_deadline() {
+        let mut j = joiner(100);
+        j.track(1, 0);
+        j.track(1, 90); // would extend to 190 if re-tracked
+        assert_eq!(j.join(1, 150, 1.0).0, JoinOutcome::Expired);
+    }
+
+    #[test]
+    fn saturating_deadline_never_expires() {
+        let mut j = joiner(u64::MAX);
+        j.track(1, 5);
+        assert_eq!(j.join(1, u64::MAX - 1, 1.0).0, JoinOutcome::Joined);
+    }
+}

@@ -1,0 +1,61 @@
+//! `harvest-serve`: an online decision service with hot-swappable policies
+//! and a gated harvest → train → promote loop.
+//!
+//! This crate turns the workspace's offline machinery into the *system* the
+//! paper envisions (§3's Decision Service): a process that serves randomized
+//! decisions, logs its own exploration, learns from that log, and promotes
+//! better policies into the serving path without stopping — the harvesting
+//! loop closed end to end.
+//!
+//! ```text
+//!   requests ──▶ DecisionEngine (N shards, ε-floor, exact propensities)
+//!                   │    ▲ atomic hot-swap
+//!                   │    └────────────── PolicyRegistry ◀── promote
+//!                   ▼                                          │ gate: LCB >
+//!            bounded MPSC queue                                │ incumbent
+//!                   │                                          │
+//!                   ▼                                          │
+//!            log writer thread ──▶ JSON lines ──▶ Trainer (scavenge → fit)
+//!   rewards ──▶ RewardJoiner (TTL) ──────┘
+//! ```
+//!
+//! Five design rules, each load-bearing:
+//!
+//! 1. **Exact propensities or nothing.** Every decision is sampled from a
+//!    distribution with a known ε floor, and that exact probability is
+//!    stamped into the record. This is what makes the log harvestable
+//!    (paper Eq. 1 needs `ε > 0` and known `p`).
+//! 2. **Determinism by construction.** Per-shard RNGs are forked from one
+//!    master seed by label and index; time is the caller's logical clock.
+//!    Same seed + same call sequence ⇒ byte-identical decision log.
+//! 3. **Readers never wait on learners.** The serving path sees policy
+//!    updates through one atomic generation check; promotion is an `Arc`
+//!    flip, not a lock held across training.
+//! 4. **Bounded everywhere.** The log queue has a capacity and an explicit
+//!    backpressure policy; the reward joiner has a TTL. Overload degrades
+//!    measurably (counted drops, counted timeouts), never silently.
+//! 5. **Promotion is gated, not hoped.** A candidate ships only when its
+//!    finite-sample lower confidence bound beats the incumbent's point
+//!    estimate on the same harvested data.
+//!
+//! See `examples/harvest_serve.rs` for the loop driven end to end against
+//! the load-balancer simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod joiner;
+pub mod logger;
+pub mod metrics;
+pub mod registry;
+pub mod service;
+pub mod trainer;
+
+pub use engine::{Decision, DecisionEngine, EngineConfig};
+pub use joiner::{JoinOutcome, RewardJoiner};
+pub use logger::{Backpressure, DecisionLogger, LoggerConfig, SharedBuffer};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
+pub use service::{DecisionService, PromotionReport, ServiceConfig};
+pub use trainer::{GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig};

@@ -1,0 +1,223 @@
+//! Service health counters.
+//!
+//! Every counter is a relaxed atomic: the hot decision path pays one
+//! `fetch_add` per event and never takes a lock. [`ServeMetrics::snapshot`]
+//! reads them all at one instant into a plain struct with the derived rates
+//! a dashboard would plot (exploration rate, join hit-rate, log backlog,
+//! decision throughput).
+//!
+//! Time is *logical*: callers stamp decisions with their own monotonic
+//! nanosecond clock (the simulators use [`harvest_sim_net::time::SimTime`]),
+//! so throughput is decisions per logical second and the whole service stays
+//! deterministic — no wall-clock reads anywhere in the decision path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+const RELAXED: Ordering = Ordering::Relaxed;
+
+/// Shared atomic counters updated by the engine, logger, and joiner.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    decisions: AtomicU64,
+    explorations: AtomicU64,
+    log_enqueued: AtomicU64,
+    log_written: AtomicU64,
+    log_dropped: AtomicU64,
+    join_hits: AtomicU64,
+    join_duplicates: AtomicU64,
+    join_late: AtomicU64,
+    join_unknown: AtomicU64,
+    timed_out_decisions: AtomicU64,
+    swaps: AtomicU64,
+    first_decision_ns: AtomicU64,
+    last_decision_ns: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServeMetrics {
+            first_decision_ns: AtomicU64::new(u64::MAX),
+            ..ServeMetrics::default()
+        }
+    }
+
+    /// Records one decision at logical time `now_ns`.
+    pub fn record_decision(&self, now_ns: u64, explored: bool) {
+        self.decisions.fetch_add(1, RELAXED);
+        if explored {
+            self.explorations.fetch_add(1, RELAXED);
+        }
+        self.first_decision_ns.fetch_min(now_ns, RELAXED);
+        self.last_decision_ns.fetch_max(now_ns, RELAXED);
+    }
+
+    /// Records one record accepted into the log queue.
+    pub fn record_enqueued(&self) {
+        self.log_enqueued.fetch_add(1, RELAXED);
+    }
+
+    /// Records one record persisted by the writer thread.
+    pub fn record_written(&self) {
+        self.log_written.fetch_add(1, RELAXED);
+    }
+
+    /// Records one record dropped by backpressure.
+    pub fn record_dropped(&self) {
+        self.log_dropped.fetch_add(1, RELAXED);
+    }
+
+    /// Records a reward joined to its decision within the TTL.
+    pub fn record_join_hit(&self) {
+        self.join_hits.fetch_add(1, RELAXED);
+    }
+
+    /// Records a reward for an already-joined decision.
+    pub fn record_join_duplicate(&self) {
+        self.join_duplicates.fetch_add(1, RELAXED);
+    }
+
+    /// Records a reward that arrived after its decision's TTL.
+    pub fn record_join_late(&self) {
+        self.join_late.fetch_add(1, RELAXED);
+    }
+
+    /// Records a reward whose decision was never tracked.
+    pub fn record_join_unknown(&self) {
+        self.join_unknown.fetch_add(1, RELAXED);
+    }
+
+    /// Records a tracked decision whose TTL lapsed with no reward.
+    pub fn record_timed_out(&self) {
+        self.timed_out_decisions.fetch_add(1, RELAXED);
+    }
+
+    /// Records one policy hot-swap.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, RELAXED);
+    }
+
+    /// Reads every counter at one instant and derives the rates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let decisions = self.decisions.load(RELAXED);
+        let explorations = self.explorations.load(RELAXED);
+        let enqueued = self.log_enqueued.load(RELAXED);
+        let written = self.log_written.load(RELAXED);
+        let dropped = self.log_dropped.load(RELAXED);
+        let hits = self.join_hits.load(RELAXED);
+        let duplicates = self.join_duplicates.load(RELAXED);
+        let late = self.join_late.load(RELAXED);
+        let unknown = self.join_unknown.load(RELAXED);
+        let attempts = hits + duplicates + late + unknown;
+        let first = self.first_decision_ns.load(RELAXED);
+        let last = self.last_decision_ns.load(RELAXED);
+        let elapsed_s = if first == u64::MAX || last <= first {
+            0.0
+        } else {
+            (last - first) as f64 / 1e9
+        };
+        MetricsSnapshot {
+            decisions,
+            explorations,
+            exploration_rate: ratio(explorations, decisions),
+            decisions_per_sec: if elapsed_s > 0.0 {
+                decisions as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            log_enqueued: enqueued,
+            log_written: written,
+            log_dropped: dropped,
+            log_backlog: enqueued.saturating_sub(written + dropped),
+            join_hits: hits,
+            join_duplicates: duplicates,
+            join_late: late,
+            join_unknown: unknown,
+            join_hit_rate: ratio(hits, attempts),
+            timed_out_decisions: self.timed_out_decisions.load(RELAXED),
+            swaps: self.swaps.load(RELAXED),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A point-in-time reading of the service counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Decisions served.
+    pub decisions: u64,
+    /// Decisions where the exploration branch fired.
+    pub explorations: u64,
+    /// `explorations / decisions`.
+    pub exploration_rate: f64,
+    /// Decisions per logical second (stamped-time span).
+    pub decisions_per_sec: f64,
+    /// Records accepted into the log queue.
+    pub log_enqueued: u64,
+    /// Records persisted by the writer thread.
+    pub log_written: u64,
+    /// Records dropped by backpressure.
+    pub log_dropped: u64,
+    /// Records still queued: `enqueued − written − dropped`.
+    pub log_backlog: u64,
+    /// Rewards joined within the TTL.
+    pub join_hits: u64,
+    /// Rewards for already-joined decisions.
+    pub join_duplicates: u64,
+    /// Rewards that arrived after the TTL.
+    pub join_late: u64,
+    /// Rewards whose decision was never tracked.
+    pub join_unknown: u64,
+    /// `hits / (hits + duplicates + late + unknown)`.
+    pub join_hit_rate: f64,
+    /// Tracked decisions whose TTL lapsed with no reward.
+    pub timed_out_decisions: u64,
+    /// Policy hot-swaps performed.
+    pub swaps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let m = ServeMetrics::new();
+        for i in 0..10 {
+            m.record_decision(i * 1_000_000_000, i % 2 == 0);
+        }
+        m.record_enqueued();
+        m.record_enqueued();
+        m.record_written();
+        m.record_join_hit();
+        m.record_join_late();
+        m.record_swap();
+        let s = m.snapshot();
+        assert_eq!(s.decisions, 10);
+        assert_eq!(s.explorations, 5);
+        assert!((s.exploration_rate - 0.5).abs() < 1e-12);
+        // 10 decisions over 9 logical seconds.
+        assert!((s.decisions_per_sec - 10.0 / 9.0).abs() < 1e-9);
+        assert_eq!(s.log_backlog, 1);
+        assert!((s.join_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.swaps, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = ServeMetrics::new().snapshot();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.exploration_rate, 0.0);
+        assert_eq!(s.decisions_per_sec, 0.0);
+        assert_eq!(s.join_hit_rate, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The versioned policy registry: which policy is serving right now.
+//!
+//! The registry owns two slots. Exactly one is *active* at any moment; a
+//! promotion writes the candidate into the inactive slot and then flips one
+//! atomic index. Readers keep a per-shard [`CachedPolicy`]: on the hot path
+//! a read is a single atomic generation check, and only in the instant after
+//! a swap does a reader briefly lock the (new) active slot to refresh its
+//! `Arc`. Writers never touch the slot active readers are using, so serving
+//! never stalls behind training.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use harvest_core::policy::GreedyPolicy;
+use harvest_core::scorer::LinearScorer;
+use harvest_core::{Context, Policy, SimpleContext};
+
+/// A servable policy: either the explore-only bootstrap or a learned scorer
+/// exploited greedily. The engine wraps either in an ε exploration floor.
+#[derive(Debug, Clone)]
+pub enum ServePolicy {
+    /// Uniform over the action set — the bootstrap incumbent before any
+    /// model has been trained. Every action has propensity `1/K`.
+    Uniform,
+    /// Greedy over a learned reward model.
+    Greedy(LinearScorer),
+}
+
+impl ServePolicy {
+    /// The greedy (exploitation) action, or `None` for the uniform
+    /// bootstrap, which has no preferred action.
+    pub fn greedy_action(&self, ctx: &SimpleContext) -> Option<usize> {
+        match self {
+            ServePolicy::Uniform => None,
+            ServePolicy::Greedy(scorer) => Some(GreedyPolicy::new(scorer.clone()).choose(ctx)),
+        }
+    }
+
+    /// The distribution this policy serves under an ε exploration floor:
+    /// uniform stays uniform; greedy gives its choice `1 − ε + ε/K` and
+    /// every other action `ε/K`.
+    pub fn served_probabilities(&self, ctx: &SimpleContext, epsilon: f64) -> Vec<f64> {
+        let k = ctx.num_actions();
+        match self.greedy_action(ctx) {
+            None => vec![1.0 / k as f64; k],
+            Some(a) => {
+                let floor = epsilon / k as f64;
+                let mut probs = vec![floor; k];
+                probs[a] += 1.0 - epsilon;
+                probs
+            }
+        }
+    }
+}
+
+/// One immutable registered policy version.
+#[derive(Debug)]
+pub struct PolicyVersion {
+    /// Monotone version number; the bootstrap incumbent is generation 0.
+    pub generation: u64,
+    /// Human-readable provenance (e.g. `"bootstrap-uniform"`, `"cb-round-3"`).
+    pub name: String,
+    /// The decision rule itself.
+    pub policy: ServePolicy,
+}
+
+/// The hot-swappable incumbent store.
+#[derive(Debug)]
+pub struct PolicyRegistry {
+    slots: [Mutex<Arc<PolicyVersion>>; 2],
+    active: AtomicUsize,
+    generation: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl PolicyRegistry {
+    /// Creates a registry serving `initial` as generation 0.
+    pub fn new(initial: ServePolicy, name: impl Into<String>) -> Self {
+        let v0 = Arc::new(PolicyVersion {
+            generation: 0,
+            name: name.into(),
+            policy: initial,
+        });
+        PolicyRegistry {
+            slots: [Mutex::new(Arc::clone(&v0)), Mutex::new(v0)],
+            active: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The current incumbent. Locks the active slot briefly; shards use
+    /// [`CachedPolicy`] to avoid even that in steady state.
+    pub fn current(&self) -> Arc<PolicyVersion> {
+        let idx = self.active.load(Ordering::SeqCst);
+        Arc::clone(&self.slots[idx].lock().expect("registry slot poisoned"))
+    }
+
+    /// The incumbent's generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// How many promotions have happened.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Atomically promotes `policy` to incumbent; returns its generation.
+    ///
+    /// The new version is written into the inactive slot, then the active
+    /// index flips, then the generation counter advances — all `SeqCst`, so
+    /// a reader that observes the new generation also observes the new
+    /// index. In-flight readers finish on the old version; nobody blocks.
+    pub fn promote(&self, policy: ServePolicy, name: impl Into<String>) -> u64 {
+        let gen = self.generation.load(Ordering::SeqCst) + 1;
+        let next = Arc::new(PolicyVersion {
+            generation: gen,
+            name: name.into(),
+            policy,
+        });
+        let inactive = 1 - self.active.load(Ordering::SeqCst);
+        *self.slots[inactive].lock().expect("registry slot poisoned") = next;
+        self.active.store(inactive, Ordering::SeqCst);
+        self.generation.store(gen, Ordering::SeqCst);
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        gen
+    }
+}
+
+/// A shard-local cache of the incumbent `Arc`. The common case — no swap
+/// since the last decision — is one atomic load and no locking.
+#[derive(Debug)]
+pub struct CachedPolicy {
+    version: Arc<PolicyVersion>,
+}
+
+impl CachedPolicy {
+    /// Seeds the cache from the registry's current incumbent.
+    pub fn new(registry: &PolicyRegistry) -> Self {
+        CachedPolicy {
+            version: registry.current(),
+        }
+    }
+
+    /// The incumbent as of now: refreshes from `registry` only if a swap
+    /// happened since the cached version.
+    pub fn get(&mut self, registry: &PolicyRegistry) -> &Arc<PolicyVersion> {
+        if registry.generation() != self.version.generation {
+            self.version = registry.current();
+        }
+        &self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorer_pref(best: usize, k: usize) -> LinearScorer {
+        // Per-action constant scores: action `best` wins.
+        let weights = (0..k)
+            .map(|a| vec![if a == best { 1.0 } else { 0.0 }])
+            .collect();
+        LinearScorer::PerAction { weights }
+    }
+
+    #[test]
+    fn promote_flips_generation_and_policy() {
+        let reg = PolicyRegistry::new(ServePolicy::Uniform, "bootstrap");
+        assert_eq!(reg.generation(), 0);
+        assert_eq!(reg.current().name, "bootstrap");
+        let gen = reg.promote(ServePolicy::Greedy(scorer_pref(2, 4)), "round-1");
+        assert_eq!(gen, 1);
+        assert_eq!(reg.generation(), 1);
+        assert_eq!(reg.swap_count(), 1);
+        let cur = reg.current();
+        assert_eq!(cur.name, "round-1");
+        let ctx = SimpleContext::contextless(4);
+        assert_eq!(cur.policy.greedy_action(&ctx), Some(2));
+    }
+
+    #[test]
+    fn cache_refreshes_only_on_swap() {
+        let reg = PolicyRegistry::new(ServePolicy::Uniform, "v0");
+        let mut cache = CachedPolicy::new(&reg);
+        assert_eq!(cache.get(&reg).generation, 0);
+        let first = Arc::as_ptr(cache.get(&reg));
+        // No swap: same Arc back.
+        assert_eq!(Arc::as_ptr(cache.get(&reg)), first);
+        reg.promote(ServePolicy::Uniform, "v1");
+        assert_eq!(cache.get(&reg).generation, 1);
+        assert_eq!(cache.get(&reg).name, "v1");
+    }
+
+    #[test]
+    fn served_probabilities_are_epsilon_floored() {
+        let ctx = SimpleContext::contextless(4);
+        let uni = ServePolicy::Uniform.served_probabilities(&ctx, 0.1);
+        assert_eq!(uni, vec![0.25; 4]);
+        let greedy = ServePolicy::Greedy(scorer_pref(1, 4));
+        let probs = greedy.served_probabilities(&ctx, 0.2);
+        assert!((probs[1] - (0.8 + 0.05)).abs() < 1e-12);
+        for a in [0, 2, 3] {
+            assert!((probs[a] - 0.05).abs() < 1e-12);
+        }
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_flight_readers_keep_the_old_version_across_a_swap() {
+        let reg = PolicyRegistry::new(ServePolicy::Uniform, "v0");
+        let held = reg.current();
+        reg.promote(ServePolicy::Uniform, "v1");
+        reg.promote(ServePolicy::Uniform, "v2");
+        // The Arc held across two swaps is still the version it was.
+        assert_eq!(held.generation, 0);
+        assert_eq!(reg.current().generation, 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! The assembled decision service.
+//!
+//! [`DecisionService`] wires the five subsystems together — registry,
+//! sharded engine, bounded log writer, reward joiner, trainer/gate — behind
+//! a three-call surface:
+//!
+//! * [`decide`](DecisionService::decide) — serve one request (hot path);
+//! * [`reward`](DecisionService::reward) — report a delayed reward;
+//! * [`train_and_maybe_promote`](DecisionService::train_and_maybe_promote)
+//!   — run one harvest → train → gate round and hot-swap on success.
+//!
+//! All three take `&self`: training can run on a background thread while
+//! shards keep serving, and a promotion reaches the shards through one
+//! atomic flip. The only wall-clock anywhere is the caller's own `now_ns`
+//! stamp, so a same-seed replay of the same call sequence reproduces the
+//! decision log byte for byte.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use harvest_core::SimpleContext;
+use harvest_log::record::LogRecord;
+use serde::Serialize;
+
+use crate::engine::{Decision, DecisionEngine, EngineConfig};
+use crate::joiner::{JoinOutcome, RewardJoiner};
+use crate::logger::{spawn_writer, DecisionLogger, LogWriterHandle, LoggerConfig};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::{PolicyRegistry, ServePolicy};
+use crate::trainer::{GateReport, Trainer, TrainerConfig};
+
+/// Everything configurable about the service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Decision engine: shards, ε floor, master seed.
+    pub engine: EngineConfig,
+    /// Log queue: capacity and backpressure.
+    pub logger: LoggerConfig,
+    /// Reward-join TTL in logical nanoseconds.
+    pub join_ttl_ns: u64,
+    /// Trainer and promotion gate.
+    pub trainer: TrainerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let engine = EngineConfig::default();
+        ServiceConfig {
+            trainer: TrainerConfig {
+                epsilon: engine.epsilon,
+                ..TrainerConfig::default()
+            },
+            engine,
+            logger: LoggerConfig::default(),
+            join_ttl_ns: 10_000_000_000, // 10 logical seconds
+        }
+    }
+}
+
+/// One promotion round's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct PromotionReport {
+    /// The gate's verdict and its evidence.
+    pub gate: GateReport,
+    /// The generation now serving (new on promotion, unchanged otherwise).
+    pub serving_generation: u64,
+    /// Name of the version now serving.
+    pub serving_name: String,
+}
+
+/// The online decision service. `W` is the log sink (a file in production,
+/// a [`SharedBuffer`](crate::logger::SharedBuffer) in simulations).
+pub struct DecisionService<W: Write + Send + 'static> {
+    registry: Arc<PolicyRegistry>,
+    engine: DecisionEngine,
+    joiner: Mutex<RewardJoiner>,
+    logger: DecisionLogger,
+    writer: Option<LogWriterHandle<W>>,
+    metrics: Arc<ServeMetrics>,
+    trainer: Trainer,
+    rounds: Mutex<u64>,
+}
+
+impl<W: Write + Send + 'static> DecisionService<W> {
+    /// Boots the service with a uniform (explore-only) generation-0
+    /// incumbent, logging to `sink`.
+    pub fn new(cfg: ServiceConfig, sink: W) -> Self {
+        let metrics = Arc::new(ServeMetrics::new());
+        let registry = Arc::new(PolicyRegistry::new(
+            ServePolicy::Uniform,
+            "bootstrap-uniform",
+        ));
+        let (logger, writer) = spawn_writer(cfg.logger, Arc::clone(&metrics), sink);
+        let engine = DecisionEngine::new(
+            &cfg.engine,
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+            logger.clone(),
+        );
+        let joiner = Mutex::new(RewardJoiner::new(cfg.join_ttl_ns, Arc::clone(&metrics)));
+        DecisionService {
+            registry,
+            engine,
+            joiner,
+            logger,
+            writer: Some(writer),
+            metrics,
+            trainer: Trainer::new(cfg.trainer),
+            rounds: Mutex::new(0),
+        }
+    }
+
+    /// Serves one decision on `shard` at logical time `now_ns`. The
+    /// decision record is queued for the log and tracked for reward joining
+    /// before this returns.
+    pub fn decide(&self, shard: usize, now_ns: u64, ctx: &SimpleContext) -> Decision {
+        let decision = self.engine.decide(shard, now_ns, ctx);
+        self.joiner
+            .lock()
+            .expect("joiner poisoned")
+            .track(decision.request_id, now_ns);
+        decision
+    }
+
+    /// Reports the delayed reward for `request_id`. Joins within the TTL
+    /// produce an outcome record in the log; duplicates and late arrivals
+    /// are refused and counted.
+    pub fn reward(&self, request_id: u64, now_ns: u64, reward: f64) -> JoinOutcome {
+        let (outcome, record) = self
+            .joiner
+            .lock()
+            .expect("joiner poisoned")
+            .join(request_id, now_ns, reward);
+        if let Some(rec) = record {
+            self.logger.log(LogRecord::Outcome(rec));
+        }
+        outcome
+    }
+
+    /// One harvest → train → gate round over `records` (typically the
+    /// service's own log read back; see [`SharedBuffer`]). On a passing
+    /// gate the candidate is promoted — an atomic hot-swap the shards pick
+    /// up on their next decision. Safe to call from a background thread
+    /// while serving continues.
+    ///
+    /// [`SharedBuffer`]: crate::logger::SharedBuffer
+    pub fn train_and_maybe_promote(
+        &self,
+        records: &[LogRecord],
+    ) -> Result<PromotionReport, harvest_core::HarvestError> {
+        let incumbent = self.registry.current();
+        let round = self.trainer.run_round(records, &incumbent.policy)?;
+        if round.gate.promoted {
+            let round_no = {
+                let mut r = self.rounds.lock().expect("rounds poisoned");
+                *r += 1;
+                *r
+            };
+            self.registry.promote(
+                ServePolicy::Greedy(round.scorer),
+                format!("cb-round-{round_no}"),
+            );
+            self.metrics.record_swap();
+        }
+        let serving = self.registry.current();
+        Ok(PromotionReport {
+            gate: round.gate,
+            serving_generation: serving.generation,
+            serving_name: serving.name.clone(),
+        })
+    }
+
+    /// The policy registry (for inspection and manual promotion).
+    pub fn registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// Number of decision shards.
+    pub fn num_shards(&self) -> usize {
+        self.engine.num_shards()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Shuts down: disconnects the log queue, waits for the writer to drain
+    /// it, and returns the sink with the complete log.
+    pub fn shutdown(mut self) -> io::Result<W> {
+        let writer = self.writer.take().expect("shutdown called once");
+        // Drop both producer handles so the channel disconnects.
+        drop(self.engine);
+        drop(self.logger);
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logger::SharedBuffer;
+    use harvest_log::record::read_json_lines;
+
+    fn config(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            engine: EngineConfig {
+                shards: 2,
+                epsilon: 0.2,
+                master_seed: seed,
+                component: "svc-test".to_string(),
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn decide_reward_shutdown_round_trip() {
+        let svc = DecisionService::new(config(9), Vec::new());
+        let ctx = SimpleContext::new(vec![0.3], 3);
+        let mut ids = Vec::new();
+        for i in 0..50u64 {
+            let d = svc.decide((i % 2) as usize, i * 10, &ctx);
+            ids.push(d.request_id);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(svc.reward(*id, i as u64 * 10 + 5, 1.0), JoinOutcome::Joined);
+        }
+        assert_eq!(svc.reward(ids[0], 1_000, 1.0), JoinOutcome::Duplicate);
+        let snap = svc.metrics();
+        assert_eq!(snap.decisions, 50);
+        assert_eq!(snap.join_hits, 50);
+        assert_eq!(snap.join_duplicates, 1);
+        let buf = svc.shutdown().unwrap();
+        let (records, stats) = read_json_lines(buf.as_slice()).unwrap();
+        assert_eq!(stats.malformed, 0);
+        // 50 decisions + 50 outcomes, in submission order.
+        assert_eq!(records.len(), 100);
+    }
+
+    #[test]
+    fn training_round_promotes_and_decisions_follow() {
+        let sink = SharedBuffer::new();
+        let svc = DecisionService::new(
+            ServiceConfig {
+                trainer: TrainerConfig {
+                    lambda: 1e-3,
+                    epsilon: 0.2,
+                    ..TrainerConfig::default()
+                },
+                ..config(11)
+            },
+            sink.clone(),
+        );
+        let mut rng = harvest_sim_net::rng::fork_rng(11, "svc-train-test");
+        use rand::Rng;
+        // Crossing rewards: action 0 pays x, action 1 pays 1 − x.
+        for i in 0..3000u64 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let ctx = SimpleContext::new(vec![x], 2);
+            let d = svc.decide((i % 2) as usize, i * 100, &ctx);
+            let r = if d.action == 0 { x } else { 1.0 - x };
+            svc.reward(d.request_id, i * 100 + 50, r);
+        }
+        // Read the service's own log back and train on it.
+        while svc.metrics().log_backlog > 0 {
+            std::thread::yield_now();
+        }
+        let contents = sink.contents();
+        let (records, _) = read_json_lines(contents.as_slice()).unwrap();
+        let report = svc.train_and_maybe_promote(&records).unwrap();
+        assert!(report.gate.promoted, "{report:?}");
+        assert_eq!(report.serving_generation, 1);
+        assert_eq!(svc.registry().swap_count(), 1);
+        assert_eq!(svc.metrics().swaps, 1);
+        // Post-swap, decisions exploit the learned crossing policy.
+        let d = svc.decide(0, 1_000_000, &SimpleContext::new(vec![0.95], 2));
+        assert_eq!(d.generation, 1);
+        svc.shutdown().unwrap();
+    }
+}

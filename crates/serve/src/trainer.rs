@@ -1,0 +1,421 @@
+//! The background trainer and promotion gate.
+//!
+//! One training round is the paper's §3 loop in miniature: scavenge the
+//! service's own decision log into exploration data ([`harvest_log`]), fit a
+//! candidate reward model ([`harvest_core::learner::RegressionCbLearner`]),
+//! then gate the candidate *as it would actually be served* — wrapped in the
+//! same ε floor the engine applies — against the incumbent on the same
+//! harvested data.
+//!
+//! The gate is deliberately asymmetric: the candidate must clear a
+//! finite-sample **lower confidence bound** ([`empirical_bernstein_radius`])
+//! above the incumbent's **point estimate**. A candidate that merely looks
+//! good inside its own noise band is refused; only statistically-grounded
+//! improvements reach the registry. This is what makes unattended continuous
+//! promotion safe.
+
+use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
+use harvest_core::policy::UniformPolicy;
+use harvest_core::scorer::LinearScorer;
+use harvest_core::{Dataset, HarvestError, Scorer, SimpleContext};
+use harvest_estimators::bounds::{empirical_bernstein_radius, BoundConfig};
+use harvest_log::pipeline::{HarvestPipeline, HarvestReport};
+use harvest_log::record::LogRecord;
+use harvest_log::KnownPropensity;
+use serde::Serialize;
+
+use crate::registry::ServePolicy;
+
+/// Which off-policy estimator the gate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateEstimator {
+    /// Self-normalized IPS: bounded by the observed reward range, no reward
+    /// model needed.
+    Snips,
+    /// Doubly robust: uses the candidate's own reward model as the
+    /// direct-method baseline; lower variance when the model is decent.
+    Dr,
+}
+
+/// Trainer and gate configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// The exploration floor the engine serves with; candidate and
+    /// incumbent are both evaluated as served (ε-floored).
+    pub epsilon: f64,
+    /// Ridge regularizer for the candidate reward model.
+    pub lambda: f64,
+    /// How (context, action) pairs are featurized.
+    pub modeling: ModelingMode,
+    /// Constants for the confidence radius.
+    pub bound: BoundConfig,
+    /// The gate's estimator.
+    pub estimator: GateEstimator,
+    /// Refuse to promote from fewer harvested samples than this.
+    pub min_samples: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epsilon: 0.1,
+            lambda: 1.0,
+            modeling: ModelingMode::PerAction,
+            bound: BoundConfig {
+                c: 2.0,
+                delta: 0.05,
+            },
+            estimator: GateEstimator::Snips,
+            min_samples: 100,
+        }
+    }
+}
+
+/// The gate's verdict, with everything needed to audit it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GateReport {
+    /// Harvested samples the verdict rests on.
+    pub n: usize,
+    /// Candidate's as-served estimate.
+    pub candidate_value: f64,
+    /// The confidence radius subtracted from the candidate.
+    pub candidate_radius: f64,
+    /// `candidate_value − candidate_radius`.
+    pub candidate_lcb: f64,
+    /// Incumbent's as-served point estimate on the same data.
+    pub incumbent_value: f64,
+    /// Whether the candidate cleared the bar.
+    pub promoted: bool,
+}
+
+/// One completed training round.
+#[derive(Debug, Clone)]
+pub struct TrainRound {
+    /// The candidate reward model (promoted or not).
+    pub scorer: LinearScorer,
+    /// Scavenging provenance.
+    pub harvest: HarvestReport,
+    /// The gate's verdict.
+    pub gate: GateReport,
+}
+
+/// Scavenges logs, trains candidates, and gates promotions.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `(0, 1]` or `lambda` is not positive.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        assert!(
+            cfg.epsilon > 0.0 && cfg.epsilon <= 1.0,
+            "epsilon must be in (0, 1]"
+        );
+        assert!(
+            cfg.lambda.is_finite() && cfg.lambda > 0.0,
+            "lambda must be positive"
+        );
+        Trainer { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Step 1–2: joins decisions with outcomes and validates propensities.
+    /// The engine stamps exact propensities, so logged values are trusted;
+    /// uniform is the fallback for records that somehow lack one.
+    pub fn harvest(
+        &self,
+        records: &[LogRecord],
+    ) -> Result<(Dataset<SimpleContext>, HarvestReport), HarvestError> {
+        HarvestPipeline::new(KnownPropensity::new(UniformPolicy::new()), true).run(records)
+    }
+
+    /// Step 3: fits the candidate reward model from harvested data.
+    pub fn train(&self, data: &Dataset<SimpleContext>) -> Result<LinearScorer, HarvestError> {
+        RegressionCbLearner::new(self.cfg.modeling, SampleWeighting::Uniform, self.cfg.lambda)?
+            .fit(data)
+    }
+
+    /// Step 4: the promotion gate.
+    ///
+    /// Estimates both policies *as served* (ε-floored) on the same data and
+    /// promotes only if the candidate's lower confidence bound beats the
+    /// incumbent's point estimate.
+    pub fn gate(
+        &self,
+        data: &Dataset<SimpleContext>,
+        incumbent: &ServePolicy,
+        candidate: &ServePolicy,
+        model: &LinearScorer,
+    ) -> GateReport {
+        let n = data.len();
+        let (candidate_value, terms) = self.estimate(data, candidate, model);
+        let incumbent_value = self.estimate(data, incumbent, model).0;
+        let candidate_radius = radius_of(&self.cfg.bound, &terms);
+        let candidate_lcb = candidate_value - candidate_radius;
+        GateReport {
+            n,
+            candidate_value,
+            candidate_radius,
+            candidate_lcb,
+            incumbent_value,
+            promoted: n >= self.cfg.min_samples && candidate_lcb > incumbent_value,
+        }
+    }
+
+    /// Runs a full round: harvest → train → gate. Does **not** touch the
+    /// registry; the caller promotes iff `gate.promoted` (see
+    /// [`DecisionService::train_and_maybe_promote`]).
+    ///
+    /// [`DecisionService::train_and_maybe_promote`]: crate::service::DecisionService::train_and_maybe_promote
+    pub fn run_round(
+        &self,
+        records: &[LogRecord],
+        incumbent: &ServePolicy,
+    ) -> Result<TrainRound, HarvestError> {
+        let (data, harvest) = self.harvest(records)?;
+        let scorer = self.train(&data)?;
+        let candidate = ServePolicy::Greedy(scorer.clone());
+        let gate = self.gate(&data, incumbent, &candidate, &scorer);
+        Ok(TrainRound {
+            scorer,
+            harvest,
+            gate,
+        })
+    }
+
+    /// The as-served estimate of `policy` on `data`, plus the per-sample
+    /// terms whose spread sets the confidence radius.
+    ///
+    /// Targets here are stochastic (the served ε-floored distribution), so
+    /// the importance weight is `π(aₜ|xₜ)/pₜ` rather than an indicator:
+    ///
+    /// * SNIPS: `Σ wₜ rₜ / Σ wₜ`, radius from the plain IPS terms `wₜ rₜ`
+    ///   (a conservative proxy — SNIPS's own variance is never larger).
+    /// * DR: `mean[ Σₐ π(a|xₜ) r̂(xₜ,a) + wₜ (rₜ − r̂(xₜ,aₜ)) ]`, radius
+    ///   from exactly those terms.
+    fn estimate(
+        &self,
+        data: &Dataset<SimpleContext>,
+        policy: &ServePolicy,
+        model: &LinearScorer,
+    ) -> (f64, Vec<f64>) {
+        let eps = self.cfg.epsilon;
+        match self.cfg.estimator {
+            GateEstimator::Snips => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                let mut terms = Vec::with_capacity(data.len());
+                for s in data {
+                    let probs = policy.served_probabilities(&s.context, eps);
+                    let w = probs[s.action] / s.propensity;
+                    num += w * s.reward;
+                    den += w;
+                    terms.push(w * s.reward);
+                }
+                let value = if den > 0.0 { num / den } else { 0.0 };
+                (value, terms)
+            }
+            GateEstimator::Dr => {
+                let mut terms = Vec::with_capacity(data.len());
+                for s in data {
+                    let probs = policy.served_probabilities(&s.context, eps);
+                    let baseline: f64 = probs
+                        .iter()
+                        .enumerate()
+                        .map(|(a, &p)| p * model.score(&s.context, a))
+                        .sum();
+                    let w = probs[s.action] / s.propensity;
+                    let correction = w * (s.reward - model.score(&s.context, s.action));
+                    terms.push(baseline + correction);
+                }
+                let value = if terms.is_empty() {
+                    0.0
+                } else {
+                    terms.iter().sum::<f64>() / terms.len() as f64
+                };
+                (value, terms)
+            }
+        }
+    }
+}
+
+/// Empirical-Bernstein radius of the mean of `terms` (k = 1 candidate).
+/// Degenerate inputs (n ≤ 1) get an infinite radius: never promote on them.
+fn radius_of(bound: &BoundConfig, terms: &[f64]) -> f64 {
+    let n = terms.len();
+    if n <= 1 {
+        return f64::INFINITY;
+    }
+    let mean = terms.iter().sum::<f64>() / n as f64;
+    let var = terms.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let min = terms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    empirical_bernstein_radius(bound, var, max - min, n as f64, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_core::LoggedDecision;
+    use harvest_sim_net::rng::fork_rng;
+    use rand::Rng;
+
+    /// Uniform-logged data where action 0 pays `x` and action 1 pays
+    /// `1 − x`: the crossing problem every learner in the workspace faces.
+    fn crossing_data(n: usize, seed: u64) -> Dataset<SimpleContext> {
+        let mut rng = fork_rng(seed, "trainer-test");
+        let mut data = Dataset::new();
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let a = rng.gen_range(0..2usize);
+            let r = if a == 0 { x } else { 1.0 - x };
+            data.push(LoggedDecision {
+                context: SimpleContext::new(vec![x], 2),
+                action: a,
+                reward: r,
+                propensity: 0.5,
+            })
+            .unwrap();
+        }
+        data
+    }
+
+    /// φ is `[x, 1]`; these weights make action 0 score `x` and action 1
+    /// score `1 − x` — the true reward, hence the optimal greedy policy.
+    fn good_scorer() -> LinearScorer {
+        LinearScorer::PerAction {
+            weights: vec![vec![1.0, 0.0], vec![-1.0, 1.0]],
+        }
+    }
+
+    /// The optimal policy inverted: picks the *worse* action everywhere.
+    fn bad_scorer() -> LinearScorer {
+        LinearScorer::PerAction {
+            weights: vec![vec![-1.0, 1.0], vec![1.0, 0.0]],
+        }
+    }
+
+    #[test]
+    fn gate_accepts_a_clearly_better_candidate() {
+        let data = crossing_data(4000, 1);
+        let t = Trainer::new(TrainerConfig::default());
+        let candidate = ServePolicy::Greedy(good_scorer());
+        let report = t.gate(&data, &ServePolicy::Uniform, &candidate, &good_scorer());
+        // Truth: candidate ≈ 0.75 (minus a little ε), incumbent = 0.5.
+        assert!(report.promoted, "{report:?}");
+        assert!(report.candidate_lcb > report.incumbent_value);
+        assert!((report.incumbent_value - 0.5).abs() < 0.05, "{report:?}");
+    }
+
+    #[test]
+    fn gate_refuses_a_degraded_candidate() {
+        let data = crossing_data(4000, 2);
+        let t = Trainer::new(TrainerConfig::default());
+        let candidate = ServePolicy::Greedy(bad_scorer());
+        let report = t.gate(&data, &ServePolicy::Uniform, &candidate, &bad_scorer());
+        // Truth: candidate ≈ 0.25 < incumbent 0.5 — refused decisively.
+        assert!(!report.promoted, "{report:?}");
+        assert!(report.candidate_value < report.incumbent_value);
+    }
+
+    #[test]
+    fn gate_refuses_on_too_few_samples() {
+        let data = crossing_data(20, 3);
+        let t = Trainer::new(TrainerConfig {
+            min_samples: 1000,
+            ..TrainerConfig::default()
+        });
+        let candidate = ServePolicy::Greedy(good_scorer());
+        let report = t.gate(&data, &ServePolicy::Uniform, &candidate, &good_scorer());
+        assert!(!report.promoted);
+    }
+
+    #[test]
+    fn dr_gate_agrees_on_the_easy_cases() {
+        let data = crossing_data(4000, 4);
+        let t = Trainer::new(TrainerConfig {
+            estimator: GateEstimator::Dr,
+            ..TrainerConfig::default()
+        });
+        let good = ServePolicy::Greedy(good_scorer());
+        let bad = ServePolicy::Greedy(bad_scorer());
+        assert!(
+            t.gate(&data, &ServePolicy::Uniform, &good, &good_scorer())
+                .promoted
+        );
+        assert!(
+            !t.gate(&data, &ServePolicy::Uniform, &bad, &bad_scorer())
+                .promoted
+        );
+    }
+
+    #[test]
+    fn run_round_learns_the_crossing_policy_from_raw_records() {
+        use harvest_log::record::{DecisionRecord, OutcomeRecord};
+        let mut rng = fork_rng(5, "round-test");
+        let mut records = Vec::new();
+        for id in 0..3000u64 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let a = rng.gen_range(0..2usize);
+            records.push(LogRecord::Decision(DecisionRecord {
+                request_id: id,
+                timestamp_ns: id,
+                component: "test".to_string(),
+                shared_features: vec![x],
+                action_features: None,
+                num_actions: 2,
+                action: a,
+                propensity: Some(0.5),
+                reward: None,
+            }));
+            records.push(LogRecord::Outcome(OutcomeRecord {
+                request_id: id,
+                timestamp_ns: id + 1,
+                reward: if a == 0 { x } else { 1.0 - x },
+            }));
+        }
+        let t = Trainer::new(TrainerConfig {
+            lambda: 1e-3,
+            ..TrainerConfig::default()
+        });
+        let round = t.run_round(&records, &ServePolicy::Uniform).unwrap();
+        assert_eq!(round.harvest.scavenge.joined, 3000);
+        assert!(round.gate.promoted, "{:?}", round.gate);
+        // The learned policy must pick the right side of the crossing.
+        let pol = ServePolicy::Greedy(round.scorer);
+        assert_eq!(
+            pol.greedy_action(&SimpleContext::new(vec![0.9], 2)),
+            Some(0)
+        );
+        assert_eq!(
+            pol.greedy_action(&SimpleContext::new(vec![0.1], 2)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_terms_never_promote() {
+        let t = Trainer::new(TrainerConfig {
+            min_samples: 0,
+            ..TrainerConfig::default()
+        });
+        let data = Dataset::new();
+        let report = t.gate(
+            &data,
+            &ServePolicy::Uniform,
+            &ServePolicy::Greedy(good_scorer()),
+            &good_scorer(),
+        );
+        assert!(!report.promoted);
+        assert_eq!(report.candidate_lcb, f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the service's two stateful invariant-carriers: the
+//! reward joiner's TTL discipline and the bounded log queue's accounting.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use harvest_log::record::{read_json_lines, LogRecord, OutcomeRecord};
+use harvest_serve::logger::{spawn_writer, Backpressure, LoggerConfig};
+use harvest_serve::{JoinOutcome, RewardJoiner, ServeMetrics};
+
+const TTL_NS: u64 = 1_000;
+
+/// One step of joiner traffic: advance the clock by `gap`, then either
+/// track or join `id`. Small id space forces duplicates and re-tracks.
+fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
+    proptest::collection::vec((any::<bool>(), 0u64..12, 0u64..(TTL_NS / 2)), 0..80)
+}
+
+proptest! {
+    // The joiner's TTL law, against an independent model: a reward joins
+    // iff its id was tracked, has not joined before, and arrives at or
+    // before `track_time + TTL` — regardless of interleaving, duplicate
+    // tracks, or sweep timing. No join after expiry, no duplicate joins,
+    // and the metrics partition the tracked ids exactly.
+    #[test]
+    fn joiner_ttl_invariants(ops in arb_ops()) {
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut joiner = RewardJoiner::new(TTL_NS, Arc::clone(&metrics));
+
+        // The model: first-track deadlines (re-tracks never extend) and
+        // the set of ids that have already joined.
+        let mut deadline: HashMap<u64, u64> = HashMap::new();
+        let mut joined: HashSet<u64> = HashSet::new();
+
+        let mut now = 0u64;
+        for (is_track, id, gap) in ops {
+            now += gap;
+            if is_track {
+                joiner.track(id, now);
+                deadline.entry(id).or_insert(now + TTL_NS);
+            } else {
+                let (outcome, record) = joiner.join(id, now, 1.0);
+                let expected = match deadline.get(&id) {
+                    _ if joined.contains(&id) => JoinOutcome::Duplicate,
+                    Some(&d) if now <= d => JoinOutcome::Joined,
+                    Some(_) => JoinOutcome::Expired,
+                    None => JoinOutcome::Unknown,
+                };
+                prop_assert_eq!(outcome, expected, "id {} at {}", id, now);
+                prop_assert_eq!(record.is_some(), outcome == JoinOutcome::Joined);
+                if outcome == JoinOutcome::Joined {
+                    // No duplicate joins: this must be the first.
+                    prop_assert!(joined.insert(id));
+                }
+            }
+        }
+
+        // Every tracked id is in exactly one bucket: joined, swept as
+        // expired, or still pending.
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.join_hits as usize, joined.len());
+        prop_assert_eq!(
+            snap.join_hits + snap.timed_out_decisions + joiner.pending_len() as u64,
+            deadline.len() as u64
+        );
+        // Sweeping never invents expiries: only ids whose deadline truly
+        // passed can be counted as timed out.
+        let truly_expired = deadline
+            .iter()
+            .filter(|(id, &d)| d < now && !joined.contains(id))
+            .count() as u64;
+        prop_assert!(snap.timed_out_decisions <= truly_expired);
+    }
+
+    // The bounded queue's conservation law: every record offered to the
+    // logger is either enqueued or counted as dropped, every enqueued
+    // record is eventually written, and blocking mode never drops.
+    #[test]
+    fn log_queue_accounting_balances(
+        capacity in 1usize..8,
+        n in 0usize..200,
+        block in any::<bool>(),
+    ) {
+        let metrics = Arc::new(ServeMetrics::new());
+        let cfg = LoggerConfig {
+            capacity,
+            backpressure: if block { Backpressure::Block } else { Backpressure::DropNewest },
+        };
+        let (logger, writer) = spawn_writer(cfg, Arc::clone(&metrics), Vec::new());
+        for id in 0..n as u64 {
+            logger.log(LogRecord::Outcome(OutcomeRecord {
+                request_id: id,
+                timestamp_ns: id,
+                reward: 0.0,
+            }));
+        }
+        drop(logger);
+        let buf = writer.finish().unwrap();
+
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.log_enqueued + snap.log_dropped, n as u64);
+        prop_assert_eq!(snap.log_written, snap.log_enqueued);
+        prop_assert_eq!(snap.log_backlog, 0);
+        if block {
+            prop_assert_eq!(snap.log_dropped, 0);
+        }
+        // The sink holds exactly the written records, in order.
+        let (records, stats) = read_json_lines(buf.as_slice()).unwrap();
+        prop_assert_eq!(stats.malformed, 0);
+        prop_assert_eq!(records.len() as u64, snap.log_written);
+    }
+}

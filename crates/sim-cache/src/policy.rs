@@ -159,8 +159,7 @@ pub struct FreqSizeEviction;
 
 impl EvictionPolicy for FreqSizeEviction {
     fn choose(&mut self, candidates: &[Candidate], _rng: &mut DetRng) -> EvictionChoice {
-        let density =
-            |c: &Candidate| c.frequency() / c.size_bytes.max(1) as f64;
+        let density = |c: &Candidate| c.frequency() / c.size_bytes.max(1) as f64;
         let mut best = 0;
         for (i, c) in candidates.iter().enumerate() {
             if density(c) < density(&candidates[best]) {
@@ -325,10 +324,7 @@ mod tests {
         let scorer = LinearScorer::Pooled {
             weights: vec![0.0, 1.0, 0.0, 0.0, 0.0],
         };
-        let cands = vec![
-            cand(0, 1, 5.0, 10.0, 1),
-            cand(1, 1, 50.0, 10.0, 1),
-        ];
+        let cands = vec![cand(0, 1, 5.0, 10.0, 1), cand(1, 1, 50.0, 10.0, 1)];
         let mut p = CbEviction::greedy(scorer);
         let mut rng = fork_rng(5, "cb");
         let ch = p.choose(&cands, &mut rng);
@@ -341,10 +337,7 @@ mod tests {
         let scorer = LinearScorer::Pooled {
             weights: vec![0.0, 1.0, 0.0, 0.0, 0.0],
         };
-        let cands = vec![
-            cand(0, 1, 5.0, 10.0, 1),
-            cand(1, 1, 50.0, 10.0, 1),
-        ];
+        let cands = vec![cand(0, 1, 5.0, 10.0, 1), cand(1, 1, 50.0, 10.0, 1)];
         let mut p = CbEviction::epsilon_greedy(scorer, 0.4);
         let mut rng = fork_rng(6, "cbe");
         let mut greedy_hits = 0;

@@ -115,8 +115,7 @@ impl CacheRunResult {
     /// column.
     pub fn fit_cb_scorer(&self, horizon_s: f64, lambda: f64) -> Result<LinearScorer, HarvestError> {
         let data = self.to_dataset(horizon_s);
-        RegressionCbLearner::new(ModelingMode::Pooled, SampleWeighting::Uniform, lambda)?
-            .fit(&data)
+        RegressionCbLearner::new(ModelingMode::Pooled, SampleWeighting::Uniform, lambda)?.fit(&data)
     }
 }
 
@@ -208,9 +207,7 @@ pub fn table3_cache_config() -> CacheConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{
-        CbEviction, FreqSizeEviction, LfuEviction, LruEviction, RandomEviction,
-    };
+    use crate::policy::{CbEviction, FreqSizeEviction, LfuEviction, LruEviction, RandomEviction};
 
     fn cfg() -> CacheRunConfig {
         CacheRunConfig {
@@ -270,7 +267,10 @@ mod tests {
             (lru - random).abs() < 0.05,
             "lru {lru} should be near random {random}"
         );
-        assert!(lfu < random + 0.01, "lfu {lfu} must not beat random {random}");
+        assert!(
+            lfu < random + 0.01,
+            "lfu {lfu} must not beat random {random}"
+        );
         assert!(lfu < fs - 0.08, "lfu {lfu} far below freq-size {fs}");
     }
 
@@ -291,7 +291,10 @@ mod tests {
         // slightly below random, because the greedy model protects the hot
         // large items deterministically.)
         assert!(cb < random + 0.02, "cb {cb} must not beat random {random}");
-        assert!(cb > random - 0.12, "cb {cb} unreasonably far below random {random}");
+        assert!(
+            cb > random - 0.12,
+            "cb {cb} unreasonably far below random {random}"
+        );
         assert!(cb < fs - 0.04, "cb {cb} must not reach freq-size {fs}");
     }
 

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use harvest_sim_cache::policy::{
-    CbEviction, Candidate, EvictionPolicy, FreqSizeEviction, LfuEviction, LruEviction,
+    Candidate, CbEviction, EvictionPolicy, FreqSizeEviction, LfuEviction, LruEviction,
     RandomEviction,
 };
 use harvest_sim_cache::runner::{run_cache_workload, CacheRunConfig};

@@ -213,8 +213,7 @@ mod tests {
     fn fig5_steady_state_predicts_table2_shape() {
         let c = ClusterConfig::fig5();
         // Random routing: each server gets half the traffic.
-        let random_mean =
-            (c.steady_state_latency(0, 0.5) + c.steady_state_latency(1, 0.5)) / 2.0;
+        let random_mean = (c.steady_state_latency(0, 0.5) + c.steady_state_latency(1, 0.5)) / 2.0;
         assert!((0.40..0.52).contains(&random_mean), "random {random_mean}");
         // Server 1 under random routing looks fast (the OPE estimate).
         let s1_under_random = c.steady_state_latency(0, 0.5);

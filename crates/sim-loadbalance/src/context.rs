@@ -126,13 +126,7 @@ mod tests {
         assert_eq!(cb.shared_features(), &[0.0, 0.0, 0.0, 1.0]);
         // Action 0 features: conn, id one-hot (2), interactions (2×2).
         // Interactions for action 0: (srv0,cl0)=0, (srv0,cl1)=1, (srv1,*)=0.
-        assert_eq!(
-            cb.action_features(0),
-            &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]
-        );
-        assert_eq!(
-            cb.action_features(1),
-            &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
-        );
+        assert_eq!(cb.action_features(0), &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(cb.action_features(1), &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
     }
 }

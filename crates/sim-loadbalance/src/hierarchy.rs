@@ -128,8 +128,7 @@ pub fn run_hierarchical(cfg: &HierarchyConfig) -> HierarchicalRunResult {
                 let server = route_rng.gen_range(0..s);
 
                 let base = cfg.base_latency_s * (1.0 + 0.08 * endpoint as f64);
-                let latency =
-                    base + cfg.per_conn_latency_s * conns[endpoint][server] as f64;
+                let latency = base + cfg.per_conn_latency_s * conns[endpoint][server] as f64;
                 conns[endpoint][server] += 1;
                 sim.schedule(
                     sim.now() + SimDuration::from_secs_f64(latency),
@@ -159,8 +158,7 @@ pub fn run_hierarchical(cfg: &HierarchyConfig) -> HierarchicalRunResult {
                 issued += 1;
                 if issued < cfg.requests {
                     let u: f64 = arrival_rng.gen_range(f64::EPSILON..1.0);
-                    let next =
-                        sim.now() + SimDuration::from_secs_f64(-u.ln() / cfg.arrival_rate);
+                    let next = sim.now() + SimDuration::from_secs_f64(-u.ln() / cfg.arrival_rate);
                     sim.schedule(next, Event::Arrival);
                 }
             }
@@ -175,13 +173,16 @@ pub fn run_hierarchical(cfg: &HierarchyConfig) -> HierarchicalRunResult {
     }
 }
 
-
 /// A per-level decision rule for the two-level system: picks among
 /// `num_choices` given the per-choice load features, reporting a propensity
 /// when randomized.
 pub trait LevelPolicy {
     /// Chooses an index in `0..loads.len()` given scaled load features.
-    fn choose(&mut self, loads: &[f64], rng: &mut harvest_sim_net::rng::DetRng) -> (usize, Option<f64>);
+    fn choose(
+        &mut self,
+        loads: &[f64],
+        rng: &mut harvest_sim_net::rng::DetRng,
+    ) -> (usize, Option<f64>);
 
     /// Display name.
     fn name(&self) -> String;
@@ -192,7 +193,11 @@ pub trait LevelPolicy {
 pub struct UniformLevel;
 
 impl LevelPolicy for UniformLevel {
-    fn choose(&mut self, loads: &[f64], rng: &mut harvest_sim_net::rng::DetRng) -> (usize, Option<f64>) {
+    fn choose(
+        &mut self,
+        loads: &[f64],
+        rng: &mut harvest_sim_net::rng::DetRng,
+    ) -> (usize, Option<f64>) {
         use rand::Rng;
         let k = loads.len();
         (rng.gen_range(0..k), Some(1.0 / k as f64))
@@ -223,14 +228,19 @@ impl CbLevel {
         lambda: f64,
     ) -> Result<Self, harvest_core::HarvestError> {
         use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
-        let scorer = RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, lambda)?
-            .fit(data)?;
+        let scorer =
+            RegressionCbLearner::new(ModelingMode::PerAction, SampleWeighting::Uniform, lambda)?
+                .fit(data)?;
         Ok(CbLevel { scorer })
     }
 }
 
 impl LevelPolicy for CbLevel {
-    fn choose(&mut self, loads: &[f64], _rng: &mut harvest_sim_net::rng::DetRng) -> (usize, Option<f64>) {
+    fn choose(
+        &mut self,
+        loads: &[f64],
+        _rng: &mut harvest_sim_net::rng::DetRng,
+    ) -> (usize, Option<f64>) {
         use harvest_core::policy::{GreedyPolicy, Policy};
         let ctx = SimpleContext::new(loads.to_vec(), loads.len());
         (GreedyPolicy::new(&self.scorer).choose(&ctx), None)
@@ -286,8 +296,7 @@ where
                 let server = server.min(s - 1);
 
                 let base = cfg.base_latency_s * (1.0 + 0.08 * endpoint as f64);
-                let latency =
-                    base + cfg.per_conn_latency_s * conns[endpoint][server] as f64;
+                let latency = base + cfg.per_conn_latency_s * conns[endpoint][server] as f64;
                 conns[endpoint][server] += 1;
                 sim.schedule(
                     sim.now() + SimDuration::from_secs_f64(latency),
@@ -299,8 +308,7 @@ where
                 issued += 1;
                 if issued < cfg.requests {
                     let u: f64 = arrival_rng.gen_range(f64::EPSILON..1.0);
-                    let next =
-                        sim.now() + SimDuration::from_secs_f64(-u.ln() / cfg.arrival_rate);
+                    let next = sim.now() + SimDuration::from_secs_f64(-u.ln() / cfg.arrival_rate);
                     sim.schedule(next, Event::Arrival);
                 }
             }
@@ -313,8 +321,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use harvest_estimators::ips::ips;
     use harvest_core::policy::ConstantPolicy;
+    use harvest_estimators::ips::ips;
 
     #[test]
     fn epsilons_compose() {

@@ -349,7 +349,9 @@ mod tests {
     fn round_robin_cycles() {
         let mut p = RoundRobinRouting::default();
         let mut rng = fork_rng(2, "rr");
-        let order: Vec<usize> = (0..6).map(|_| p.route(&ctx(vec![0; 3]), &mut rng).server).collect();
+        let order: Vec<usize> = (0..6)
+            .map(|_| p.route(&ctx(vec![0; 3]), &mut rng).server)
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
     }
 

@@ -183,27 +183,25 @@ pub fn run_simulation<P: RoutingPolicy + ?Sized>(cfg: &SimConfig, policy: &mut P
                 let decision = policy.route(&ctx, &mut policy_rng);
                 let server = decision.server.min(k - 1);
 
-                let (latency_s, is_failure) =
-                    match cfg.faults.effect(server, sim.now()) {
-                        None => (CRASH_TIMEOUT_S, true),
-                        Some(eff) => {
-                            let base =
-                                cfg.cluster.servers[server].latency(request_class, conns[server]);
-                            let noise = if cfg.cluster.latency_noise > 0.0 {
-                                service_rng.gen_range(
-                                    1.0 - cfg.cluster.latency_noise
-                                        ..1.0 + cfg.cluster.latency_noise,
-                                )
-                            } else {
-                                1.0
-                            };
-                            (
-                                eff.apply(SimDuration::from_secs_f64(base * noise))
-                                    .as_secs_f64(),
-                                false,
+                let (latency_s, is_failure) = match cfg.faults.effect(server, sim.now()) {
+                    None => (CRASH_TIMEOUT_S, true),
+                    Some(eff) => {
+                        let base =
+                            cfg.cluster.servers[server].latency(request_class, conns[server]);
+                        let noise = if cfg.cluster.latency_noise > 0.0 {
+                            service_rng.gen_range(
+                                1.0 - cfg.cluster.latency_noise..1.0 + cfg.cluster.latency_noise,
                             )
-                        }
-                    };
+                        } else {
+                            1.0
+                        };
+                        (
+                            eff.apply(SimDuration::from_secs_f64(base * noise))
+                                .as_secs_f64(),
+                            false,
+                        )
+                    }
+                };
 
                 if !is_failure {
                     conns[server] += 1;
@@ -355,9 +353,7 @@ impl LbRunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{
-        CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting,
-    };
+    use crate::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
     use harvest_sim_net::fault::{Fault, FaultKind};
 
     fn fig5_cfg(requests: usize, seed: u64) -> SimConfig {
@@ -498,8 +494,7 @@ mod tests {
         // to the server that *looked* empty at the last refresh, overloads
         // it, then stampedes to the other one. Fresh counts avoid that.
         let fresh = fig5_cfg(30_000, 11);
-        let stale = fig5_cfg(30_000, 11)
-            .with_staleness(harvest_sim_net::SimDuration::from_secs(2));
+        let stale = fig5_cfg(30_000, 11).with_staleness(harvest_sim_net::SimDuration::from_secs(2));
         let fresh_ll = run_simulation(&fresh, &mut LeastLoadedRouting).mean_latency_s;
         let stale_ll = run_simulation(&stale, &mut LeastLoadedRouting).mean_latency_s;
         assert!(
@@ -513,8 +508,7 @@ mod tests {
         // Random ignores the context entirely; staleness must not change
         // its measured latency distribution materially.
         let fresh = fig5_cfg(20_000, 12);
-        let stale = fig5_cfg(20_000, 12)
-            .with_staleness(harvest_sim_net::SimDuration::from_secs(5));
+        let stale = fig5_cfg(20_000, 12).with_staleness(harvest_sim_net::SimDuration::from_secs(5));
         let a = run_simulation(&fresh, &mut RandomRouting).mean_latency_s;
         let b = run_simulation(&stale, &mut RandomRouting).mean_latency_s;
         assert!((a - b).abs() < 0.02, "fresh {a} vs stale {b}");

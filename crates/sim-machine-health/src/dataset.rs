@@ -86,10 +86,7 @@ mod tests {
         let a = generate_dataset(&small());
         let b = generate_dataset(&small());
         assert_eq!(a, b);
-        let c = generate_dataset(&MachineHealthConfig {
-            seed: 8,
-            ..small()
-        });
+        let c = generate_dataset(&MachineHealthConfig { seed: 8, ..small() });
         assert_ne!(a, c);
     }
 

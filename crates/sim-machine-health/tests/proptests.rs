@@ -10,20 +10,15 @@ use harvest_sim_mh::failure::{
 use harvest_sim_mh::machine::{FailureKind, HardwareSku, MachineSpec};
 
 fn arb_spec() -> impl Strategy<Value = MachineSpec> {
-    (
-        0usize..3,
-        0.0f64..7.0,
-        0u32..8,
-        0usize..4,
-        1u32..20,
-    )
-        .prop_map(|(sku, age, fails, kind, vms)| MachineSpec {
+    (0usize..3, 0.0f64..7.0, 0u32..8, 0usize..4, 1u32..20).prop_map(
+        |(sku, age, fails, kind, vms)| MachineSpec {
             sku: HardwareSku::ALL[sku],
             age_years: age,
             recent_failures: fails,
             failure_kind: FailureKind::ALL[kind],
             vm_count: vms,
-        })
+        },
+    )
 }
 
 fn arb_incident() -> impl Strategy<Value = Incident> {

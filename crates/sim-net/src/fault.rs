@@ -266,7 +266,10 @@ mod tests {
             ..FaultPlanConfig::default()
         };
         let plan = FaultPlan::generate(4, SimDuration::from_secs(100), &cfg, &mut rng);
-        assert!(!plan.faults().is_empty(), "expected some faults at rate 0.5");
+        assert!(
+            !plan.faults().is_empty(),
+            "expected some faults at rate 0.5"
+        );
         for f in plan.faults() {
             assert!(f.start < SimTime::from_secs(100));
             assert!(f.end > f.start);

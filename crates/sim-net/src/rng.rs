@@ -69,7 +69,9 @@ pub fn fork_rng(master_seed: u64, label: &str) -> DetRng {
 /// Forks an RNG for the `i`-th replica of a component, e.g. per-server or
 /// per-trial streams.
 pub fn fork_rng_indexed(master_seed: u64, label: &str, index: u64) -> DetRng {
-    DetRng::seed_from_u64(splitmix64(fork_seed(master_seed, label) ^ splitmix64(index)))
+    DetRng::seed_from_u64(splitmix64(
+        fork_seed(master_seed, label) ^ splitmix64(index),
+    ))
 }
 
 #[cfg(test)]

@@ -58,7 +58,11 @@ fn main() {
         } else {
             after.clone()
         };
-        let world = if epoch < EPOCHS / 2 { "A" } else { "B (shifted)" };
+        let world = if epoch < EPOCHS / 2 {
+            "A"
+        } else {
+            "B (shifted)"
+        };
         let mut cfg = SimConfig::table2(cluster, REQUESTS_PER_EPOCH, 1000 + epoch as u64);
         cfg.warmup = 1_000;
 
@@ -107,7 +111,10 @@ fn main() {
          bumped latency to {shock:.3}s,\nand the loop re-converged to {settled_b:.3}s \
          without intervention."
     );
-    assert!(settled_a < explore - 0.05, "loop must improve on exploration");
+    assert!(
+        settled_a < explore - 0.05,
+        "loop must improve on exploration"
+    );
     assert!(
         settled_b < shock,
         "loop must recover after the environment change"

@@ -1,0 +1,183 @@
+//! The decision service end to end: serve → log → harvest → train → gate →
+//! hot-swap, on load-balancer traffic.
+//!
+//! A four-shard service routes Fig 5-style requests (two servers, one with
+//! a fast path for 30 % of traffic, latency rising with load). Generation 0
+//! explores uniformly; after each wave of traffic the trainer harvests the
+//! service's own decision log, fits a candidate scorer, and asks the gate
+//! for promotion. The run then demonstrates the gate's other half: a
+//! sabotaged candidate (the learned scorer inverted) is refused.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example harvest_serve
+//! ```
+
+use harvest::lb::{ClusterConfig, LbContext};
+use harvest::serve::{
+    Backpressure, DecisionService, EngineConfig, GateEstimator, LoggerConfig, ServePolicy,
+    ServiceConfig, SharedBuffer, Trainer, TrainerConfig,
+};
+use harvest::simnet::rng::fork_rng;
+use harvest_estimators::bounds::BoundConfig;
+use harvest_log::record::read_json_lines;
+use rand::Rng;
+
+const SEED: u64 = 42;
+const WAVES: usize = 3;
+const REQUESTS_PER_WAVE: usize = 4000;
+const EPSILON: f64 = 0.15;
+
+fn trainer_config() -> TrainerConfig {
+    TrainerConfig {
+        epsilon: EPSILON,
+        lambda: 1e-3,
+        modeling: harvest::core::learner::ModelingMode::Pooled,
+        bound: BoundConfig {
+            c: 2.0,
+            delta: 0.05,
+        },
+        estimator: GateEstimator::Snips,
+        min_samples: 500,
+    }
+}
+
+fn main() {
+    let cluster = ClusterConfig::fig5();
+    let sink = SharedBuffer::new();
+    let svc = DecisionService::new(
+        ServiceConfig {
+            engine: EngineConfig {
+                shards: 4,
+                epsilon: EPSILON,
+                master_seed: SEED,
+                component: "nginx-lb".to_string(),
+            },
+            logger: LoggerConfig {
+                capacity: 4096,
+                backpressure: Backpressure::Block,
+            },
+            join_ttl_ns: 5_000_000_000,
+            trainer: trainer_config(),
+        },
+        sink.clone(),
+    );
+
+    println!("harvest-serve: online decision service on the Fig 5 cluster");
+    println!(
+        "{} shards, eps = {EPSILON}, seed = {SEED}, {REQUESTS_PER_WAVE} requests/wave\n",
+        svc.num_shards()
+    );
+
+    let mut traffic = fork_rng(SEED, "lb-traffic");
+    let mut now_ns = 0u64;
+    for wave in 0..WAVES {
+        let serving = svc.registry().current();
+        let mut latency_sum = 0.0;
+        for i in 0..REQUESTS_PER_WAVE {
+            now_ns += 1_000_000; // one request per logical millisecond
+                                 // Request class from the workload mix, load snapshot per server.
+            let u: f64 = traffic.gen();
+            let class = if u < cluster.class_probs[0] { 0 } else { 1 };
+            let connections: Vec<u32> = (0..cluster.num_servers())
+                .map(|_| traffic.gen_range(0..15u32))
+                .collect();
+            let ctx = LbContext {
+                connections: connections.clone(),
+                request_class: class,
+                num_classes: cluster.num_classes(),
+            }
+            .to_cb_context();
+
+            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx);
+            let noise: f64 = 1.0 + cluster.latency_noise * traffic.gen_range(-1.0..1.0);
+            let latency = cluster.servers[d.action].latency(class, connections[d.action]) * noise;
+            latency_sum += latency;
+            // ~2% of rewards never arrive (lost telemetry): those decisions
+            // time out of the joiner instead of joining.
+            if traffic.gen_bool(0.98) {
+                svc.reward(d.request_id, now_ns + 500_000, -latency);
+            }
+        }
+        let mean_latency = latency_sum / REQUESTS_PER_WAVE as f64;
+        println!(
+            "wave {wave}: served by gen {} ({}), mean latency {:.3} s",
+            serving.generation, serving.name, mean_latency
+        );
+
+        // Harvest the service's own log and run one train → gate round.
+        while svc.metrics().log_backlog > 0 {
+            std::thread::yield_now();
+        }
+        let (records, stats) = read_json_lines(sink.contents().as_slice()).unwrap();
+        let report = svc.train_and_maybe_promote(&records).unwrap();
+        println!(
+            "  harvested {} records ({} malformed), gate: candidate lcb {:.4} vs incumbent {:.4} -> {}",
+            records.len(),
+            stats.malformed,
+            report.gate.candidate_lcb,
+            report.gate.incumbent_value,
+            if report.gate.promoted {
+                "PROMOTED"
+            } else {
+                "kept incumbent"
+            }
+        );
+        println!(
+            "  now serving gen {} ({})\n",
+            report.serving_generation, report.serving_name
+        );
+    }
+
+    // The gate's other half: a degraded candidate must be refused. Invert
+    // the incumbent's learned scorer so it prefers the *worst* server.
+    let incumbent = svc.registry().current();
+    if let ServePolicy::Greedy(scorer) = &incumbent.policy {
+        let sabotaged = negate(scorer);
+        let trainer = Trainer::new(trainer_config());
+        let (records, _) = read_json_lines(sink.contents().as_slice()).unwrap();
+        let (data, _) = trainer.harvest(&records).unwrap();
+        let verdict = trainer.gate(
+            &data,
+            &incumbent.policy,
+            &ServePolicy::Greedy(sabotaged.clone()),
+            &sabotaged,
+        );
+        println!(
+            "sabotage check: inverted scorer value {:.4} (lcb {:.4}) vs incumbent {:.4} -> {}",
+            verdict.candidate_value,
+            verdict.candidate_lcb,
+            verdict.incumbent_value,
+            if verdict.promoted {
+                "PROMOTED (bug!)"
+            } else {
+                "refused, as it must be"
+            }
+        );
+    }
+
+    let snapshot = svc.metrics();
+    println!(
+        "\nfinal metrics: {}",
+        serde_json::to_string(&snapshot).unwrap()
+    );
+    svc.shutdown().unwrap();
+}
+
+/// The scorer with every weight negated: prefers whatever the original
+/// avoids. The canonical "degraded candidate" for gate demonstrations.
+fn negate(s: &harvest::core::scorer::LinearScorer) -> harvest::core::scorer::LinearScorer {
+    use harvest::core::scorer::LinearScorer;
+    match s {
+        LinearScorer::PerAction { weights } => LinearScorer::PerAction {
+            weights: weights
+                .iter()
+                .map(|w| w.iter().map(|x| -x).collect())
+                .collect(),
+        },
+        LinearScorer::Pooled { weights } => LinearScorer::Pooled {
+            weights: weights.iter().map(|x| -x).collect(),
+        },
+    }
+}

@@ -15,11 +15,11 @@
 use harvest::core::policy::{ConstantPolicy, GreedyPolicy, UniformPolicy};
 use harvest::core::{Context, Dataset, LoggedDecision, SimpleContext};
 use harvest::estimators::ips::ips;
-use harvest::logs::nginx;
-use harvest::logs::propensity::{KnownPropensity, PropensityModel};
 use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
 use harvest::lb::sim::{run_simulation, SimConfig};
 use harvest::lb::ClusterConfig;
+use harvest::logs::nginx;
+use harvest::logs::propensity::{KnownPropensity, PropensityModel};
 
 fn main() {
     let cluster = ClusterConfig::fig5();
@@ -57,17 +57,21 @@ fn main() {
         })
         .unwrap();
     }
-    println!("assembled {} exploration samples from the text log\n", data.len());
+    println!(
+        "assembled {} exploration samples from the text log\n",
+        data.len()
+    );
 
     // Step 3 — evaluate candidates offline (rewards are negated latency).
-    let least_loaded = harvest::core::policy::FnPolicy::new("least-loaded", |ctx: &SimpleContext| {
-        let conns = ctx.shared_features();
-        if conns[0] <= conns[1] {
-            0
-        } else {
-            1
-        }
-    });
+    let least_loaded =
+        harvest::core::policy::FnPolicy::new("least-loaded", |ctx: &SimpleContext| {
+            let conns = ctx.shared_features();
+            if conns[0] <= conns[1] {
+                0
+            } else {
+                1
+            }
+        });
     let send_to_1 = ConstantPolicy::new(0);
     println!("{:<16} {:>12} {:>12}", "policy", "OPE latency", "online");
     let ope_ll = -ips(&data, &least_loaded).value;
@@ -75,8 +79,14 @@ fn main() {
     let online_ll = run_simulation(&cfg, &mut LeastLoadedRouting).mean_latency_s;
     let online_s1 = run_simulation(&cfg, &mut SendToRouting(0)).mean_latency_s;
     let online_rand = exploration_run.mean_latency_s;
-    println!("{:<16} {:>11.2}s {:>11.2}s", "random", online_rand, online_rand);
-    println!("{:<16} {:>11.2}s {:>11.2}s", "least-loaded", ope_ll, online_ll);
+    println!(
+        "{:<16} {:>11.2}s {:>11.2}s",
+        "random", online_rand, online_rand
+    );
+    println!(
+        "{:<16} {:>11.2}s {:>11.2}s",
+        "least-loaded", ope_ll, online_ll
+    );
     println!("{:<16} {:>11.2}s {:>11.2}s", "send-to-1", ope_s1, online_s1);
 
     // CB optimization still works where evaluation fails (paper §5).

@@ -54,7 +54,10 @@ fn main() {
         .fit_policy(&train)
         .unwrap();
     let skyline_value = test.value_of_policy(&skyline).unwrap();
-    println!("supervised skyline:         test value {:.4}", skyline_value);
+    println!(
+        "supervised skyline:         test value {:.4}",
+        skyline_value
+    );
 
     // CB learning curve from simulated exploration (Fig 4).
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -80,7 +83,10 @@ fn main() {
     let truth = test.value_of_policy(&policy).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     println!("\nIPS estimation of the learned policy (truth {truth:.4}):");
-    println!("{:>8} {:>12} {:>12} {:>20}", "N", "estimate", "|rel err|", "bootstrap 90% CI");
+    println!(
+        "{:>8} {:>12} {:>12} {:>20}",
+        "N", "estimate", "|rel err|", "bootstrap 90% CI"
+    );
     let eval = OffPolicyEvaluator::new(EstimatorKind::Ips);
     for n in [500, 2_000, 3_500, 10_000] {
         let expl = simulate_exploration_n(&test, &UniformPolicy::new(), n, &mut rng);

@@ -39,7 +39,10 @@ fn main() {
     );
 
     // Step 3a: evaluate candidate policies offline with IPS.
-    println!("\n{:<24} {:>10} {:>10} {:>8}", "policy", "IPS est.", "truth", "match%");
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>8}",
+        "policy", "IPS est.", "truth", "match%"
+    );
     for wait in [0usize, 2, 4, 9] {
         let candidate = ConstantPolicy::new(wait);
         let est = ips(&exploration, &candidate);

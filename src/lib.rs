@@ -49,6 +49,7 @@
 //! | [`lb`] | `harvest-sim-lb` | Nginx-style load-balancer simulator |
 //! | [`cache`] | `harvest-sim-cache` | Redis-style cache simulator |
 //! | [`mh`] | `harvest-sim-mh` | Azure-style machine-health simulator |
+//! | [`serve`] | `harvest-serve` | online decision service (harvest → train → promote) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,4 +87,9 @@ pub mod cache {
 /// Machine-health simulator (re-export of `harvest-sim-mh`).
 pub mod mh {
     pub use harvest_sim_mh::*;
+}
+
+/// Online decision service (re-export of `harvest-serve`).
+pub mod serve {
+    pub use harvest_serve::*;
 }

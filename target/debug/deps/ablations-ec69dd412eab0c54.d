@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ec69dd412eab0c54.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ec69dd412eab0c54: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0070f057a1cdd6ef.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0070f057a1cdd6ef: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-2d070ad3ee29ed0f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-2d070ad3ee29ed0f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism_lint-21067bc16378ef36.d: tests/determinism_lint.rs
+
+/root/repo/target/debug/deps/determinism_lint-21067bc16378ef36: tests/determinism_lint.rs
+
+tests/determinism_lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

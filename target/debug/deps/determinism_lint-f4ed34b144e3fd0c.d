@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism_lint-f4ed34b144e3fd0c.d: tests/determinism_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_lint-f4ed34b144e3fd0c.rmeta: tests/determinism_lint.rs Cargo.toml
+
+tests/determinism_lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

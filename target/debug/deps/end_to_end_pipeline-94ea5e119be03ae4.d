@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-94ea5e119be03ae4.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/debug/deps/end_to_end_pipeline-94ea5e119be03ae4: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

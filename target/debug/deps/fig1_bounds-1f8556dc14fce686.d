@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bounds-1f8556dc14fce686.d: crates/bench/benches/fig1_bounds.rs
+
+/root/repo/target/debug/deps/fig1_bounds-1f8556dc14fce686: crates/bench/benches/fig1_bounds.rs
+
+crates/bench/benches/fig1_bounds.rs:

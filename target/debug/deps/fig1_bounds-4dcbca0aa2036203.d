@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_bounds-4dcbca0aa2036203.d: crates/bench/benches/fig1_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_bounds-4dcbca0aa2036203.rmeta: crates/bench/benches/fig1_bounds.rs Cargo.toml
+
+crates/bench/benches/fig1_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

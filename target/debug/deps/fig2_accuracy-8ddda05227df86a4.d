@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy-8ddda05227df86a4.d: crates/bench/benches/fig2_accuracy.rs
+
+/root/repo/target/debug/deps/fig2_accuracy-8ddda05227df86a4: crates/bench/benches/fig2_accuracy.rs
+
+crates/bench/benches/fig2_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_accuracy-d6e02965d555b079.d: crates/bench/benches/fig2_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_accuracy-d6e02965d555b079.rmeta: crates/bench/benches/fig2_accuracy.rs Cargo.toml
+
+crates/bench/benches/fig2_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

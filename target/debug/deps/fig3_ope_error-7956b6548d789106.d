@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_ope_error-7956b6548d789106.d: crates/bench/benches/fig3_ope_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_ope_error-7956b6548d789106.rmeta: crates/bench/benches/fig3_ope_error.rs Cargo.toml
+
+crates/bench/benches/fig3_ope_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

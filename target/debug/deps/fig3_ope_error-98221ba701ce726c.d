@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ope_error-98221ba701ce726c.d: crates/bench/benches/fig3_ope_error.rs
+
+/root/repo/target/debug/deps/fig3_ope_error-98221ba701ce726c: crates/bench/benches/fig3_ope_error.rs
+
+crates/bench/benches/fig3_ope_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_convergence-1f4913de0fa8564b.d: crates/bench/benches/fig4_convergence.rs
+
+/root/repo/target/debug/deps/fig4_convergence-1f4913de0fa8564b: crates/bench/benches/fig4_convergence.rs
+
+crates/bench/benches/fig4_convergence.rs:

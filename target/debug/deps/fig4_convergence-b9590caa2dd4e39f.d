@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_convergence-b9590caa2dd4e39f.d: crates/bench/benches/fig4_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_convergence-b9590caa2dd4e39f.rmeta: crates/bench/benches/fig4_convergence.rs Cargo.toml
+
+crates/bench/benches/fig4_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

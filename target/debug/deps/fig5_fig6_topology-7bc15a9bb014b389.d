@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_fig6_topology-7bc15a9bb014b389.d: crates/bench/benches/fig5_fig6_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_fig6_topology-7bc15a9bb014b389.rmeta: crates/bench/benches/fig5_fig6_topology.rs Cargo.toml
+
+crates/bench/benches/fig5_fig6_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

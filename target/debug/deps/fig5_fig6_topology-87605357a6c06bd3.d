@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_fig6_topology-87605357a6c06bd3.d: crates/bench/benches/fig5_fig6_topology.rs
+
+/root/repo/target/debug/deps/fig5_fig6_topology-87605357a6c06bd3: crates/bench/benches/fig5_fig6_topology.rs
+
+crates/bench/benches/fig5_fig6_topology.rs:

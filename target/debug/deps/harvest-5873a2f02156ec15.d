@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harvest-5873a2f02156ec15.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest-5873a2f02156ec15.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harvest-7fa9560df2fcb79c.d: src/lib.rs
+
+/root/repo/target/debug/deps/harvest-7fa9560df2fcb79c: src/lib.rs
+
+src/lib.rs:

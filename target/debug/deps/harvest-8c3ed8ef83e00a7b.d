@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/harvest-8c3ed8ef83e00a7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-8c3ed8ef83e00a7b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-8c3ed8ef83e00a7b.rmeta: src/lib.rs
+
+src/lib.rs:

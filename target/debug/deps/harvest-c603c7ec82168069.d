@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/harvest-c603c7ec82168069.d: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-c603c7ec82168069.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-c603c7ec82168069.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harvest-d583be18c62e6ff1.d: src/lib.rs
+
+/root/repo/target/debug/deps/harvest-d583be18c62e6ff1: src/lib.rs
+
+src/lib.rs:

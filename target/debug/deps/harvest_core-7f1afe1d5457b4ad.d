@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/harvest_core-7f1afe1d5457b4ad.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_core-7f1afe1d5457b4ad.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/error.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/batch.rs:
+crates/core/src/learner/ips_policy.rs:
+crates/core/src/learner/online.rs:
+crates/core/src/learner/supervised.rs:
+crates/core/src/linalg.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/basic.rs:
+crates/core/src/policy/stochastic.rs:
+crates/core/src/policy/tree.rs:
+crates/core/src/regression.rs:
+crates/core/src/sample.rs:
+crates/core/src/scorer.rs:
+crates/core/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/harvest_core-cc67a131e9d61c20.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs
+
+/root/repo/target/debug/deps/harvest_core-cc67a131e9d61c20: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/error.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/batch.rs:
+crates/core/src/learner/ips_policy.rs:
+crates/core/src/learner/online.rs:
+crates/core/src/learner/supervised.rs:
+crates/core/src/linalg.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/basic.rs:
+crates/core/src/policy/stochastic.rs:
+crates/core/src/policy/tree.rs:
+crates/core/src/regression.rs:
+crates/core/src/sample.rs:
+crates/core/src/scorer.rs:
+crates/core/src/simulate.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/harvest_core-e57d36a21ea2f310.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs
+
+/root/repo/target/debug/deps/libharvest_core-e57d36a21ea2f310.rlib: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs
+
+/root/repo/target/debug/deps/libharvest_core-e57d36a21ea2f310.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/error.rs crates/core/src/learner/mod.rs crates/core/src/learner/batch.rs crates/core/src/learner/ips_policy.rs crates/core/src/learner/online.rs crates/core/src/learner/supervised.rs crates/core/src/linalg.rs crates/core/src/policy/mod.rs crates/core/src/policy/basic.rs crates/core/src/policy/stochastic.rs crates/core/src/policy/tree.rs crates/core/src/regression.rs crates/core/src/sample.rs crates/core/src/scorer.rs crates/core/src/simulate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/error.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/batch.rs:
+crates/core/src/learner/ips_policy.rs:
+crates/core/src/learner/online.rs:
+crates/core/src/learner/supervised.rs:
+crates/core/src/linalg.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/basic.rs:
+crates/core/src/policy/stochastic.rs:
+crates/core/src/policy/tree.rs:
+crates/core/src/regression.rs:
+crates/core/src/sample.rs:
+crates/core/src/scorer.rs:
+crates/core/src/simulate.rs:

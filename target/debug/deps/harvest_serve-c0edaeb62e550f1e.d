@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+
+/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/joiner.rs:
+crates/serve/src/logger.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/service.rs:
+crates/serve/src/trainer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_sim_cache-61900d0ce8ca5eda.d: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_sim_cache-61900d0ce8ca5eda.rmeta: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs Cargo.toml
+
+crates/sim-cache/src/lib.rs:
+crates/sim-cache/src/policy.rs:
+crates/sim-cache/src/runner.rs:
+crates/sim-cache/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

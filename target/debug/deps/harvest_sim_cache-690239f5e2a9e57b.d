@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_sim_cache-690239f5e2a9e57b.d: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_sim_cache-690239f5e2a9e57b.rmeta: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs Cargo.toml
+
+crates/sim-cache/src/lib.rs:
+crates/sim-cache/src/policy.rs:
+crates/sim-cache/src/runner.rs:
+crates/sim-cache/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harvest_sim_cache-7e2ebf0f9a6e16a6.d: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+/root/repo/target/debug/deps/libharvest_sim_cache-7e2ebf0f9a6e16a6.rlib: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+/root/repo/target/debug/deps/libharvest_sim_cache-7e2ebf0f9a6e16a6.rmeta: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+crates/sim-cache/src/lib.rs:
+crates/sim-cache/src/policy.rs:
+crates/sim-cache/src/runner.rs:
+crates/sim-cache/src/store.rs:

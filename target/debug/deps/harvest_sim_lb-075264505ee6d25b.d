@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_sim_lb-075264505ee6d25b.d: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/debug/deps/libharvest_sim_lb-075264505ee6d25b.rlib: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/debug/deps/libharvest_sim_lb-075264505ee6d25b.rmeta: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+crates/sim-loadbalance/src/lib.rs:
+crates/sim-loadbalance/src/config.rs:
+crates/sim-loadbalance/src/context.rs:
+crates/sim-loadbalance/src/hierarchy.rs:
+crates/sim-loadbalance/src/policy.rs:
+crates/sim-loadbalance/src/sim.rs:

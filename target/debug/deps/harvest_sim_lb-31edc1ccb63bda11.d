@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harvest_sim_lb-31edc1ccb63bda11.d: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/debug/deps/harvest_sim_lb-31edc1ccb63bda11: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+crates/sim-loadbalance/src/lib.rs:
+crates/sim-loadbalance/src/config.rs:
+crates/sim-loadbalance/src/context.rs:
+crates/sim-loadbalance/src/hierarchy.rs:
+crates/sim-loadbalance/src/policy.rs:
+crates/sim-loadbalance/src/sim.rs:

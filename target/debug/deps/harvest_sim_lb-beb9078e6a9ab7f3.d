@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harvest_sim_lb-beb9078e6a9ab7f3.d: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_sim_lb-beb9078e6a9ab7f3.rmeta: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs Cargo.toml
+
+crates/sim-loadbalance/src/lib.rs:
+crates/sim-loadbalance/src/config.rs:
+crates/sim-loadbalance/src/context.rs:
+crates/sim-loadbalance/src/hierarchy.rs:
+crates/sim-loadbalance/src/policy.rs:
+crates/sim-loadbalance/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harvest_sim_mh-1319a9e6cd5f59c9.d: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/debug/deps/harvest_sim_mh-1319a9e6cd5f59c9: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+crates/sim-machine-health/src/lib.rs:
+crates/sim-machine-health/src/dataset.rs:
+crates/sim-machine-health/src/failure.rs:
+crates/sim-machine-health/src/machine.rs:

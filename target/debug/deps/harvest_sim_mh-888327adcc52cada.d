@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_sim_mh-888327adcc52cada.d: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_sim_mh-888327adcc52cada.rmeta: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs Cargo.toml
+
+crates/sim-machine-health/src/lib.rs:
+crates/sim-machine-health/src/dataset.rs:
+crates/sim-machine-health/src/failure.rs:
+crates/sim-machine-health/src/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

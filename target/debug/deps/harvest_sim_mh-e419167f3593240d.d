@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harvest_sim_mh-e419167f3593240d.d: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/debug/deps/libharvest_sim_mh-e419167f3593240d.rlib: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/debug/deps/libharvest_sim_mh-e419167f3593240d.rmeta: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+crates/sim-machine-health/src/lib.rs:
+crates/sim-machine-health/src/dataset.rs:
+crates/sim-machine-health/src/failure.rs:
+crates/sim-machine-health/src/machine.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/harvest_sim_net-ec5e4d1d67fdcb8a.d: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_sim_net-ec5e4d1d67fdcb8a.rmeta: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs Cargo.toml
+
+crates/sim-net/src/lib.rs:
+crates/sim-net/src/event.rs:
+crates/sim-net/src/fault.rs:
+crates/sim-net/src/rng.rs:
+crates/sim-net/src/stats.rs:
+crates/sim-net/src/time.rs:
+crates/sim-net/src/trace.rs:
+crates/sim-net/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-02c3e473fa6a748a.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-02c3e473fa6a748a.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-02c3e473fa6a748a.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-0dc170cf220f229c.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-0dc170cf220f229c: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-10f4c267f19f3056.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-10f4c267f19f3056: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

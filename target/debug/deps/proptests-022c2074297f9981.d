@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-022c2074297f9981.d: crates/sim-loadbalance/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-022c2074297f9981: crates/sim-loadbalance/tests/proptests.rs
+
+crates/sim-loadbalance/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1b2262684e67527f.d: crates/log/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1b2262684e67527f: crates/log/tests/proptests.rs
+
+crates/log/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2983c81b12479263.d: crates/sim-cache/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2983c81b12479263.rmeta: crates/sim-cache/tests/proptests.rs Cargo.toml
+
+crates/sim-cache/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-457ac21f9be71722.d: crates/estimators/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-457ac21f9be71722: crates/estimators/tests/proptests.rs
+
+crates/estimators/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-45f640d627d623d9.d: crates/serve/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-45f640d627d623d9: crates/serve/tests/proptests.rs
+
+crates/serve/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7031ff7577d017eb.d: crates/serve/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7031ff7577d017eb.rmeta: crates/serve/tests/proptests.rs Cargo.toml
+
+crates/serve/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-81848c9afc0d5a23.d: crates/sim-machine-health/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-81848c9afc0d5a23.rmeta: crates/sim-machine-health/tests/proptests.rs Cargo.toml
+
+crates/sim-machine-health/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-86aa53edb23c3743.d: crates/sim-net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-86aa53edb23c3743: crates/sim-net/tests/proptests.rs
+
+crates/sim-net/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9d15aeb0066c5ca0.d: crates/estimators/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9d15aeb0066c5ca0.rmeta: crates/estimators/tests/proptests.rs Cargo.toml
+
+crates/estimators/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

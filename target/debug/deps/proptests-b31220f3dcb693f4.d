@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b31220f3dcb693f4.d: crates/sim-cache/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b31220f3dcb693f4: crates/sim-cache/tests/proptests.rs
+
+crates/sim-cache/tests/proptests.rs:

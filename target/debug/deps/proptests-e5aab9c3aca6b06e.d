@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e5aab9c3aca6b06e.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e5aab9c3aca6b06e: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

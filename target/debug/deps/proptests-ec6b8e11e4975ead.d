@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ec6b8e11e4975ead.d: crates/log/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ec6b8e11e4975ead.rmeta: crates/log/tests/proptests.rs Cargo.toml
+
+crates/log/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-edaf0511da86c63d.d: crates/sim-net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-edaf0511da86c63d.rmeta: crates/sim-net/tests/proptests.rs Cargo.toml
+
+crates/sim-net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

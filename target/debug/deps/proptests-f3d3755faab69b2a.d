@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f3d3755faab69b2a.d: crates/sim-loadbalance/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f3d3755faab69b2a.rmeta: crates/sim-loadbalance/tests/proptests.rs Cargo.toml
+
+crates/sim-loadbalance/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f674c92c66b94db0.d: crates/sim-machine-health/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f674c92c66b94db0: crates/sim-machine-health/tests/proptests.rs
+
+crates/sim-machine-health/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5117bd95a7bb7040.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5117bd95a7bb7040.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5117bd95a7bb7040.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

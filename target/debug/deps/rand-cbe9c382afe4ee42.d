@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-cbe9c382afe4ee42.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cbe9c382afe4ee42.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

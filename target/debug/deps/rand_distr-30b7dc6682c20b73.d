@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-30b7dc6682c20b73.d: third_party/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-30b7dc6682c20b73.rlib: third_party/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-30b7dc6682c20b73.rmeta: third_party/rand_distr/src/lib.rs
+
+third_party/rand_distr/src/lib.rs:

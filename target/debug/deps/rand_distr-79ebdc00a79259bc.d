@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-79ebdc00a79259bc.d: third_party/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-79ebdc00a79259bc.rmeta: third_party/rand_distr/src/lib.rs
+
+third_party/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-07c9b5ecd9918103.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-07c9b5ecd9918103: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-475e663c438a3bb8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-475e663c438a3bb8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

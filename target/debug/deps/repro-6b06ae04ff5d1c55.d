@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6b06ae04ff5d1c55.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6b06ae04ff5d1c55: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-37e5414f17119cb4.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-37e5414f17119cb4.rlib: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-37e5414f17119cb4.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-9630559aa21456e6.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-9630559aa21456e6.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

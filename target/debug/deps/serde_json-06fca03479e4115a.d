@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-06fca03479e4115a.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-06fca03479e4115a.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

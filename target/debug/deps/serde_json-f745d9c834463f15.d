@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f745d9c834463f15.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f745d9c834463f15.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f745d9c834463f15.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_loop-9a5e4c84ff12026d.d: tests/serve_loop.rs
+
+/root/repo/target/debug/deps/serve_loop-9a5e4c84ff12026d: tests/serve_loop.rs
+
+tests/serve_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_loop-f150ed8d0489b01e.d: tests/serve_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_loop-f150ed8d0489b01e.rmeta: tests/serve_loop.rs Cargo.toml
+
+tests/serve_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

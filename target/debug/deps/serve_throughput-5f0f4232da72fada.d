@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_throughput-5f0f4232da72fada.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/debug/deps/serve_throughput-5f0f4232da72fada: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_loadbalance-158556c3759a3ab2.d: crates/bench/benches/table2_loadbalance.rs
+
+/root/repo/target/debug/deps/table2_loadbalance-158556c3759a3ab2: crates/bench/benches/table2_loadbalance.rs
+
+crates/bench/benches/table2_loadbalance.rs:

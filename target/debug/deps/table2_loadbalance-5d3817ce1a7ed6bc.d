@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_loadbalance-5d3817ce1a7ed6bc.d: crates/bench/benches/table2_loadbalance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_loadbalance-5d3817ce1a7ed6bc.rmeta: crates/bench/benches/table2_loadbalance.rs Cargo.toml
+
+crates/bench/benches/table2_loadbalance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cache-4d53e67527bf416b.d: crates/bench/benches/table3_cache.rs
+
+/root/repo/target/debug/deps/table3_cache-4d53e67527bf416b: crates/bench/benches/table3_cache.rs
+
+crates/bench/benches/table3_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_cache-e487f9e065d4e270.d: crates/bench/benches/table3_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_cache-e487f9e065d4e270.rmeta: crates/bench/benches/table3_cache.rs Cargo.toml
+
+crates/bench/benches/table3_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_eviction-3aa2422ea3adcb78.d: examples/cache_eviction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_eviction-3aa2422ea3adcb78.rmeta: examples/cache_eviction.rs Cargo.toml
+
+examples/cache_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

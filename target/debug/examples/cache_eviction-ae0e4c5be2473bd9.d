@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_eviction-ae0e4c5be2473bd9.d: examples/cache_eviction.rs
+
+/root/repo/target/debug/examples/cache_eviction-ae0e4c5be2473bd9: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_eviction-c0066bebdaf9530d.d: examples/cache_eviction.rs
+
+/root/repo/target/debug/examples/cache_eviction-c0066bebdaf9530d: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

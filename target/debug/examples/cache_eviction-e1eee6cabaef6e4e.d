@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_eviction-e1eee6cabaef6e4e.d: examples/cache_eviction.rs
+
+/root/repo/target/debug/examples/cache_eviction-e1eee6cabaef6e4e: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

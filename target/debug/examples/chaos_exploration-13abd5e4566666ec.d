@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_exploration-13abd5e4566666ec.d: examples/chaos_exploration.rs
+
+/root/repo/target/debug/examples/chaos_exploration-13abd5e4566666ec: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

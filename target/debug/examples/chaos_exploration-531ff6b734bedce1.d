@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_exploration-531ff6b734bedce1.d: examples/chaos_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_exploration-531ff6b734bedce1.rmeta: examples/chaos_exploration.rs Cargo.toml
+
+examples/chaos_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

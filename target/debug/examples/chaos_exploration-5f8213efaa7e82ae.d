@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_exploration-5f8213efaa7e82ae.d: examples/chaos_exploration.rs
+
+/root/repo/target/debug/examples/chaos_exploration-5f8213efaa7e82ae: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_exploration-d7bbc20db84257e5.d: examples/chaos_exploration.rs
+
+/root/repo/target/debug/examples/chaos_exploration-d7bbc20db84257e5: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_loop-53ecc18924a47903.d: examples/continuous_loop.rs
+
+/root/repo/target/debug/examples/continuous_loop-53ecc18924a47903: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_loop-884cb6be56591c39.d: examples/continuous_loop.rs
+
+/root/repo/target/debug/examples/continuous_loop-884cb6be56591c39: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

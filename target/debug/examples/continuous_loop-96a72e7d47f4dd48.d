@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/continuous_loop-96a72e7d47f4dd48.d: examples/continuous_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontinuous_loop-96a72e7d47f4dd48.rmeta: examples/continuous_loop.rs Cargo.toml
+
+examples/continuous_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

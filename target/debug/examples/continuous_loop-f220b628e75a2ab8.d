@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_loop-f220b628e75a2ab8.d: examples/continuous_loop.rs
+
+/root/repo/target/debug/examples/continuous_loop-f220b628e75a2ab8: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

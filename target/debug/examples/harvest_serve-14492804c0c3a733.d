@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_serve-14492804c0c3a733.d: examples/harvest_serve.rs
+
+/root/repo/target/debug/examples/harvest_serve-14492804c0c3a733: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_serve-38a54818bd37fe61.d: examples/harvest_serve.rs
+
+/root/repo/target/debug/examples/harvest_serve-38a54818bd37fe61: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

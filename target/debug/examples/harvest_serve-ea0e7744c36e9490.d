@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/harvest_serve-ea0e7744c36e9490.d: examples/harvest_serve.rs Cargo.toml
+
+/root/repo/target/debug/examples/libharvest_serve-ea0e7744c36e9490.rmeta: examples/harvest_serve.rs Cargo.toml
+
+examples/harvest_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/load_balancing-07ecd94be408acef.d: examples/load_balancing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libload_balancing-07ecd94be408acef.rmeta: examples/load_balancing.rs Cargo.toml
+
+examples/load_balancing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_balancing-443ab141bc987e2c.d: examples/load_balancing.rs
+
+/root/repo/target/debug/examples/load_balancing-443ab141bc987e2c: examples/load_balancing.rs
+
+examples/load_balancing.rs:

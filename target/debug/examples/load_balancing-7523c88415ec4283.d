@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_balancing-7523c88415ec4283.d: examples/load_balancing.rs
+
+/root/repo/target/debug/examples/load_balancing-7523c88415ec4283: examples/load_balancing.rs
+
+examples/load_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_balancing-a2ece6d120e18021.d: examples/load_balancing.rs
+
+/root/repo/target/debug/examples/load_balancing-a2ece6d120e18021: examples/load_balancing.rs
+
+examples/load_balancing.rs:

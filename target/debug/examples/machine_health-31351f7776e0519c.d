@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_health-31351f7776e0519c.d: examples/machine_health.rs
+
+/root/repo/target/debug/examples/machine_health-31351f7776e0519c: examples/machine_health.rs
+
+examples/machine_health.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_health-4f536e2f37132f61.d: examples/machine_health.rs
+
+/root/repo/target/debug/examples/machine_health-4f536e2f37132f61: examples/machine_health.rs
+
+examples/machine_health.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_health-50bf384236cb631e.d: examples/machine_health.rs
+
+/root/repo/target/debug/examples/machine_health-50bf384236cb631e: examples/machine_health.rs
+
+examples/machine_health.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/machine_health-bbbcde2aa843e7a4.d: examples/machine_health.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmachine_health-bbbcde2aa843e7a4.rmeta: examples/machine_health.rs Cargo.toml
+
+examples/machine_health.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-614a08f08fa331b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-614a08f08fa331b7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-73622e10291c87b1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-73622e10291c87b1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a230d1c600bef91a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a230d1c600bef91a: examples/quickstart.rs
+
+examples/quickstart.rs:

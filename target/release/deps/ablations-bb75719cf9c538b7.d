@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-bb75719cf9c538b7.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-bb75719cf9c538b7: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-e6b2f1d7c22d2b4d.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-e6b2f1d7c22d2b4d: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/determinism_lint-534d84ccc56254b6.d: tests/determinism_lint.rs
+
+/root/repo/target/release/deps/determinism_lint-534d84ccc56254b6: tests/determinism_lint.rs
+
+tests/determinism_lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_pipeline-43370126db17949e.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/release/deps/end_to_end_pipeline-43370126db17949e: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

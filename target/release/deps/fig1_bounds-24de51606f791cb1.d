@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_bounds-24de51606f791cb1.d: crates/bench/benches/fig1_bounds.rs
+
+/root/repo/target/release/deps/fig1_bounds-24de51606f791cb1: crates/bench/benches/fig1_bounds.rs
+
+crates/bench/benches/fig1_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_accuracy-7c33ecc436bfaa81.d: crates/bench/benches/fig2_accuracy.rs
+
+/root/repo/target/release/deps/fig2_accuracy-7c33ecc436bfaa81: crates/bench/benches/fig2_accuracy.rs
+
+crates/bench/benches/fig2_accuracy.rs:

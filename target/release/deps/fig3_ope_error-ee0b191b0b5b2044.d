@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_ope_error-ee0b191b0b5b2044.d: crates/bench/benches/fig3_ope_error.rs
+
+/root/repo/target/release/deps/fig3_ope_error-ee0b191b0b5b2044: crates/bench/benches/fig3_ope_error.rs
+
+crates/bench/benches/fig3_ope_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_convergence-cb8eb9f8447285f3.d: crates/bench/benches/fig4_convergence.rs
+
+/root/repo/target/release/deps/fig4_convergence-cb8eb9f8447285f3: crates/bench/benches/fig4_convergence.rs
+
+crates/bench/benches/fig4_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_fig6_topology-cddef1ae28f351ef.d: crates/bench/benches/fig5_fig6_topology.rs
+
+/root/repo/target/release/deps/fig5_fig6_topology-cddef1ae28f351ef: crates/bench/benches/fig5_fig6_topology.rs
+
+crates/bench/benches/fig5_fig6_topology.rs:

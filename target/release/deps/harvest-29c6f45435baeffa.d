@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/harvest-29c6f45435baeffa.d: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-29c6f45435baeffa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-29c6f45435baeffa.rmeta: src/lib.rs
+
+src/lib.rs:

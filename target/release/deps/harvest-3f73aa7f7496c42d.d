@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harvest-3f73aa7f7496c42d.d: src/lib.rs
+
+/root/repo/target/release/deps/harvest-3f73aa7f7496c42d: src/lib.rs
+
+src/lib.rs:

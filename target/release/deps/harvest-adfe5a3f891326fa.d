@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/harvest-adfe5a3f891326fa.d: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-adfe5a3f891326fa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-adfe5a3f891326fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harvest_serve-c86695382bc3d724.d: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/harvest_serve-c86695382bc3d724: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harvest_sim_cache-66da8abafb5f31b3.d: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+/root/repo/target/release/deps/libharvest_sim_cache-66da8abafb5f31b3.rlib: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+/root/repo/target/release/deps/libharvest_sim_cache-66da8abafb5f31b3.rmeta: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+crates/sim-cache/src/lib.rs:
+crates/sim-cache/src/policy.rs:
+crates/sim-cache/src/runner.rs:
+crates/sim-cache/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/harvest_sim_cache-9a17615cf69e659b.d: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+/root/repo/target/release/deps/harvest_sim_cache-9a17615cf69e659b: crates/sim-cache/src/lib.rs crates/sim-cache/src/policy.rs crates/sim-cache/src/runner.rs crates/sim-cache/src/store.rs
+
+crates/sim-cache/src/lib.rs:
+crates/sim-cache/src/policy.rs:
+crates/sim-cache/src/runner.rs:
+crates/sim-cache/src/store.rs:

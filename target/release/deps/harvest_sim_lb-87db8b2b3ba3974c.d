@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harvest_sim_lb-87db8b2b3ba3974c.d: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/release/deps/harvest_sim_lb-87db8b2b3ba3974c: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+crates/sim-loadbalance/src/lib.rs:
+crates/sim-loadbalance/src/config.rs:
+crates/sim-loadbalance/src/context.rs:
+crates/sim-loadbalance/src/hierarchy.rs:
+crates/sim-loadbalance/src/policy.rs:
+crates/sim-loadbalance/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/harvest_sim_lb-da1415f51054b1ce.d: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/release/deps/libharvest_sim_lb-da1415f51054b1ce.rlib: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+/root/repo/target/release/deps/libharvest_sim_lb-da1415f51054b1ce.rmeta: crates/sim-loadbalance/src/lib.rs crates/sim-loadbalance/src/config.rs crates/sim-loadbalance/src/context.rs crates/sim-loadbalance/src/hierarchy.rs crates/sim-loadbalance/src/policy.rs crates/sim-loadbalance/src/sim.rs
+
+crates/sim-loadbalance/src/lib.rs:
+crates/sim-loadbalance/src/config.rs:
+crates/sim-loadbalance/src/context.rs:
+crates/sim-loadbalance/src/hierarchy.rs:
+crates/sim-loadbalance/src/policy.rs:
+crates/sim-loadbalance/src/sim.rs:

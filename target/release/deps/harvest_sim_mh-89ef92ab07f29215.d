@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harvest_sim_mh-89ef92ab07f29215.d: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/release/deps/libharvest_sim_mh-89ef92ab07f29215.rlib: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/release/deps/libharvest_sim_mh-89ef92ab07f29215.rmeta: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+crates/sim-machine-health/src/lib.rs:
+crates/sim-machine-health/src/dataset.rs:
+crates/sim-machine-health/src/failure.rs:
+crates/sim-machine-health/src/machine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/harvest_sim_mh-b398d61712d25ddd.d: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+/root/repo/target/release/deps/harvest_sim_mh-b398d61712d25ddd: crates/sim-machine-health/src/lib.rs crates/sim-machine-health/src/dataset.rs crates/sim-machine-health/src/failure.rs crates/sim-machine-health/src/machine.rs
+
+crates/sim-machine-health/src/lib.rs:
+crates/sim-machine-health/src/dataset.rs:
+crates/sim-machine-health/src/failure.rs:
+crates/sim-machine-health/src/machine.rs:

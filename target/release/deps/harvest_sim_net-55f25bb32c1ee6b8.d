@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/harvest_sim_net-55f25bb32c1ee6b8.d: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs
+
+/root/repo/target/release/deps/harvest_sim_net-55f25bb32c1ee6b8: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs
+
+crates/sim-net/src/lib.rs:
+crates/sim-net/src/event.rs:
+crates/sim-net/src/fault.rs:
+crates/sim-net/src/rng.rs:
+crates/sim-net/src/stats.rs:
+crates/sim-net/src/time.rs:
+crates/sim-net/src/trace.rs:
+crates/sim-net/src/workload.rs:

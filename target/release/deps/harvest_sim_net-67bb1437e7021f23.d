@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/harvest_sim_net-67bb1437e7021f23.d: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs
+
+/root/repo/target/release/deps/libharvest_sim_net-67bb1437e7021f23.rlib: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs
+
+/root/repo/target/release/deps/libharvest_sim_net-67bb1437e7021f23.rmeta: crates/sim-net/src/lib.rs crates/sim-net/src/event.rs crates/sim-net/src/fault.rs crates/sim-net/src/rng.rs crates/sim-net/src/stats.rs crates/sim-net/src/time.rs crates/sim-net/src/trace.rs crates/sim-net/src/workload.rs
+
+crates/sim-net/src/lib.rs:
+crates/sim-net/src/event.rs:
+crates/sim-net/src/fault.rs:
+crates/sim-net/src/rng.rs:
+crates/sim-net/src/stats.rs:
+crates/sim-net/src/time.rs:
+crates/sim-net/src/trace.rs:
+crates/sim-net/src/workload.rs:

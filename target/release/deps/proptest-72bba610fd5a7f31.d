@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-72bba610fd5a7f31.d: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-72bba610fd5a7f31.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-72bba610fd5a7f31.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/collection.rs third_party/proptest/src/option.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/option.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

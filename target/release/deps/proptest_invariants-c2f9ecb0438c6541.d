@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-c2f9ecb0438c6541.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-c2f9ecb0438c6541: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

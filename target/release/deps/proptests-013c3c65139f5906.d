@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-013c3c65139f5906.d: crates/sim-net/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-013c3c65139f5906: crates/sim-net/tests/proptests.rs
+
+crates/sim-net/tests/proptests.rs:

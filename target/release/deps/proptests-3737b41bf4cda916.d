@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3737b41bf4cda916.d: crates/sim-loadbalance/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3737b41bf4cda916: crates/sim-loadbalance/tests/proptests.rs
+
+crates/sim-loadbalance/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-6f4dd168ea681154.d: crates/log/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-6f4dd168ea681154: crates/log/tests/proptests.rs
+
+crates/log/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-85f6837c953a0bab.d: crates/sim-cache/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-85f6837c953a0bab: crates/sim-cache/tests/proptests.rs
+
+crates/sim-cache/tests/proptests.rs:

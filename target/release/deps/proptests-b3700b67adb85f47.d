@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b3700b67adb85f47.d: crates/estimators/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b3700b67adb85f47: crates/estimators/tests/proptests.rs
+
+crates/estimators/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f65dd98722313504.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f65dd98722313504: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

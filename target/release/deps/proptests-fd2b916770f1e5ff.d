@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-fd2b916770f1e5ff.d: crates/sim-machine-health/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-fd2b916770f1e5ff: crates/sim-machine-health/tests/proptests.rs
+
+crates/sim-machine-health/tests/proptests.rs:

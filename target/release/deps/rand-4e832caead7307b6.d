@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4e832caead7307b6.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4e832caead7307b6.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4e832caead7307b6.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-5241c4cef54883c9.d: third_party/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-5241c4cef54883c9.rlib: third_party/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-5241c4cef54883c9.rmeta: third_party/rand_distr/src/lib.rs
+
+third_party/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9e789c8ecfab761c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9e789c8ecfab761c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-b06453fb8f371c7a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-b06453fb8f371c7a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e6b89d0f9125bae1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e6b89d0f9125bae1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-4475f052c9fbdff6.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-4475f052c9fbdff6.rlib: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-4475f052c9fbdff6.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

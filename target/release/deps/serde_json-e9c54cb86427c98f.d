@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-e9c54cb86427c98f.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e9c54cb86427c98f.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e9c54cb86427c98f.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_loop-856f6003767d9e7f.d: tests/serve_loop.rs
+
+/root/repo/target/release/deps/serve_loop-856f6003767d9e7f: tests/serve_loop.rs
+
+tests/serve_loop.rs:

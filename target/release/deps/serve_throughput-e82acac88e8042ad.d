@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_throughput-e82acac88e8042ad.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/release/deps/serve_throughput-e82acac88e8042ad: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_loadbalance-5c4ce65629ff9b9b.d: crates/bench/benches/table2_loadbalance.rs
+
+/root/repo/target/release/deps/table2_loadbalance-5c4ce65629ff9b9b: crates/bench/benches/table2_loadbalance.rs
+
+crates/bench/benches/table2_loadbalance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_cache-4b602f499b58bece.d: crates/bench/benches/table3_cache.rs
+
+/root/repo/target/release/deps/table3_cache-4b602f499b58bece: crates/bench/benches/table3_cache.rs
+
+crates/bench/benches/table3_cache.rs:

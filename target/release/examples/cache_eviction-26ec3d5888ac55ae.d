@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_eviction-26ec3d5888ac55ae.d: examples/cache_eviction.rs
+
+/root/repo/target/release/examples/cache_eviction-26ec3d5888ac55ae: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

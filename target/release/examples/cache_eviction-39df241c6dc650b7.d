@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_eviction-39df241c6dc650b7.d: examples/cache_eviction.rs
+
+/root/repo/target/release/examples/cache_eviction-39df241c6dc650b7: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_exploration-3caa8a5bf482d91d.d: examples/chaos_exploration.rs
+
+/root/repo/target/release/examples/chaos_exploration-3caa8a5bf482d91d: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

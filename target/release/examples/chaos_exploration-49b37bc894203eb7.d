@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_exploration-49b37bc894203eb7.d: examples/chaos_exploration.rs
+
+/root/repo/target/release/examples/chaos_exploration-49b37bc894203eb7: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/continuous_loop-8ec3d2829dd2bc7c.d: examples/continuous_loop.rs
+
+/root/repo/target/release/examples/continuous_loop-8ec3d2829dd2bc7c: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

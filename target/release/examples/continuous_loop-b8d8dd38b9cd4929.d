@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/continuous_loop-b8d8dd38b9cd4929.d: examples/continuous_loop.rs
+
+/root/repo/target/release/examples/continuous_loop-b8d8dd38b9cd4929: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/harvest_serve-47ee2e59df1a2b2b.d: examples/harvest_serve.rs
+
+/root/repo/target/release/examples/harvest_serve-47ee2e59df1a2b2b: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

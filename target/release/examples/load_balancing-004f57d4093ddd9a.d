@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/load_balancing-004f57d4093ddd9a.d: examples/load_balancing.rs
+
+/root/repo/target/release/examples/load_balancing-004f57d4093ddd9a: examples/load_balancing.rs
+
+examples/load_balancing.rs:

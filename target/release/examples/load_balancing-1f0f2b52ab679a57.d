@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/load_balancing-1f0f2b52ab679a57.d: examples/load_balancing.rs
+
+/root/repo/target/release/examples/load_balancing-1f0f2b52ab679a57: examples/load_balancing.rs
+
+examples/load_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/machine_health-2cb58b0ea5f77e80.d: examples/machine_health.rs
+
+/root/repo/target/release/examples/machine_health-2cb58b0ea5f77e80: examples/machine_health.rs
+
+examples/machine_health.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/machine_health-3120636b0be9cf0b.d: examples/machine_health.rs
+
+/root/repo/target/release/examples/machine_health-3120636b0be9cf0b: examples/machine_health.rs
+
+examples/machine_health.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4f8ece933bf862f3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4f8ece933bf862f3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-839ec20f173249a6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-839ec20f173249a6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -6,7 +6,9 @@
 //! regenerates them.
 
 use harvest::cache::policy::RandomEviction;
-use harvest::cache::runner::{big_small_trace, run_cache_workload, table3_cache_config, CacheRunConfig};
+use harvest::cache::runner::{
+    big_small_trace, run_cache_workload, table3_cache_config, CacheRunConfig,
+};
 use harvest::core::policy::UniformPolicy;
 use harvest::core::simulate::simulate_exploration;
 use harvest::lb::hierarchy::{run_hierarchical, HierarchyConfig};

@@ -1,0 +1,64 @@
+//! A source-level determinism lint.
+//!
+//! The whole methodology rests on replayability: logged decisions must be
+//! reproducible from the seed and the logical clock alone (see
+//! `harvest-serve`'s design rules and DESIGN.md §4). Ambient
+//! nondeterminism — the thread-local RNG or wall-clock reads — would break
+//! byte-identical replay silently, so the decision-path crates simply may
+//! not mention it. This test greps their sources; CI runs the same check.
+
+use std::path::Path;
+
+/// Crates on the decision path: everything that computes, estimates, or
+/// serves decisions. Simulators and the bench harness stamp their own
+/// logical clocks too, but only these three are load-bearing for replay.
+const LINTED: &[&str] = &[
+    "crates/core/src",
+    "crates/estimators/src",
+    "crates/serve/src",
+];
+
+/// Ambient-nondeterminism tokens. `thread_rng` is the OS-seeded RNG;
+/// the two `now`s read the wall clock.
+const FORBIDDEN: &[&str] = &["thread_rng", "SystemTime::now", "Instant::now"];
+
+fn scan(dir: &Path, violations: &mut Vec<String>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            scan(&path, violations);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source = std::fs::read_to_string(&path).unwrap();
+            for (lineno, line) in source.lines().enumerate() {
+                for token in FORBIDDEN {
+                    if line.contains(token) {
+                        violations.push(format!(
+                            "{}:{}: forbidden `{}`: {}",
+                            path.display(),
+                            lineno + 1,
+                            token,
+                            line.trim()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decision_path_crates_are_free_of_ambient_nondeterminism() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for dir in LINTED {
+        let dir = root.join(dir);
+        assert!(dir.is_dir(), "linted directory {} missing", dir.display());
+        scan(&dir, &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "ambient nondeterminism on the decision path (use fork_rng / a \
+         caller-supplied logical clock instead):\n{}",
+        violations.join("\n")
+    );
+}

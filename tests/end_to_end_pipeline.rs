@@ -7,14 +7,14 @@
 use harvest::core::policy::{ConstantPolicy, GreedyPolicy, UniformPolicy};
 use harvest::core::{Context, SimpleContext};
 use harvest::estimators::ips::ips;
+use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting};
+use harvest::lb::sim::{run_simulation, SimConfig};
+use harvest::lb::ClusterConfig;
 use harvest::logs::pipeline::HarvestPipeline;
 use harvest::logs::propensity::{
     EstimatedPropensity, KnownPropensity, PropensityFitConfig, PropensityModel,
 };
 use harvest::logs::record::{read_json_lines, JsonLinesWriter};
-use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting};
-use harvest::lb::sim::{run_simulation, SimConfig};
-use harvest::lb::ClusterConfig;
 
 fn lb_run(seed: u64, requests: usize) -> harvest::lb::sim::LbRunResult {
     let cfg = SimConfig::table2(ClusterConfig::fig5(), requests, seed);
@@ -72,8 +72,7 @@ fn estimated_propensities_agree_with_known_ones_under_uniform_logging() {
             )
         })
         .collect();
-    let model =
-        EstimatedPropensity::fit(&samples, 2, &PropensityFitConfig::default()).unwrap();
+    let model = EstimatedPropensity::fit(&samples, 2, &PropensityFitConfig::default()).unwrap();
     // Uniform-random routing: the regression should recover ≈ 1/2
     // everywhere, matching code inspection.
     let mut worst: f64 = 0.0;

@@ -12,7 +12,9 @@ use harvest::core::policy::{
 };
 use harvest::core::sample::RewardScaling;
 use harvest::core::simulate::simulate_exploration;
-use harvest::core::{Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision, SimpleContext};
+use harvest::core::{
+    Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision, SimpleContext,
+};
 use harvest::estimators::ips::ips;
 use harvest::estimators::snips::snips;
 use harvest::logs::nginx::{parse_line, NginxLogLine};

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`), [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! There is no statistical analysis, HTML report, or outlier detection:
+//! each benchmark runs a fixed number of timed samples and prints
+//! mean/min/max nanoseconds per iteration. That is enough for the relative
+//! comparisons the repo's benches make (e.g. multi-shard vs single-shard
+//! decision throughput).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing a sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of related benchmarks (`<group>/<name>` labels).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_bench(&label, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark routine; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (after a single untimed warm-up call).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.samples_ns.is_empty() {
+            // Warm-up: populate caches and lazy statics outside the timing.
+            black_box(routine());
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples_ns.push(start.elapsed().as_nanos());
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+    }
+    let samples = &bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    let min = samples.iter().min().copied().unwrap_or(0);
+    let max = samples.iter().max().copied().unwrap_or(0);
+    println!(
+        "{label}: mean {} ns/iter (min {}, max {}, {} samples)",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function invoking each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        // sample_size timed runs plus one warm-up on the first call.
+        assert_eq!(calls, DEFAULT_SAMPLE_SIZE as u32 + 1);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 4);
+    }
+}

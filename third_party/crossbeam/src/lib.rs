@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stabilized long after crossbeam pioneered the
+//! API). The closure passed to `Scope::spawn` receives a `&Scope` argument
+//! for signature compatibility with crossbeam's nested-spawn API, and
+//! `scope` returns `thread::Result<R>` like crossbeam does — `Ok` unless a
+//! spawned thread panicked (std's scope propagates child panics by
+//! re-panicking, so `Err` is never actually constructed here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A handle for spawning threads scoped to a [`scope`] call.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's `&Scope` argument allows
+        /// nested spawns, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_mutate_borrowed_chunks() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                scope.spawn(move |_| {
+                    for slot in chunk.iter_mut() {
+                        *slot = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}

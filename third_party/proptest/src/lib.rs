@@ -1,0 +1,293 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, `Just`, numeric-range
+//! strategies, tuple composition, `prop_map`, and
+//! `proptest::collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate, deliberate for this environment:
+//!
+//! - **No shrinking.** A failing case reports its inputs via the assertion
+//!   message but is not minimized.
+//! - **Deterministic by construction.** Each test's RNG is seeded from the
+//!   test's name, so a property either always passes or always fails for a
+//!   given build — there are no flaky discoveries and no persistence files.
+//! - Default case count is 64 (the real crate's 256), keeping the suite
+//!   fast; tests that need a specific count set it via `proptest_config`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::Any;
+
+/// Returns the canonical strategy for `T` (uniform over its value space).
+pub fn any<T: strategy::ArbitraryValue>() -> Any<T> {
+    Any::new()
+}
+
+/// Seeds the per-test RNG from the test's name (FNV-1a), so every run of a
+/// given binary explores the same cases.
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs its body against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::__seed_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current property case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        // `match` keeps temporaries in the scrutinee alive for the whole
+        // comparison (a `let` would drop them at the end of the statement).
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left,
+                            __right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left,
+                            __right,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} != {}\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} != {}\n  both: {:?}\n {}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly among the given strategies (all of
+/// the same `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The glob-import surface test files use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::collection;
+    pub use crate::strategy::{boxed, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::__seed_rng("ranges_generate_in_bounds");
+        for _ in 0..1000 {
+            let x = (1u64..10).generate(&mut rng);
+            assert!((1..10).contains(&x));
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = (0.05f64..=1.0).generate(&mut rng);
+            assert!((0.05..=1.0).contains(&i));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0u64..5, 10u64..20).prop_map(|(a, b)| a + b);
+        let mut rng = crate::__seed_rng("prop_map_and_tuples_compose");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((10..25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = crate::collection::vec(0u64..100, 2..7);
+        let mut rng = crate::__seed_rng("vec_strategy_respects_size_range");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0u64..100, 3);
+        assert_eq!(exact.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn btree_set_strategy_produces_distinct_elements() {
+        let strat = crate::collection::btree_set(0u64..50, 1..30);
+        let mut rng = crate::__seed_rng("btree_set_strategy");
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 30);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let strat = prop_oneof![
+            (0u64..1).prop_map(|_| 0u8),
+            (0u64..1).prop_map(|_| 1u8),
+            (0u64..1).prop_map(|_| 2u8),
+        ];
+        let mut rng = crate::__seed_rng("union_picks_every_arm");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn seeded_rng_is_stable_per_name() {
+        let a: u64 = crate::any::<u64>().generate(&mut crate::__seed_rng("x"));
+        let b: u64 = crate::any::<u64>().generate(&mut crate::__seed_rng("x"));
+        let c: u64 = crate::any::<u64>().generate(&mut crate::__seed_rng("y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, y in 0u64..100) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + y, y + x, "addition commutes for {} and {}", x, y);
+        }
+    }
+}

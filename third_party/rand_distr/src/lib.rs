@@ -1,0 +1,88 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait and the [`Exp`] (exponential)
+//! distribution — the only pieces the workspace uses (Poisson arrival gaps
+//! and phase dwell times in the workload generators).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate parameter λ was not a positive finite number.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(λ)`, sampled by inverse CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<T> {
+    lambda: T,
+}
+
+impl Exp<f64> {
+    /// Creates `Exp(λ)`. Fails unless `λ` is positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on u ∈ (0, 1]; 1 − gen() avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_lambda() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_are_non_negative() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The JSON-shaped value tree that all (de)serialization flows through.
+
+/// A JSON number, kept in its widest lossless representation.
+///
+/// `u64` values (e.g. request IDs and nanosecond timestamps) must survive a
+/// round trip without passing through `f64`, which can only represent
+/// integers up to 2^53 exactly — hence the three-way split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+/// A dynamically-typed JSON value.
+///
+/// Objects are ordered key/value lists, not hash maps: serialization emits
+/// keys in insertion (declaration) order, which keeps output byte-stable
+/// across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the boolean if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer
+    /// (including an integral float).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F64(f)) => {
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 {
+                    Some(*f as u64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer (including an
+    /// integral float) within range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F64(f)) => {
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    Some(*f as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the key/value entries if this is `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (first match wins). `None` for
+    /// non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_u64_survives_without_f64() {
+        let big = u64::MAX - 1;
+        let v = Value::Number(Number::U64(big));
+        assert_eq!(v.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn integral_float_coerces_to_integer() {
+        let v = Value::Number(Number::F64(7.0));
+        assert_eq!(v.as_u64(), Some(7));
+        assert_eq!(v.as_i64(), Some(7));
+        let frac = Value::Number(Number::F64(7.5));
+        assert_eq!(frac.as_u64(), None);
+    }
+
+    #[test]
+    fn get_finds_first_match() {
+        let obj = Value::Object(vec![
+            ("a".to_string(), Value::Bool(true)),
+            ("b".to_string(), Value::Null),
+        ]);
+        assert_eq!(obj.get("a"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("missing"), None);
+    }
+}

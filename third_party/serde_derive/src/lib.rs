@@ -1,0 +1,605 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable in this
+//! build environment, so the two derive macros here parse the item's
+//! `TokenStream` by hand and emit the trait impls as source strings parsed
+//! back into token streams. Coverage is exactly what the workspace needs:
+//!
+//! - named structs, including generic ones (`Dataset<C>`) and private fields;
+//! - newtype tuple structs (`SimTime(u64)`), serialized transparently;
+//! - enums with unit, newtype, and struct variants, externally tagged by
+//!   default (`"Ips"`, `{"ClippedIps": 2.0}`, `{"PerAction": {...}}`);
+//! - internally tagged enums via `#[serde(tag = "...", rename_all =
+//!   "snake_case")]` (the decision-log `LogRecord`);
+//! - field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Anything outside that set (where-clauses, multi-field tuple structs,
+//! lifetimes on derived types) panics at expansion time with a clear
+//! message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree rendering) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree reading) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    is_option: bool,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum Payload {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic type params as `(ident, declared-bounds-including-colon)`.
+    params: Vec<(String, String)>,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Extracts `(key, value)` entries from one attribute's bracket content if
+/// it is a `serde(...)` attribute; other attributes (docs, derives) yield
+/// nothing.
+fn parse_serde_attr_entries(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.len() < 2 || ident_of(&tokens[0]).as_deref() != Some("serde") {
+        return Vec::new();
+    }
+    let TokenTree::Group(g) = &tokens[1] else {
+        return Vec::new();
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = ident_of(&inner[j]).expect("serde_derive stub: expected ident in serde attr");
+        j += 1;
+        let mut val = None;
+        if j < inner.len() && is_punct(&inner[j], '=') {
+            j += 1;
+            val = Some(inner[j].to_string().trim_matches('"').to_string());
+            j += 1;
+        }
+        out.push((key, val));
+        if j < inner.len() && is_punct(&inner[j], ',') {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            for (key, val) in parse_serde_attr_entries(g.stream()) {
+                match key.as_str() {
+                    "tag" => tag = val,
+                    "rename_all" => rename_all = val,
+                    other => panic!("serde_derive stub: unsupported container attr `{other}`"),
+                }
+            }
+        }
+        i += 2;
+    }
+
+    if ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let TokenTree::Group(g) = &tokens[i] {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+
+    let kw = ident_of(&tokens[i]).expect("serde_derive stub: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("serde_derive stub: expected item name");
+    i += 1;
+
+    let mut params: Vec<(String, String)> = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut groups: Vec<Vec<TokenTree>> = Vec::new();
+        while i < tokens.len() {
+            let t = tokens[i].clone();
+            if is_punct(&t, '<') {
+                depth += 1;
+            } else if is_punct(&t, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            if is_punct(&t, ',') && depth == 1 {
+                groups.push(std::mem::take(&mut current));
+            } else {
+                current.push(t);
+            }
+            i += 1;
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        for g in groups {
+            let first = g.first().expect("serde_derive stub: empty generic param");
+            if is_punct(first, '\'') {
+                panic!("serde_derive stub: lifetimes on derived types unsupported");
+            }
+            let pname = ident_of(first).expect("serde_derive stub: expected generic param ident");
+            if pname == "const" {
+                panic!("serde_derive stub: const generics unsupported");
+            }
+            let bounds = g[1..]
+                .iter()
+                .map(TokenTree::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            params.push((pname, bounds));
+        }
+    }
+
+    if ident_of(&tokens[i]).as_deref() == Some("where") {
+        panic!("serde_derive stub: where clauses unsupported");
+    }
+
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            if kw == "struct" {
+                Body::NamedStruct(parse_fields(g.stream()))
+            } else {
+                Body::Enum(parse_variants(g.stream()))
+            }
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut depth = 0i32;
+            for t in &inner {
+                if is_punct(t, '<') {
+                    depth += 1;
+                } else if is_punct(t, '>') {
+                    depth -= 1;
+                } else if is_punct(t, ',') && depth == 0 {
+                    panic!("serde_derive stub: only newtype tuple structs supported");
+                }
+            }
+            Body::NewtypeStruct
+        }
+        other => panic!("serde_derive stub: unexpected item body `{other}`"),
+    };
+
+    Item {
+        name,
+        params,
+        tag,
+        rename_all,
+        body,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut default = false;
+        let mut skip_if = None;
+        while is_punct(&tokens[i], '#') {
+            if let TokenTree::Group(g) = &tokens[i + 1] {
+                for (key, val) in parse_serde_attr_entries(g.stream()) {
+                    match key.as_str() {
+                        "default" => default = true,
+                        "skip_serializing_if" => skip_if = val,
+                        other => panic!("serde_derive stub: unsupported field attr `{other}`"),
+                    }
+                }
+            }
+            i += 2;
+        }
+        if ident_of(&tokens[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = ident_of(&tokens[i]).expect("serde_derive stub: expected field name");
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde_derive stub: expected `:` after field name"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        let mut ty: Vec<TokenTree> = Vec::new();
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            ty.push(t.clone());
+            i += 1;
+        }
+        let is_option = ty.first().and_then(ident_of).as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            is_option,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        while is_punct(&tokens[i], '#') {
+            i += 2;
+        }
+        let name = ident_of(&tokens[i]).expect("serde_derive stub: expected variant name");
+        i += 1;
+        let payload = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    Payload::Newtype
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let f = parse_fields(g.stream());
+                    i += 1;
+                    Payload::Struct(f)
+                }
+                _ => Payload::Unit,
+            }
+        } else {
+            Payload::Unit
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+/// Applies the container's `rename_all` rule to a variant name.
+fn variant_tag(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde_derive stub: unsupported rename_all `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Builds `impl<...bounds...>` and `<...params...>` strings, adding `bound`
+/// to every type parameter.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut ty_params = Vec::new();
+    for (n, b) in &item.params {
+        if b.trim().is_empty() {
+            impl_params.push(format!("{n}: {bound}"));
+        } else {
+            impl_params.push(format!("{n} {b} + {bound}"));
+        }
+        ty_params.push(n.clone());
+    }
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let push = format!(
+                    "__entries.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        s.push_str(&format!("if !{path}(&self.{}) {{ {push} }}\n", f.name))
+                    }
+                    None => {
+                        s.push_str(&push);
+                        s.push('\n');
+                    }
+                }
+            }
+            s.push_str("::serde::Value::Object(__entries)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag_name = variant_tag(&v.name, item.rename_all.as_deref());
+                let arm = match (&item.tag, &v.payload) {
+                    (None, Payload::Unit) => format!(
+                        "{name}::{} => ::serde::Value::String(String::from(\"{tag_name}\")),\n",
+                        v.name
+                    ),
+                    (Some(tk), Payload::Unit) => format!(
+                        "{name}::{} => ::serde::Value::Object(vec![(String::from(\"{tk}\"), \
+                         ::serde::Value::String(String::from(\"{tag_name}\")))]),\n",
+                        v.name
+                    ),
+                    (None, Payload::Newtype) => format!(
+                        "{name}::{}(__inner) => ::serde::Value::Object(vec![(String::from(\"{tag_name}\"), \
+                         ::serde::Serialize::to_value(__inner))]),\n",
+                        v.name
+                    ),
+                    (Some(tk), Payload::Newtype) => format!(
+                        "{name}::{}(__inner) => {{\n\
+                         let mut __entries = match ::serde::Serialize::to_value(__inner) {{\n\
+                             ::serde::Value::Object(__e) => __e,\n\
+                             __other => vec![(String::from(\"value\"), __other)],\n\
+                         }};\n\
+                         __entries.insert(0, (String::from(\"{tk}\"), \
+                         ::serde::Value::String(String::from(\"{tag_name}\"))));\n\
+                         ::serde::Value::Object(__entries)\n\
+                         }}\n",
+                        v.name
+                    ),
+                    (tag_opt, Payload::Struct(fields)) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tk) = tag_opt {
+                            inner.push_str(&format!(
+                                "__entries.push((String::from(\"{tk}\"), \
+                                 ::serde::Value::String(String::from(\"{tag_name}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            let push = format!(
+                                "__entries.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));",
+                                f.name
+                            );
+                            match &f.skip_if {
+                                Some(path) => inner.push_str(&format!(
+                                    "if !{path}({}) {{ {push} }}\n",
+                                    f.name
+                                )),
+                                None => {
+                                    inner.push_str(&push);
+                                    inner.push('\n');
+                                }
+                            }
+                        }
+                        let result = if tag_opt.is_some() {
+                            "::serde::Value::Object(__entries)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(String::from(\"{tag_name}\"), \
+                                 ::serde::Value::Object(__entries))])"
+                            )
+                        };
+                        format!(
+                            "{name}::{} {{ {} }} => {{\n{inner}{result}\n}}\n",
+                            v.name,
+                            pats.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Generates the field initializers of a struct literal, pulling each field
+/// out of the object value bound to `src`.
+fn gen_field_inits(fields: &[Field], src: &str, container: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "None".to_string()
+        } else {
+            format!(
+                "return Err(::serde::DeError::custom(\"missing field `{}` in `{container}`\"))",
+                f.name
+            )
+        };
+        s.push_str(&format!(
+            "{0}: match {src}.get(\"{0}\") {{\n\
+                 Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                 None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::NamedStruct(fields) => format!(
+            "if __v.as_object().is_none() {{\n\
+                 return Err(::serde::DeError::custom(\"expected object for `{name}`\"));\n\
+             }}\n\
+             Ok({name} {{\n{}\n}})",
+            gen_field_inits(fields, "__v", name)
+        ),
+        Body::Enum(variants) => match &item.tag {
+            Some(tk) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let tag_name = variant_tag(&v.name, item.rename_all.as_deref());
+                    let arm = match &v.payload {
+                        Payload::Unit => format!("\"{tag_name}\" => Ok({name}::{}),\n", v.name),
+                        Payload::Newtype => format!(
+                            "\"{tag_name}\" => Ok({name}::{}(::serde::Deserialize::from_value(__v)?)),\n",
+                            v.name
+                        ),
+                        Payload::Struct(fields) => format!(
+                            "\"{tag_name}\" => Ok({name}::{} {{\n{}\n}}),\n",
+                            v.name,
+                            gen_field_inits(fields, "__v", name)
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let __tag = match __v.get(\"{tk}\").and_then(|__t| __t.as_str()) {{\n\
+                         Some(__t) => __t,\n\
+                         None => return Err(::serde::DeError::custom(\"missing `{tk}` tag for `{name}`\")),\n\
+                     }};\n\
+                     match __tag {{\n{arms}\
+                     __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                     }}"
+                )
+            }
+            None => {
+                let mut string_arms = String::new();
+                let mut object_arms = String::new();
+                for v in variants {
+                    let tag_name = variant_tag(&v.name, item.rename_all.as_deref());
+                    match &v.payload {
+                        Payload::Unit => string_arms.push_str(&format!(
+                            "\"{tag_name}\" => Ok({name}::{}),\n",
+                            v.name
+                        )),
+                        Payload::Newtype => object_arms.push_str(&format!(
+                            "\"{tag_name}\" => Ok({name}::{}(::serde::Deserialize::from_value(__inner)?)),\n",
+                            v.name
+                        )),
+                        Payload::Struct(fields) => object_arms.push_str(&format!(
+                            "\"{tag_name}\" => Ok({name}::{} {{\n{}\n}}),\n",
+                            v.name,
+                            gen_field_inits(fields, "__inner", name)
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}\
+                             __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                         }},\n\
+                         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                             let (__k, __inner) = &__entries[0];\n\
+                             match __k.as_str() {{\n{object_arms}\
+                                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                             }}\n\
+                         }}\n\
+                         _ => Err(::serde::DeError::custom(\"expected string or single-key object for `{name}`\")),\n\
+                     }}"
+                )
+            }
+        },
+    };
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,576 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Converts between JSON text and the `serde` stand-in's [`Value`] tree.
+//! Output is always compact (no whitespace), object keys keep declaration
+//! order, and integers stay in `u64`/`i64` without a lossy trip through
+//! `f64` — together these make serialized output deterministic and
+//! byte-stable, which the decision-log tests depend on.
+//!
+//! Floats are written with Rust's shortest-round-trip `Display`; the
+//! `float_roundtrip` feature the real crate offers is therefore declared but
+//! has nothing to switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Number, Serialize};
+
+pub use serde::Value;
+
+/// A JSON serialization or deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+/// Renders any serializable value as a [`Value`] tree.
+///
+/// This is also the entry point the [`json!`] macro uses for interpolated
+/// expressions.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// Fails on syntax errors, trailing non-whitespace, or a shape mismatch
+/// with `T` (e.g. missing required fields) — callers like the decision-log
+/// reader count these failures as malformed lines.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let v = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::from_value(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Builds a [`Value`] from JSON-like syntax with interpolated expressions.
+///
+/// Supports the shapes the workspace uses: object literals with string-
+/// literal keys, array literals, `null`, and arbitrary serializable
+/// expressions (including nested `json!` calls).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::to_value(&$val)) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    use std::fmt::Write;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(Number::U64(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Number(Number::I64(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Number(Number::F64(f)) => {
+            if f.is_finite() {
+                // Rust's Display prints the shortest decimal that
+                // round-trips, always in positional notation — valid JSON.
+                let _ = write!(out, "{f}");
+            } else {
+                // JSON has no NaN/Infinity; mirror real serde_json.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+                Ok(Value::Object(entries))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require a paired \uXXXX.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(Error::new("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = chunk
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("invalid utf-8 in string"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new("invalid number"));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<u64>() {
+                    if let Ok(i) = i64::try_from(n) {
+                        return Ok(Value::Number(Number::I64(-i)));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error::new("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: u64,
+        name: String,
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        score: Option<f64>,
+        values: Vec<f64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    #[serde(tag = "kind", rename_all = "snake_case")]
+    enum Tagged {
+        AlphaBeta(Record),
+        Other(Inner),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        x: i64,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Plain,
+        Weighted(f64),
+        Shaped { rows: usize, cols: usize },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Generic<C> {
+        context: C,
+        weight: f64,
+    }
+
+    #[test]
+    fn struct_round_trips_compact_in_order() {
+        let r = Record {
+            id: 7,
+            name: "a\"b".to_string(),
+            score: None,
+            values: vec![0.5, 2.0],
+        };
+        let json = to_string(&r).unwrap();
+        assert_eq!(json, r#"{"id":7,"name":"a\"b","values":[0.5,2]}"#);
+        assert_eq!(from_str::<Record>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn skipped_option_serializes_when_present() {
+        let r = Record {
+            id: 1,
+            name: "x".to_string(),
+            score: Some(0.25),
+            values: vec![],
+        };
+        let json = to_string(&r).unwrap();
+        assert!(json.contains(r#""score":0.25"#), "{json}");
+        assert_eq!(from_str::<Record>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn tagged_enum_puts_snake_case_tag_first() {
+        let t = Tagged::AlphaBeta(Record {
+            id: 2,
+            name: "n".to_string(),
+            score: None,
+            values: vec![1.0],
+        });
+        let json = to_string(&t).unwrap();
+        assert!(json.starts_with(r#"{"kind":"alpha_beta""#), "{json}");
+        assert_eq!(from_str::<Tagged>(&json).unwrap(), t);
+        let o = Tagged::Other(Inner { x: -3 });
+        let json = to_string(&o).unwrap();
+        assert!(json.contains(r#""kind":"other"#), "{json}");
+        assert_eq!(from_str::<Tagged>(&json).unwrap(), o);
+    }
+
+    #[test]
+    fn untagged_enum_variants_round_trip() {
+        for m in [
+            Mixed::Plain,
+            Mixed::Weighted(1.5),
+            Mixed::Shaped { rows: 2, cols: 3 },
+        ] {
+            let json = to_string(&m).unwrap();
+            assert_eq!(from_str::<Mixed>(&json).unwrap(), m, "{json}");
+        }
+        assert_eq!(to_string(&Mixed::Plain).unwrap(), r#""Plain""#);
+        assert_eq!(
+            to_string(&Mixed::Weighted(1.5)).unwrap(),
+            r#"{"Weighted":1.5}"#
+        );
+    }
+
+    #[test]
+    fn newtype_struct_is_transparent() {
+        let w = Wrapper(u64::MAX);
+        let json = to_string(&w).unwrap();
+        assert_eq!(json, format!("{}", u64::MAX));
+        assert_eq!(from_str::<Wrapper>(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn generic_struct_round_trips() {
+        let g = Generic {
+            context: vec![1.0f64, -2.0],
+            weight: 0.125,
+        };
+        let json = to_string(&g).unwrap();
+        assert_eq!(from_str::<Generic<Vec<f64>>>(&json).unwrap(), g);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        assert!(from_str::<Record>(r#"{"id":1,"name":"x"}"#).is_err());
+        // `score` is optional and may be absent…
+        let r: Record = from_str(r#"{"id":1,"name":"x","values":[]}"#).unwrap();
+        assert_eq!(r.score, None);
+        // …and unknown fields are ignored.
+        let r: Record = from_str(r#"{"id":1,"name":"x","values":[],"extra":true}"#).unwrap();
+        assert_eq!(r.id, 1);
+    }
+
+    #[test]
+    fn syntax_errors_are_errors() {
+        assert!(from_str::<Value>("this is not json").is_err());
+        assert!(from_str::<Value>(r#"{"a":1"#).is_err());
+        assert!(from_str::<Value>(r#"{"a":1} trailing"#).is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn large_u64_round_trips_exactly() {
+        let big = u64::MAX - 3;
+        let json = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), big);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nwith \"quotes\" and \\ unicode → ünïcode \u{0007}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        let decoded: String = from_str(r#""surrogate pair: 😀""#).unwrap();
+        assert_eq!(decoded, "surrogate pair: 😀");
+    }
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let rows = [1.5f64, 2.5];
+        let v = json!({ "artifact": "fig1", "rows": rows, "nested": json!({ "n": 3u64 }) });
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"artifact":"fig1","rows":[1.5,2.5],"nested":{"n":3}}"#
+        );
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string(&json!([1u64, 2u64])).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
