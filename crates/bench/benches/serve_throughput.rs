@@ -14,7 +14,10 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use harvest_core::scorer::LinearScorer;
 use harvest_core::SimpleContext;
-use harvest_serve::logger::spawn_writer;
+use harvest_log::segment::SegmentConfig;
+use harvest_serve::supervisor::{
+    spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle,
+};
 use harvest_serve::{
     Backpressure, DecisionEngine, EngineConfig, LoggerConfig, PolicyRegistry, ServeMetrics,
     ServePolicy,
@@ -25,12 +28,7 @@ const DECISIONS_PER_THREAD: usize = 1_000;
 const ACTIONS: usize = 8;
 const FEATURES: usize = 32;
 
-fn engine(
-    shards: usize,
-) -> (
-    DecisionEngine,
-    harvest_serve::logger::LogWriterHandle<std::io::Sink>,
-) {
+fn engine(shards: usize) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sink>) {
     let metrics = Arc::new(ServeMetrics::new());
     // A realistically-sized model: 8 actions × 32 shared features. The
     // scorer pass runs under the shard lock, so this is the contended work.
@@ -52,8 +50,15 @@ fn engine(
     let cfg = LoggerConfig {
         capacity: 4096,
         backpressure: Backpressure::DropNewest,
+        segment: SegmentConfig::default(),
     };
-    let (logger, writer) = spawn_writer(cfg, Arc::clone(&metrics), std::io::sink());
+    let (logger, writer) = spawn_supervised_writer(
+        cfg,
+        SupervisorConfig::default(),
+        Arc::clone(&metrics),
+        None,
+        std::io::sink(),
+    );
     let engine = DecisionEngine::new(
         &EngineConfig {
             shards,
@@ -86,7 +91,7 @@ fn bench(c: &mut Criterion) {
                         s.spawn(move || {
                             let shard = t % shards;
                             for i in 0..DECISIONS_PER_THREAD {
-                                black_box(engine.decide(shard, i as u64, ctx));
+                                black_box(engine.decide(shard, i as u64, ctx).unwrap());
                             }
                         });
                     }

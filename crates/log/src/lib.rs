@@ -22,6 +22,12 @@
 //! Rewards that the system does not record at decision time (the next access
 //! to an evicted item) are reconstructed by looking ahead in the logs
 //! ([`reward`]), exactly as §3 describes for Redis.
+//!
+//! For logs written by the live serve loop (rather than scavenged from an
+//! existing system), [`segment`] provides the crash-safe on-disk format:
+//! checksummed, length-prefixed frames in rotating segments, recovered by
+//! replaying the longest valid prefix and quarantining — counting, never
+//! silently skipping — damaged tails.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +38,12 @@ pub mod propensity;
 pub mod record;
 pub mod reward;
 pub mod scavenge;
+pub mod segment;
 
 pub use pipeline::{HarvestPipeline, HarvestReport};
 pub use propensity::{EstimatedPropensity, KnownPropensity, PropensityModel};
 pub use record::{DecisionRecord, OutcomeRecord};
+pub use segment::{
+    recover_segment, recover_segments, MemorySegments, RecoveryStats, SegmentConfig,
+    SegmentedLogWriter,
+};

@@ -5,6 +5,7 @@ use harvest_core::{Dataset, HarvestError, LoggedDecision, SimpleContext};
 use crate::propensity::PropensityModel;
 use crate::record::LogRecord;
 use crate::scavenge::{scavenge, ScavengeStats};
+use crate::segment::recover_segments;
 
 /// What the pipeline produced, with provenance counters for the report a
 /// real deployment would want.
@@ -86,6 +87,20 @@ impl<M: PropensityModel<SimpleContext>> HarvestPipeline<M> {
         if dataset.is_empty() {
             report.min_propensity = 0.0;
         }
+        Ok((dataset, report))
+    }
+
+    /// Runs the pipeline on crash-safe log segments: recovers the longest
+    /// valid prefix of each, then harvests the surviving records. Damage is
+    /// carried into `report.scavenge.quarantined` — a corrupted log yields a
+    /// smaller dataset and says so, never a silently wrong one.
+    pub fn run_segments(
+        &self,
+        segments: &[Vec<u8>],
+    ) -> Result<(Dataset<SimpleContext>, HarvestReport), HarvestError> {
+        let (records, recovery) = recover_segments(segments);
+        let (dataset, mut report) = self.run(&records)?;
+        report.scavenge.quarantined = recovery.quarantined_records;
         Ok((dataset, report))
     }
 }

@@ -17,9 +17,10 @@ use harvest_log::record::{DecisionRecord, LogRecord};
 use harvest_sim_net::rng::{fork_rng_indexed, DetRng};
 use rand::Rng;
 
+use crate::error::{lock_recovering, ServeError};
 use crate::logger::DecisionLogger;
 use crate::metrics::ServeMetrics;
-use crate::registry::{CachedPolicy, PolicyRegistry};
+use crate::registry::{CachedPolicy, PolicyRegistry, ServePolicy};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +62,10 @@ pub struct Decision {
     pub explored: bool,
     /// The policy generation that made the call.
     pub generation: u64,
+    /// Whether this decision was served by the safe fallback policy (the
+    /// circuit breaker was open). Degraded decisions still carry exact
+    /// propensities and are logged normally.
+    pub degraded: bool,
 }
 
 /// Bits reserved for the per-shard sequence number inside a request id.
@@ -128,21 +133,49 @@ impl DecisionEngine {
         self.shards.len()
     }
 
+    /// Serves one decision on `shard` at logical time `now_ns` under the
+    /// incumbent policy. See [`DecisionEngine::decide_with`].
+    pub fn decide(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        ctx: &SimpleContext,
+    ) -> Result<Decision, ServeError> {
+        self.decide_with(shard, now_ns, ctx, None)
+    }
+
     /// Serves one decision on `shard` at logical time `now_ns`.
     ///
-    /// Samples ε-greedy around the incumbent: the greedy action keeps
-    /// probability `1 − ε + ε/K`, every other action `ε/K` (the uniform
-    /// bootstrap serves `1/K` each). The decision record — context, action,
-    /// exact propensity — goes to the log queue before this returns.
+    /// Samples ε-greedy around the serving policy — the incumbent, or
+    /// `fallback` when the circuit breaker has forced degraded mode. The
+    /// greedy action keeps probability `1 − ε + ε/K`, every other action
+    /// `ε/K` (a policy with no greedy action serves `1/K` each). The
+    /// decision record — context, action, exact propensity — goes to the
+    /// log queue before this returns, degraded or not: even safe-arm
+    /// traffic stays harvestable.
     ///
-    /// # Panics
-    ///
-    /// Panics if `shard >= num_shards()`.
-    pub fn decide(&self, shard: usize, now_ns: u64, ctx: &SimpleContext) -> Decision {
-        let mut guard = self.shards[shard].lock().expect("shard poisoned");
+    /// A poisoned shard lock (another caller panicked mid-decision) is
+    /// recovered and counted, never propagated: the shard's RNG, sequence
+    /// counter, and policy cache are each valid at every instant.
+    pub fn decide_with(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        ctx: &SimpleContext,
+        fallback: Option<&ServePolicy>,
+    ) -> Result<Decision, ServeError> {
+        if shard >= self.shards.len() {
+            return Err(ServeError::ShardOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
         let version = Arc::clone(guard.cache.get(&self.registry));
+        let degraded = fallback.is_some();
+        let policy = fallback.unwrap_or(&version.policy);
         let k = ctx.num_actions();
-        let (action, propensity, explored) = match version.policy.greedy_action(ctx) {
+        let (action, propensity, explored) = match policy.greedy_action(ctx) {
             None => (guard.rng.gen_range(0..k), 1.0 / k as f64, true),
             Some(greedy) => {
                 let floor = self.epsilon / k as f64;
@@ -165,6 +198,9 @@ impl DecisionEngine {
         drop(guard);
 
         self.metrics.record_decision(now_ns, explored);
+        if degraded {
+            self.metrics.record_degraded();
+        }
         let action_features: Option<Vec<Vec<f64>>> = if ctx.action_feature_dim() > 0 {
             Some((0..k).map(|a| ctx.action_features(a).to_vec()).collect())
         } else {
@@ -181,33 +217,67 @@ impl DecisionEngine {
             propensity: Some(propensity),
             reward: None,
         }));
-        Decision {
+        Ok(Decision {
             request_id,
             shard,
             action,
             propensity,
             explored,
             generation: version.generation,
-        }
+            degraded,
+        })
+    }
+
+    /// Chaos hook: poisons `shard`'s lock by panicking (and catching the
+    /// panic) while holding it — exactly the state a caller crash would
+    /// leave behind. The next [`decide`](DecisionEngine::decide) on the
+    /// shard recovers and counts it. Returns `false` for an unknown shard.
+    pub fn poison_shard(&self, shard: usize) -> bool {
+        let Some(slot) = self.shards.get(shard) else {
+            return false;
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("chaos: shard {shard} lock poisoned");
+        }));
+        debug_assert!(result.is_err());
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::logger::{spawn_writer, LoggerConfig};
-    use crate::registry::ServePolicy;
+    use crate::logger::LoggerConfig;
+    use crate::supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
     use harvest_core::scorer::LinearScorer;
-    use harvest_log::record::read_json_lines;
+    use harvest_log::segment::MemorySegments;
 
     fn engine(
         shards: usize,
         seed: u64,
-    ) -> (DecisionEngine, crate::logger::LogWriterHandle<Vec<u8>>) {
+    ) -> (DecisionEngine, WriterSupervisorHandle<MemorySegments>) {
+        engine_with(shards, seed, ServePolicy::Uniform)
+    }
+
+    fn engine_with(
+        shards: usize,
+        seed: u64,
+        policy: ServePolicy,
+    ) -> (DecisionEngine, WriterSupervisorHandle<MemorySegments>) {
         let metrics = Arc::new(ServeMetrics::new());
-        let registry = Arc::new(PolicyRegistry::new(ServePolicy::Uniform, "bootstrap"));
-        let (logger, writer) =
-            spawn_writer(LoggerConfig::default(), Arc::clone(&metrics), Vec::new());
+        let registry = Arc::new(PolicyRegistry::with_metrics(
+            policy,
+            "bootstrap",
+            Arc::clone(&metrics),
+        ));
+        let (logger, writer) = spawn_supervised_writer(
+            LoggerConfig::default(),
+            SupervisorConfig::default(),
+            Arc::clone(&metrics),
+            None,
+            MemorySegments::new(),
+        );
         let cfg = EngineConfig {
             shards,
             epsilon: 0.2,
@@ -224,8 +294,8 @@ mod tests {
         let (b, wb) = engine(2, 42);
         for i in 0..200 {
             assert_eq!(
-                a.decide(i % 2, i as u64, &ctx),
-                b.decide(i % 2, i as u64, &ctx)
+                a.decide(i % 2, i as u64, &ctx).unwrap(),
+                b.decide(i % 2, i as u64, &ctx).unwrap()
             );
         }
         drop((a, b));
@@ -240,7 +310,10 @@ mod tests {
         let (big, wb) = engine(8, 7);
         // Shard 0's stream is identical whether the engine has 1 or 8 shards.
         for i in 0..100 {
-            assert_eq!(small.decide(0, i, &ctx), big.decide(0, i, &ctx));
+            assert_eq!(
+                small.decide(0, i, &ctx).unwrap(),
+                big.decide(0, i, &ctx).unwrap()
+            );
         }
         drop((small, big));
         ws.finish().unwrap();
@@ -253,7 +326,7 @@ mod tests {
         let (e, w) = engine(4, 1);
         let mut seen = std::collections::HashSet::new();
         for i in 0..400 {
-            let d = e.decide(i % 4, i as u64, &ctx);
+            let d = e.decide(i % 4, i as u64, &ctx).unwrap();
             assert!(seen.insert(d.request_id), "duplicate id {}", d.request_id);
         }
         drop(e);
@@ -261,25 +334,82 @@ mod tests {
     }
 
     #[test]
-    fn propensities_match_the_served_distribution() {
-        let metrics = Arc::new(ServeMetrics::new());
+    fn out_of_range_shard_is_an_error_not_a_panic() {
+        let ctx = SimpleContext::contextless(3);
+        let (e, w) = engine(2, 1);
+        match e.decide(5, 0, &ctx) {
+            Err(ServeError::ShardOutOfRange {
+                shard: 5,
+                shards: 2,
+            }) => {}
+            other => panic!("expected ShardOutOfRange, got {other:?}"),
+        }
+        drop(e);
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_the_stream_continues() {
+        let ctx = SimpleContext::new(vec![0.5], 4);
+        let (clean, wc) = engine(1, 23);
+        let (hurt, wh) = engine(1, 23);
+        for i in 0..50 {
+            assert_eq!(
+                clean.decide(0, i, &ctx).unwrap(),
+                hurt.decide(0, i, &ctx).unwrap()
+            );
+        }
+        assert!(hurt.poison_shard(0));
+        assert!(!hurt.poison_shard(9));
+        // Decisions after recovery are identical to the unpoisoned engine:
+        // the shard state (RNG, seq, cache) survives the poison intact.
+        for i in 50..100 {
+            assert_eq!(
+                clean.decide(0, i, &ctx).unwrap(),
+                hurt.decide(0, i, &ctx).unwrap()
+            );
+        }
+        assert!(hurt.metrics.snapshot().lock_recoveries >= 1);
+        assert_eq!(clean.metrics.snapshot().lock_recoveries, 0);
+        drop((clean, hurt));
+        wc.finish().unwrap();
+        wh.finish().unwrap();
+    }
+
+    #[test]
+    fn fallback_policy_overrides_the_incumbent_and_marks_degraded() {
         let scorer = LinearScorer::PerAction {
             weights: vec![vec![0.0], vec![1.0], vec![0.0], vec![0.0]],
         };
-        let registry = Arc::new(PolicyRegistry::new(ServePolicy::Greedy(scorer), "g"));
-        let (logger, writer) =
-            spawn_writer(LoggerConfig::default(), Arc::clone(&metrics), Vec::new());
-        let cfg = EngineConfig {
-            shards: 1,
-            epsilon: 0.2,
-            master_seed: 3,
-            component: "test".to_string(),
+        let (e, w) = engine_with(1, 11, ServePolicy::Greedy(scorer));
+        let ctx = SimpleContext::contextless(4);
+        let safe = ServePolicy::Uniform;
+        for i in 0..200 {
+            let d = e.decide_with(0, i, &ctx, Some(&safe)).unwrap();
+            assert!(d.degraded);
+            // Uniform fallback: exact propensity 1/K, never the greedy mix.
+            assert!((d.propensity - 0.25).abs() < 1e-12);
+        }
+        let s = e.metrics.snapshot();
+        assert_eq!(s.degraded_decisions, 200);
+        drop(e);
+        let store = w.finish().unwrap();
+        let (records, stats) = store.recover();
+        assert_eq!(stats.recovered, 200);
+        assert_eq!(records.len(), 200);
+    }
+
+    #[test]
+    fn propensities_match_the_served_distribution() {
+        let scorer = LinearScorer::PerAction {
+            weights: vec![vec![0.0], vec![1.0], vec![0.0], vec![0.0]],
         };
-        let e = DecisionEngine::new(&cfg, registry, Arc::clone(&metrics), logger);
+        let (e, writer) = engine_with(1, 3, ServePolicy::Greedy(scorer));
         let ctx = SimpleContext::contextless(4);
         let mut saw_explore = false;
         for i in 0..500 {
-            let d = e.decide(0, i, &ctx);
+            let d = e.decide(0, i, &ctx).unwrap();
+            assert!(!d.degraded);
             if d.action == 1 {
                 assert!((d.propensity - (0.8 + 0.05)).abs() < 1e-12);
             } else {
@@ -288,7 +418,7 @@ mod tests {
             }
         }
         assert!(saw_explore, "exploration floor never fired in 500 draws");
-        let s = metrics.snapshot();
+        let s = e.metrics.snapshot();
         assert_eq!(s.decisions, 500);
         // ε = 0.2: the exploration branch fires ~100 times in 500.
         assert!(
@@ -297,8 +427,9 @@ mod tests {
             s.explorations
         );
         drop(e);
-        let buf = writer.finish().unwrap();
-        let (records, _) = read_json_lines(buf.as_slice()).unwrap();
+        let store = writer.finish().unwrap();
+        let (records, stats) = store.recover();
+        assert_eq!(stats.quarantined_records, 0);
         assert_eq!(records.len(), 500);
     }
 }

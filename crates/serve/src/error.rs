@@ -1,0 +1,141 @@
+//! Recoverable service errors and poison-tolerant locking.
+//!
+//! The chaos-hardening rule for locks: a poisoned mutex in this crate means
+//! a thread panicked while holding it, and every structure we guard is
+//! valid at every instant it is held (counters, append-only buffers, the
+//! joiner's maps are updated atomically from the caller's view). So poison
+//! is *recovered*, counted in [`ServeMetrics::record_lock_recovery`], and
+//! serving continues. The only place a panic is re-raised is
+//! [`WriterSupervisorHandle::finish`](crate::supervisor::WriterSupervisorHandle::finish)
+//! at shutdown — after the supervisor itself has given up.
+//!
+//! [`ServeMetrics::record_lock_recovery`]: crate::metrics::ServeMetrics::record_lock_recovery
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard};
+
+use harvest_core::HarvestError;
+
+use crate::metrics::ServeMetrics;
+
+/// What can go wrong on the service surface without taking the service
+/// down. Callers get an error value, never a panic, for every fault class
+/// the chaos harness injects.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A decision was requested on a shard the engine does not have.
+    ShardOutOfRange {
+        /// The shard asked for.
+        shard: usize,
+        /// How many shards exist.
+        shards: usize,
+    },
+    /// The log writer exhausted its restart budget and is permanently down.
+    WriterDown,
+    /// The trainer panicked mid-fit; the incumbent keeps serving.
+    TrainerCrashed {
+        /// Which training round (0-based attempt index) crashed.
+        round: u64,
+    },
+    /// The training pipeline returned a structured error.
+    Train(HarvestError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range (engine has {shards})")
+            }
+            ServeError::WriterDown => {
+                write!(f, "log writer permanently down (restart budget exhausted)")
+            }
+            ServeError::TrainerCrashed { round } => {
+                write!(f, "trainer crashed mid-fit in round {round}")
+            }
+            ServeError::Train(e) => write!(f, "training round failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HarvestError> for ServeError {
+    fn from(e: HarvestError) -> Self {
+        ServeError::Train(e)
+    }
+}
+
+/// Locks `mutex`, recovering from poison instead of panicking.
+///
+/// A recovery is counted in `metrics` when given; the data behind every
+/// mutex this is used on is consistent at all times (see module docs), so
+/// continuing with the inner value is sound. The poison flag is cleared on
+/// recovery — poison is sticky by default, and without clearing it a single
+/// panic would count a "fault" on every later lock of the same mutex,
+/// keeping the circuit breaker's fault signal rising forever.
+pub(crate) fn lock_recovering<'a, T>(
+    mutex: &'a Mutex<T>,
+    metrics: Option<&ServeMetrics>,
+) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            if let Some(m) = metrics {
+                m.record_lock_recovery();
+            }
+            mutex.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_counted() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = Arc::clone(&m);
+        let _ = catch_unwind(AssertUnwindSafe(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        let guard = lock_recovering(&m, Some(&metrics));
+        assert_eq!(*guard, 7);
+        assert_eq!(metrics.snapshot().lock_recoveries, 1);
+        drop(guard);
+        // Recovery clears the poison flag: one panic is one fault, not a
+        // fault on every later lock of the same mutex.
+        assert!(!m.is_poisoned());
+        let _again = lock_recovering(&m, Some(&metrics));
+        assert_eq!(metrics.snapshot().lock_recoveries, 1);
+    }
+
+    #[test]
+    fn display_formats_every_variant() {
+        let variants: Vec<ServeError> = vec![
+            ServeError::ShardOutOfRange {
+                shard: 9,
+                shards: 4,
+            },
+            ServeError::WriterDown,
+            ServeError::TrainerCrashed { round: 3 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

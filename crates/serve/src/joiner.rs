@@ -34,6 +34,9 @@ pub enum JoinOutcome {
     Expired,
     /// No decision with this id was ever tracked.
     Unknown,
+    /// The reward was lost in flight (chaos drop) before reaching the
+    /// joiner; counted as `rewards_lost`, the decision stays pending.
+    Lost,
 }
 
 /// Joins delayed rewards to tracked decisions within a logical-time TTL.

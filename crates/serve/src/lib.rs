@@ -5,57 +5,86 @@
 //! paper envisions (§3's Decision Service): a process that serves randomized
 //! decisions, logs its own exploration, learns from that log, and promotes
 //! better policies into the serving path without stopping — the harvesting
-//! loop closed end to end.
+//! loop closed end to end, and hardened to keep serving through crashes.
 //!
 //! ```text
-//!   requests ──▶ DecisionEngine (N shards, ε-floor, exact propensities)
-//!                   │    ▲ atomic hot-swap
-//!                   │    └────────────── PolicyRegistry ◀── promote
-//!                   ▼                                          │ gate: LCB >
-//!            bounded MPSC queue                                │ incumbent
-//!                   │                                          │
-//!                   ▼                                          │
-//!            log writer thread ──▶ JSON lines ──▶ Trainer (scavenge → fit)
-//!   rewards ──▶ RewardJoiner (TTL) ──────┘
+//!   requests ──▶ CircuitBreaker ──▶ DecisionEngine (N shards, ε-floor,
+//!                   │ open: safe arm     │    ▲ exact propensities)
+//!                   │                    │    │ atomic hot-swap
+//!                   │                    │    └── PolicyRegistry ◀── promote
+//!                   ▼                    ▼                            │ gate:
+//!              safe policy        bounded MPSC queue                 │ LCB >
+//!           (still logged with          │                            │ incumbent
+//!            exact propensities)        ▼                            │
+//!              supervised writer (restart + backoff, sealed tails)   │
+//!                   │                                                │
+//!                   ▼                                                │
+//!        crash-safe segments (len ‖ crc32 ‖ payload) ──▶ recovery ──▶ Trainer
+//!   rewards ──▶ RewardJoiner (TTL) ─────────┘          (longest valid prefix,
+//!                                                       quarantine the rest)
 //! ```
 //!
-//! Five design rules, each load-bearing:
+//! Seven design rules, each load-bearing:
 //!
 //! 1. **Exact propensities or nothing.** Every decision is sampled from a
 //!    distribution with a known ε floor, and that exact probability is
 //!    stamped into the record. This is what makes the log harvestable
 //!    (paper Eq. 1 needs `ε > 0` and known `p`).
 //! 2. **Determinism by construction.** Per-shard RNGs are forked from one
-//!    master seed by label and index; time is the caller's logical clock.
-//!    Same seed + same call sequence ⇒ byte-identical decision log.
+//!    master seed by label and index; time is the caller's logical clock;
+//!    even fault schedules ([`ChaosPlan`]) are seeded. Same seed + same
+//!    call sequence ⇒ byte-identical decision log, faults included.
 //! 3. **Readers never wait on learners.** The serving path sees policy
 //!    updates through one atomic generation check; promotion is an `Arc`
 //!    flip, not a lock held across training.
 //! 4. **Bounded everywhere.** The log queue has a capacity and an explicit
-//!    backpressure policy; the reward joiner has a TTL. Overload degrades
-//!    measurably (counted drops, counted timeouts), never silently.
+//!    backpressure policy; the reward joiner has a TTL; the writer has a
+//!    restart budget and capped backoff. Overload degrades measurably
+//!    (counted drops, counted timeouts), never silently.
 //! 5. **Promotion is gated, not hoped.** A candidate ships only when its
 //!    finite-sample lower confidence bound beats the incumbent's point
 //!    estimate on the same harvested data.
+//! 6. **No record vanishes from the ledger.** Every record offered to the
+//!    log counts `enqueued`; once the pipeline drains,
+//!    `enqueued == written + dropped + quarantined`. Corrupt bytes at
+//!    recovery are quarantined and counted, never silently skipped.
+//! 7. **Degrade, don't die.** Poisoned locks are recovered and counted; a
+//!    crashed writer restarts with backoff; a degraded pipeline flips the
+//!    [`CircuitBreaker`] to the safe arm (paper §3) — which still logs
+//!    exact propensities, so even degraded traffic is harvestable.
 //!
 //! See `examples/harvest_serve.rs` for the loop driven end to end against
-//! the load-balancer simulator.
+//! the load-balancer simulator, and `examples/chaos_harvest.rs` for the
+//! same loop under a seeded fault schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod engine;
+pub mod error;
 pub mod joiner;
 pub mod logger;
 pub mod metrics;
 pub mod registry;
 pub mod service;
+pub mod supervisor;
 pub mod trainer;
 
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use chaos::apply_at_rest_faults;
 pub use engine::{Decision, DecisionEngine, EngineConfig};
+pub use error::ServeError;
 pub use joiner::{JoinOutcome, RewardJoiner};
-pub use logger::{Backpressure, DecisionLogger, LoggerConfig, SharedBuffer};
+pub use logger::{Backpressure, DecisionLogger, LoggerConfig};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
 pub use service::{DecisionService, PromotionReport, ServiceConfig};
+pub use supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
 pub use trainer::{GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig};
+
+// Re-exported so chaos tests and examples need only this crate.
+pub use harvest_sim_net::fault::{
+    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanConfig, RewardFault, WriterFault,
+};

@@ -1,22 +1,24 @@
-//! The batched decision log: a bounded queue into one writer thread.
+//! The decision-log producer: a bounded queue into the supervised writer.
 //!
 //! The decision path must never do file I/O, so shards push records into a
-//! bounded MPSC channel and a single writer thread drains it in batches,
-//! emitting JSON lines that [`harvest_log`]'s scavenger reads back verbatim.
-//! The queue bound forces an explicit [`Backpressure`] choice: block the
-//! decision path until the writer catches up (lossless, adds latency) or
-//! drop the newest record and count it (lossy, never stalls serving).
+//! bounded MPSC channel and the supervised writer thread (see
+//! [`supervisor`](crate::supervisor)) drains it in batches into crash-safe
+//! log segments ([`harvest_log::segment`]). The queue bound forces an
+//! explicit [`Backpressure`] choice: block the decision path until the
+//! writer catches up (lossless, adds latency) or drop the newest record and
+//! count it (lossy, never stalls serving).
 //!
-//! Accounting invariant, checked by property tests: every record offered to
-//! [`DecisionLogger::log`] is eventually either written or dropped —
-//! `enqueued == written + dropped` once the writer has been joined.
+//! Accounting invariant, checked by property and chaos tests: **every**
+//! record offered to [`DecisionLogger::log`] is counted `enqueued`, and
+//! once the pipeline drains, `enqueued == written + dropped + quarantined`.
+//! No fault class — backpressure, writer crash, torn write, permanent
+//! writer death — can make a record vanish from that ledger.
 
-use std::io::{self, Write};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
 
-use harvest_log::record::{JsonLinesWriter, LogRecord};
+use harvest_log::record::LogRecord;
+use harvest_log::segment::SegmentConfig;
 
 use crate::metrics::ServeMetrics;
 
@@ -24,20 +26,24 @@ use crate::metrics::ServeMetrics;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backpressure {
     /// Block the caller until the writer frees a slot. No record is ever
-    /// lost, at the cost of decision latency under sustained overload.
+    /// refused at the door, at the cost of decision latency under sustained
+    /// overload. (A permanently-failed writer still discards — and counts —
+    /// what it cannot persist, so blocking callers are never wedged.)
     Block,
     /// Drop the record being offered and bump the drop counter. Serving
     /// never stalls; the harvested dataset thins out instead.
     DropNewest,
 }
 
-/// Log queue configuration.
+/// Log queue and segment configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LoggerConfig {
     /// Queue capacity in records.
     pub capacity: usize,
     /// Full-queue behavior.
     pub backpressure: Backpressure,
+    /// Rotation thresholds for the crash-safe segments the writer emits.
+    pub segment: SegmentConfig,
 }
 
 impl Default for LoggerConfig {
@@ -45,6 +51,7 @@ impl Default for LoggerConfig {
         LoggerConfig {
             capacity: 4096,
             backpressure: Backpressure::Block,
+            segment: SegmentConfig::default(),
         }
     }
 }
@@ -58,196 +65,38 @@ pub struct DecisionLogger {
 }
 
 impl DecisionLogger {
-    /// Offers one record to the queue. Under [`Backpressure::Block`] this
-    /// waits for space; under [`Backpressure::DropNewest`] a full queue
-    /// drops the record and counts it. Records offered after the writer
-    /// has shut down are counted as dropped.
+    /// Builds the producer half over an existing channel sender. Crate-
+    /// internal: producers come from
+    /// [`spawn_supervised_writer`](crate::supervisor::spawn_supervised_writer).
+    pub(crate) fn new(
+        tx: SyncSender<LogRecord>,
+        backpressure: Backpressure,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        DecisionLogger {
+            tx,
+            backpressure,
+            metrics,
+        }
+    }
+
+    /// Offers one record to the queue. Every offer counts as `enqueued`;
+    /// offers refused by a full queue (under [`Backpressure::DropNewest`])
+    /// or by a shut-down writer additionally count as `dropped`.
     pub fn log(&self, record: LogRecord) {
+        self.metrics.record_enqueued();
         match self.backpressure {
-            Backpressure::Block => match self.tx.send(record) {
-                Ok(()) => self.metrics.record_enqueued(),
-                Err(_) => self.metrics.record_dropped(),
-            },
+            Backpressure::Block => {
+                if self.tx.send(record).is_err() {
+                    self.metrics.record_dropped();
+                }
+            }
             Backpressure::DropNewest => match self.tx.try_send(record) {
-                Ok(()) => self.metrics.record_enqueued(),
+                Ok(()) => {}
                 Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                     self.metrics.record_dropped()
                 }
             },
         }
-    }
-}
-
-/// The writer thread's handle; joins it and recovers the sink.
-#[derive(Debug)]
-pub struct LogWriterHandle<W> {
-    handle: JoinHandle<io::Result<W>>,
-}
-
-impl<W> LogWriterHandle<W> {
-    /// Waits for the writer to drain the queue and returns the sink.
-    ///
-    /// Every [`DecisionLogger`] clone must be dropped first, or this blocks
-    /// forever — the writer runs until the channel disconnects.
-    pub fn finish(self) -> io::Result<W> {
-        self.handle
-            .join()
-            .unwrap_or_else(|e| std::panic::resume_unwind(e))
-    }
-}
-
-/// Spawns the writer thread over `sink` and returns the producer handle.
-pub fn spawn_writer<W: Write + Send + 'static>(
-    cfg: LoggerConfig,
-    metrics: Arc<ServeMetrics>,
-    sink: W,
-) -> (DecisionLogger, LogWriterHandle<W>) {
-    let (tx, rx) = sync_channel(cfg.capacity.max(1));
-    let writer_metrics = Arc::clone(&metrics);
-    let handle = std::thread::Builder::new()
-        .name("harvest-serve-log-writer".to_string())
-        .spawn(move || writer_loop(rx, writer_metrics, sink))
-        .expect("spawn log writer thread");
-    (
-        DecisionLogger {
-            tx,
-            backpressure: cfg.backpressure,
-            metrics,
-        },
-        LogWriterHandle { handle },
-    )
-}
-
-/// Drains the channel in batches: one blocking receive wakes the thread,
-/// then everything already queued is written before a single flush.
-fn writer_loop<W: Write>(
-    rx: Receiver<LogRecord>,
-    metrics: Arc<ServeMetrics>,
-    sink: W,
-) -> io::Result<W> {
-    let mut writer = JsonLinesWriter::new(sink);
-    while let Ok(first) = rx.recv() {
-        writer.write(&first)?;
-        metrics.record_written();
-        while let Ok(more) = rx.try_recv() {
-            writer.write(&more)?;
-            metrics.record_written();
-        }
-        // One flush per batch, not per record.
-        let mut sink = writer.into_inner();
-        sink.flush()?;
-        writer = JsonLinesWriter::new(sink);
-    }
-    Ok(writer.into_inner())
-}
-
-/// An in-memory sink readable while the writer still owns it — the log
-/// "file" for simulations and tests. Clones share the same buffer.
-#[derive(Debug, Clone, Default)]
-pub struct SharedBuffer {
-    inner: Arc<Mutex<Vec<u8>>>,
-}
-
-impl SharedBuffer {
-    /// An empty shared buffer.
-    pub fn new() -> Self {
-        SharedBuffer::default()
-    }
-
-    /// A copy of everything written so far.
-    pub fn contents(&self) -> Vec<u8> {
-        self.inner.lock().expect("shared buffer poisoned").clone()
-    }
-}
-
-impl Write for SharedBuffer {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.inner
-            .lock()
-            .expect("shared buffer poisoned")
-            .extend_from_slice(buf);
-        Ok(buf.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use harvest_log::record::{read_json_lines, OutcomeRecord};
-
-    fn outcome(id: u64) -> LogRecord {
-        LogRecord::Outcome(OutcomeRecord {
-            request_id: id,
-            timestamp_ns: id,
-            reward: 1.0,
-        })
-    }
-
-    #[test]
-    fn blocking_logger_writes_everything_in_order() {
-        let metrics = Arc::new(ServeMetrics::new());
-        let cfg = LoggerConfig {
-            capacity: 2,
-            backpressure: Backpressure::Block,
-        };
-        let (logger, writer) = spawn_writer(cfg, Arc::clone(&metrics), Vec::new());
-        for id in 0..100 {
-            logger.log(outcome(id));
-        }
-        drop(logger);
-        let buf = writer.finish().unwrap();
-        let (records, stats) = read_json_lines(buf.as_slice()).unwrap();
-        assert_eq!(stats.parsed, 100);
-        assert_eq!(stats.malformed, 0);
-        for (i, r) in records.iter().enumerate() {
-            assert_eq!(r, &outcome(i as u64));
-        }
-        let s = metrics.snapshot();
-        assert_eq!(s.log_enqueued, 100);
-        assert_eq!(s.log_written, 100);
-        assert_eq!(s.log_dropped, 0);
-        assert_eq!(s.log_backlog, 0);
-    }
-
-    #[test]
-    fn drop_newest_accounts_for_every_offer() {
-        let metrics = Arc::new(ServeMetrics::new());
-        let cfg = LoggerConfig {
-            capacity: 4,
-            backpressure: Backpressure::DropNewest,
-        };
-        let (logger, writer) = spawn_writer(cfg, Arc::clone(&metrics), Vec::new());
-        let offered = 10_000u64;
-        for id in 0..offered {
-            logger.log(outcome(id));
-        }
-        drop(logger);
-        let buf = writer.finish().unwrap();
-        let (records, _) = read_json_lines(buf.as_slice()).unwrap();
-        let s = metrics.snapshot();
-        assert_eq!(s.log_enqueued + s.log_dropped, offered);
-        assert_eq!(s.log_written, s.log_enqueued);
-        assert_eq!(records.len() as u64, s.log_written);
-        assert_eq!(s.log_backlog, 0);
-    }
-
-    #[test]
-    fn shared_buffer_is_readable_mid_stream() {
-        let metrics = Arc::new(ServeMetrics::new());
-        let sink = SharedBuffer::new();
-        let (logger, writer) = spawn_writer(LoggerConfig::default(), metrics, sink.clone());
-        logger.log(outcome(7));
-        // Wait for the writer to drain the record.
-        while sink.contents().is_empty() {
-            std::thread::yield_now();
-        }
-        let (records, _) = read_json_lines(sink.contents().as_slice()).unwrap();
-        assert_eq!(records, vec![outcome(7)]);
-        drop(logger);
-        writer.finish().unwrap();
     }
 }

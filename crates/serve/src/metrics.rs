@@ -33,6 +33,16 @@ pub struct ServeMetrics {
     swaps: AtomicU64,
     first_decision_ns: AtomicU64,
     last_decision_ns: AtomicU64,
+    // Robustness counters: every fault the chaos harness can inject is
+    // visible here, so "no silent data loss" is checkable from a snapshot.
+    log_quarantined: AtomicU64,
+    lock_recoveries: AtomicU64,
+    writer_restarts: AtomicU64,
+    trainer_crashes: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_rearms: AtomicU64,
+    degraded_decisions: AtomicU64,
+    rewards_lost: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -54,7 +64,9 @@ impl ServeMetrics {
         self.last_decision_ns.fetch_max(now_ns, RELAXED);
     }
 
-    /// Records one record accepted into the log queue.
+    /// Records one record offered to the log pipeline. Every offer lands
+    /// here; the pipeline's conservation law is
+    /// `enqueued == written + dropped + quarantined` once drained.
     pub fn record_enqueued(&self) {
         self.log_enqueued.fetch_add(1, RELAXED);
     }
@@ -64,7 +76,8 @@ impl ServeMetrics {
         self.log_written.fetch_add(1, RELAXED);
     }
 
-    /// Records one record dropped by backpressure.
+    /// Records one record dropped: refused by backpressure, offered after
+    /// shutdown, or discarded by a permanently-failed writer.
     pub fn record_dropped(&self) {
         self.log_dropped.fetch_add(1, RELAXED);
     }
@@ -99,6 +112,58 @@ impl ServeMetrics {
         self.swaps.fetch_add(1, RELAXED);
     }
 
+    /// Records `n` log records lost to damage: a torn write, a failed
+    /// append, or a frame quarantined by segment recovery.
+    pub fn record_quarantined(&self, n: u64) {
+        self.log_quarantined.fetch_add(n, RELAXED);
+    }
+
+    /// Records one poisoned lock recovered instead of propagating the panic.
+    pub fn record_lock_recovery(&self) {
+        self.lock_recoveries.fetch_add(1, RELAXED);
+    }
+
+    /// Records one writer-thread restart by the supervisor.
+    pub fn record_writer_restart(&self) {
+        self.writer_restarts.fetch_add(1, RELAXED);
+    }
+
+    /// Records one trainer crash caught mid-fit.
+    pub fn record_trainer_crash(&self) {
+        self.trainer_crashes.fetch_add(1, RELAXED);
+    }
+
+    /// Records the circuit breaker opening (fall back to the safe policy).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, RELAXED);
+    }
+
+    /// Records the circuit breaker re-arming after sustained health.
+    pub fn record_breaker_rearm(&self) {
+        self.breaker_rearms.fetch_add(1, RELAXED);
+    }
+
+    /// Records one decision served by the safe fallback policy.
+    pub fn record_degraded(&self) {
+        self.degraded_decisions.fetch_add(1, RELAXED);
+    }
+
+    /// Records one reward delivery lost before reaching the joiner.
+    pub fn record_reward_lost(&self) {
+        self.rewards_lost.fetch_add(1, RELAXED);
+    }
+
+    /// The fault signal the circuit breaker watches: a monotone count of
+    /// everything that indicates the log pipeline or trainer is degrading.
+    /// Healthy operation keeps this flat; the breaker trips on its slope.
+    pub fn fault_signal(&self) -> u64 {
+        self.log_dropped.load(RELAXED)
+            + self.log_quarantined.load(RELAXED)
+            + self.lock_recoveries.load(RELAXED)
+            + self.writer_restarts.load(RELAXED)
+            + self.trainer_crashes.load(RELAXED)
+    }
+
     /// Reads every counter at one instant and derives the rates.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let decisions = self.decisions.load(RELAXED);
@@ -106,6 +171,7 @@ impl ServeMetrics {
         let enqueued = self.log_enqueued.load(RELAXED);
         let written = self.log_written.load(RELAXED);
         let dropped = self.log_dropped.load(RELAXED);
+        let quarantined = self.log_quarantined.load(RELAXED);
         let hits = self.join_hits.load(RELAXED);
         let duplicates = self.join_duplicates.load(RELAXED);
         let late = self.join_late.load(RELAXED);
@@ -130,7 +196,8 @@ impl ServeMetrics {
             log_enqueued: enqueued,
             log_written: written,
             log_dropped: dropped,
-            log_backlog: enqueued.saturating_sub(written + dropped),
+            log_quarantined: quarantined,
+            log_backlog: enqueued.saturating_sub(written + dropped + quarantined),
             join_hits: hits,
             join_duplicates: duplicates,
             join_late: late,
@@ -138,6 +205,13 @@ impl ServeMetrics {
             join_hit_rate: ratio(hits, attempts),
             timed_out_decisions: self.timed_out_decisions.load(RELAXED),
             swaps: self.swaps.load(RELAXED),
+            lock_recoveries: self.lock_recoveries.load(RELAXED),
+            writer_restarts: self.writer_restarts.load(RELAXED),
+            trainer_crashes: self.trainer_crashes.load(RELAXED),
+            breaker_trips: self.breaker_trips.load(RELAXED),
+            breaker_rearms: self.breaker_rearms.load(RELAXED),
+            degraded_decisions: self.degraded_decisions.load(RELAXED),
+            rewards_lost: self.rewards_lost.load(RELAXED),
         }
     }
 }
@@ -161,13 +235,17 @@ pub struct MetricsSnapshot {
     pub exploration_rate: f64,
     /// Decisions per logical second (stamped-time span).
     pub decisions_per_sec: f64,
-    /// Records accepted into the log queue.
+    /// Records offered to the log pipeline.
     pub log_enqueued: u64,
     /// Records persisted by the writer thread.
     pub log_written: u64,
-    /// Records dropped by backpressure.
+    /// Records dropped: backpressure, post-shutdown offers, or a
+    /// permanently-failed writer discarding its queue.
     pub log_dropped: u64,
-    /// Records still queued: `enqueued − written − dropped`.
+    /// Records lost to damage — torn writes and failed appends — counted,
+    /// never silently skipped.
+    pub log_quarantined: u64,
+    /// Records still queued: `enqueued − written − dropped − quarantined`.
     pub log_backlog: u64,
     /// Rewards joined within the TTL.
     pub join_hits: u64,
@@ -183,6 +261,21 @@ pub struct MetricsSnapshot {
     pub timed_out_decisions: u64,
     /// Policy hot-swaps performed.
     pub swaps: u64,
+    /// Poisoned locks recovered instead of propagating the panic.
+    pub lock_recoveries: u64,
+    /// Writer-thread restarts performed by the supervisor.
+    pub writer_restarts: u64,
+    /// Trainer crashes caught mid-fit.
+    pub trainer_crashes: u64,
+    /// Circuit-breaker trips (fall back to the safe policy).
+    pub breaker_trips: u64,
+    /// Circuit-breaker re-arms after sustained health.
+    pub breaker_rearms: u64,
+    /// Decisions served by the safe fallback policy while the breaker was
+    /// open.
+    pub degraded_decisions: u64,
+    /// Reward deliveries lost before reaching the joiner.
+    pub rewards_lost: u64,
 }
 
 #[cfg(test)]
@@ -210,6 +303,36 @@ mod tests {
         assert_eq!(s.log_backlog, 1);
         assert!((s.join_hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.swaps, 1);
+    }
+
+    #[test]
+    fn robustness_counters_flow_into_snapshot_and_fault_signal() {
+        let m = ServeMetrics::new();
+        m.record_enqueued();
+        m.record_enqueued();
+        m.record_enqueued();
+        m.record_written();
+        m.record_dropped();
+        m.record_quarantined(1);
+        m.record_lock_recovery();
+        m.record_writer_restart();
+        m.record_trainer_crash();
+        m.record_breaker_trip();
+        m.record_breaker_rearm();
+        m.record_degraded();
+        m.record_reward_lost();
+        let s = m.snapshot();
+        assert_eq!(s.log_quarantined, 1);
+        assert_eq!(s.log_backlog, 0); // 3 enqueued = 1 written + 1 dropped + 1 quarantined
+        assert_eq!(s.lock_recoveries, 1);
+        assert_eq!(s.writer_restarts, 1);
+        assert_eq!(s.trainer_crashes, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_rearms, 1);
+        assert_eq!(s.degraded_decisions, 1);
+        assert_eq!(s.rewards_lost, 1);
+        // dropped + quarantined + lock recovery + restart + trainer crash.
+        assert_eq!(m.fault_signal(), 5);
     }
 
     #[test]

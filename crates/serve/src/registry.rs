@@ -15,6 +15,9 @@ use harvest_core::policy::GreedyPolicy;
 use harvest_core::scorer::LinearScorer;
 use harvest_core::{Context, Policy, SimpleContext};
 
+use crate::error::lock_recovering;
+use crate::metrics::ServeMetrics;
+
 /// A servable policy: either the explore-only bootstrap or a learned scorer
 /// exploited greedily. The engine wraps either in an ε exploration floor.
 #[derive(Debug, Clone)]
@@ -71,11 +74,32 @@ pub struct PolicyRegistry {
     active: AtomicUsize,
     generation: AtomicU64,
     swaps: AtomicU64,
+    /// Counts poison recoveries when present. A slot only ever holds a
+    /// complete `Arc`, so a panic while a slot lock is held cannot leave a
+    /// torn version — recovery is always sound.
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl PolicyRegistry {
     /// Creates a registry serving `initial` as generation 0.
     pub fn new(initial: ServePolicy, name: impl Into<String>) -> Self {
+        Self::build(initial, name, None)
+    }
+
+    /// Like [`PolicyRegistry::new`], reporting lock recoveries to `metrics`.
+    pub fn with_metrics(
+        initial: ServePolicy,
+        name: impl Into<String>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        Self::build(initial, name, Some(metrics))
+    }
+
+    fn build(
+        initial: ServePolicy,
+        name: impl Into<String>,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> Self {
         let v0 = Arc::new(PolicyVersion {
             generation: 0,
             name: name.into(),
@@ -86,14 +110,16 @@ impl PolicyRegistry {
             active: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            metrics,
         }
     }
 
     /// The current incumbent. Locks the active slot briefly; shards use
-    /// [`CachedPolicy`] to avoid even that in steady state.
+    /// [`CachedPolicy`] to avoid even that in steady state. A poisoned slot
+    /// is recovered and counted, never propagated into the decision path.
     pub fn current(&self) -> Arc<PolicyVersion> {
         let idx = self.active.load(Ordering::SeqCst);
-        Arc::clone(&self.slots[idx].lock().expect("registry slot poisoned"))
+        Arc::clone(&lock_recovering(&self.slots[idx], self.metrics.as_deref()))
     }
 
     /// The incumbent's generation number.
@@ -120,7 +146,7 @@ impl PolicyRegistry {
             policy,
         });
         let inactive = 1 - self.active.load(Ordering::SeqCst);
-        *self.slots[inactive].lock().expect("registry slot poisoned") = next;
+        *lock_recovering(&self.slots[inactive], self.metrics.as_deref()) = next;
         self.active.store(inactive, Ordering::SeqCst);
         self.generation.store(gen, Ordering::SeqCst);
         self.swaps.fetch_add(1, Ordering::SeqCst);
@@ -205,6 +231,29 @@ mod tests {
             assert!((probs[a] - 0.05).abs() < 1e-12);
         }
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_slot_is_recovered_and_counted() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let reg = Arc::new(PolicyRegistry::with_metrics(
+            ServePolicy::Uniform,
+            "v0",
+            Arc::clone(&metrics),
+        ));
+        let reg2 = Arc::clone(&reg);
+        // Poison the active slot: a thread panics while holding its lock.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = reg2.slots[reg2.active.load(Ordering::SeqCst)]
+                .lock()
+                .unwrap();
+            panic!("poison the active slot");
+        }));
+        // Reads and promotions keep working; the recovery is counted.
+        assert_eq!(reg.current().generation, 0);
+        assert_eq!(reg.promote(ServePolicy::Uniform, "v1"), 1);
+        assert_eq!(reg.current().generation, 1);
+        assert!(metrics.snapshot().lock_recoveries >= 1);
     }
 
     #[test]

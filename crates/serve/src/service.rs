@@ -1,8 +1,8 @@
 //! The assembled decision service.
 //!
-//! [`DecisionService`] wires the five subsystems together — registry,
-//! sharded engine, bounded log writer, reward joiner, trainer/gate — behind
-//! a three-call surface:
+//! [`DecisionService`] wires the subsystems together — registry, sharded
+//! engine, supervised crash-safe log writer, reward joiner, trainer/gate,
+//! circuit breaker — behind a three-call surface:
 //!
 //! * [`decide`](DecisionService::decide) — serve one request (hot path);
 //! * [`reward`](DecisionService::reward) — report a delayed reward;
@@ -14,19 +14,46 @@
 //! atomic flip. The only wall-clock anywhere is the caller's own `now_ns`
 //! stamp, so a same-seed replay of the same call sequence reproduces the
 //! decision log byte for byte.
+//!
+//! # Failure behavior
+//!
+//! The service is built to keep serving through the fault classes a
+//! [`ChaosPlan`] can inject (and their real-world counterparts):
+//!
+//! * **Writer crashes** are absorbed by the supervisor
+//!   ([`spawn_supervised_writer`]): the thread is restarted with capped
+//!   exponential backoff, torn tails are sealed into their segment, and a
+//!   writer past its restart budget keeps draining the queue — counting
+//!   every record dropped — so `Block`-mode callers never wedge.
+//! * **Poisoned locks** (a panic while a shard, joiner, or registry slot
+//!   lock is held) are recovered and counted, never propagated.
+//! * **Degraded mode**: the [`CircuitBreaker`] watches the fault signal,
+//!   the writer's liveness, and the promotion gate's confidence radius.
+//!   While open, decisions are served by the configured *safe policy*
+//!   (paper §3's safe arm), stamped [`Decision::degraded`], and still log
+//!   exact propensities — degraded traffic remains harvestable.
+//! * **Trainer crashes** surface as [`ServeError::TrainerCrashed`], trip
+//!   the breaker, and leave the incumbent untouched.
 
-use std::io::{self, Write};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use harvest_core::SimpleContext;
 use harvest_log::record::LogRecord;
+use harvest_log::segment::SegmentSink;
+use harvest_sim_net::fault::{ChaosPlan, RewardFault};
 use serde::Serialize;
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::engine::{Decision, DecisionEngine, EngineConfig};
+use crate::error::{lock_recovering, ServeError};
 use crate::joiner::{JoinOutcome, RewardJoiner};
-use crate::logger::{spawn_writer, DecisionLogger, LogWriterHandle, LoggerConfig};
+use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::{PolicyRegistry, ServePolicy};
+use crate::supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
 use crate::trainer::{GateReport, Trainer, TrainerConfig};
 
 /// Everything configurable about the service.
@@ -34,8 +61,16 @@ use crate::trainer::{GateReport, Trainer, TrainerConfig};
 pub struct ServiceConfig {
     /// Decision engine: shards, ε floor, master seed.
     pub engine: EngineConfig,
-    /// Log queue: capacity and backpressure.
+    /// Log queue, backpressure, and segment rotation.
     pub logger: LoggerConfig,
+    /// Writer supervision: restart budget and backoff.
+    pub supervisor: SupervisorConfig,
+    /// Degraded-mode circuit breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// The safe arm served while the breaker is open. Uniform by default:
+    /// its per-action propensity is exactly `1/K`, so even degraded traffic
+    /// yields unbiased harvestable data.
+    pub safe_policy: ServePolicy,
     /// Reward-join TTL in logical nanoseconds.
     pub join_ttl_ns: u64,
     /// Trainer and promotion gate.
@@ -52,6 +87,9 @@ impl Default for ServiceConfig {
             },
             engine,
             logger: LoggerConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            breaker: BreakerConfig::default(),
+            safe_policy: ServePolicy::Uniform,
             join_ttl_ns: 10_000_000_000, // 10 logical seconds
         }
     }
@@ -68,29 +106,60 @@ pub struct PromotionReport {
     pub serving_name: String,
 }
 
-/// The online decision service. `W` is the log sink (a file in production,
-/// a [`SharedBuffer`](crate::logger::SharedBuffer) in simulations).
-pub struct DecisionService<W: Write + Send + 'static> {
+/// The online decision service. `S` is the segment sink the supervised
+/// writer persists into (files in production, [`MemorySegments`] in
+/// simulations and chaos tests).
+///
+/// [`MemorySegments`]: harvest_log::segment::MemorySegments
+pub struct DecisionService<S: SegmentSink + Send + 'static> {
     registry: Arc<PolicyRegistry>,
     engine: DecisionEngine,
     joiner: Mutex<RewardJoiner>,
     logger: DecisionLogger,
-    writer: Option<LogWriterHandle<W>>,
+    writer: Option<WriterSupervisorHandle<S>>,
     metrics: Arc<ServeMetrics>,
     trainer: Trainer,
+    /// Promotion naming counter (`cb-round-N`); advances only on promotion.
     rounds: Mutex<u64>,
+    /// Training-round index for chaos crash scheduling; advances per call.
+    train_rounds: AtomicU64,
+    breaker: CircuitBreaker,
+    safe_policy: ServePolicy,
+    chaos: Option<Arc<ChaosPlan>>,
+    /// Global decision index for chaos scheduling (poison faults).
+    decision_seq: AtomicU64,
+    /// Global reward-call index for chaos scheduling (drop/delay faults).
+    reward_seq: AtomicU64,
 }
 
-impl<W: Write + Send + 'static> DecisionService<W> {
+impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     /// Boots the service with a uniform (explore-only) generation-0
-    /// incumbent, logging to `sink`.
-    pub fn new(cfg: ServiceConfig, sink: W) -> Self {
+    /// incumbent, logging segments into `sink`.
+    pub fn new(cfg: ServiceConfig, sink: S) -> Self {
+        Self::build(cfg, sink, None)
+    }
+
+    /// Like [`DecisionService::new`], with a deterministic fault schedule.
+    /// The same `(config, plan, call sequence)` triple reproduces the same
+    /// faults, the same decisions, and byte-identical log segments.
+    pub fn with_chaos(cfg: ServiceConfig, sink: S, plan: ChaosPlan) -> Self {
+        Self::build(cfg, sink, Some(Arc::new(plan)))
+    }
+
+    fn build(cfg: ServiceConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
         let metrics = Arc::new(ServeMetrics::new());
-        let registry = Arc::new(PolicyRegistry::new(
+        let registry = Arc::new(PolicyRegistry::with_metrics(
             ServePolicy::Uniform,
             "bootstrap-uniform",
+            Arc::clone(&metrics),
         ));
-        let (logger, writer) = spawn_writer(cfg.logger, Arc::clone(&metrics), sink);
+        let (logger, writer) = spawn_supervised_writer(
+            cfg.logger,
+            cfg.supervisor,
+            Arc::clone(&metrics),
+            chaos.clone(),
+            sink,
+        );
         let engine = DecisionEngine::new(
             &cfg.engine,
             Arc::clone(&registry),
@@ -107,30 +176,71 @@ impl<W: Write + Send + 'static> DecisionService<W> {
             metrics,
             trainer: Trainer::new(cfg.trainer),
             rounds: Mutex::new(0),
+            train_rounds: AtomicU64::new(0),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            safe_policy: cfg.safe_policy,
+            chaos,
+            decision_seq: AtomicU64::new(0),
+            reward_seq: AtomicU64::new(0),
         }
     }
 
     /// Serves one decision on `shard` at logical time `now_ns`. The
     /// decision record is queued for the log and tracked for reward joining
     /// before this returns.
-    pub fn decide(&self, shard: usize, now_ns: u64, ctx: &SimpleContext) -> Decision {
-        let decision = self.engine.decide(shard, now_ns, ctx);
-        self.joiner
-            .lock()
-            .expect("joiner poisoned")
-            .track(decision.request_id, now_ns);
-        decision
+    ///
+    /// When the breaker is open the decision is served by the safe policy
+    /// and stamped [`Decision::degraded`]; it still logs its exact
+    /// propensity. An out-of-range shard is an error, never a panic.
+    pub fn decide(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        ctx: &SimpleContext,
+    ) -> Result<Decision, ServeError> {
+        let index = self.decision_seq.fetch_add(1, Ordering::SeqCst);
+        if let Some(chaos) = &self.chaos {
+            if chaos.poison_at(index) {
+                self.engine.poison_shard(shard);
+            }
+        }
+        let writer_alive = self.writer.as_ref().map(|w| w.alive()).unwrap_or(false);
+        let degraded = self.breaker.on_decision(writer_alive, &self.metrics);
+        let fallback = if degraded {
+            Some(&self.safe_policy)
+        } else {
+            None
+        };
+        let decision = self.engine.decide_with(shard, now_ns, ctx, fallback)?;
+        lock_recovering(&self.joiner, Some(&self.metrics)).track(decision.request_id, now_ns);
+        Ok(decision)
     }
 
     /// Reports the delayed reward for `request_id`. Joins within the TTL
     /// produce an outcome record in the log; duplicates and late arrivals
-    /// are refused and counted.
+    /// are refused and counted. Under chaos, a scheduled drop loses the
+    /// reward in flight ([`JoinOutcome::Lost`]) and a scheduled delay
+    /// shifts its observed delivery time forward.
     pub fn reward(&self, request_id: u64, now_ns: u64, reward: f64) -> JoinOutcome {
-        let (outcome, record) = self
-            .joiner
-            .lock()
-            .expect("joiner poisoned")
-            .join(request_id, now_ns, reward);
+        let index = self.reward_seq.fetch_add(1, Ordering::SeqCst);
+        let mut observed_ns = now_ns;
+        if let Some(chaos) = &self.chaos {
+            match chaos.reward_fault_at(index) {
+                Some(RewardFault::Drop) => {
+                    self.metrics.record_reward_lost();
+                    return JoinOutcome::Lost;
+                }
+                Some(RewardFault::Delay { by_ns }) => {
+                    observed_ns = observed_ns.saturating_add(by_ns);
+                }
+                None => {}
+            }
+        }
+        let (outcome, record) = lock_recovering(&self.joiner, Some(&self.metrics)).join(
+            request_id,
+            observed_ns,
+            reward,
+        );
         if let Some(rec) = record {
             self.logger.log(LogRecord::Outcome(rec));
         }
@@ -138,21 +248,47 @@ impl<W: Write + Send + 'static> DecisionService<W> {
     }
 
     /// One harvest → train → gate round over `records` (typically the
-    /// service's own log read back; see [`SharedBuffer`]). On a passing
-    /// gate the candidate is promoted — an atomic hot-swap the shards pick
-    /// up on their next decision. Safe to call from a background thread
-    /// while serving continues.
+    /// service's own segments read back via recovery). On a passing gate
+    /// the candidate is promoted — an atomic hot-swap the shards pick up on
+    /// their next decision. Safe to call from a background thread while
+    /// serving continues.
     ///
-    /// [`SharedBuffer`]: crate::logger::SharedBuffer
+    /// A trainer panic (chaos-injected or real) is caught: the incumbent
+    /// stays, the breaker trips, and [`ServeError::TrainerCrashed`] is
+    /// returned. A gate whose confidence radius has collapsed also trips
+    /// the breaker, even when the round itself succeeds.
     pub fn train_and_maybe_promote(
         &self,
         records: &[LogRecord],
-    ) -> Result<PromotionReport, harvest_core::HarvestError> {
+    ) -> Result<PromotionReport, ServeError> {
+        let round_index = self.train_rounds.fetch_add(1, Ordering::SeqCst);
+        let crash = self
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.trainer_crash_at(round_index));
         let incumbent = self.registry.current();
-        let round = self.trainer.run_round(records, &incumbent.policy)?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if crash {
+                // Model a crash mid-fit: the harvest pass runs (and spends
+                // real work), then the process of fitting dies.
+                let _ = self.trainer.harvest(records);
+                panic!("chaos: trainer crashed mid-fit (round {round_index})");
+            }
+            self.trainer.run_round(records, &incumbent.policy)
+        }));
+        let round = match outcome {
+            Err(_) => {
+                self.metrics.record_trainer_crash();
+                self.breaker.note_trainer_crash(&self.metrics);
+                return Err(ServeError::TrainerCrashed { round: round_index });
+            }
+            Ok(result) => result?,
+        };
+        self.breaker
+            .note_gate(round.gate.n, round.gate.candidate_radius, &self.metrics);
         if round.gate.promoted {
             let round_no = {
-                let mut r = self.rounds.lock().expect("rounds poisoned");
+                let mut r = lock_recovering(&self.rounds, Some(&self.metrics));
                 *r += 1;
                 *r
             };
@@ -180,14 +316,26 @@ impl<W: Write + Send + 'static> DecisionService<W> {
         self.engine.num_shards()
     }
 
+    /// Whether the supervised writer is still accepting records (alive or
+    /// restarting — `false` only once the restart budget is exhausted or
+    /// the service is shutting down).
+    pub fn writer_alive(&self) -> bool {
+        self.writer.as_ref().map(|w| w.alive()).unwrap_or(false)
+    }
+
+    /// Whether the circuit breaker is open (serving the safe policy).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
 
     /// Shuts down: disconnects the log queue, waits for the writer to drain
-    /// it, and returns the sink with the complete log.
-    pub fn shutdown(mut self) -> io::Result<W> {
+    /// and seal it, and returns the sink holding the complete segments.
+    pub fn shutdown(mut self) -> io::Result<S> {
         let writer = self.writer.take().expect("shutdown called once");
         // Drop both producer handles so the channel disconnects.
         drop(self.engine);
@@ -199,8 +347,7 @@ impl<W: Write + Send + 'static> DecisionService<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::logger::SharedBuffer;
-    use harvest_log::record::read_json_lines;
+    use harvest_log::segment::MemorySegments;
 
     fn config(seed: u64) -> ServiceConfig {
         ServiceConfig {
@@ -216,11 +363,12 @@ mod tests {
 
     #[test]
     fn decide_reward_shutdown_round_trip() {
-        let svc = DecisionService::new(config(9), Vec::new());
+        let svc = DecisionService::new(config(9), MemorySegments::new());
         let ctx = SimpleContext::new(vec![0.3], 3);
         let mut ids = Vec::new();
         for i in 0..50u64 {
-            let d = svc.decide((i % 2) as usize, i * 10, &ctx);
+            let d = svc.decide((i % 2) as usize, i * 10, &ctx).unwrap();
+            assert!(!d.degraded);
             ids.push(d.request_id);
         }
         for (i, id) in ids.iter().enumerate() {
@@ -231,16 +379,17 @@ mod tests {
         assert_eq!(snap.decisions, 50);
         assert_eq!(snap.join_hits, 50);
         assert_eq!(snap.join_duplicates, 1);
-        let buf = svc.shutdown().unwrap();
-        let (records, stats) = read_json_lines(buf.as_slice()).unwrap();
-        assert_eq!(stats.malformed, 0);
+        let store = svc.shutdown().unwrap();
+        let (records, stats) = store.recover();
+        assert_eq!(stats.quarantined_records, 0);
         // 50 decisions + 50 outcomes, in submission order.
         assert_eq!(records.len(), 100);
+        assert_eq!(stats.recovered, 100);
     }
 
     #[test]
     fn training_round_promotes_and_decisions_follow() {
-        let sink = SharedBuffer::new();
+        let store = MemorySegments::new();
         let svc = DecisionService::new(
             ServiceConfig {
                 trainer: TrainerConfig {
@@ -250,7 +399,7 @@ mod tests {
                 },
                 ..config(11)
             },
-            sink.clone(),
+            store.clone(),
         );
         let mut rng = harvest_sim_net::rng::fork_rng(11, "svc-train-test");
         use rand::Rng;
@@ -258,7 +407,7 @@ mod tests {
         for i in 0..3000u64 {
             let x: f64 = rng.gen_range(0.0..1.0);
             let ctx = SimpleContext::new(vec![x], 2);
-            let d = svc.decide((i % 2) as usize, i * 100, &ctx);
+            let d = svc.decide((i % 2) as usize, i * 100, &ctx).unwrap();
             let r = if d.action == 0 { x } else { 1.0 - x };
             svc.reward(d.request_id, i * 100 + 50, r);
         }
@@ -266,16 +415,91 @@ mod tests {
         while svc.metrics().log_backlog > 0 {
             std::thread::yield_now();
         }
-        let contents = sink.contents();
-        let (records, _) = read_json_lines(contents.as_slice()).unwrap();
+        let (records, _) = store.recover();
         let report = svc.train_and_maybe_promote(&records).unwrap();
         assert!(report.gate.promoted, "{report:?}");
         assert_eq!(report.serving_generation, 1);
         assert_eq!(svc.registry().swap_count(), 1);
         assert_eq!(svc.metrics().swaps, 1);
         // Post-swap, decisions exploit the learned crossing policy.
-        let d = svc.decide(0, 1_000_000, &SimpleContext::new(vec![0.95], 2));
+        let d = svc
+            .decide(0, 1_000_000, &SimpleContext::new(vec![0.95], 2))
+            .unwrap();
         assert_eq!(d.generation, 1);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dead_writer_opens_the_breaker_and_decisions_degrade() {
+        let cfg = ServiceConfig {
+            supervisor: SupervisorConfig {
+                max_restarts: 0,
+                ..SupervisorConfig::default()
+            },
+            ..config(13)
+        };
+        // Kill the writer on its very first record; zero restart budget
+        // makes the death permanent.
+        let svc = DecisionService::with_chaos(
+            cfg,
+            MemorySegments::new(),
+            ChaosPlan::none().kill_writer_at(0),
+        );
+        let ctx = SimpleContext::new(vec![0.5], 4);
+        // The kill fires as the writer thread starts (pre-pop, index 0);
+        // wait for the supervisor to observe the crash and give up.
+        while svc.writer_alive() {
+            std::thread::yield_now();
+        }
+        let d = svc.decide(0, 10, &ctx).unwrap();
+        assert!(d.degraded, "dead writer must trip the breaker");
+        assert!(svc.breaker_open());
+        // Safe arm is uniform: exact propensity 1/K.
+        assert!((d.propensity - 0.25).abs() < 1e-12);
+        let snap = svc.metrics();
+        assert!(snap.breaker_trips >= 1);
+        assert!(snap.degraded_decisions >= 1);
+        // No record vanished from the ledger: everything offered is either
+        // written or counted dropped once the pipeline drains.
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn trainer_crash_is_caught_trips_the_breaker_and_keeps_the_incumbent() {
+        let svc = DecisionService::with_chaos(
+            config(17),
+            MemorySegments::new(),
+            ChaosPlan::none().crash_trainer_at(0),
+        );
+        let err = svc.train_and_maybe_promote(&[]).unwrap_err();
+        match err {
+            ServeError::TrainerCrashed { round: 0 } => {}
+            other => panic!("expected TrainerCrashed, got {other:?}"),
+        }
+        assert!(svc.breaker_open());
+        assert_eq!(svc.registry().generation(), 0, "incumbent untouched");
+        let snap = svc.metrics();
+        assert_eq!(snap.trainer_crashes, 1);
+        assert_eq!(snap.breaker_trips, 1);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dropped_rewards_are_lost_not_joined() {
+        let svc = DecisionService::with_chaos(
+            config(19),
+            MemorySegments::new(),
+            ChaosPlan::none().drop_reward_at(0),
+        );
+        let ctx = SimpleContext::new(vec![0.5], 2);
+        let d = svc.decide(0, 0, &ctx).unwrap();
+        assert_eq!(svc.reward(d.request_id, 5, 1.0), JoinOutcome::Lost);
+        // The decision is still pending: a retry (next reward index, no
+        // fault scheduled) joins normally.
+        assert_eq!(svc.reward(d.request_id, 6, 1.0), JoinOutcome::Joined);
+        let snap = svc.metrics();
+        assert_eq!(snap.rewards_lost, 1);
+        assert_eq!(snap.join_hits, 1);
         svc.shutdown().unwrap();
     }
 }

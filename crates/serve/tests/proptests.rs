@@ -6,9 +6,11 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use harvest_log::record::{read_json_lines, LogRecord, OutcomeRecord};
-use harvest_serve::logger::{spawn_writer, Backpressure, LoggerConfig};
-use harvest_serve::{JoinOutcome, RewardJoiner, ServeMetrics};
+use harvest_log::record::{LogRecord, OutcomeRecord};
+use harvest_log::segment::{MemorySegments, SegmentConfig};
+use harvest_serve::logger::{Backpressure, LoggerConfig};
+use harvest_serve::supervisor::{spawn_supervised_writer, SupervisorConfig};
+use harvest_serve::{ChaosPlan, JoinOutcome, RewardJoiner, ServeMetrics};
 
 const TTL_NS: u64 = 1_000;
 
@@ -74,21 +76,39 @@ proptest! {
         prop_assert!(snap.timed_out_decisions <= truly_expired);
     }
 
-    // The bounded queue's conservation law: every record offered to the
-    // logger is either enqueued or counted as dropped, every enqueued
-    // record is eventually written, and blocking mode never drops.
+    // The log pipeline's conservation law, under arbitrary kill and tear
+    // schedules: every record offered counts `enqueued`, and once drained
+    // `enqueued == written + dropped + quarantined` — with recovery
+    // agreeing exactly on the written and quarantined counts. A generous
+    // restart budget plus blocking backpressure means kills never drop.
     #[test]
-    fn log_queue_accounting_balances(
+    fn log_pipeline_conserves_records_under_chaos(
         capacity in 1usize..8,
         n in 0usize..200,
         block in any::<bool>(),
+        kills in proptest::collection::btree_set(0u64..220, 0..3),
+        tears in proptest::collection::vec((0u64..220, 0.0f64..1.0), 0..3),
     ) {
         let metrics = Arc::new(ServeMetrics::new());
         let cfg = LoggerConfig {
             capacity,
             backpressure: if block { Backpressure::Block } else { Backpressure::DropNewest },
+            segment: SegmentConfig { max_records: 16, max_bytes: usize::MAX },
         };
-        let (logger, writer) = spawn_writer(cfg, Arc::clone(&metrics), Vec::new());
+        let mut plan = ChaosPlan::none();
+        for k in &kills {
+            plan = plan.kill_writer_at(*k);
+        }
+        for (idx, keep) in &tears {
+            plan = plan.tear_writer_at(*idx, *keep);
+        }
+        let (logger, writer) = spawn_supervised_writer(
+            cfg,
+            SupervisorConfig { max_restarts: 16, backoff_base_ms: 1, backoff_cap_ms: 2 },
+            Arc::clone(&metrics),
+            Some(Arc::new(plan)),
+            MemorySegments::new(),
+        );
         for id in 0..n as u64 {
             logger.log(LogRecord::Outcome(OutcomeRecord {
                 request_id: id,
@@ -97,18 +117,24 @@ proptest! {
             }));
         }
         drop(logger);
-        let buf = writer.finish().unwrap();
+        let store = writer.finish().unwrap();
 
         let snap = metrics.snapshot();
-        prop_assert_eq!(snap.log_enqueued + snap.log_dropped, n as u64);
-        prop_assert_eq!(snap.log_written, snap.log_enqueued);
+        prop_assert_eq!(snap.log_enqueued, n as u64);
+        prop_assert_eq!(
+            snap.log_enqueued,
+            snap.log_written + snap.log_dropped + snap.log_quarantined
+        );
         prop_assert_eq!(snap.log_backlog, 0);
         if block {
+            // The restart budget (16) exceeds any schedule here (≤ 6
+            // crashes), so a blocking queue never drops.
             prop_assert_eq!(snap.log_dropped, 0);
         }
-        // The sink holds exactly the written records, in order.
-        let (records, stats) = read_json_lines(buf.as_slice()).unwrap();
-        prop_assert_eq!(stats.malformed, 0);
+        // Recovery agrees with the runtime ledger record for record.
+        let (records, stats) = store.recover();
         prop_assert_eq!(records.len() as u64, snap.log_written);
+        prop_assert_eq!(stats.recovered as u64, snap.log_written);
+        prop_assert_eq!(stats.quarantined_records as u64, snap.log_quarantined);
     }
 }

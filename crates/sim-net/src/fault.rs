@@ -199,6 +199,306 @@ impl FaultEffect {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serve-loop chaos schedules
+// ---------------------------------------------------------------------------
+
+/// A fault aimed at the decision-log writer thread, keyed by the index of
+/// the record it is about to process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WriterFault {
+    /// The writer thread panics *before* popping the record: nothing is
+    /// lost — the record stays queued for the restarted incarnation.
+    Kill,
+    /// The writer pops the record, appends only `keep_frac` of its frame
+    /// bytes (clamped to at least one and at most all-but-one), then
+    /// panics: the at-rest image of a crash mid-`write(2)`.
+    Tear {
+        /// Fraction of the frame to persist before dying, in `(0, 1)`.
+        keep_frac: f64,
+    },
+}
+
+/// A fault applied to one reward delivery, keyed by reward-call index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RewardFault {
+    /// The reward never reaches the joiner (network loss); the decision
+    /// eventually expires as missing-outcome.
+    Drop,
+    /// The reward arrives `by_ns` late on the logical clock; past the join
+    /// TTL it is refused as expired.
+    Delay {
+        /// Added logical delay in nanoseconds.
+        by_ns: u64,
+    },
+}
+
+/// Damage applied to sealed segments at rest, between serving waves. Both
+/// variants are *crash-consistent*: they never remove whole frames or touch
+/// headers, so recovery can still count every damaged record and the
+/// accounting invariant stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AtRestFault {
+    /// Bit rot: XOR one byte inside the payload of a frame. Recovery
+    /// quarantines that frame and everything after it in the segment.
+    CorruptPayload {
+        /// Which segment, as a fraction of the segment count.
+        segment_frac: f64,
+        /// Which frame within the segment, as a fraction of its frames.
+        frame_frac: f64,
+        /// The XOR mask (non-zero).
+        xor: u8,
+    },
+    /// A torn final write: truncate the last frame of a segment, keeping
+    /// `keep_frac` of its bytes.
+    TearTail {
+        /// Which segment, as a fraction of the segment count.
+        segment_frac: f64,
+        /// Fraction of the final frame to keep.
+        keep_frac: f64,
+    },
+}
+
+/// Sizing for [`ChaosPlan::generate`]: how many operations of each kind the
+/// driven trace will perform, so fault indices land inside it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosHorizon {
+    /// Records the writer will process (fault window for writer faults).
+    pub writer_records: u64,
+    /// Reward deliveries (fault window for reward faults).
+    pub rewards: u64,
+    /// Decisions (fault window for shard poisonings).
+    pub decisions: u64,
+    /// Training rounds (fault window for trainer crashes).
+    pub rounds: u64,
+}
+
+/// How many faults of each class [`ChaosPlan::generate`] schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlanConfig {
+    /// Writer-thread kills.
+    pub writer_kills: usize,
+    /// Torn writes.
+    pub writer_tears: usize,
+    /// Rewards lost in flight.
+    pub reward_drops: usize,
+    /// Rewards delayed past plausibility.
+    pub reward_delays: usize,
+    /// Logical delay range for delayed rewards (nanoseconds).
+    pub delay_ns_range: (u64, u64),
+    /// Shard-lock poisonings.
+    pub shard_poisons: usize,
+    /// Trainer crashes mid-fit.
+    pub trainer_crashes: usize,
+    /// At-rest payload corruptions.
+    pub at_rest_corruptions: usize,
+    /// At-rest torn tails.
+    pub at_rest_tears: usize,
+}
+
+impl Default for ChaosPlanConfig {
+    fn default() -> Self {
+        ChaosPlanConfig {
+            writer_kills: 1,
+            writer_tears: 1,
+            reward_drops: 2,
+            reward_delays: 2,
+            delay_ns_range: (1_000_000_000, 60_000_000_000),
+            shard_poisons: 1,
+            trainer_crashes: 1,
+            at_rest_corruptions: 1,
+            at_rest_tears: 1,
+        }
+    }
+}
+
+/// A deterministic chaos schedule for the serve loop.
+///
+/// Unlike [`FaultPlan`], which keys faults by simulated time, a `ChaosPlan`
+/// keys them by **operation index** — the writer's Nth record, the Nth
+/// reward call, the Nth decision, the Nth training round. Thread scheduling
+/// and wall-clock jitter therefore cannot move a fault: two runs with the
+/// same seed inject exactly the same faults at exactly the same points in
+/// the logical trace, which is what makes chaos recovery replayable.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    writer: std::collections::BTreeMap<u64, WriterFault>,
+    rewards: std::collections::BTreeMap<u64, RewardFault>,
+    poisons: std::collections::BTreeSet<u64>,
+    trainer: std::collections::BTreeSet<u64>,
+    at_rest: Vec<AtRestFault>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Schedules a writer kill before record `index` is processed.
+    pub fn kill_writer_at(mut self, index: u64) -> Self {
+        self.writer.insert(index, WriterFault::Kill);
+        self
+    }
+
+    /// Schedules a torn write of record `index`.
+    pub fn tear_writer_at(mut self, index: u64, keep_frac: f64) -> Self {
+        self.writer.insert(index, WriterFault::Tear { keep_frac });
+        self
+    }
+
+    /// Schedules reward delivery `index` to be lost.
+    pub fn drop_reward_at(mut self, index: u64) -> Self {
+        self.rewards.insert(index, RewardFault::Drop);
+        self
+    }
+
+    /// Schedules reward delivery `index` to arrive `by_ns` late.
+    pub fn delay_reward_at(mut self, index: u64, by_ns: u64) -> Self {
+        self.rewards.insert(index, RewardFault::Delay { by_ns });
+        self
+    }
+
+    /// Schedules the serving shard of decision `index` to be lock-poisoned
+    /// immediately before that decision.
+    pub fn poison_shard_at(mut self, index: u64) -> Self {
+        self.poisons.insert(index);
+        self
+    }
+
+    /// Schedules training round `index` to crash mid-fit.
+    pub fn crash_trainer_at(mut self, round: u64) -> Self {
+        self.trainer.insert(round);
+        self
+    }
+
+    /// Adds an at-rest damage entry, applied by the harness between waves.
+    pub fn damage_at_rest(mut self, fault: AtRestFault) -> Self {
+        self.at_rest.push(fault);
+        self
+    }
+
+    /// Generates a seeded random plan sized by `cfg` inside `horizon`.
+    /// Same seed ⇒ same plan; indices are sampled without collision so the
+    /// configured fault counts are exact (saturating at the horizon).
+    pub fn generate(cfg: &ChaosPlanConfig, horizon: &ChaosHorizon, rng: &mut DetRng) -> Self {
+        fn sample_distinct(n: usize, horizon: u64, rng: &mut DetRng) -> Vec<u64> {
+            let mut picked = std::collections::BTreeSet::new();
+            let want = (n as u64).min(horizon) as usize;
+            while picked.len() < want {
+                picked.insert(rng.gen_range(0..horizon));
+            }
+            picked.into_iter().collect()
+        }
+
+        let mut plan = ChaosPlan::none();
+        let writer_idx = sample_distinct(
+            cfg.writer_kills + cfg.writer_tears,
+            horizon.writer_records,
+            rng,
+        );
+        for (i, idx) in writer_idx.into_iter().enumerate() {
+            if i < cfg.writer_kills {
+                plan.writer.insert(idx, WriterFault::Kill);
+            } else {
+                let keep_frac = rng.gen_range(0.05..0.95);
+                plan.writer.insert(idx, WriterFault::Tear { keep_frac });
+            }
+        }
+        let reward_idx =
+            sample_distinct(cfg.reward_drops + cfg.reward_delays, horizon.rewards, rng);
+        for (i, idx) in reward_idx.into_iter().enumerate() {
+            if i < cfg.reward_drops {
+                plan.rewards.insert(idx, RewardFault::Drop);
+            } else {
+                let (lo, hi) = cfg.delay_ns_range;
+                let by_ns = rng.gen_range(lo..hi.max(lo + 1));
+                plan.rewards.insert(idx, RewardFault::Delay { by_ns });
+            }
+        }
+        for idx in sample_distinct(cfg.shard_poisons, horizon.decisions, rng) {
+            plan.poisons.insert(idx);
+        }
+        for idx in sample_distinct(cfg.trainer_crashes, horizon.rounds, rng) {
+            plan.trainer.insert(idx);
+        }
+        for _ in 0..cfg.at_rest_corruptions {
+            plan.at_rest.push(AtRestFault::CorruptPayload {
+                segment_frac: rng.gen_range(0.0..1.0),
+                frame_frac: rng.gen_range(0.0..1.0),
+                xor: rng.gen_range(1..256u32) as u8,
+            });
+        }
+        for _ in 0..cfg.at_rest_tears {
+            plan.at_rest.push(AtRestFault::TearTail {
+                segment_frac: rng.gen_range(0.0..1.0),
+                keep_frac: rng.gen_range(0.05..0.95),
+            });
+        }
+        plan
+    }
+
+    /// The writer fault scheduled for record `index`, if any.
+    pub fn writer_fault_at(&self, index: u64) -> Option<WriterFault> {
+        self.writer.get(&index).copied()
+    }
+
+    /// Record indices with a scheduled writer kill, sorted.
+    pub fn writer_kills(&self) -> Vec<u64> {
+        self.writer
+            .iter()
+            .filter(|(_, f)| matches!(f, WriterFault::Kill))
+            .map(|(&i, _)| i)
+            .collect()
+    }
+
+    /// The reward fault scheduled for delivery `index`, if any.
+    pub fn reward_fault_at(&self, index: u64) -> Option<RewardFault> {
+        self.rewards.get(&index).copied()
+    }
+
+    /// Whether decision `index` poisons its shard first.
+    pub fn poison_at(&self, index: u64) -> bool {
+        self.poisons.contains(&index)
+    }
+
+    /// Whether training round `round` crashes mid-fit.
+    pub fn trainer_crash_at(&self, round: u64) -> bool {
+        self.trainer.contains(&round)
+    }
+
+    /// The at-rest damage entries, in insertion order.
+    pub fn at_rest(&self) -> &[AtRestFault] {
+        &self.at_rest
+    }
+
+    /// Total scheduled faults across all classes.
+    pub fn len(&self) -> usize {
+        self.writer.len()
+            + self.rewards.len()
+            + self.poisons.len()
+            + self.trainer.len()
+            + self.at_rest.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One-line human summary ("2 writer, 4 reward, …").
+    pub fn summary(&self) -> String {
+        format!(
+            "{} writer, {} reward, {} poison, {} trainer, {} at-rest",
+            self.writer.len(),
+            self.rewards.len(),
+            self.poisons.len(),
+            self.trainer.len(),
+            self.at_rest.len()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +589,103 @@ mod tests {
         };
         let plan = FaultPlan::generate(4, SimDuration::from_secs(100), &cfg, &mut rng);
         assert!(plan.faults().is_empty());
+    }
+
+    #[test]
+    fn chaos_plan_generation_is_deterministic_and_exactly_sized() {
+        let cfg = ChaosPlanConfig {
+            writer_kills: 2,
+            writer_tears: 3,
+            reward_drops: 4,
+            reward_delays: 2,
+            shard_poisons: 2,
+            trainer_crashes: 1,
+            at_rest_corruptions: 2,
+            at_rest_tears: 1,
+            ..ChaosPlanConfig::default()
+        };
+        let horizon = ChaosHorizon {
+            writer_records: 10_000,
+            rewards: 10_000,
+            decisions: 10_000,
+            rounds: 4,
+        };
+        let a = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "chaos"));
+        let b = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "chaos"));
+        assert_eq!(a.len(), 2 + 3 + 4 + 2 + 2 + 1 + 2 + 1);
+        assert_eq!(a.writer_kills().len(), 2);
+        assert_eq!(a.at_rest().len(), 3);
+        // Same seed ⇒ identical schedule, at every lookup point.
+        for i in 0..10_000 {
+            assert_eq!(a.writer_fault_at(i), b.writer_fault_at(i));
+            assert_eq!(a.reward_fault_at(i), b.reward_fault_at(i));
+            assert_eq!(a.poison_at(i), b.poison_at(i));
+        }
+        for r in 0..4 {
+            assert_eq!(a.trainer_crash_at(r), b.trainer_crash_at(r));
+        }
+        assert_eq!(a.at_rest(), b.at_rest());
+        // And a different seed genuinely moves the faults.
+        let c = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(8, "chaos"));
+        assert_ne!(a.writer_kills(), c.writer_kills());
+    }
+
+    #[test]
+    fn chaos_plan_counts_saturate_at_the_horizon() {
+        let cfg = ChaosPlanConfig {
+            writer_kills: 50,
+            writer_tears: 50,
+            ..ChaosPlanConfig::default()
+        };
+        let horizon = ChaosHorizon {
+            writer_records: 10,
+            rewards: 100,
+            decisions: 100,
+            rounds: 2,
+        };
+        let plan = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(9, "sat"));
+        // 100 requested writer faults cannot exceed 10 distinct indices.
+        assert_eq!(
+            (0..10)
+                .filter(|&i| plan.writer_fault_at(i).is_some())
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn chaos_plan_builders_key_by_exact_index() {
+        let plan = ChaosPlan::none()
+            .kill_writer_at(5)
+            .tear_writer_at(9, 0.4)
+            .drop_reward_at(3)
+            .delay_reward_at(4, 1_000)
+            .poison_shard_at(7)
+            .crash_trainer_at(1)
+            .damage_at_rest(AtRestFault::TearTail {
+                segment_frac: 0.5,
+                keep_frac: 0.5,
+            });
+        assert_eq!(plan.writer_fault_at(5), Some(WriterFault::Kill));
+        assert_eq!(plan.writer_fault_at(6), None);
+        assert_eq!(plan.writer_kills(), vec![5]);
+        assert!(matches!(
+            plan.writer_fault_at(9),
+            Some(WriterFault::Tear { .. })
+        ));
+        assert_eq!(plan.reward_fault_at(3), Some(RewardFault::Drop));
+        assert_eq!(
+            plan.reward_fault_at(4),
+            Some(RewardFault::Delay { by_ns: 1_000 })
+        );
+        assert!(plan.poison_at(7) && !plan.poison_at(8));
+        assert!(plan.trainer_crash_at(1) && !plan.trainer_crash_at(0));
+        assert_eq!(plan.len(), 7);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.summary(),
+            "2 writer, 2 reward, 1 poison, 1 trainer, 1 at-rest"
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! * [`workload`] — request/arrival generators (Poisson, deterministic rate,
 //!   on/off bursts) and popularity distributions (uniform, Zipf, the paper's
 //!   big/small item mix).
-//! * [`fault`] — Chaos-Monkey-style fault injection (crashes, slowdowns,
-//!   latency spikes), used to widen exploration coverage per §5 of the paper.
+//! * [`fault`] — Chaos-Monkey-style fault injection: time-keyed component
+//!   faults (crashes, slowdowns, latency spikes) used to widen exploration
+//!   coverage per §5 of the paper, and operation-indexed [`fault::ChaosPlan`]
+//!   schedules that drive the serve loop's chaos-hardening tests.
 //! * [`stats`] — online statistics (Welford mean/variance, exact quantiles,
 //!   log-bucketed histograms) used to report latency distributions.
 //! * [`trace`] — request-trace serialization, so recorded workloads replay
@@ -42,5 +44,6 @@ pub mod trace;
 pub mod workload;
 
 pub use event::{EventQueue, ScheduledEvent, Simulator};
+pub use fault::{AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanConfig, RewardFault, WriterFault};
 pub use rng::{fork_rng, DetRng};
 pub use time::{SimDuration, SimTime};

@@ -17,11 +17,11 @@
 use harvest::lb::{ClusterConfig, LbContext};
 use harvest::serve::{
     Backpressure, DecisionService, EngineConfig, GateEstimator, LoggerConfig, ServePolicy,
-    ServiceConfig, SharedBuffer, Trainer, TrainerConfig,
+    ServiceConfig, Trainer, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use harvest_estimators::bounds::BoundConfig;
-use harvest_log::record::read_json_lines;
+use harvest_log::segment::{MemorySegments, SegmentConfig};
 use rand::Rng;
 
 const SEED: u64 = 42;
@@ -45,7 +45,7 @@ fn trainer_config() -> TrainerConfig {
 
 fn main() {
     let cluster = ClusterConfig::fig5();
-    let sink = SharedBuffer::new();
+    let store = MemorySegments::new();
     let svc = DecisionService::new(
         ServiceConfig {
             engine: EngineConfig {
@@ -57,11 +57,13 @@ fn main() {
             logger: LoggerConfig {
                 capacity: 4096,
                 backpressure: Backpressure::Block,
+                segment: SegmentConfig::default(),
             },
             join_ttl_ns: 5_000_000_000,
             trainer: trainer_config(),
+            ..ServiceConfig::default()
         },
-        sink.clone(),
+        store.clone(),
     );
 
     println!("harvest-serve: online decision service on the Fig 5 cluster");
@@ -90,7 +92,7 @@ fn main() {
             }
             .to_cb_context();
 
-            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx);
+            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx).unwrap();
             let noise: f64 = 1.0 + cluster.latency_noise * traffic.gen_range(-1.0..1.0);
             let latency = cluster.servers[d.action].latency(class, connections[d.action]) * noise;
             latency_sum += latency;
@@ -110,12 +112,12 @@ fn main() {
         while svc.metrics().log_backlog > 0 {
             std::thread::yield_now();
         }
-        let (records, stats) = read_json_lines(sink.contents().as_slice()).unwrap();
+        let (records, stats) = store.recover();
         let report = svc.train_and_maybe_promote(&records).unwrap();
         println!(
-            "  harvested {} records ({} malformed), gate: candidate lcb {:.4} vs incumbent {:.4} -> {}",
+            "  harvested {} records ({} quarantined), gate: candidate lcb {:.4} vs incumbent {:.4} -> {}",
             records.len(),
-            stats.malformed,
+            stats.quarantined_records,
             report.gate.candidate_lcb,
             report.gate.incumbent_value,
             if report.gate.promoted {
@@ -136,7 +138,7 @@ fn main() {
     if let ServePolicy::Greedy(scorer) = &incumbent.policy {
         let sabotaged = negate(scorer);
         let trainer = Trainer::new(trainer_config());
-        let (records, _) = read_json_lines(sink.contents().as_slice()).unwrap();
+        let (records, _) = store.recover();
         let (data, _) = trainer.harvest(&records).unwrap();
         let verdict = trainer.gate(
             &data,
@@ -159,7 +161,22 @@ fn main() {
 
     let snapshot = svc.metrics();
     println!(
-        "\nfinal metrics: {}",
+        "\nrobustness: dropped={} quarantined_records={} writer_restarts={} breaker_trips={} \
+         joiner_duplicates={} lock_recoveries={} degraded_decisions={}",
+        snapshot.log_dropped,
+        snapshot.log_quarantined,
+        snapshot.writer_restarts,
+        snapshot.breaker_trips,
+        snapshot.join_duplicates,
+        snapshot.lock_recoveries,
+        snapshot.degraded_decisions,
+    );
+    println!(
+        "conservation: enqueued({}) == written({}) + dropped({}) + quarantined({})",
+        snapshot.log_enqueued, snapshot.log_written, snapshot.log_dropped, snapshot.log_quarantined
+    );
+    println!(
+        "final metrics: {}",
         serde_json::to_string(&snapshot).unwrap()
     );
     svc.shutdown().unwrap();

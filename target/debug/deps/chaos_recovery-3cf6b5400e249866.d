@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-3cf6b5400e249866.d: tests/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-3cf6b5400e249866.rmeta: tests/chaos_recovery.rs Cargo.toml
+
+tests/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

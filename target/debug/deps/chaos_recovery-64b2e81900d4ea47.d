@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_recovery-64b2e81900d4ea47.d: tests/chaos_recovery.rs
+
+/root/repo/target/debug/deps/chaos_recovery-64b2e81900d4ea47: tests/chaos_recovery.rs
+
+tests/chaos_recovery.rs:

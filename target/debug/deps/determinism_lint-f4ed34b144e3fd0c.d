@@ -6,5 +6,5 @@ tests/determinism_lint.rs:
 Cargo.toml:
 
 # env-dep:CARGO_MANIFEST_DIR=/root/repo
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/harvest_log-0acb7c38a428a052.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs
+/root/repo/target/debug/deps/harvest_log-0acb7c38a428a052.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs
 
-/root/repo/target/debug/deps/libharvest_log-0acb7c38a428a052.rlib: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs
+/root/repo/target/debug/deps/libharvest_log-0acb7c38a428a052.rlib: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs
 
-/root/repo/target/debug/deps/libharvest_log-0acb7c38a428a052.rmeta: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs
+/root/repo/target/debug/deps/libharvest_log-0acb7c38a428a052.rmeta: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs
 
 crates/log/src/lib.rs:
 crates/log/src/nginx.rs:
@@ -11,3 +11,4 @@ crates/log/src/propensity.rs:
 crates/log/src/record.rs:
 crates/log/src/reward.rs:
 crates/log/src/scavenge.rs:
+crates/log/src/segment.rs:

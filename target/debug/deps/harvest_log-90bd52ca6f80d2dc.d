@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/harvest_log-90bd52ca6f80d2dc.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs
+/root/repo/target/debug/deps/harvest_log-90bd52ca6f80d2dc.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs
 
-/root/repo/target/debug/deps/harvest_log-90bd52ca6f80d2dc: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs
+/root/repo/target/debug/deps/harvest_log-90bd52ca6f80d2dc: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs
 
 crates/log/src/lib.rs:
 crates/log/src/nginx.rs:
@@ -9,3 +9,4 @@ crates/log/src/propensity.rs:
 crates/log/src/record.rs:
 crates/log/src/reward.rs:
 crates/log/src/scavenge.rs:
+crates/log/src/segment.rs:

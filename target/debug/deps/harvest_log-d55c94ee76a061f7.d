@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/harvest_log-d55c94ee76a061f7.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs Cargo.toml
+/root/repo/target/debug/deps/harvest_log-d55c94ee76a061f7.d: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs Cargo.toml
 
-/root/repo/target/debug/deps/libharvest_log-d55c94ee76a061f7.rmeta: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs Cargo.toml
+/root/repo/target/debug/deps/libharvest_log-d55c94ee76a061f7.rmeta: crates/log/src/lib.rs crates/log/src/nginx.rs crates/log/src/pipeline.rs crates/log/src/propensity.rs crates/log/src/record.rs crates/log/src/reward.rs crates/log/src/scavenge.rs crates/log/src/segment.rs Cargo.toml
 
 crates/log/src/lib.rs:
 crates/log/src/nginx.rs:
@@ -9,7 +9,8 @@ crates/log/src/propensity.rs:
 crates/log/src/record.rs:
 crates/log/src/reward.rs:
 crates/log/src/scavenge.rs:
+crates/log/src/segment.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,16 @@
-/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e.d: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
 
-/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+/root/repo/target/debug/deps/harvest_serve-c0edaeb62e550f1e: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/breaker.rs:
+crates/serve/src/chaos.rs:
 crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
 crates/serve/src/joiner.rs:
 crates/serve/src/logger.rs:
 crates/serve/src/metrics.rs:
 crates/serve/src/registry.rs:
 crates/serve/src/service.rs:
+crates/serve/src/supervisor.rs:
 crates/serve/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_harvest-3d0c248da185103e.d: examples/chaos_harvest.rs
+
+/root/repo/target/debug/examples/chaos_harvest-3d0c248da185103e: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_harvest-9e8ab9f9dbce67ba.d: examples/chaos_harvest.rs
+
+/root/repo/target/debug/examples/chaos_harvest-9e8ab9f9dbce67ba: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

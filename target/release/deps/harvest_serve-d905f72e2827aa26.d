@@ -1,14 +1,18 @@
-/root/repo/target/release/deps/harvest_serve-d905f72e2827aa26.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+/root/repo/target/release/deps/harvest_serve-d905f72e2827aa26.d: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
 
-/root/repo/target/release/deps/libharvest_serve-d905f72e2827aa26.rlib: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+/root/repo/target/release/deps/libharvest_serve-d905f72e2827aa26.rlib: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
 
-/root/repo/target/release/deps/libharvest_serve-d905f72e2827aa26.rmeta: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/trainer.rs
+/root/repo/target/release/deps/libharvest_serve-d905f72e2827aa26.rmeta: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/breaker.rs:
+crates/serve/src/chaos.rs:
 crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
 crates/serve/src/joiner.rs:
 crates/serve/src/logger.rs:
 crates/serve/src/metrics.rs:
 crates/serve/src/registry.rs:
 crates/serve/src/service.rs:
+crates/serve/src/supervisor.rs:
 crates/serve/src/trainer.rs:

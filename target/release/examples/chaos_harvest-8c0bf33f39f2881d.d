@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_harvest-8c0bf33f39f2881d.d: examples/chaos_harvest.rs
+
+/root/repo/target/release/examples/chaos_harvest-8c0bf33f39f2881d: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

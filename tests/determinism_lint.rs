@@ -10,12 +10,16 @@
 use std::path::Path;
 
 /// Crates on the decision path: everything that computes, estimates, or
-/// serves decisions. Simulators and the bench harness stamp their own
-/// logical clocks too, but only these three are load-bearing for replay.
+/// serves decisions — plus the crash-safe log (recovery must replay a
+/// byte-identical prefix) and the chaos plumbing in `sim-net` (fault
+/// schedules and RNG forks must be pure functions of the seed, or the
+/// same seed would inject different faults on replay).
 const LINTED: &[&str] = &[
     "crates/core/src",
     "crates/estimators/src",
+    "crates/log/src",
     "crates/serve/src",
+    "crates/sim-net/src",
 ];
 
 /// Ambient-nondeterminism tokens. `thread_rng` is the OS-seeded RNG;

@@ -5,12 +5,12 @@
 use harvest::lb::{ClusterConfig, LbContext};
 use harvest::serve::{
     Backpressure, DecisionService, GateEstimator, JoinOutcome, LoggerConfig, ServePolicy,
-    ServiceConfig, SharedBuffer, Trainer, TrainerConfig,
+    ServiceConfig, Trainer, TrainerConfig,
 };
 use harvest::serve::{EngineConfig, PromotionReport};
 use harvest::simnet::rng::fork_rng;
 use harvest_estimators::bounds::BoundConfig;
-use harvest_log::record::read_json_lines;
+use harvest_log::segment::{MemorySegments, SegmentConfig};
 use rand::Rng;
 
 const EPSILON: f64 = 0.15;
@@ -42,14 +42,16 @@ fn service_config(seed: u64, shards: usize) -> ServiceConfig {
         logger: LoggerConfig {
             capacity: 1024,
             backpressure: Backpressure::Block,
+            segment: SegmentConfig::default(),
         },
         join_ttl_ns: 5_000_000_000,
         trainer: trainer_config(),
+        ..ServiceConfig::default()
     }
 }
 
 struct TraceResult {
-    log: Vec<u8>,
+    log: Vec<Vec<u8>>,
     report: PromotionReport,
     warmup_mean_latency: f64,
     served_mean_latency: f64,
@@ -62,12 +64,12 @@ struct TraceResult {
 /// (traffic, decisions, log bytes) is a deterministic function of `seed`.
 fn run_trace(seed: u64) -> TraceResult {
     let cluster = ClusterConfig::fig5();
-    let sink = SharedBuffer::new();
-    let svc = DecisionService::new(service_config(seed, 4), sink.clone());
+    let store = MemorySegments::new();
+    let svc = DecisionService::new(service_config(seed, 4), store.clone());
     let mut traffic = fork_rng(seed, "lb-traffic");
     let mut now_ns = 0u64;
 
-    let mut wave = |svc: &DecisionService<SharedBuffer>, n: usize| -> f64 {
+    let mut wave = |svc: &DecisionService<MemorySegments>, n: usize| -> f64 {
         let mut latency_sum = 0.0;
         for i in 0..n {
             now_ns += 1_000_000;
@@ -82,7 +84,7 @@ fn run_trace(seed: u64) -> TraceResult {
                 num_classes: cluster.num_classes(),
             }
             .to_cb_context();
-            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx);
+            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx).unwrap();
             let noise: f64 = 1.0 + cluster.latency_noise * traffic.gen_range(-1.0..1.0);
             let latency = cluster.servers[d.action].latency(class, connections[d.action]) * noise;
             latency_sum += latency;
@@ -95,12 +97,12 @@ fn run_trace(seed: u64) -> TraceResult {
     while svc.metrics().log_backlog > 0 {
         std::thread::yield_now();
     }
-    let (records, stats) = read_json_lines(sink.contents().as_slice()).unwrap();
-    assert_eq!(stats.malformed, 0);
+    let (records, stats) = store.recover();
+    assert_eq!(stats.quarantined_records, 0);
     let report = svc.train_and_maybe_promote(&records).unwrap();
     let served_mean_latency = wave(&svc, SERVE_REQUESTS);
     let swap_count = svc.registry().swap_count();
-    let log = svc.shutdown().unwrap().contents();
+    let log = svc.shutdown().unwrap().snapshot();
     TraceResult {
         log,
         report,
@@ -151,8 +153,8 @@ fn gate_accepts_a_genuinely_better_candidate() {
 #[test]
 fn gate_refuses_a_degraded_candidate() {
     let cluster = ClusterConfig::fig5();
-    let sink = SharedBuffer::new();
-    let svc = DecisionService::new(service_config(31, 2), sink.clone());
+    let store = MemorySegments::new();
+    let svc = DecisionService::new(service_config(31, 2), store.clone());
     let mut traffic = fork_rng(31, "lb-traffic");
     let mut now_ns = 0u64;
     for i in 0..WARMUP_REQUESTS {
@@ -168,14 +170,14 @@ fn gate_refuses_a_degraded_candidate() {
             num_classes: cluster.num_classes(),
         }
         .to_cb_context();
-        let d = svc.decide(i % svc.num_shards(), now_ns, &ctx);
+        let d = svc.decide(i % svc.num_shards(), now_ns, &ctx).unwrap();
         let latency = cluster.servers[d.action].latency(class, connections[d.action]);
         svc.reward(d.request_id, now_ns + 500_000, -latency);
     }
     while svc.metrics().log_backlog > 0 {
         std::thread::yield_now();
     }
-    let (records, _) = read_json_lines(sink.contents().as_slice()).unwrap();
+    let (records, _) = store.recover();
 
     let trainer = Trainer::new(trainer_config());
     let (data, _) = trainer.harvest(&records).unwrap();
@@ -219,10 +221,10 @@ fn gate_refuses_a_degraded_candidate() {
 /// same id is a Duplicate, an unknown id is Unknown.
 #[test]
 fn service_refuses_late_duplicate_and_unknown_rewards() {
-    let svc = DecisionService::new(service_config(5, 1), SharedBuffer::new());
+    let svc = DecisionService::new(service_config(5, 1), MemorySegments::new());
     let ctx = harvest::core::SimpleContext::contextless(3);
-    let d1 = svc.decide(0, 1_000, &ctx);
-    let d2 = svc.decide(0, 2_000, &ctx);
+    let d1 = svc.decide(0, 1_000, &ctx).unwrap();
+    let d2 = svc.decide(0, 2_000, &ctx).unwrap();
     let ttl = 5_000_000_000;
     assert_eq!(
         svc.reward(d1.request_id, 1_000 + ttl, -0.1),
