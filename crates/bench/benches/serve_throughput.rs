@@ -19,17 +19,26 @@ use harvest_serve::supervisor::{
     spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle,
 };
 use harvest_serve::{
-    Backpressure, DecisionEngine, EngineConfig, LoggerConfig, PolicyRegistry, ServeMetrics,
-    ServePolicy,
+    Backpressure, DecisionEngine, EngineConfig, LoggerConfig, ObsConfig, PolicyRegistry,
+    ServeMetrics, ServeObs, ServePolicy,
 };
 
 const THREADS: usize = 8;
-const DECISIONS_PER_THREAD: usize = 1_000;
+const DECISIONS_PER_THREAD: usize = 4_000;
 const ACTIONS: usize = 8;
 const FEATURES: usize = 32;
 
-fn engine(shards: usize) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sink>) {
-    let metrics = Arc::new(ServeMetrics::new());
+fn engine(shards: usize, traced: bool) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sink>) {
+    // Tracing on/off is the bench axis: the traced variant pays the tracer
+    // insert plus one histogram record per decision, and the delta between
+    // the two variants is the whole observability overhead on the hot path.
+    let metrics = if traced {
+        Arc::new(ServeMetrics::with_obs(Arc::new(ServeObs::new(
+            &ObsConfig::default(),
+        ))))
+    } else {
+        Arc::new(ServeMetrics::new())
+    };
     // A realistically-sized model: 8 actions × 32 shared features. The
     // scorer pass runs under the shard lock, so this is the contended work.
     let scorer = LinearScorer::PerAction {
@@ -76,13 +85,19 @@ fn engine(shards: usize) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sin
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("serve_throughput");
     g.sample_size(40);
-    for shards in [1usize, THREADS] {
-        let (engine, _writer) = engine(shards);
+    for (shards, traced) in [
+        (1usize, false),
+        (1usize, true),
+        (THREADS, false),
+        (THREADS, true),
+    ] {
+        let (engine, _writer) = engine(shards, traced);
         let ctx = SimpleContext::new(
             (0..FEATURES).map(|f| (f as f64 * 0.37).sin()).collect(),
             ACTIONS,
         );
-        g.bench_function(&format!("{THREADS}threads_{shards}shards"), |b| {
+        let tracing = if traced { "tracing_on" } else { "tracing_off" };
+        g.bench_function(&format!("{THREADS}threads_{shards}shards_{tracing}"), |b| {
             b.iter(|| {
                 std::thread::scope(|s| {
                     for t in 0..THREADS {

@@ -1,0 +1,221 @@
+//! Harvest-quality diagnostics: is this log good enough to learn from?
+//!
+//! Off-policy evaluation is only as trustworthy as the harvested
+//! `⟨x, a, r, p⟩` tuples behind it (§4's failure modes: drifted
+//! contexts, collapsed propensities, a handful of samples carrying all
+//! the weight). This module condenses those failure signatures into one
+//! serializable [`HarvestQuality`] gauge set, computed per training
+//! round from the same importance weights the gate uses — so a refusal
+//! or a breaker trip can cite *why* the data was distrusted.
+//!
+//! Every rate is zero-guarded: an empty harvest yields all-zero, finite
+//! gauges, never NaN.
+
+use harvest_core::{Context, Dataset};
+use serde::Serialize;
+
+use crate::drift::context_drift;
+
+/// Per-round data-quality gauges for a harvested dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HarvestQuality {
+    /// Harvested samples.
+    pub n: usize,
+    /// Kish effective sample size of the importance weights:
+    /// `(Σw)² / Σw²`. Equals `n` for uniform weights; collapses toward
+    /// 1 when a few samples dominate.
+    pub effective_sample_size: f64,
+    /// `effective_sample_size / n` in [0, 1] (0 when empty).
+    pub ess_fraction: f64,
+    /// Smallest importance weight (0 when empty).
+    pub min_weight: f64,
+    /// Largest importance weight (0 when empty).
+    pub max_weight: f64,
+    /// Fraction of total weight mass above the clip threshold —
+    /// the mass an IPS clip would discard or distort.
+    pub clipped_weight_mass: f64,
+    /// Fraction of samples logged at the exploration floor
+    /// `ε / num_actions` — decisions kept alive only by the ε floor.
+    pub floor_hit_rate: f64,
+    /// Largest per-feature effect size between the first and second
+    /// half of the harvest (ordered by log position).
+    pub drift_max_effect_size: f64,
+    /// Largest per-feature KS statistic between the two halves.
+    pub drift_max_ks: f64,
+    /// The drift tripwire: assumption A1 (stable context distribution)
+    /// looks violated within this harvest window.
+    pub drift_suspected: bool,
+}
+
+impl HarvestQuality {
+    /// The all-zero gauge set for an empty harvest.
+    pub fn empty() -> Self {
+        HarvestQuality {
+            n: 0,
+            effective_sample_size: 0.0,
+            ess_fraction: 0.0,
+            min_weight: 0.0,
+            max_weight: 0.0,
+            clipped_weight_mass: 0.0,
+            floor_hit_rate: 0.0,
+            drift_max_effect_size: 0.0,
+            drift_max_ks: 0.0,
+            drift_suspected: false,
+        }
+    }
+}
+
+/// Computes the quality gauges for `data` under importance `weights`
+/// (one per sample, `π(aₜ|xₜ)/pₜ` as the gate computes them).
+///
+/// `epsilon` is the exploration floor the data was served with (the
+/// floor propensity for a context with `K` actions is `ε/K`); `clip` is
+/// the weight threshold above which mass counts as clipped. Weight
+/// gauges fall back to [`HarvestQuality::empty`] values when `weights`
+/// is empty or its length disagrees with `data`.
+pub fn harvest_quality<C: Context + Clone>(
+    data: &Dataset<C>,
+    weights: &[f64],
+    epsilon: f64,
+    clip: f64,
+) -> HarvestQuality {
+    let n = data.len();
+    let mut q = HarvestQuality {
+        n,
+        ..HarvestQuality::empty()
+    };
+
+    if n > 0 && weights.len() == n {
+        let sum: f64 = weights.iter().sum();
+        let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+        if sum_sq > 0.0 {
+            q.effective_sample_size = sum * sum / sum_sq;
+            q.ess_fraction = q.effective_sample_size / n as f64;
+        }
+        q.min_weight = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        q.max_weight = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !q.min_weight.is_finite() {
+            q.min_weight = 0.0;
+        }
+        if !q.max_weight.is_finite() {
+            q.max_weight = 0.0;
+        }
+        if sum > 0.0 {
+            // An empty f64 sum is -0.0; `+ 0.0` keeps the exported gauge at
+            // plain 0 when nothing exceeds the clip.
+            let clipped: f64 = weights.iter().filter(|&&w| w > clip).sum();
+            q.clipped_weight_mass = clipped / sum + 0.0;
+        }
+    }
+
+    if n > 0 {
+        let floor_hits = data
+            .iter()
+            .filter(|s| {
+                let floor = epsilon / s.context.num_actions() as f64;
+                s.propensity <= floor * (1.0 + 1e-9)
+            })
+            .count();
+        q.floor_hit_rate = floor_hits as f64 / n as f64;
+    }
+
+    // Within-window drift: compare the first and second half of the
+    // harvest in log order. Too few samples → no verdict, not NaN.
+    if n >= 4 {
+        let samples = data.samples();
+        let (first, second) = samples.split_at(n / 2);
+        let halves = (
+            Dataset::from_samples(first.to_vec()),
+            Dataset::from_samples(second.to_vec()),
+        );
+        if let (Ok(a), Ok(b)) = halves {
+            let report = context_drift(&a, &b);
+            q.drift_max_effect_size = report.max_effect_size();
+            q.drift_max_ks = report.max_ks();
+            q.drift_suspected = report.a1_violation_suspected();
+        }
+    }
+
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_core::sample::LoggedDecision;
+    use harvest_core::SimpleContext;
+
+    fn dataset(points: &[(f64, f64)]) -> Dataset<SimpleContext> {
+        Dataset::from_samples(
+            points
+                .iter()
+                .map(|&(x, p)| LoggedDecision {
+                    context: SimpleContext::new(vec![x], 2),
+                    action: 0,
+                    reward: 0.5,
+                    propensity: p,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_harvest_is_all_finite_zeros() {
+        let data: Dataset<SimpleContext> = Dataset::new();
+        let q = harvest_quality(&data, &[], 0.1, 10.0);
+        assert_eq!(q, HarvestQuality::empty());
+    }
+
+    #[test]
+    fn uniform_weights_have_full_ess() {
+        let data = dataset(&[(0.1, 0.5), (0.2, 0.5), (0.3, 0.5), (0.4, 0.5)]);
+        let q = harvest_quality(&data, &[1.0; 4], 0.1, 10.0);
+        assert!((q.effective_sample_size - 4.0).abs() < 1e-12);
+        assert!((q.ess_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(q.min_weight, 1.0);
+        assert_eq!(q.max_weight, 1.0);
+        assert_eq!(q.clipped_weight_mass, 0.0);
+    }
+
+    #[test]
+    fn one_dominant_weight_collapses_ess() {
+        let data = dataset(&[(0.1, 0.5), (0.2, 0.5), (0.3, 0.5), (0.4, 0.5)]);
+        let q = harvest_quality(&data, &[100.0, 0.01, 0.01, 0.01], 0.1, 10.0);
+        assert!(q.effective_sample_size < 1.1, "{q:?}");
+        assert!(q.clipped_weight_mass > 0.99, "{q:?}");
+        assert_eq!(q.max_weight, 100.0);
+    }
+
+    #[test]
+    fn floor_hits_are_counted_exactly() {
+        // ε = 0.2, K = 2 → floor propensity 0.1.
+        let data = dataset(&[(0.1, 0.1), (0.2, 0.9), (0.3, 0.1), (0.4, 0.9)]);
+        let q = harvest_quality(&data, &[1.0; 4], 0.2, 10.0);
+        assert!((q.floor_hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_window_drift_trips_the_gauge() {
+        let mut points = Vec::new();
+        for i in 0..50 {
+            points.push(((i % 5) as f64, 0.5));
+        }
+        for i in 0..50 {
+            points.push(((i % 5) as f64 + 100.0, 0.5));
+        }
+        let q = harvest_quality(&dataset(&points), &vec![1.0; 100], 0.1, 10.0);
+        assert!(q.drift_suspected, "{q:?}");
+        assert!(q.drift_max_effect_size > 3.0);
+    }
+
+    #[test]
+    fn mismatched_weights_leave_weight_gauges_zero() {
+        let data = dataset(&[(0.1, 0.5), (0.2, 0.5)]);
+        let q = harvest_quality(&data, &[1.0], 0.1, 10.0);
+        assert_eq!(q.effective_sample_size, 0.0);
+        assert_eq!(q.max_weight, 0.0);
+        // Non-weight gauges still computed.
+        assert!(q.floor_hit_rate >= 0.0);
+    }
+}

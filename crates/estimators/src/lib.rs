@@ -39,6 +39,7 @@
 
 pub mod ab;
 pub mod bounds;
+pub mod diagnostics;
 pub mod direct;
 pub mod dr;
 pub mod drift;
@@ -50,5 +51,6 @@ pub mod trajectory;
 
 mod estimate;
 
+pub use diagnostics::{harvest_quality, HarvestQuality};
 pub use estimate::Estimate;
 pub use evaluator::{EstimatorKind, OffPolicyEvaluator};

@@ -44,6 +44,6 @@ pub use pipeline::{HarvestPipeline, HarvestReport};
 pub use propensity::{EstimatedPropensity, KnownPropensity, PropensityModel};
 pub use record::{DecisionRecord, OutcomeRecord};
 pub use segment::{
-    recover_segment, recover_segments, MemorySegments, RecoveryStats, SegmentConfig,
+    recover_segment, recover_segments, MemorySegments, RecoveryStats, SealObserver, SegmentConfig,
     SegmentedLogWriter,
 };

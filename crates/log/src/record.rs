@@ -67,6 +67,22 @@ pub enum LogRecord {
     Outcome(OutcomeRecord),
 }
 
+impl LogRecord {
+    /// The request id this record belongs to — the join key between
+    /// decisions and outcomes, and the trace key in observability.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            LogRecord::Decision(d) => d.request_id,
+            LogRecord::Outcome(o) => o.request_id,
+        }
+    }
+
+    /// Whether this is a decision-time record.
+    pub fn is_decision(&self) -> bool {
+        matches!(self, LogRecord::Decision(_))
+    }
+}
+
 /// Writes records as JSON lines.
 pub struct JsonLinesWriter<W> {
     inner: W,

@@ -23,6 +23,7 @@
 //! points, so same-seed runs of the serve loop produce byte-identical
 //! segments and byte-identical recovered prefixes.
 
+use std::fmt;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -232,14 +233,37 @@ impl Default for SegmentConfig {
     }
 }
 
+/// Observer notified each time a segment is sealed. The counts are a
+/// deterministic observable: rotation thresholds and crash-seal points
+/// are functions of the record stream, not of wall-clock timing — so a
+/// histogram of sealed-segment sizes is byte-stable across same-seed
+/// runs. The final, never-sealed segment is not reported.
+pub trait SealObserver: Send + Sync {
+    /// Called once per sealed segment with its record and byte counts.
+    fn segment_sealed(&self, records: usize, bytes: usize);
+}
+
 /// Writes framed records into rotating segments of a [`SegmentSink`].
-#[derive(Debug)]
 pub struct SegmentedLogWriter<S> {
     sink: S,
     cfg: SegmentConfig,
     segment: u64,
     records_in_segment: usize,
     bytes_in_segment: usize,
+    observer: Option<Arc<dyn SealObserver>>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for SegmentedLogWriter<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentedLogWriter")
+            .field("sink", &self.sink)
+            .field("cfg", &self.cfg)
+            .field("segment", &self.segment)
+            .field("records_in_segment", &self.records_in_segment)
+            .field("bytes_in_segment", &self.bytes_in_segment)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<S: SegmentSink> SegmentedLogWriter<S> {
@@ -251,7 +275,13 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
             segment: 0,
             records_in_segment: 0,
             bytes_in_segment: 0,
+            observer: None,
         }
+    }
+
+    /// Registers a [`SealObserver`]; replaces any previous one.
+    pub fn set_observer(&mut self, observer: Arc<dyn SealObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Index of the segment currently being appended to.
@@ -291,6 +321,9 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
             return Ok(());
         }
         self.sink.flush(self.segment)?;
+        if let Some(observer) = &self.observer {
+            observer.segment_sealed(self.records_in_segment, self.bytes_in_segment);
+        }
         self.segment += 1;
         self.records_in_segment = 0;
         self.bytes_in_segment = 0;

@@ -1,0 +1,128 @@
+//! Deterministic Prometheus text exposition.
+//!
+//! A tiny builder for the text format (`# HELP` / `# TYPE` / sample
+//! lines). Output is a pure function of the values rendered: series are
+//! emitted in call order, histogram buckets in ascending bound order,
+//! floats through Rust's shortest-roundtrip formatter, and non-finite
+//! values clamped to 0 — so same-seed runs produce byte-identical
+//! exposition, which CI asserts.
+
+use crate::hist::Histogram;
+
+/// Incremental builder for a Prometheus text exposition page.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// Non-finite values would make the page unparsable (and unstable);
+/// telemetry upstream is zero-guarded, so clamping here is a backstop.
+/// Negative zero (an empty f64 sum) renders as `-0`, so it is folded into
+/// plain zero too.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() && v != 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit a monotone counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emit a gauge sample (clamped to a finite value).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {}\n", finite(value)));
+    }
+
+    /// Emit a full histogram: cumulative `_bucket` series over the
+    /// non-empty buckets, then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (le, count) in h.nonzero_buckets() {
+            cumulative += count;
+            self.out
+                .push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        self.out
+            .push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        self.out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        self.out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_stable_lines() {
+        let mut p = PromText::new();
+        p.counter("harvest_decisions_total", "Decisions served.", 42);
+        p.gauge("harvest_ess", "Effective sample size.", 17.5);
+        let page = p.finish();
+        assert!(page.contains("# TYPE harvest_decisions_total counter\n"));
+        assert!(page.contains("harvest_decisions_total 42\n"));
+        assert!(page.contains("harvest_ess 17.5\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_are_clamped() {
+        let mut p = PromText::new();
+        p.gauge("g", "h", f64::NAN);
+        p.gauge("g2", "h", f64::INFINITY);
+        let page = p.finish();
+        assert!(page.contains("g 0\n"));
+        assert!(page.contains("g2 0\n"));
+    }
+
+    #[test]
+    fn negative_zero_renders_as_zero() {
+        let mut p = PromText::new();
+        p.gauge("g", "h", -0.0);
+        assert!(p.finish().contains("g 0\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_count() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 5, 100] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("lat", "Latency.", &h);
+        let page = p.finish();
+        assert!(page.contains("lat_bucket{le=\"1\"} 2\n"));
+        assert!(page.contains("lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(page.contains("lat_count 4\n"));
+        assert!(page.contains("lat_sum 107\n"));
+    }
+}

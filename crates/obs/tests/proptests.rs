@@ -1,0 +1,64 @@
+//! Property tests for the histogram invariants the export guarantees
+//! rest on: merging is exact, recording is order-independent, and the
+//! rendered exposition is a pure function of the recorded values.
+
+use proptest::prelude::*;
+
+use harvest_obs::{Histogram, PromText};
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 0..200)
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    // Sharding law: merging per-shard histograms must equal recording
+    // the combined stream — counts, sum, extrema, and every percentile.
+    #[test]
+    fn merge_equals_combined_stream(a in arb_samples(), b in arb_samples()) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+
+        let mut combined_values = a.clone();
+        combined_values.extend_from_slice(&b);
+        let combined = record_all(&combined_values);
+
+        prop_assert_eq!(&merged, &combined);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), combined.percentile(q), "q={}", q);
+        }
+    }
+
+    // Recording order never matters: the state is pure counts and a
+    // saturating integer sum, so forward and reversed streams agree.
+    #[test]
+    fn recording_is_order_independent(values in arb_samples()) {
+        let forward = record_all(&values);
+        let mut reversed_values = values.clone();
+        reversed_values.reverse();
+        let reversed = record_all(&reversed_values);
+        prop_assert_eq!(forward, reversed);
+    }
+
+    // Same inputs → byte-identical exposition, the property CI asserts
+    // across whole same-seed runs.
+    #[test]
+    fn exposition_is_byte_identical(values in arb_samples()) {
+        let render = |h: &Histogram| {
+            let mut page = PromText::new();
+            page.counter("obs_samples_total", "Samples recorded.", h.count());
+            page.histogram("obs_values", "Recorded values.", h);
+            page.finish()
+        };
+        let once = render(&record_all(&values));
+        let again = render(&record_all(&values));
+        prop_assert_eq!(once, again);
+    }
+}

@@ -22,10 +22,48 @@
 //! while open are stamped `degraded` and still log exact propensities, so
 //! even degraded traffic remains harvestable.
 
+use std::fmt;
 use std::sync::Mutex;
 
 use crate::error::lock_recovering;
 use crate::metrics::ServeMetrics;
+
+/// Why the breaker last tripped. Retained until the next trip (surviving
+/// re-arms), so operators can always answer "why did we degrade?" from a
+/// metrics snapshot instead of spelunking logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripReason {
+    /// The fault signal rose by `delta` within one health-check window.
+    FaultSlope {
+        /// Fault-signal rise observed over the window.
+        delta: u64,
+    },
+    /// The writer is permanently down (restart budget exhausted).
+    WriterDown,
+    /// The trainer panicked mid-round.
+    TrainerCrash,
+    /// The promotion gate's confidence radius collapsed (non-finite or
+    /// over the configured ceiling) on real data.
+    GateCollapsed {
+        /// The offending confidence radius.
+        radius: f64,
+    },
+}
+
+impl fmt::Display for TripReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripReason::FaultSlope { delta } => {
+                write!(f, "fault_slope(delta={delta})")
+            }
+            TripReason::WriterDown => write!(f, "writer_down"),
+            TripReason::TrainerCrash => write!(f, "trainer_crash"),
+            TripReason::GateCollapsed { radius } => {
+                write!(f, "gate_collapsed(radius={radius})")
+            }
+        }
+    }
+}
 
 /// Circuit-breaker thresholds.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +99,7 @@ struct BreakerState {
     window_start_faults: u64,
     last_faults: u64,
     healthy_streak: u64,
+    last_trip: Option<TripReason>,
 }
 
 /// The breaker itself: one per service, consulted on every decision.
@@ -92,6 +131,12 @@ impl CircuitBreaker {
         lock_recovering(&self.state, None).open
     }
 
+    /// The reason for the most recent trip, or `None` if the breaker has
+    /// never tripped. Survives re-arming.
+    pub fn last_trip(&self) -> Option<TripReason> {
+        lock_recovering(&self.state, None).last_trip
+    }
+
     /// Consults the breaker for one decision. Returns `true` when this
     /// decision must be served by the safe policy.
     ///
@@ -121,7 +166,7 @@ impl CircuitBreaker {
             return true;
         }
         if !writer_alive {
-            trip(&mut s, faults, metrics);
+            trip(&mut s, faults, TripReason::WriterDown, metrics);
             return true;
         }
         s.window_decisions += 1;
@@ -130,7 +175,7 @@ impl CircuitBreaker {
             s.window_decisions = 0;
             s.window_start_faults = faults;
             if delta >= self.cfg.trip_faults {
-                trip(&mut s, faults, metrics);
+                trip(&mut s, faults, TripReason::FaultSlope { delta }, metrics);
                 return true;
             }
         }
@@ -147,7 +192,14 @@ impl CircuitBreaker {
         if collapsed {
             let mut s = lock_recovering(&self.state, Some(metrics));
             if !s.open {
-                trip(&mut s, metrics.fault_signal(), metrics);
+                trip(
+                    &mut s,
+                    metrics.fault_signal(),
+                    TripReason::GateCollapsed {
+                        radius: candidate_radius,
+                    },
+                    metrics,
+                );
             }
         }
     }
@@ -156,15 +208,21 @@ impl CircuitBreaker {
     pub fn note_trainer_crash(&self, metrics: &ServeMetrics) {
         let mut s = lock_recovering(&self.state, Some(metrics));
         if !s.open {
-            trip(&mut s, metrics.fault_signal(), metrics);
+            trip(
+                &mut s,
+                metrics.fault_signal(),
+                TripReason::TrainerCrash,
+                metrics,
+            );
         }
     }
 }
 
-fn trip(s: &mut BreakerState, faults: u64, metrics: &ServeMetrics) {
+fn trip(s: &mut BreakerState, faults: u64, reason: TripReason, metrics: &ServeMetrics) {
     s.open = true;
     s.healthy_streak = 0;
     s.last_faults = faults;
+    s.last_trip = Some(reason);
     metrics.record_breaker_trip();
 }
 
@@ -266,5 +324,40 @@ mod tests {
         b.note_trainer_crash(&m);
         assert!(b.is_open());
         assert_eq!(m.snapshot().breaker_trips, 1);
+        assert_eq!(b.last_trip(), Some(TripReason::TrainerCrash));
+    }
+
+    #[test]
+    fn trip_reasons_are_recorded_and_survive_rearm() {
+        let (b, m) = breaker(2, 1, 2);
+        assert_eq!(b.last_trip(), None);
+        assert!(b.on_decision(false, &m));
+        assert_eq!(b.last_trip(), Some(TripReason::WriterDown));
+        assert!(b.on_decision(true, &m));
+        assert!(!b.on_decision(true, &m), "second healthy decision re-arms");
+        assert_eq!(
+            b.last_trip(),
+            Some(TripReason::WriterDown),
+            "reason survives re-arm"
+        );
+        b.note_gate(500, f64::INFINITY, &m);
+        assert!(matches!(
+            b.last_trip(),
+            Some(TripReason::GateCollapsed { .. })
+        ));
+    }
+
+    #[test]
+    fn trip_reasons_render_for_operators() {
+        assert_eq!(
+            TripReason::FaultSlope { delta: 9 }.to_string(),
+            "fault_slope(delta=9)"
+        );
+        assert_eq!(TripReason::WriterDown.to_string(), "writer_down");
+        assert_eq!(TripReason::TrainerCrash.to_string(), "trainer_crash");
+        assert_eq!(
+            TripReason::GateCollapsed { radius: 1.5 }.to_string(),
+            "gate_collapsed(radius=1.5)"
+        );
     }
 }

@@ -71,12 +71,16 @@ pub struct Decision {
 /// Bits reserved for the per-shard sequence number inside a request id.
 /// Ids are `shard << 40 | seq`: unique across shards, deterministic, and
 /// good for a trillion decisions per shard.
-const SEQ_BITS: u32 = 40;
+pub(crate) const SEQ_BITS: u32 = 40;
 
 struct Shard {
     rng: DetRng,
     seq: u64,
     cache: CachedPolicy,
+    /// Logical stamp of this shard's previous decision, for the
+    /// inter-arrival histogram. Per-shard and caller-stamped, so the
+    /// gap sequence is deterministic under same-seed replay.
+    last_ns: Option<u64>,
 }
 
 /// The sharded decision engine. `decide` is safe to call concurrently from
@@ -115,6 +119,7 @@ impl DecisionEngine {
                     rng: fork_rng_indexed(cfg.master_seed, "serve-shard", i as u64),
                     seq: 0,
                     cache: CachedPolicy::new(&registry),
+                    last_ns: None,
                 })
             })
             .collect();
@@ -195,18 +200,40 @@ impl DecisionEngine {
         };
         let request_id = ((shard as u64) << SEQ_BITS) | guard.seq;
         guard.seq += 1;
+        let gap_ns = guard.last_ns.map(|prev| now_ns.saturating_sub(prev));
+        guard.last_ns = Some(now_ns);
         drop(guard);
 
         self.metrics.record_decision(now_ns, explored);
         if degraded {
             self.metrics.record_degraded();
         }
+        // Trace *before* offering the record to the queue: the writer
+        // thread must never terminate a trace that does not exist yet.
+        if let Some(obs) = self.metrics.obs() {
+            obs.tracer().decided(
+                request_id,
+                harvest_obs::Decided {
+                    ns: now_ns,
+                    shard: shard as u32,
+                    action,
+                    propensity,
+                    explored,
+                    degraded,
+                    generation: version.generation,
+                    enqueued: true,
+                },
+            );
+            if let Some(gap) = gap_ns {
+                obs.record_interarrival(shard, gap);
+            }
+        }
         let action_features: Option<Vec<Vec<f64>>> = if ctx.action_feature_dim() > 0 {
             Some((0..k).map(|a| ctx.action_features(a).to_vec()).collect())
         } else {
             None
         };
-        self.logger.log(LogRecord::Decision(DecisionRecord {
+        let queued = self.logger.log(LogRecord::Decision(DecisionRecord {
             request_id,
             timestamp_ns: now_ns,
             component: self.component.clone(),
@@ -217,6 +244,11 @@ impl DecisionEngine {
             propensity: Some(propensity),
             reward: None,
         }));
+        if !queued {
+            if let Some(obs) = self.metrics.obs() {
+                obs.tracer().shed(request_id);
+            }
+        }
         Ok(Decision {
             request_id,
             shard,

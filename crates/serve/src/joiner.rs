@@ -73,15 +73,20 @@ impl RewardJoiner {
     /// its original deadline.
     pub fn track(&mut self, request_id: u64, now_ns: u64) {
         self.sweep(now_ns);
-        if self.joined.contains(&request_id)
+        if !(self.joined.contains(&request_id)
             || self.expired.contains(&request_id)
-            || self.pending.contains_key(&request_id)
+            || self.pending.contains_key(&request_id))
         {
-            return;
+            let deadline = now_ns.saturating_add(self.ttl_ns);
+            self.pending.insert(request_id, deadline);
+            self.deadlines.insert((deadline, request_id));
         }
-        let deadline = now_ns.saturating_add(self.ttl_ns);
-        self.pending.insert(request_id, deadline);
-        self.deadlines.insert((deadline, request_id));
+        // Queue depth sampled at every track: a pure function of the
+        // call sequence, hence deterministic under replay.
+        if let Some(obs) = self.metrics.obs() {
+            let stripe = (request_id >> crate::engine::SEQ_BITS) as usize;
+            obs.record_join_queue_depth(stripe, self.pending.len() as u64);
+        }
     }
 
     /// Offers a reward observed at `now_ns`. On [`JoinOutcome::Joined`] the
@@ -105,6 +110,14 @@ impl RewardJoiner {
             Some(deadline) => {
                 self.deadlines.remove(&(deadline, request_id));
                 self.joined.insert(request_id);
+                if let Some(obs) = self.metrics.obs() {
+                    // Deadline was decision time + TTL (saturating), so the
+                    // join delay in logical time is recoverable exactly.
+                    let decided_ns = deadline.saturating_sub(self.ttl_ns);
+                    let stripe = (request_id >> crate::engine::SEQ_BITS) as usize;
+                    obs.record_join_delay(stripe, now_ns.saturating_sub(decided_ns));
+                    obs.tracer().joined(request_id, now_ns);
+                }
                 self.metrics.record_join_hit();
                 (
                     JoinOutcome::Joined,

@@ -64,25 +64,33 @@ pub mod breaker;
 pub mod chaos;
 pub mod engine;
 pub mod error;
+pub mod export;
 pub mod joiner;
 pub mod logger;
 pub mod metrics;
+pub mod obs;
 pub mod registry;
 pub mod service;
 pub mod supervisor;
 pub mod trainer;
 
-pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use breaker::{BreakerConfig, CircuitBreaker, TripReason};
 pub use chaos::apply_at_rest_faults;
 pub use engine::{Decision, DecisionEngine, EngineConfig};
 pub use error::ServeError;
+pub use export::{export_prometheus, obs_snapshot, ObsSnapshot};
 pub use joiner::{JoinOutcome, RewardJoiner};
 pub use logger::{Backpressure, DecisionLogger, LoggerConfig};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use obs::{ObsConfig, ServeObs};
 pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
 pub use service::{DecisionService, PromotionReport, ServiceConfig};
 pub use supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
 pub use trainer::{GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig};
+
+// The tracer and histogram primitives, re-exported so exporters and tests
+// need only this crate.
+pub use harvest_obs::{DecisionTrace, Histogram, HistogramSummary, Terminal, TraceAudit, Tracer};
 
 // Re-exported so chaos tests and examples need only this crate.
 pub use harvest_sim_net::fault::{

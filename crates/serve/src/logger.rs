@@ -83,18 +83,25 @@ impl DecisionLogger {
     /// Offers one record to the queue. Every offer counts as `enqueued`;
     /// offers refused by a full queue (under [`Backpressure::DropNewest`])
     /// or by a shut-down writer additionally count as `dropped`.
-    pub fn log(&self, record: LogRecord) {
+    ///
+    /// Returns `true` when the record entered the queue, `false` when it
+    /// was refused at the door — the caller-side signal the tracer needs
+    /// to mark a shed decision terminal without waiting on the writer.
+    pub fn log(&self, record: LogRecord) -> bool {
         self.metrics.record_enqueued();
         match self.backpressure {
             Backpressure::Block => {
                 if self.tx.send(record).is_err() {
                     self.metrics.record_dropped();
+                    return false;
                 }
+                true
             }
             Backpressure::DropNewest => match self.tx.try_send(record) {
-                Ok(()) => {}
+                Ok(()) => true,
                 Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                    self.metrics.record_dropped()
+                    self.metrics.record_dropped();
+                    false
                 }
             },
         }

@@ -12,8 +12,11 @@
 //! deterministic — no wall-clock reads anywhere in the decision path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::Serialize;
+
+use crate::obs::ServeObs;
 
 const RELAXED: Ordering = Ordering::Relaxed;
 
@@ -43,6 +46,10 @@ pub struct ServeMetrics {
     breaker_rearms: AtomicU64,
     degraded_decisions: AtomicU64,
     rewards_lost: AtomicU64,
+    /// Optional observability bundle (tracer + histograms). Riding inside
+    /// the metrics handle means every component that already holds
+    /// `Arc<ServeMetrics>` can emit trace events without new plumbing.
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl ServeMetrics {
@@ -52,6 +59,19 @@ impl ServeMetrics {
             first_decision_ns: AtomicU64::new(u64::MAX),
             ..ServeMetrics::default()
         }
+    }
+
+    /// Fresh counters carrying an observability bundle.
+    pub fn with_obs(obs: Arc<ServeObs>) -> Self {
+        ServeMetrics {
+            obs: Some(obs),
+            ..ServeMetrics::new()
+        }
+    }
+
+    /// The observability bundle, if this service was built with one.
+    pub fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.obs.as_ref()
     }
 
     /// Records one decision at logical time `now_ns`.
@@ -216,6 +236,10 @@ impl ServeMetrics {
     }
 }
 
+/// Zero-guarded rate: an empty window yields 0.0, never NaN or ±inf.
+/// Every derived rate in [`MetricsSnapshot`] goes through here (or the
+/// equivalent `elapsed_s` guard), so an empty snapshot always serializes
+/// finite numbers — exporters and dashboards never see a NaN.
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -342,5 +366,34 @@ mod tests {
         assert_eq!(s.exploration_rate, 0.0);
         assert_eq!(s.decisions_per_sec, 0.0);
         assert_eq!(s.join_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_finite_numbers() {
+        // Zero denominators everywhere: every derived rate must still be a
+        // finite number, and the JSON must carry no NaN/inf tokens.
+        let s = ServeMetrics::new().snapshot();
+        for (name, v) in [
+            ("exploration_rate", s.exploration_rate),
+            ("decisions_per_sec", s.decisions_per_sec),
+            ("join_hit_rate", s.join_hit_rate),
+        ] {
+            assert!(v.is_finite(), "{name} must be finite on empty metrics");
+        }
+        let json = serde_json::to_string(&s).expect("snapshot serializes");
+        for token in ["NaN", "nan", "inf", "Infinity"] {
+            assert!(
+                !json.contains(token),
+                "empty snapshot leaked `{token}`: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_obs_carries_the_bundle() {
+        use crate::obs::{ObsConfig, ServeObs};
+        let m = ServeMetrics::with_obs(Arc::new(ServeObs::new(&ObsConfig::default())));
+        assert!(m.obs().is_some());
+        assert!(ServeMetrics::new().obs().is_none());
     }
 }

@@ -1,0 +1,166 @@
+//! Serve-side observability state: the tracer, the loop's histograms,
+//! and the latest harvest-quality gauges, bundled into one handle that
+//! rides inside [`ServeMetrics`](crate::metrics::ServeMetrics) so every
+//! component that already holds the metrics can emit events.
+//!
+//! Everything recorded here is a *deterministic observable* — a pure
+//! function of the seed, the logical clock, and the call sequence —
+//! so same-seed runs export byte-identical pages. That rules out
+//! thread-timing-dependent quantities; each histogram below names its
+//! deterministic substitute:
+//!
+//! * **decision inter-arrival** — the logical-ns gap between successive
+//!   decisions on the same shard (per-shard stamps are caller-supplied,
+//!   so the gaps replay exactly);
+//! * **join delay** — reward observation time minus decision time, both
+//!   logical;
+//! * **join queue depth** — the joiner's pending count sampled at each
+//!   `track`, a function of the call sequence alone;
+//! * **sealed-segment size** — records and bytes per *sealed* segment
+//!   (rotation points are record-indexed, so seals replay; the final
+//!   never-sealed segment is not recorded).
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use harvest_estimators::HarvestQuality;
+use harvest_log::SealObserver;
+use harvest_obs::{AtomicHistogram, Histogram, StripedHistogram, Tracer, TracerConfig};
+
+/// Observability sizing and switches for the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Master switch: `false` builds the service with no tracer and no
+    /// histograms (zero overhead beyond the plain counters).
+    pub enabled: bool,
+    /// Trace ring shards (each independently locked).
+    pub trace_shards: usize,
+    /// Trace ring capacity per shard; oldest traces evicted (counted)
+    /// beyond it.
+    pub trace_capacity_per_shard: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_shards: 16,
+            trace_capacity_per_shard: 4096,
+        }
+    }
+}
+
+/// The observability bundle: one per service, shared via `Arc` through
+/// the metrics handle.
+pub struct ServeObs {
+    tracer: Tracer,
+    /// Striped by engine shard: concurrent decide threads record onto
+    /// disjoint cache lines and merge only at snapshot time.
+    decision_interarrival_ns: StripedHistogram,
+    /// Striped by the rewarded decision's engine shard.
+    join_delay_ns: StripedHistogram,
+    join_queue_depth: StripedHistogram,
+    segment_records: AtomicHistogram,
+    segment_bytes: AtomicHistogram,
+    /// Latest per-round harvest-quality gauges (from the trainer gate).
+    quality: Mutex<Option<HarvestQuality>>,
+}
+
+impl fmt::Debug for ServeObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeObs")
+            .field("traced", &self.tracer.audit().decided)
+            .field("interarrivals", &self.decision_interarrival_ns.count())
+            .field("join_delays", &self.join_delay_ns.count())
+            .finish()
+    }
+}
+
+impl ServeObs {
+    /// Builds the bundle from `cfg` (the `enabled` flag is the caller's
+    /// concern — constructing implies enabled).
+    pub fn new(cfg: &ObsConfig) -> Self {
+        ServeObs {
+            tracer: Tracer::new(TracerConfig {
+                shards: cfg.trace_shards,
+                capacity_per_shard: cfg.trace_capacity_per_shard,
+                seq_bits: crate::engine::SEQ_BITS,
+            }),
+            decision_interarrival_ns: StripedHistogram::new(cfg.trace_shards),
+            join_delay_ns: StripedHistogram::new(cfg.trace_shards),
+            join_queue_depth: StripedHistogram::new(cfg.trace_shards),
+            segment_records: AtomicHistogram::new(),
+            segment_bytes: AtomicHistogram::new(),
+            quality: Mutex::new(None),
+        }
+    }
+
+    /// The lifecycle tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records the logical-ns gap between successive same-shard decisions,
+    /// on the deciding shard's stripe.
+    pub fn record_interarrival(&self, shard: usize, gap_ns: u64) {
+        self.decision_interarrival_ns.record(shard, gap_ns);
+    }
+
+    /// Records one reward-join delay (observation − decision, logical ns),
+    /// on the rewarded decision's shard stripe.
+    pub fn record_join_delay(&self, shard: usize, delay_ns: u64) {
+        self.join_delay_ns.record(shard, delay_ns);
+    }
+
+    /// Records the joiner's pending depth sampled at a `track`.
+    pub fn record_join_queue_depth(&self, shard: usize, depth: u64) {
+        self.join_queue_depth.record(shard, depth);
+    }
+
+    /// Publishes the latest training round's quality gauges.
+    pub fn set_quality(&self, q: HarvestQuality) {
+        *self.quality.lock().unwrap_or_else(|e| e.into_inner()) = Some(q);
+    }
+
+    /// The latest published quality gauges, if a round has run.
+    pub fn quality(&self) -> Option<HarvestQuality> {
+        *self.quality.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of the decision inter-arrival histogram.
+    pub fn interarrival_histogram(&self) -> Histogram {
+        self.decision_interarrival_ns.snapshot()
+    }
+
+    /// Snapshot of the join-delay histogram.
+    pub fn join_delay_histogram(&self) -> Histogram {
+        self.join_delay_ns.snapshot()
+    }
+
+    /// Snapshot of the join-queue-depth histogram.
+    pub fn join_queue_depth_histogram(&self) -> Histogram {
+        self.join_queue_depth.snapshot()
+    }
+
+    /// Snapshot of the sealed-segment record-count histogram.
+    pub fn segment_records_histogram(&self) -> Histogram {
+        self.segment_records.snapshot()
+    }
+
+    /// Snapshot of the sealed-segment byte-size histogram.
+    pub fn segment_bytes_histogram(&self) -> Histogram {
+        self.segment_bytes.snapshot()
+    }
+}
+
+impl SealObserver for ServeObs {
+    fn segment_sealed(&self, records: usize, bytes: usize) {
+        self.segment_records.record(records as u64);
+        self.segment_bytes.record(bytes as u64);
+    }
+}
+
+/// Convenience: the observer handle the segment writer wants.
+pub fn seal_observer(obs: &Arc<ServeObs>) -> Arc<dyn SealObserver> {
+    Arc::clone(obs) as Arc<dyn SealObserver>
+}

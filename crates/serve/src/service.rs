@@ -46,12 +46,14 @@ use harvest_log::segment::SegmentSink;
 use harvest_sim_net::fault::{ChaosPlan, RewardFault};
 use serde::Serialize;
 
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{BreakerConfig, CircuitBreaker, TripReason};
 use crate::engine::{Decision, DecisionEngine, EngineConfig};
 use crate::error::{lock_recovering, ServeError};
+use crate::export::{export_prometheus, obs_snapshot, ObsSnapshot};
 use crate::joiner::{JoinOutcome, RewardJoiner};
 use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::obs::{ObsConfig, ServeObs};
 use crate::registry::{PolicyRegistry, ServePolicy};
 use crate::supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
 use crate::trainer::{GateReport, Trainer, TrainerConfig};
@@ -75,6 +77,8 @@ pub struct ServiceConfig {
     pub join_ttl_ns: u64,
     /// Trainer and promotion gate.
     pub trainer: TrainerConfig,
+    /// Observability: decision tracer and telemetry histograms.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +95,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             safe_policy: ServePolicy::Uniform,
             join_ttl_ns: 10_000_000_000, // 10 logical seconds
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -147,7 +152,11 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     }
 
     fn build(cfg: ServiceConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
-        let metrics = Arc::new(ServeMetrics::new());
+        let metrics = if cfg.obs.enabled {
+            Arc::new(ServeMetrics::with_obs(Arc::new(ServeObs::new(&cfg.obs))))
+        } else {
+            Arc::new(ServeMetrics::new())
+        };
         let registry = Arc::new(PolicyRegistry::with_metrics(
             ServePolicy::Uniform,
             "bootstrap-uniform",
@@ -286,6 +295,22 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         };
         self.breaker
             .note_gate(round.gate.n, round.gate.candidate_radius, &self.metrics);
+        if let Some(obs) = self.metrics.obs() {
+            obs.set_quality(round.gate.quality);
+            // Stamp `trained` on every decision trace whose record actually
+            // contributed a (decision, outcome) pair to this round — the
+            // same join rule the harvest pipeline applies.
+            let outcome_ids: std::collections::HashSet<u64> = records
+                .iter()
+                .filter(|r| !r.is_decision())
+                .map(|r| r.request_id())
+                .collect();
+            for r in records {
+                if r.is_decision() && outcome_ids.contains(&r.request_id()) {
+                    obs.tracer().trained(r.request_id(), round_index);
+                }
+            }
+        }
         if round.gate.promoted {
             let round_no = {
                 let mut r = lock_recovering(&self.rounds, Some(&self.metrics));
@@ -331,6 +356,46 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The observability bundle, when the service was built with
+    /// [`ObsConfig::enabled`] (the default).
+    pub fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.metrics.obs()
+    }
+
+    /// Why the breaker last tripped, if it ever did.
+    pub fn breaker_last_trip(&self) -> Option<TripReason> {
+        self.breaker.last_trip()
+    }
+
+    /// The tracer's lifecycle-conservation audit, when tracing is enabled.
+    pub fn trace_audit(&self) -> Option<harvest_obs::TraceAudit> {
+        self.metrics.obs().map(|o| o.tracer().audit())
+    }
+
+    /// Every decision trace as replayable JSON lines (sorted by id), when
+    /// tracing is enabled.
+    pub fn export_trace_jsonl(&self) -> Option<String> {
+        self.metrics.obs().map(|o| o.tracer().export_jsonl())
+    }
+
+    /// The full JSON-serializable observability snapshot.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        obs_snapshot(
+            &self.metrics,
+            self.breaker.is_open(),
+            self.breaker.last_trip(),
+        )
+    }
+
+    /// The Prometheus text exposition page.
+    pub fn export_prometheus(&self) -> String {
+        export_prometheus(
+            &self.metrics,
+            self.breaker.is_open(),
+            self.breaker.last_trip(),
+        )
     }
 
     /// Shuts down: disconnects the log queue, waits for the writer to drain

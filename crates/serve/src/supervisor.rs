@@ -36,9 +36,12 @@ use harvest_log::record::LogRecord;
 use harvest_log::segment::{encode_frame, SegmentSink, SegmentedLogWriter};
 use harvest_sim_net::fault::{ChaosPlan, WriterFault};
 
+use harvest_obs::Terminal;
+
 use crate::error::lock_recovering;
 use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::ServeMetrics;
+use crate::obs::seal_observer;
 
 const SEQ: Ordering = Ordering::SeqCst;
 
@@ -80,6 +83,22 @@ struct WriterShared<S> {
 }
 
 impl<S: SegmentSink> WriterShared<S> {
+    /// Marks a decision record's trace terminal. Must be called *before*
+    /// the matching ledger metric is bumped, so that a drained backlog
+    /// (`log_backlog == 0`) implies every trace has reached its terminal —
+    /// the tracer parks the event and every audit/export flushes parked
+    /// events first, which preserves that implication without this thread
+    /// taking a trace-shard lock per record. Outcome records carry no
+    /// trace of their own and are skipped.
+    fn note_terminal(&self, record: &LogRecord, terminal: Terminal) {
+        if record.is_decision() {
+            if let Some(obs) = self.metrics.obs() {
+                obs.tracer()
+                    .terminal_deferred(record.request_id(), terminal);
+            }
+        }
+    }
+
     /// Panics if a kill is scheduled at or before `next_index`. Called
     /// *before* popping, so the record in question stays queued for the
     /// next incarnation.
@@ -99,6 +118,7 @@ impl<S: SegmentSink> WriterShared<S> {
         let Some(writer) = guard.as_mut() else {
             // The writer was already taken at shutdown; nothing to do but
             // keep the ledger honest.
+            self.note_terminal(record, Terminal::Dropped);
             self.metrics.record_dropped();
             return;
         };
@@ -112,15 +132,20 @@ impl<S: SegmentSink> WriterShared<S> {
                 let keep = keep.clamp(1, frame.len() - 1);
                 let _ = writer.append_raw(&frame[..keep]);
             }
+            self.note_terminal(record, Terminal::Quarantined);
             self.metrics.record_quarantined(1);
             panic!("chaos: torn write of record {index}");
         }
         match writer.write(record) {
-            Ok(_) => self.metrics.record_written(),
+            Ok(_) => {
+                self.note_terminal(record, Terminal::Written);
+                self.metrics.record_written();
+            }
             Err(_) => {
                 // The sink refused the append; the frame may be partial.
                 // Count the record quarantined and seal the segment so the
                 // damage cannot spread into later frames.
+                self.note_terminal(record, Terminal::Quarantined);
                 self.metrics.record_quarantined(1);
                 let _ = writer.rotate();
             }
@@ -204,7 +229,10 @@ fn supervise<S: SegmentSink + Send + 'static>(
                             rx.recv()
                         };
                         match next {
-                            Ok(_) => shared.metrics.record_dropped(),
+                            Ok(record) => {
+                                shared.note_terminal(&record, Terminal::Dropped);
+                                shared.metrics.record_dropped();
+                            }
                             Err(_) => return,
                         }
                     }
@@ -271,9 +299,13 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
 ) -> (DecisionLogger, WriterSupervisorHandle<S>) {
     let (tx, rx) = sync_channel(cfg.capacity.max(1));
     let kills = chaos.as_ref().map(|c| c.writer_kills()).unwrap_or_default();
+    let mut writer = SegmentedLogWriter::new(sink, cfg.segment);
+    if let Some(obs) = metrics.obs() {
+        writer.set_observer(seal_observer(obs));
+    }
     let shared = Arc::new(WriterShared {
         rx: Mutex::new(rx),
-        writer: Mutex::new(Some(SegmentedLogWriter::new(sink, cfg.segment))),
+        writer: Mutex::new(Some(writer)),
         attempted: AtomicU64::new(0),
         kills,
         kill_cursor: AtomicUsize::new(0),

@@ -19,6 +19,7 @@ use harvest_core::policy::UniformPolicy;
 use harvest_core::scorer::LinearScorer;
 use harvest_core::{Dataset, HarvestError, Scorer, SimpleContext};
 use harvest_estimators::bounds::{empirical_bernstein_radius, BoundConfig};
+use harvest_estimators::{harvest_quality, HarvestQuality};
 use harvest_log::pipeline::{HarvestPipeline, HarvestReport};
 use harvest_log::record::LogRecord;
 use harvest_log::KnownPropensity;
@@ -86,6 +87,13 @@ pub struct GateReport {
     pub incumbent_value: f64,
     /// Whether the candidate cleared the bar.
     pub promoted: bool,
+    /// Why the gate ruled the way it did: `"promoted"`,
+    /// `"insufficient_samples"`, or `"lcb_not_above_incumbent"`.
+    pub reason: String,
+    /// Harvest-quality diagnostics (ESS, weight concentration, propensity
+    /// floor hits, drift) over the candidate's importance weights — the
+    /// evidence behind the verdict, exported alongside it.
+    pub quality: HarvestQuality,
 }
 
 /// One completed training round.
@@ -161,14 +169,37 @@ impl Trainer {
         let incumbent_value = self.estimate(data, incumbent, model).0;
         let candidate_radius = radius_of(&self.cfg.bound, &terms);
         let candidate_lcb = candidate_value - candidate_radius;
+        let weights = self.importance_weights(data, candidate);
+        let quality = harvest_quality(data, &weights, self.cfg.epsilon, WEIGHT_CLIP);
+        let promoted = n >= self.cfg.min_samples && candidate_lcb > incumbent_value;
+        let reason = if promoted {
+            "promoted"
+        } else if n < self.cfg.min_samples {
+            "insufficient_samples"
+        } else {
+            "lcb_not_above_incumbent"
+        };
         GateReport {
             n,
             candidate_value,
             candidate_radius,
             candidate_lcb,
             incumbent_value,
-            promoted: n >= self.cfg.min_samples && candidate_lcb > incumbent_value,
+            promoted,
+            reason: reason.to_string(),
+            quality,
         }
+    }
+
+    /// The candidate's as-served importance weights `π(aₜ|xₜ)/pₜ`, the raw
+    /// material for the harvest-quality gauges.
+    fn importance_weights(&self, data: &Dataset<SimpleContext>, policy: &ServePolicy) -> Vec<f64> {
+        data.iter()
+            .map(|s| {
+                let probs = policy.served_probabilities(&s.context, self.cfg.epsilon);
+                probs[s.action] / s.propensity
+            })
+            .collect()
     }
 
     /// Runs a full round: harvest → train → gate. Does **not** touch the
@@ -248,6 +279,11 @@ impl Trainer {
     }
 }
 
+/// Weight magnitude above which importance mass counts as "clipped" in the
+/// harvest-quality gauges. Diagnostic only — the estimators themselves never
+/// clip; this flags how much of the estimate rides on rare heavy weights.
+const WEIGHT_CLIP: f64 = 10.0;
+
 /// Empirical-Bernstein radius of the mean of `terms` (k = 1 candidate).
 /// Degenerate inputs (n ≤ 1) get an infinite radius: never promote on them.
 fn radius_of(bound: &BoundConfig, terms: &[f64]) -> f64 {
@@ -314,6 +350,12 @@ mod tests {
         assert!(report.promoted, "{report:?}");
         assert!(report.candidate_lcb > report.incumbent_value);
         assert!((report.incumbent_value - 0.5).abs() < 0.05, "{report:?}");
+        assert_eq!(report.reason, "promoted");
+        // Quality gauges ride along: uniform logging with a near-greedy
+        // candidate halves the effective sample size, roughly.
+        assert_eq!(report.quality.n, 4000);
+        assert!(report.quality.effective_sample_size > 0.0);
+        assert!(report.quality.ess_fraction <= 1.0 + 1e-12, "{report:?}");
     }
 
     #[test]
@@ -325,6 +367,7 @@ mod tests {
         // Truth: candidate ≈ 0.25 < incumbent 0.5 — refused decisively.
         assert!(!report.promoted, "{report:?}");
         assert!(report.candidate_value < report.incumbent_value);
+        assert_eq!(report.reason, "lcb_not_above_incumbent");
     }
 
     #[test]
@@ -337,6 +380,7 @@ mod tests {
         let candidate = ServePolicy::Greedy(good_scorer());
         let report = t.gate(&data, &ServePolicy::Uniform, &candidate, &good_scorer());
         assert!(!report.promoted);
+        assert_eq!(report.reason, "insufficient_samples");
     }
 
     #[test]

@@ -162,7 +162,7 @@ fn main() {
     let snapshot = svc.metrics();
     println!(
         "\nrobustness: dropped={} quarantined_records={} writer_restarts={} breaker_trips={} \
-         joiner_duplicates={} lock_recoveries={} degraded_decisions={}",
+         join_duplicates={} lock_recoveries={} degraded_decisions={}",
         snapshot.log_dropped,
         snapshot.log_quarantined,
         snapshot.writer_restarts,

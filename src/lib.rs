@@ -50,6 +50,7 @@
 //! | [`cache`] | `harvest-sim-cache` | Redis-style cache simulator |
 //! | [`mh`] | `harvest-sim-mh` | Azure-style machine-health simulator |
 //! | [`serve`] | `harvest-serve` | online decision service (harvest → train → promote) |
+//! | [`obs`] | `harvest-obs` | decision tracer, histograms, Prometheus exposition |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,4 +93,9 @@ pub mod mh {
 /// Online decision service (re-export of `harvest-serve`).
 pub mod serve {
     pub use harvest_serve::*;
+}
+
+/// Observability primitives (re-export of `harvest-obs`).
+pub mod obs {
+    pub use harvest_obs::*;
 }

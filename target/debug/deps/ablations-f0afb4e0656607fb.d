@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f0afb4e0656607fb.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f0afb4e0656607fb: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-14952a012dcde2fe.d: tests/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-14952a012dcde2fe.rmeta: tests/chaos_recovery.rs Cargo.toml
+
+tests/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_recovery-7479bccc638bcc3e.d: tests/chaos_recovery.rs
+
+/root/repo/target/debug/deps/chaos_recovery-7479bccc638bcc3e: tests/chaos_recovery.rs
+
+tests/chaos_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-922bf5bda7c7a953.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-922bf5bda7c7a953.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

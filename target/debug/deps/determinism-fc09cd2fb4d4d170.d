@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fc09cd2fb4d4d170.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fc09cd2fb4d4d170: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism_lint-0cb7a4d2e4cc995b.d: tests/determinism_lint.rs
+
+/root/repo/target/debug/deps/determinism_lint-0cb7a4d2e4cc995b: tests/determinism_lint.rs
+
+tests/determinism_lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism_lint-8ea20af4507b1e8a.d: tests/determinism_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_lint-8ea20af4507b1e8a.rmeta: tests/determinism_lint.rs Cargo.toml
+
+tests/determinism_lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-4fd393b4e226c0f1.d: tests/end_to_end_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_pipeline-4fd393b4e226c0f1.rmeta: tests/end_to_end_pipeline.rs Cargo.toml
+
+tests/end_to_end_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

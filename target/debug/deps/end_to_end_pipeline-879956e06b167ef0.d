@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-879956e06b167ef0.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/debug/deps/end_to_end_pipeline-879956e06b167ef0: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_bounds-32abd363b114590c.d: crates/bench/benches/fig1_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_bounds-32abd363b114590c.rmeta: crates/bench/benches/fig1_bounds.rs Cargo.toml
+
+crates/bench/benches/fig1_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

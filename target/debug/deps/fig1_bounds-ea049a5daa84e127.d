@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bounds-ea049a5daa84e127.d: crates/bench/benches/fig1_bounds.rs
+
+/root/repo/target/debug/deps/fig1_bounds-ea049a5daa84e127: crates/bench/benches/fig1_bounds.rs
+
+crates/bench/benches/fig1_bounds.rs:

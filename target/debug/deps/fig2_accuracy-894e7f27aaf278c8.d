@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_accuracy-894e7f27aaf278c8.d: crates/bench/benches/fig2_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_accuracy-894e7f27aaf278c8.rmeta: crates/bench/benches/fig2_accuracy.rs Cargo.toml
+
+crates/bench/benches/fig2_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

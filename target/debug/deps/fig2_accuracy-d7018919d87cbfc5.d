@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy-d7018919d87cbfc5.d: crates/bench/benches/fig2_accuracy.rs
+
+/root/repo/target/debug/deps/fig2_accuracy-d7018919d87cbfc5: crates/bench/benches/fig2_accuracy.rs
+
+crates/bench/benches/fig2_accuracy.rs:

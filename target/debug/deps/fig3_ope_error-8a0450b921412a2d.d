@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ope_error-8a0450b921412a2d.d: crates/bench/benches/fig3_ope_error.rs
+
+/root/repo/target/debug/deps/fig3_ope_error-8a0450b921412a2d: crates/bench/benches/fig3_ope_error.rs
+
+crates/bench/benches/fig3_ope_error.rs:

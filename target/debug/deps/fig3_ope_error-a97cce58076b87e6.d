@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_ope_error-a97cce58076b87e6.d: crates/bench/benches/fig3_ope_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_ope_error-a97cce58076b87e6.rmeta: crates/bench/benches/fig3_ope_error.rs Cargo.toml
+
+crates/bench/benches/fig3_ope_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_convergence-40c683df45f76404.d: crates/bench/benches/fig4_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_convergence-40c683df45f76404.rmeta: crates/bench/benches/fig4_convergence.rs Cargo.toml
+
+crates/bench/benches/fig4_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

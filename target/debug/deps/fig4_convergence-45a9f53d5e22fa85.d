@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_convergence-45a9f53d5e22fa85.d: crates/bench/benches/fig4_convergence.rs
+
+/root/repo/target/debug/deps/fig4_convergence-45a9f53d5e22fa85: crates/bench/benches/fig4_convergence.rs
+
+crates/bench/benches/fig4_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_fig6_topology-ba38b4f5b485ed00.d: crates/bench/benches/fig5_fig6_topology.rs
+
+/root/repo/target/debug/deps/fig5_fig6_topology-ba38b4f5b485ed00: crates/bench/benches/fig5_fig6_topology.rs
+
+crates/bench/benches/fig5_fig6_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_fig6_topology-ff6a5aa5c558fc6f.d: crates/bench/benches/fig5_fig6_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_fig6_topology-ff6a5aa5c558fc6f.rmeta: crates/bench/benches/fig5_fig6_topology.rs Cargo.toml
+
+crates/bench/benches/fig5_fig6_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harvest-334e39afca4189eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/harvest-334e39afca4189eb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/harvest-53879bb5be634d64.d: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-53879bb5be634d64.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libharvest-53879bb5be634d64.rmeta: src/lib.rs
+
+src/lib.rs:

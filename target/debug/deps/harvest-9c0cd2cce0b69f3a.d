@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harvest-9c0cd2cce0b69f3a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest-9c0cd2cce0b69f3a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

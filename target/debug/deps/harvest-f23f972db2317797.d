@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harvest-f23f972db2317797.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest-f23f972db2317797.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/harvest_bench-f720f4f5a31abfde.d: crates/bench/src/lib.rs crates/bench/src/challenges/mod.rs crates/bench/src/challenges/cache_ablation.rs crates/bench/src/challenges/estimators.rs crates/bench/src/challenges/exploration.rs crates/bench/src/challenges/learners.rs crates/bench/src/challenges/sequences.rs crates/bench/src/challenges/validation.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_bench-f720f4f5a31abfde.rmeta: crates/bench/src/lib.rs crates/bench/src/challenges/mod.rs crates/bench/src/challenges/cache_ablation.rs crates/bench/src/challenges/estimators.rs crates/bench/src/challenges/exploration.rs crates/bench/src/challenges/learners.rs crates/bench/src/challenges/sequences.rs crates/bench/src/challenges/validation.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/challenges/mod.rs:
+crates/bench/src/challenges/cache_ablation.rs:
+crates/bench/src/challenges/estimators.rs:
+crates/bench/src/challenges/exploration.rs:
+crates/bench/src/challenges/learners.rs:
+crates/bench/src/challenges/sequences.rs:
+crates/bench/src/challenges/validation.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

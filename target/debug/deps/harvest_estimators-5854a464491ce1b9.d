@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/harvest_estimators-5854a464491ce1b9.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
+/root/repo/target/debug/deps/harvest_estimators-5854a464491ce1b9.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
 
-/root/repo/target/debug/deps/harvest_estimators-5854a464491ce1b9: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
+/root/repo/target/debug/deps/harvest_estimators-5854a464491ce1b9: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
 
 crates/estimators/src/lib.rs:
 crates/estimators/src/ab.rs:
 crates/estimators/src/bounds.rs:
+crates/estimators/src/diagnostics.rs:
 crates/estimators/src/direct.rs:
 crates/estimators/src/dr.rs:
 crates/estimators/src/drift.rs:

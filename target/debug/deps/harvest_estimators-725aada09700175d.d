@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/harvest_estimators-725aada09700175d.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
+/root/repo/target/debug/deps/harvest_estimators-725aada09700175d.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
 
-/root/repo/target/debug/deps/libharvest_estimators-725aada09700175d.rlib: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
+/root/repo/target/debug/deps/libharvest_estimators-725aada09700175d.rlib: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
 
-/root/repo/target/debug/deps/libharvest_estimators-725aada09700175d.rmeta: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
+/root/repo/target/debug/deps/libharvest_estimators-725aada09700175d.rmeta: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs
 
 crates/estimators/src/lib.rs:
 crates/estimators/src/ab.rs:
 crates/estimators/src/bounds.rs:
+crates/estimators/src/diagnostics.rs:
 crates/estimators/src/direct.rs:
 crates/estimators/src/dr.rs:
 crates/estimators/src/drift.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/harvest_estimators-814a3635c7fc1d99.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs Cargo.toml
+/root/repo/target/debug/deps/harvest_estimators-814a3635c7fc1d99.d: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs Cargo.toml
 
-/root/repo/target/debug/deps/libharvest_estimators-814a3635c7fc1d99.rmeta: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs Cargo.toml
+/root/repo/target/debug/deps/libharvest_estimators-814a3635c7fc1d99.rmeta: crates/estimators/src/lib.rs crates/estimators/src/ab.rs crates/estimators/src/bounds.rs crates/estimators/src/diagnostics.rs crates/estimators/src/direct.rs crates/estimators/src/dr.rs crates/estimators/src/drift.rs crates/estimators/src/evaluator.rs crates/estimators/src/ips.rs crates/estimators/src/search.rs crates/estimators/src/snips.rs crates/estimators/src/trajectory.rs crates/estimators/src/estimate.rs Cargo.toml
 
 crates/estimators/src/lib.rs:
 crates/estimators/src/ab.rs:
 crates/estimators/src/bounds.rs:
+crates/estimators/src/diagnostics.rs:
 crates/estimators/src/direct.rs:
 crates/estimators/src/dr.rs:
 crates/estimators/src/drift.rs:

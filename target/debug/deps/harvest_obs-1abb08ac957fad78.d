@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harvest_obs-1abb08ac957fad78.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libharvest_obs-1abb08ac957fad78.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libharvest_obs-1abb08ac957fad78.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harvest_obs-3efa535cdbb4a9a1.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/harvest_obs-3efa535cdbb4a9a1: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harvest_obs-ae41d121680ec303.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_obs-ae41d121680ec303.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

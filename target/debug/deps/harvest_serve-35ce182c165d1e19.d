@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/harvest_serve-35ce182c165d1e19.d: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharvest_serve-35ce182c165d1e19.rmeta: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/breaker.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/export.rs:
+crates/serve/src/joiner.rs:
+crates/serve/src/logger.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/obs.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/service.rs:
+crates/serve/src/supervisor.rs:
+crates/serve/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

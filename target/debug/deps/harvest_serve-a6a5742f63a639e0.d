@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/harvest_serve-a6a5742f63a639e0.d: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
+
+/root/repo/target/debug/deps/harvest_serve-a6a5742f63a639e0: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/breaker.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/export.rs:
+crates/serve/src/joiner.rs:
+crates/serve/src/logger.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/obs.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/service.rs:
+crates/serve/src/supervisor.rs:
+crates/serve/src/trainer.rs:

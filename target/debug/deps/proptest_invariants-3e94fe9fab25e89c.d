@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-3e94fe9fab25e89c.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-3e94fe9fab25e89c: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

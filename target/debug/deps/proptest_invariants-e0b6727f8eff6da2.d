@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-e0b6727f8eff6da2.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-e0b6727f8eff6da2.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0a02bb3628e729b8.d: crates/obs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0a02bb3628e729b8: crates/obs/tests/proptests.rs
+
+crates/obs/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3e0077aad876f3fa.d: crates/serve/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3e0077aad876f3fa: crates/serve/tests/proptests.rs
+
+crates/serve/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7eef491ca9dcb2e1.d: crates/obs/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7eef491ca9dcb2e1.rmeta: crates/obs/tests/proptests.rs Cargo.toml
+
+crates/obs/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d0da36b2746d179a.d: crates/serve/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d0da36b2746d179a.rmeta: crates/serve/tests/proptests.rs Cargo.toml
+
+crates/serve/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

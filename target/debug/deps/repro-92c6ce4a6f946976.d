@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-92c6ce4a6f946976.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-92c6ce4a6f946976: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dd569225ecc99ea2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-dd569225ecc99ea2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

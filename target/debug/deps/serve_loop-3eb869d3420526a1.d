@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_loop-3eb869d3420526a1.d: tests/serve_loop.rs
+
+/root/repo/target/debug/deps/serve_loop-3eb869d3420526a1: tests/serve_loop.rs
+
+tests/serve_loop.rs:

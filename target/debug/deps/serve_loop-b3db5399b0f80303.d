@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_loop-b3db5399b0f80303.d: tests/serve_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_loop-b3db5399b0f80303.rmeta: tests/serve_loop.rs Cargo.toml
+
+tests/serve_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

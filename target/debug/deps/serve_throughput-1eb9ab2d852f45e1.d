@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_throughput-1eb9ab2d852f45e1.d: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_throughput-1eb9ab2d852f45e1.rmeta: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+crates/bench/benches/serve_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

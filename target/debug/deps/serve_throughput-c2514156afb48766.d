@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_throughput-c2514156afb48766.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/debug/deps/serve_throughput-c2514156afb48766: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

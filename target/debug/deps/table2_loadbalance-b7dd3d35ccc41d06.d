@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_loadbalance-b7dd3d35ccc41d06.d: crates/bench/benches/table2_loadbalance.rs
+
+/root/repo/target/debug/deps/table2_loadbalance-b7dd3d35ccc41d06: crates/bench/benches/table2_loadbalance.rs
+
+crates/bench/benches/table2_loadbalance.rs:

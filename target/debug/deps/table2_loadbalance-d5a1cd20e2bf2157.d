@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_loadbalance-d5a1cd20e2bf2157.d: crates/bench/benches/table2_loadbalance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_loadbalance-d5a1cd20e2bf2157.rmeta: crates/bench/benches/table2_loadbalance.rs Cargo.toml
+
+crates/bench/benches/table2_loadbalance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_cache-87e7231c5075a8ef.d: crates/bench/benches/table3_cache.rs
+
+/root/repo/target/debug/deps/table3_cache-87e7231c5075a8ef: crates/bench/benches/table3_cache.rs
+
+crates/bench/benches/table3_cache.rs:

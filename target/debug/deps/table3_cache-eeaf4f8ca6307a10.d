@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_cache-eeaf4f8ca6307a10.d: crates/bench/benches/table3_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_cache-eeaf4f8ca6307a10.rmeta: crates/bench/benches/table3_cache.rs Cargo.toml
+
+crates/bench/benches/table3_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_audit-33d0a89ddd0c7d8c.d: tests/trace_audit.rs
+
+/root/repo/target/debug/deps/trace_audit-33d0a89ddd0c7d8c: tests/trace_audit.rs
+
+tests/trace_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_audit-4499e91e1dbbecad.d: tests/trace_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_audit-4499e91e1dbbecad.rmeta: tests/trace_audit.rs Cargo.toml
+
+tests/trace_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

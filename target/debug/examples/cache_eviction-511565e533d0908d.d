@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_eviction-511565e533d0908d.d: examples/cache_eviction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_eviction-511565e533d0908d.rmeta: examples/cache_eviction.rs Cargo.toml
+
+examples/cache_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_eviction-af69a1a3d0d95050.d: examples/cache_eviction.rs
+
+/root/repo/target/debug/examples/cache_eviction-af69a1a3d0d95050: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

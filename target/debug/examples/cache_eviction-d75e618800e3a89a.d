@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_eviction-d75e618800e3a89a.d: examples/cache_eviction.rs
+
+/root/repo/target/debug/examples/cache_eviction-d75e618800e3a89a: examples/cache_eviction.rs
+
+examples/cache_eviction.rs:

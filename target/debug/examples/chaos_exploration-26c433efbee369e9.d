@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_exploration-26c433efbee369e9.d: examples/chaos_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_exploration-26c433efbee369e9.rmeta: examples/chaos_exploration.rs Cargo.toml
+
+examples/chaos_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_exploration-b1393396e22cbf3c.d: examples/chaos_exploration.rs
+
+/root/repo/target/debug/examples/chaos_exploration-b1393396e22cbf3c: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

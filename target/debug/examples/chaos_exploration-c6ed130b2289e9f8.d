@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_exploration-c6ed130b2289e9f8.d: examples/chaos_exploration.rs
+
+/root/repo/target/debug/examples/chaos_exploration-c6ed130b2289e9f8: examples/chaos_exploration.rs
+
+examples/chaos_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_harvest-260f7c3ec2007979.d: examples/chaos_harvest.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_harvest-260f7c3ec2007979.rmeta: examples/chaos_harvest.rs Cargo.toml
+
+examples/chaos_harvest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

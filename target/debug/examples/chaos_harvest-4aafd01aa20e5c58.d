@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_harvest-4aafd01aa20e5c58.d: examples/chaos_harvest.rs
+
+/root/repo/target/debug/examples/chaos_harvest-4aafd01aa20e5c58: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

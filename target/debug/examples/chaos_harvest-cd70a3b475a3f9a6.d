@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_harvest-cd70a3b475a3f9a6.d: examples/chaos_harvest.rs
+
+/root/repo/target/debug/examples/chaos_harvest-cd70a3b475a3f9a6: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_loop-64897109566e7397.d: examples/continuous_loop.rs
+
+/root/repo/target/debug/examples/continuous_loop-64897109566e7397: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/continuous_loop-d3ed07fc0bae346a.d: examples/continuous_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontinuous_loop-d3ed07fc0bae346a.rmeta: examples/continuous_loop.rs Cargo.toml
+
+examples/continuous_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_loop-dfdfa2ed864e9b85.d: examples/continuous_loop.rs
+
+/root/repo/target/debug/examples/continuous_loop-dfdfa2ed864e9b85: examples/continuous_loop.rs
+
+examples/continuous_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_serve-602aa32757363627.d: examples/harvest_serve.rs
+
+/root/repo/target/debug/examples/harvest_serve-602aa32757363627: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/harvest_serve-a78de852b74bfc5a.d: examples/harvest_serve.rs Cargo.toml
+
+/root/repo/target/debug/examples/libharvest_serve-a78de852b74bfc5a.rmeta: examples/harvest_serve.rs Cargo.toml
+
+examples/harvest_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

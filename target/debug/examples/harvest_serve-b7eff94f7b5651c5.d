@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_serve-b7eff94f7b5651c5.d: examples/harvest_serve.rs
+
+/root/repo/target/debug/examples/harvest_serve-b7eff94f7b5651c5: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

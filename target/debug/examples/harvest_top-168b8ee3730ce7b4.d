@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_top-168b8ee3730ce7b4.d: examples/harvest_top.rs
+
+/root/repo/target/debug/examples/harvest_top-168b8ee3730ce7b4: examples/harvest_top.rs
+
+examples/harvest_top.rs:

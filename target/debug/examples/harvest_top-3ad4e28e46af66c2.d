@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/harvest_top-3ad4e28e46af66c2.d: examples/harvest_top.rs Cargo.toml
+
+/root/repo/target/debug/examples/libharvest_top-3ad4e28e46af66c2.rmeta: examples/harvest_top.rs Cargo.toml
+
+examples/harvest_top.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

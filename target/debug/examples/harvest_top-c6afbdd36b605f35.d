@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/harvest_top-c6afbdd36b605f35.d: examples/harvest_top.rs
+
+/root/repo/target/debug/examples/harvest_top-c6afbdd36b605f35: examples/harvest_top.rs
+
+examples/harvest_top.rs:

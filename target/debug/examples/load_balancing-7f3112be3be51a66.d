@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/load_balancing-7f3112be3be51a66.d: examples/load_balancing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libload_balancing-7f3112be3be51a66.rmeta: examples/load_balancing.rs Cargo.toml
+
+examples/load_balancing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_balancing-a89f149e88cdc145.d: examples/load_balancing.rs
+
+/root/repo/target/debug/examples/load_balancing-a89f149e88cdc145: examples/load_balancing.rs
+
+examples/load_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_balancing-ec49d7a4449650b3.d: examples/load_balancing.rs
+
+/root/repo/target/debug/examples/load_balancing-ec49d7a4449650b3: examples/load_balancing.rs
+
+examples/load_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_health-5056a322170e07bb.d: examples/machine_health.rs
+
+/root/repo/target/debug/examples/machine_health-5056a322170e07bb: examples/machine_health.rs
+
+examples/machine_health.rs:

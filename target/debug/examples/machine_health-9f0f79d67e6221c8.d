@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_health-9f0f79d67e6221c8.d: examples/machine_health.rs
+
+/root/repo/target/debug/examples/machine_health-9f0f79d67e6221c8: examples/machine_health.rs
+
+examples/machine_health.rs:

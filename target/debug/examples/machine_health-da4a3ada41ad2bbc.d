@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/machine_health-da4a3ada41ad2bbc.d: examples/machine_health.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmachine_health-da4a3ada41ad2bbc.rmeta: examples/machine_health.rs Cargo.toml
+
+examples/machine_health.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

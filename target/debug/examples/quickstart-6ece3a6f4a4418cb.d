@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6ece3a6f4a4418cb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6ece3a6f4a4418cb: examples/quickstart.rs
+
+examples/quickstart.rs:

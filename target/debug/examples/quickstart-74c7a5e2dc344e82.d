@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-74c7a5e2dc344e82.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-74c7a5e2dc344e82: examples/quickstart.rs
+
+examples/quickstart.rs:

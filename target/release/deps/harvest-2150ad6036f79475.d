@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/harvest-2150ad6036f79475.d: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-2150ad6036f79475.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libharvest-2150ad6036f79475.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/harvest_bench-e9a8fb8a2fb27054.d: crates/bench/src/lib.rs crates/bench/src/challenges/mod.rs crates/bench/src/challenges/cache_ablation.rs crates/bench/src/challenges/estimators.rs crates/bench/src/challenges/exploration.rs crates/bench/src/challenges/learners.rs crates/bench/src/challenges/sequences.rs crates/bench/src/challenges/validation.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libharvest_bench-e9a8fb8a2fb27054.rlib: crates/bench/src/lib.rs crates/bench/src/challenges/mod.rs crates/bench/src/challenges/cache_ablation.rs crates/bench/src/challenges/estimators.rs crates/bench/src/challenges/exploration.rs crates/bench/src/challenges/learners.rs crates/bench/src/challenges/sequences.rs crates/bench/src/challenges/validation.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libharvest_bench-e9a8fb8a2fb27054.rmeta: crates/bench/src/lib.rs crates/bench/src/challenges/mod.rs crates/bench/src/challenges/cache_ablation.rs crates/bench/src/challenges/estimators.rs crates/bench/src/challenges/exploration.rs crates/bench/src/challenges/learners.rs crates/bench/src/challenges/sequences.rs crates/bench/src/challenges/validation.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/challenges/mod.rs:
+crates/bench/src/challenges/cache_ablation.rs:
+crates/bench/src/challenges/estimators.rs:
+crates/bench/src/challenges/exploration.rs:
+crates/bench/src/challenges/learners.rs:
+crates/bench/src/challenges/sequences.rs:
+crates/bench/src/challenges/validation.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harvest_obs-19c93685aecc0c94.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libharvest_obs-19c93685aecc0c94.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libharvest_obs-19c93685aecc0c94.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/prom.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/harvest_serve-333397d64fb869c0.d: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
+
+/root/repo/target/release/deps/libharvest_serve-333397d64fb869c0.rlib: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
+
+/root/repo/target/release/deps/libharvest_serve-333397d64fb869c0.rmeta: crates/serve/src/lib.rs crates/serve/src/breaker.rs crates/serve/src/chaos.rs crates/serve/src/engine.rs crates/serve/src/error.rs crates/serve/src/export.rs crates/serve/src/joiner.rs crates/serve/src/logger.rs crates/serve/src/metrics.rs crates/serve/src/obs.rs crates/serve/src/registry.rs crates/serve/src/service.rs crates/serve/src/supervisor.rs crates/serve/src/trainer.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/breaker.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/error.rs:
+crates/serve/src/export.rs:
+crates/serve/src/joiner.rs:
+crates/serve/src/logger.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/obs.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/service.rs:
+crates/serve/src/supervisor.rs:
+crates/serve/src/trainer.rs:

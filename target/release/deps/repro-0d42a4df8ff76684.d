@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0d42a4df8ff76684.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0d42a4df8ff76684: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_throughput-54b9941d314a5204.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/release/deps/serve_throughput-54b9941d314a5204: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_audit-b17acdc7930abc3b.d: tests/trace_audit.rs
+
+/root/repo/target/release/deps/trace_audit-b17acdc7930abc3b: tests/trace_audit.rs
+
+tests/trace_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_harvest-f8d06b0f0a996e16.d: examples/chaos_harvest.rs
+
+/root/repo/target/release/examples/chaos_harvest-f8d06b0f0a996e16: examples/chaos_harvest.rs
+
+examples/chaos_harvest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/harvest_serve-fa5bbb65e09e6620.d: examples/harvest_serve.rs
+
+/root/repo/target/release/examples/harvest_serve-fa5bbb65e09e6620: examples/harvest_serve.rs
+
+examples/harvest_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/harvest_top-e85033e8e82f39f1.d: examples/harvest_top.rs
+
+/root/repo/target/release/examples/harvest_top-e85033e8e82f39f1: examples/harvest_top.rs
+
+examples/harvest_top.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7ded8afdfc8ea5c8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7ded8afdfc8ea5c8: examples/quickstart.rs
+
+examples/quickstart.rs:

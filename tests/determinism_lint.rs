@@ -18,6 +18,7 @@ const LINTED: &[&str] = &[
     "crates/core/src",
     "crates/estimators/src",
     "crates/log/src",
+    "crates/obs/src",
     "crates/serve/src",
     "crates/sim-net/src",
 ];
