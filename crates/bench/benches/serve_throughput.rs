@@ -1,4 +1,5 @@
-//! Criterion bench for decision throughput: one shard vs many.
+//! Criterion bench for decision throughput: one shard vs many, single
+//! calls vs batches.
 //!
 //! Worker threads hammer a [`DecisionEngine`] under a greedy incumbent
 //! (the realistic hot path: one atomic generation check, a scorer pass, one
@@ -8,27 +9,42 @@
 //! hardware the shards genuinely run in parallel, and even on a single
 //! core the uncontended locks skip the futex sleep/wake churn that a
 //! contended shard pays on every decision.
+//!
+//! The batch axis measures what `decide_batch` amortizes: batch 1 is the
+//! degenerate case (batch framing overhead with no amortization), batch 16
+//! pays the lock/sequence/queue-admission/log-frame cost once per 16
+//! decisions, batch 256 almost never. That group serves the uniform
+//! bootstrap incumbent and carries its own single-call baseline (see
+//! [`bench_batch`]); the acceptance floor is batch 256 on 8 shards at
+//! ≥ 2× that baseline's decisions/sec.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use harvest_core::scorer::LinearScorer;
 use harvest_core::SimpleContext;
-use harvest_log::segment::SegmentConfig;
 use harvest_serve::supervisor::{
     spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle,
 };
 use harvest_serve::{
-    Backpressure, DecisionEngine, EngineConfig, LoggerConfig, ObsConfig, PolicyRegistry,
-    ServeMetrics, ServeObs, ServePolicy,
+    Backpressure, DecisionBatch, DecisionEngine, EngineConfig, LoggerConfig, ObsConfig,
+    PolicyRegistry, ServeMetrics, ServeObs, ServePolicy,
 };
 
 const THREADS: usize = 8;
 const DECISIONS_PER_THREAD: usize = 4_000;
+// Divisible by every batch size so every batch-axis entry serves the same
+// total decision count (ns/iter comparisons are then decisions/sec
+// comparisons directly).
+const BATCH_DECISIONS_PER_THREAD: usize = 4_096;
 const ACTIONS: usize = 8;
 const FEATURES: usize = 32;
 
-fn engine(shards: usize, traced: bool) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sink>) {
+fn make_engine(
+    shards: usize,
+    traced: bool,
+    policy: ServePolicy,
+) -> (DecisionEngine, WriterSupervisorHandle<std::io::Sink>) {
     // Tracing on/off is the bench axis: the traced variant pays the tracer
     // insert plus one histogram record per decision, and the delta between
     // the two variants is the whole observability overhead on the hot path.
@@ -39,28 +55,13 @@ fn engine(shards: usize, traced: bool) -> (DecisionEngine, WriterSupervisorHandl
     } else {
         Arc::new(ServeMetrics::new())
     };
-    // A realistically-sized model: 8 actions × 32 shared features. The
-    // scorer pass runs under the shard lock, so this is the contended work.
-    let scorer = LinearScorer::PerAction {
-        weights: (0..ACTIONS)
-            .map(|a| {
-                (0..FEATURES + 1)
-                    .map(|f| ((a * 31 + f * 7) % 13) as f64 * 0.1 - 0.6)
-                    .collect()
-            })
-            .collect(),
-    };
-    let registry = Arc::new(PolicyRegistry::new(
-        ServePolicy::Greedy(scorer),
-        "bench-greedy",
-    ));
+    let registry = Arc::new(PolicyRegistry::new(policy, "bench-policy"));
     // DropNewest: under saturation the hot path pays a failed try_send and
     // a counter bump, never a stall on the writer thread.
-    let cfg = LoggerConfig {
-        capacity: 4096,
-        backpressure: Backpressure::DropNewest,
-        segment: SegmentConfig::default(),
-    };
+    let cfg = LoggerConfig::builder()
+        .capacity(4096)
+        .backpressure(Backpressure::DropNewest)
+        .build();
     let (logger, writer) = spawn_supervised_writer(
         cfg,
         SupervisorConfig::default(),
@@ -68,21 +69,39 @@ fn engine(shards: usize, traced: bool) -> (DecisionEngine, WriterSupervisorHandl
         None,
         std::io::sink(),
     );
-    let engine = DecisionEngine::new(
-        &EngineConfig {
-            shards,
-            epsilon: 0.1,
-            master_seed: 42,
-            component: "bench".to_string(),
-        },
-        registry,
-        metrics,
-        logger,
-    );
+    let engine_cfg = EngineConfig::builder()
+        .shards(shards)
+        .epsilon(0.1)
+        .master_seed(42)
+        .component("bench")
+        .build()
+        .expect("valid bench config");
+    let engine = DecisionEngine::new(&engine_cfg, registry, metrics, logger);
     (engine, writer)
 }
 
-fn bench(c: &mut Criterion) {
+/// A realistically-sized model: 8 actions × 32 shared features. The scorer
+/// pass runs under the shard lock, so this is the contended work.
+fn greedy_policy() -> ServePolicy {
+    ServePolicy::Greedy(LinearScorer::PerAction {
+        weights: (0..ACTIONS)
+            .map(|a| {
+                (0..FEATURES + 1)
+                    .map(|f| ((a * 31 + f * 7) % 13) as f64 * 0.1 - 0.6)
+                    .collect()
+            })
+            .collect(),
+    })
+}
+
+fn bench_context() -> SimpleContext {
+    SimpleContext::new(
+        (0..FEATURES).map(|f| (f as f64 * 0.37).sin()).collect(),
+        ACTIONS,
+    )
+}
+
+fn bench_single(c: &mut Criterion) {
     let mut g = c.benchmark_group("serve_throughput");
     g.sample_size(40);
     for (shards, traced) in [
@@ -91,11 +110,8 @@ fn bench(c: &mut Criterion) {
         (THREADS, false),
         (THREADS, true),
     ] {
-        let (engine, _writer) = engine(shards, traced);
-        let ctx = SimpleContext::new(
-            (0..FEATURES).map(|f| (f as f64 * 0.37).sin()).collect(),
-            ACTIONS,
-        );
+        let (engine, _writer) = make_engine(shards, traced, greedy_policy());
+        let ctx = bench_context();
         let tracing = if traced { "tracing_on" } else { "tracing_off" };
         g.bench_function(&format!("{THREADS}threads_{shards}shards_{tracing}"), |b| {
             b.iter(|| {
@@ -117,5 +133,73 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// The batch axis: single calls vs batch size {1, 16, 256}, on {1, 8}
+/// shards. This group runs the **uniform bootstrap incumbent** (the
+/// generation-0 policy every deployment serves before its first trained
+/// model promotes), so the per-decision work under the lock is one RNG
+/// draw — the workload where the fixed per-call costs that `decide_batch`
+/// amortizes (lock acquire, id reservation, queue admission, ledger
+/// update, log-frame build) *are* the cost being measured, instead of
+/// being masked by a scorer pass that batching cannot amortize. The
+/// `single` entry is the baseline for the acceptance floor: batch 256 on
+/// 8 shards must beat it by ≥ 2× decisions/sec. Batch 1 isolates the
+/// framing overhead (it pays the batch bookkeeping with no amortization).
+///
+/// Every entry serves THREADS × BATCH_DECISIONS_PER_THREAD decisions per
+/// iteration, so reported iteration times compare directly as
+/// decisions/sec across the whole group.
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_throughput_batched");
+    g.sample_size(40);
+    for shards in [1usize, THREADS] {
+        let (engine, _writer) = make_engine(shards, false, ServePolicy::Uniform);
+        let ctx = bench_context();
+        g.bench_function(&format!("{THREADS}threads_{shards}shards_single"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let engine = &engine;
+                        let ctx = &ctx;
+                        s.spawn(move || {
+                            let shard = t % shards;
+                            for i in 0..BATCH_DECISIONS_PER_THREAD {
+                                black_box(engine.decide(shard, i as u64, ctx).unwrap());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        for batch_size in [1usize, 16, 256] {
+            let (engine, _writer) = make_engine(shards, false, ServePolicy::Uniform);
+            let contexts: Vec<SimpleContext> = (0..batch_size).map(|_| bench_context()).collect();
+            g.bench_function(
+                &format!("{THREADS}threads_{shards}shards_batch{batch_size}"),
+                |b| {
+                    b.iter(|| {
+                        std::thread::scope(|s| {
+                            for t in 0..THREADS {
+                                let engine = &engine;
+                                let contexts = &contexts;
+                                s.spawn(move || {
+                                    let shard = t % shards;
+                                    let mut out = DecisionBatch::with_capacity(batch_size);
+                                    for i in 0..BATCH_DECISIONS_PER_THREAD / batch_size {
+                                        engine
+                                            .decide_batch(shard, i as u64, contexts, &mut out)
+                                            .unwrap();
+                                        black_box(out.len());
+                                    }
+                                });
+                            }
+                        });
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batch);
 criterion_main!(benches);

@@ -57,6 +57,87 @@ pub struct OutcomeRecord {
     pub reward: f64,
 }
 
+/// One decision inside a [`BatchRecord`]: a [`DecisionRecord`] minus the
+/// `component`, which the batch stores once for all of its decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchDecision {
+    /// Correlates this decision with its outcome.
+    pub request_id: u64,
+    /// Nanoseconds since the start of the trace.
+    pub timestamp_ns: u64,
+    /// Shared context features at decision time.
+    pub shared_features: Vec<f64>,
+    /// Per-action features, if the action set carries them.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub action_features: Option<Vec<Vec<f64>>>,
+    /// Size of the eligible action set.
+    pub num_actions: usize,
+    /// The action taken.
+    pub action: usize,
+    /// The decision probability, when known at the logging site.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub propensity: Option<f64>,
+    /// The reward, when it is known synchronously.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reward: Option<f64>,
+}
+
+impl BatchDecision {
+    /// Expands back into a standalone [`DecisionRecord`] under the batch's
+    /// shared `component`.
+    pub fn into_decision(self, component: &str) -> DecisionRecord {
+        DecisionRecord {
+            request_id: self.request_id,
+            timestamp_ns: self.timestamp_ns,
+            component: component.to_string(),
+            shared_features: self.shared_features,
+            action_features: self.action_features,
+            num_actions: self.num_actions,
+            action: self.action,
+            propensity: self.propensity,
+            reward: self.reward,
+        }
+    }
+}
+
+impl From<DecisionRecord> for BatchDecision {
+    fn from(d: DecisionRecord) -> Self {
+        BatchDecision {
+            request_id: d.request_id,
+            timestamp_ns: d.timestamp_ns,
+            shared_features: d.shared_features,
+            action_features: d.action_features,
+            num_actions: d.num_actions,
+            action: d.action,
+            propensity: d.propensity,
+            reward: d.reward,
+        }
+    }
+}
+
+/// A batch of decision records from one component, logged as a single
+/// record (and, in the segment format, a single CRC'd frame). The batched
+/// hot path uses this to amortize the per-record queue offer and frame
+/// write; recovery flattens it back into individual [`DecisionRecord`]s,
+/// so everything downstream of recovery sees the exact stream a
+/// single-call run would have produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// The component all decisions in the batch share.
+    pub component: String,
+    /// The batched decisions, in decision order.
+    pub decisions: Vec<BatchDecision>,
+}
+
+impl BatchRecord {
+    /// Expands into standalone [`DecisionRecord`]s, in decision order.
+    pub fn flatten(&self) -> impl Iterator<Item = DecisionRecord> + '_ {
+        self.decisions
+            .iter()
+            .map(|d| d.clone().into_decision(&self.component))
+    }
+}
+
 /// Either record kind, as found when replaying a mixed log stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -65,21 +146,41 @@ pub enum LogRecord {
     Decision(DecisionRecord),
     /// An outcome record.
     Outcome(OutcomeRecord),
+    /// A batch of decision records sharing one component (one segment
+    /// frame on disk; flattened back to decisions by recovery).
+    Batch(BatchRecord),
 }
 
 impl LogRecord {
     /// The request id this record belongs to — the join key between
-    /// decisions and outcomes, and the trace key in observability.
+    /// decisions and outcomes, and the trace key in observability. For a
+    /// batch this is the *first* decision's id (the batch reserves a
+    /// contiguous id range); `0` for an empty batch.
     pub fn request_id(&self) -> u64 {
         match self {
             LogRecord::Decision(d) => d.request_id,
             LogRecord::Outcome(o) => o.request_id,
+            LogRecord::Batch(b) => b.decisions.first().map_or(0, |d| d.request_id),
         }
     }
 
-    /// Whether this is a decision-time record.
+    /// Whether this is a decision-time record. A batch is all decisions,
+    /// but callers that need per-decision handling (tracing, joining)
+    /// must iterate [`BatchRecord::decisions`] — so this stays `false`
+    /// to keep single-record code paths from mishandling batches.
     pub fn is_decision(&self) -> bool {
         matches!(self, LogRecord::Decision(_))
+    }
+
+    /// How many logical records this value carries: 1 for a decision or
+    /// outcome, the batch length for a batch. The conservation ledger
+    /// (`enqueued == written + dropped + quarantined`) is counted in
+    /// logical records, so every accounting site scales by this.
+    pub fn record_count(&self) -> usize {
+        match self {
+            LogRecord::Decision(_) | LogRecord::Outcome(_) => 1,
+            LogRecord::Batch(b) => b.decisions.len(),
+        }
     }
 }
 
@@ -204,6 +305,27 @@ mod tests {
         assert_eq!(stats.parsed, 2);
         assert_eq!(stats.malformed, 2);
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn batch_flattens_to_the_equivalent_decisions() {
+        let d0 = sample_decision();
+        let mut d1 = sample_decision();
+        d1.request_id = 43;
+        let batch = BatchRecord {
+            component: d0.component.clone(),
+            decisions: vec![d0.clone().into(), d1.clone().into()],
+        };
+        let flat: Vec<DecisionRecord> = batch.flatten().collect();
+        assert_eq!(flat, vec![d0, d1]);
+        let rec = LogRecord::Batch(batch);
+        assert_eq!(rec.record_count(), 2);
+        assert_eq!(rec.request_id(), 42);
+        assert!(!rec.is_decision());
+        // Serde round trip through the tagged representation.
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"kind\":\"batch\""));
+        assert_eq!(serde_json::from_str::<LogRecord>(&json).unwrap(), rec);
     }
 
     #[test]

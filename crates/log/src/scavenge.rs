@@ -92,6 +92,11 @@ pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) 
             LogRecord::Decision(d) => {
                 decision_ids.insert(d.request_id, ());
             }
+            LogRecord::Batch(b) => {
+                for d in &b.decisions {
+                    decision_ids.insert(d.request_id, ());
+                }
+            }
         }
     }
     let mut stats = ScavengeStats {
@@ -103,26 +108,22 @@ pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) 
     };
 
     let mut samples = Vec::new();
-    for r in records {
-        let d = match r {
-            LogRecord::Decision(d) => d,
-            LogRecord::Outcome(_) => continue,
-        };
+    let mut scavenge_one = |d: &DecisionRecord| {
         let Some(context) = context_of(d) else {
             stats.invalid += 1;
-            continue;
+            return;
         };
         let reward = match (outcomes.get(&d.request_id), d.reward) {
             (Some(o), _) => o.reward,
             (None, Some(r)) => r,
             (None, None) => {
                 stats.missing_outcome += 1;
-                continue;
+                return;
             }
         };
         if !reward.is_finite() {
             stats.invalid += 1;
-            continue;
+            return;
         }
         stats.joined += 1;
         samples.push(ScavengedSample {
@@ -131,6 +132,20 @@ pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) 
             reward,
             propensity: d.propensity,
         });
+    };
+    for r in records {
+        match r {
+            LogRecord::Decision(d) => scavenge_one(d),
+            LogRecord::Outcome(_) => {}
+            // Batches appear when scavenging a raw (pre-recovery) stream;
+            // segment recovery flattens them first. Each batched decision
+            // joins exactly as its standalone equivalent would.
+            LogRecord::Batch(b) => {
+                for d in b.flatten() {
+                    scavenge_one(&d);
+                }
+            }
+        }
     }
     (samples, stats)
 }

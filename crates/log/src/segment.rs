@@ -290,7 +290,10 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
     }
 
     /// Frames and appends one record, rotating first if the current segment
-    /// is full. Returns the number of frame bytes appended.
+    /// is full. A [`LogRecord::Batch`] is one frame but counts as its batch
+    /// length toward the record-rotation threshold, so segment sizes stay
+    /// bounded in *logical* records regardless of batching. Returns the
+    /// number of frame bytes appended.
     pub fn write(&mut self, record: &LogRecord) -> io::Result<usize> {
         if self.records_in_segment >= self.cfg.max_records
             || self.bytes_in_segment >= self.cfg.max_bytes
@@ -299,7 +302,7 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
         }
         let frame = encode_frame(record)?;
         self.sink.append(self.segment, &frame)?;
-        self.records_in_segment += 1;
+        self.records_in_segment += record.record_count();
         self.bytes_in_segment += frame.len();
         Ok(frame.len())
     }
@@ -396,15 +399,28 @@ fn frame_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
     spans
 }
 
-/// Counts the record frames still identifiable in a quarantined tail: every
-/// structurally complete frame, plus one for trailing partial bytes. When
-/// corruption hits a length header the walk stops early and the remainder
-/// counts as a single frame — an undercount is possible there, a silent skip
-/// is not.
+/// Counts the logical records still identifiable in a quarantined tail:
+/// for every structurally complete frame whose payload still validates,
+/// its [`LogRecord::record_count`] (a batch frame quarantines its whole
+/// batch); one per frame that no longer parses; plus one for trailing
+/// partial bytes. When corruption hits a length header the walk stops
+/// early and the remainder counts as a single frame — an undercount is
+/// possible there, a silent skip is not.
 fn count_tail(tail: &[u8]) -> usize {
     let spans = frame_spans(tail);
-    let walked: usize = spans.iter().map(|&(_, len)| len).sum();
-    spans.len() + usize::from(walked < tail.len())
+    let mut count = 0;
+    let mut walked = 0;
+    for &(start, len) in &spans {
+        let payload = &tail[start + FRAME_HEADER_LEN..start + len];
+        let crc = u32::from_le_bytes(tail[start + 4..start + 8].try_into().unwrap());
+        let parsed = (crc32(payload) == crc)
+            .then(|| std::str::from_utf8(payload).ok())
+            .flatten()
+            .and_then(|text| serde_json::from_str::<LogRecord>(text).ok());
+        count += parsed.map_or(1, |r| r.record_count());
+        walked += len;
+    }
+    count + usize::from(walked < tail.len())
 }
 
 /// Replays the longest valid prefix of one segment.
@@ -413,6 +429,12 @@ fn count_tail(tail: &[u8]) -> usize {
 /// payload matches its CRC32, and the payload parses as a [`LogRecord`].
 /// Recovery stops at the first invalid frame; everything after it is
 /// quarantined and counted via [`count_tail`].
+///
+/// [`LogRecord::Batch`] frames are flattened into their individual
+/// [`crate::record::DecisionRecord`]s (each counted in `recovered`), so the
+/// recovered stream — and everything downstream of it: scavenging,
+/// training, replay comparison — is identical whether the writer framed
+/// records one at a time or in batches.
 pub fn recover_segment(bytes: &[u8]) -> (Vec<LogRecord>, SegmentRecovery) {
     let mut records = Vec::new();
     let mut stats = SegmentRecovery::default();
@@ -437,8 +459,16 @@ pub fn recover_segment(bytes: &[u8]) -> (Vec<LogRecord>, SegmentRecovery) {
         })();
         match frame_ok {
             Some((record, advance)) => {
-                records.push(record);
-                stats.recovered += 1;
+                match record {
+                    LogRecord::Batch(batch) => {
+                        stats.recovered += batch.decisions.len();
+                        records.extend(batch.flatten().map(LogRecord::Decision));
+                    }
+                    other => {
+                        stats.recovered += 1;
+                        records.push(other);
+                    }
+                }
                 off += advance;
             }
             None => {
@@ -600,6 +630,77 @@ mod tests {
         assert_eq!(stats.recovered, 4);
         assert_eq!(stats.quarantined_records, 6);
         assert_eq!(stats.corrupt_segments, 1);
+    }
+
+    #[test]
+    fn batch_frames_recover_as_flattened_decisions() {
+        use crate::record::{BatchDecision, BatchRecord};
+        let entry = |id: u64| BatchDecision {
+            request_id: id,
+            timestamp_ns: id * 10,
+            shared_features: vec![id as f64],
+            action_features: None,
+            num_actions: 2,
+            action: (id % 2) as usize,
+            propensity: Some(0.5),
+            reward: None,
+        };
+        let batch = |ids: std::ops::Range<u64>| {
+            LogRecord::Batch(BatchRecord {
+                component: "serve".to_string(),
+                decisions: ids.map(entry).collect(),
+            })
+        };
+        let mut w = SegmentedLogWriter::new(
+            MemorySegments::new(),
+            SegmentConfig {
+                max_records: 4,
+                max_bytes: usize::MAX,
+            },
+        );
+        // 3 + 3 logical records in two frames: the first frame fills the
+        // segment past its 4-record threshold, so the second rotates.
+        w.write(&batch(0..3)).unwrap();
+        w.write(&batch(3..6)).unwrap();
+        w.write(&outcome(6)).unwrap();
+        let store = w.into_sink().unwrap();
+        assert_eq!(store.segment_count(), 2);
+        let (records, stats) = store.recover();
+        assert_eq!(stats.recovered, 7);
+        // Batches flatten to plain decisions, ids in order.
+        let ids: Vec<u64> = records.iter().map(|r| r.request_id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert!(records[..6].iter().all(|r| r.is_decision()));
+    }
+
+    #[test]
+    fn quarantined_batch_frames_count_their_whole_batch() {
+        use crate::record::{BatchDecision, BatchRecord};
+        let batch = LogRecord::Batch(BatchRecord {
+            component: "serve".to_string(),
+            decisions: (0..5)
+                .map(|id| BatchDecision {
+                    request_id: id,
+                    timestamp_ns: 0,
+                    shared_features: vec![],
+                    action_features: None,
+                    num_actions: 2,
+                    action: 0,
+                    propensity: Some(0.5),
+                    reward: None,
+                })
+                .collect(),
+        });
+        let mut bytes = encode_frame(&outcome(100)).unwrap();
+        bytes.extend_from_slice(&encode_frame(&batch).unwrap());
+        // Corrupt the *first* frame's payload: recovery stops there, but the
+        // intact batch frame behind it still counts all 5 records.
+        bytes[FRAME_HEADER_LEN + 1] ^= 0x10;
+        let (records, stats) = recover_segment(&bytes);
+        assert!(records.is_empty());
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.quarantined_records, 6);
+        assert_eq!(stats.quarantined_bytes, bytes.len());
     }
 
     #[test]

@@ -222,9 +222,20 @@ impl AtomicHistogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples with one pass over the atomics — the
+    /// batched hot path records a run of equal samples (e.g. zero
+    /// inter-arrival gaps within one batch) at the cost of a single
+    /// sample. Equivalent to calling [`record`](Self::record) `n` times.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -276,6 +287,11 @@ impl StripedHistogram {
     /// Record one sample on the caller's stripe (wrapped into range).
     pub fn record(&self, stripe: usize, v: u64) {
         self.stripes[stripe % self.stripes.len()].0.record(v);
+    }
+
+    /// Record `n` identical samples on the caller's stripe in one pass.
+    pub fn record_n(&self, stripe: usize, v: u64, n: u64) {
+        self.stripes[stripe % self.stripes.len()].0.record_n(v, n);
     }
 
     /// Total samples across all stripes.
@@ -350,6 +366,27 @@ mod tests {
             p.record(v);
         }
         assert_eq!(a.snapshot(), p);
+    }
+
+    #[test]
+    fn bulk_recording_equals_repeated_recording() {
+        let bulk = AtomicHistogram::new();
+        let one_by_one = AtomicHistogram::new();
+        bulk.record_n(7, 5);
+        bulk.record_n(1 << 20, 3);
+        bulk.record_n(0, 0); // no-op
+        for _ in 0..5 {
+            one_by_one.record(7);
+        }
+        for _ in 0..3 {
+            one_by_one.record(1 << 20);
+        }
+        assert_eq!(bulk.snapshot(), one_by_one.snapshot());
+
+        let striped = StripedHistogram::new(4);
+        striped.record_n(2, 7, 5);
+        striped.record_n(2, 1 << 20, 3);
+        assert_eq!(striped.snapshot(), bulk.snapshot());
     }
 
     #[test]

@@ -66,7 +66,12 @@ impl fmt::Display for TripReason {
 }
 
 /// Circuit-breaker thresholds.
+///
+/// Construct via [`BreakerConfig::builder`] (validating) or from
+/// [`BreakerConfig::default`]; `#[non_exhaustive]`, so out-of-crate
+/// literal construction no longer compiles.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct BreakerConfig {
     /// Health-check window length, in decisions.
     pub window: u64,
@@ -89,6 +94,62 @@ impl Default for BreakerConfig {
             rearm_healthy: 128,
             max_gate_radius: 100.0,
         }
+    }
+}
+
+impl BreakerConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> BreakerConfigBuilder {
+        BreakerConfigBuilder(BreakerConfig::default())
+    }
+}
+
+/// Builder for [`BreakerConfig`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfigBuilder(BreakerConfig);
+
+impl BreakerConfigBuilder {
+    /// Health-check window length, in decisions (must stay ≥ 1).
+    pub fn window(mut self, window: u64) -> Self {
+        self.0.window = window;
+        self
+    }
+
+    /// Fault-signal rise per window that trips the breaker (must stay
+    /// ≥ 1; use a huge value to disable slope-based tripping).
+    pub fn trip_faults(mut self, trip_faults: u64) -> Self {
+        self.0.trip_faults = trip_faults;
+        self
+    }
+
+    /// Consecutive healthy decisions required to re-arm (must stay ≥ 1).
+    pub fn rearm_healthy(mut self, rearm_healthy: u64) -> Self {
+        self.0.rearm_healthy = rearm_healthy;
+        self
+    }
+
+    /// Gate confidence radius treated as estimator collapse.
+    pub fn max_gate_radius(mut self, radius: f64) -> Self {
+        self.0.max_gate_radius = radius;
+        self
+    }
+
+    /// Validates and returns the config: `window`, `trip_faults`, and
+    /// `rearm_healthy` must all be nonzero (a zero window or re-arm
+    /// streak would divide the health check into nothing).
+    pub fn build(self) -> Result<BreakerConfig, crate::error::ServeError> {
+        for (name, v) in [
+            ("window", self.0.window),
+            ("trip_faults", self.0.trip_faults),
+            ("rearm_healthy", self.0.rearm_healthy),
+        ] {
+            if v == 0 {
+                return Err(crate::error::ServeError::InvalidConfig {
+                    reason: format!("breaker {name} must be nonzero"),
+                });
+            }
+        }
+        Ok(self.0)
     }
 }
 

@@ -13,17 +13,24 @@
 use std::sync::{Arc, Mutex};
 
 use harvest_core::{Context, SimpleContext};
-use harvest_log::record::{DecisionRecord, LogRecord};
+use harvest_log::record::{BatchDecision, BatchRecord, DecisionRecord, LogRecord};
 use harvest_sim_net::rng::{fork_rng_indexed, DetRng};
 use rand::Rng;
 
+use crate::batch::DecisionBatch;
 use crate::error::{lock_recovering, ServeError};
 use crate::logger::DecisionLogger;
 use crate::metrics::ServeMetrics;
 use crate::registry::{CachedPolicy, PolicyRegistry, ServePolicy};
 
 /// Engine configuration.
+///
+/// Construct via [`EngineConfig::builder`] (validating) or start from
+/// [`EngineConfig::default`] and set fields; the struct is
+/// `#[non_exhaustive]`, so literal construction outside this crate no
+/// longer compiles — new knobs can ship without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Number of decision shards. Each gets an independent RNG stream and
     /// its own lock, so disjoint shards never contend.
@@ -44,6 +51,60 @@ impl Default for EngineConfig {
             master_seed: 0,
             component: "harvest-serve".to_string(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder(EngineConfig::default())
+    }
+}
+
+/// Builder for [`EngineConfig`]; [`build`](EngineConfigBuilder::build)
+/// validates what [`DecisionEngine::new`] would otherwise panic on.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder(EngineConfig);
+
+impl EngineConfigBuilder {
+    /// Number of decision shards (must stay ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.0.shards = shards;
+        self
+    }
+
+    /// The exploration floor ε (must stay in `(0, 1]`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.0.epsilon = epsilon;
+        self
+    }
+
+    /// Master seed for the per-shard RNG streams.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.0.master_seed = seed;
+        self
+    }
+
+    /// Component name stamped into decision records.
+    pub fn component(mut self, component: impl Into<String>) -> Self {
+        self.0.component = component.into();
+        self
+    }
+
+    /// Validates and returns the config: `shards ≥ 1` and ε in `(0, 1]`
+    /// (a zero floor would log unharvestable propensity-0 decisions).
+    pub fn build(self) -> Result<EngineConfig, ServeError> {
+        if self.0.shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "engine needs at least one shard".to_string(),
+            });
+        }
+        if !(self.0.epsilon > 0.0 && self.0.epsilon <= 1.0) {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("epsilon must be in (0, 1], got {}", self.0.epsilon),
+            });
+        }
+        Ok(self.0)
     }
 }
 
@@ -260,6 +321,188 @@ impl DecisionEngine {
         })
     }
 
+    /// Serves a batch of decisions on `shard`, all stamped at logical time
+    /// `now_ns`, under the incumbent policy. Decisions land in `out` (which
+    /// is cleared first), in context order.
+    ///
+    /// The batch path is the amortized twin of calling
+    /// [`decide`](DecisionEngine::decide) once per context: the shard lock
+    /// is taken once, the sequence range is reserved once, and the whole
+    /// batch goes to the log queue as a single
+    /// [`LogRecord::Batch`] frame — but the per-decision policy lookups and
+    /// RNG draws replicate the single-call sequence *exactly*, so a
+    /// same-seed batch run and single-call run produce byte-identical
+    /// recovered decision streams (segment recovery flattens batch frames).
+    pub fn decide_batch(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        contexts: &[SimpleContext],
+        out: &mut DecisionBatch,
+    ) -> Result<(), ServeError> {
+        out.reset();
+        out.degraded.resize(contexts.len(), false);
+        self.decide_batch_with(shard, now_ns, contexts, None, out)
+    }
+
+    /// Batch twin of [`decide_with`](DecisionEngine::decide_with), with a
+    /// *per-decision* degraded mask in `out.degraded` (filled by the
+    /// service from the circuit breaker): slot `i` serves `fallback` when
+    /// `out.degraded[i]` is set. The mask must be per-decision because the
+    /// breaker can open or re-arm mid-batch, and which policy serves a
+    /// slot changes the RNG draw sequence for everything after it.
+    pub(crate) fn decide_batch_with(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        contexts: &[SimpleContext],
+        fallback: Option<&ServePolicy>,
+        out: &mut DecisionBatch,
+    ) -> Result<(), ServeError> {
+        debug_assert_eq!(out.degraded.len(), contexts.len());
+        out.decisions.clear();
+        out.entries.clear();
+        if shard >= self.shards.len() {
+            return Err(ServeError::ShardOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        if contexts.is_empty() {
+            return Ok(());
+        }
+        out.decisions.reserve(contexts.len());
+        out.entries.reserve(contexts.len());
+
+        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
+        // One reservation for the whole batch: the contiguous id range the
+        // same number of single calls would have drawn one by one.
+        let first_seq = guard.seq;
+        guard.seq += contexts.len() as u64;
+        let first_gap = guard.last_ns.map(|prev| now_ns.saturating_sub(prev));
+        guard.last_ns = Some(now_ns);
+        // Disjoint field borrows: the loop needs the policy cache and the
+        // RNG at once, and splitting them here lets each decision borrow
+        // the cached `Arc<PolicyVersion>` instead of cloning it — one less
+        // pair of refcount updates per decision on the hot path.
+        let Shard { rng, cache, .. } = &mut *guard;
+        for (i, ctx) in contexts.iter().enumerate() {
+            // Per-decision policy resolution: a promotion that lands
+            // mid-batch takes effect between two decisions, exactly as it
+            // would between two single calls.
+            let version = cache.get(&self.registry);
+            let degraded = fallback.is_some() && out.degraded[i];
+            let policy = if degraded {
+                fallback.unwrap_or(&version.policy)
+            } else {
+                &version.policy
+            };
+            let k = ctx.num_actions();
+            let (action, propensity, explored) = match policy.greedy_action(ctx) {
+                None => (rng.gen_range(0..k), 1.0 / k as f64, true),
+                Some(greedy) => {
+                    let floor = self.epsilon / k as f64;
+                    let explored = rng.gen_bool(self.epsilon);
+                    let action = if explored {
+                        rng.gen_range(0..k)
+                    } else {
+                        greedy
+                    };
+                    let p = if action == greedy {
+                        1.0 - self.epsilon + floor
+                    } else {
+                        floor
+                    };
+                    (action, p, explored)
+                }
+            };
+            out.decisions.push(Decision {
+                request_id: ((shard as u64) << SEQ_BITS) | (first_seq + i as u64),
+                shard,
+                action,
+                propensity,
+                explored,
+                generation: version.generation,
+                degraded,
+            });
+        }
+        drop(guard);
+
+        let n = out.decisions.len() as u64;
+        let explorations = out.decisions.iter().filter(|d| d.explored).count() as u64;
+        let degraded_n = out.decisions.iter().filter(|d| d.degraded).count() as u64;
+        self.metrics.record_decisions(now_ns, n, explorations);
+        self.metrics.record_degraded_n(degraded_n);
+        // Trace *before* offering the batch to the queue: the writer
+        // thread must never terminate a trace that does not exist yet.
+        if let Some(obs) = self.metrics.obs() {
+            for d in &out.decisions {
+                obs.tracer().decided(
+                    d.request_id,
+                    harvest_obs::Decided {
+                        ns: now_ns,
+                        shard: shard as u32,
+                        action: d.action,
+                        propensity: d.propensity,
+                        explored: d.explored,
+                        degraded: d.degraded,
+                        generation: d.generation,
+                        enqueued: true,
+                    },
+                );
+            }
+            // One batch shares one logical instant: the gap to the previous
+            // decision, then n − 1 zero gaps — the histogram n single calls
+            // at the same stamp would have produced.
+            if let Some(gap) = first_gap {
+                obs.record_interarrival(shard, gap);
+            }
+            obs.record_interarrival_n(shard, 0, n - 1);
+        }
+        // Admission control before construction: reserve the frame's
+        // record-weighted queue capacity first, and only build the log
+        // entries — feature clones, record allocation — for an admitted
+        // frame. A refused batch costs one failed reservation instead of n
+        // per-decision record builds; single calls cannot make this trade,
+        // because each must construct its record before offering it.
+        let queued = if self.logger.reserve(n) {
+            for (d, ctx) in out.decisions.iter().zip(contexts) {
+                let k = ctx.num_actions();
+                let action_features: Option<Vec<Vec<f64>>> = if ctx.action_feature_dim() > 0 {
+                    Some((0..k).map(|a| ctx.action_features(a).to_vec()).collect())
+                } else {
+                    None
+                };
+                out.entries.push(BatchDecision {
+                    request_id: d.request_id,
+                    timestamp_ns: now_ns,
+                    shared_features: ctx.shared_features().to_vec(),
+                    action_features,
+                    num_actions: k,
+                    action: d.action,
+                    propensity: Some(d.propensity),
+                    reward: None,
+                });
+            }
+            self.logger.send_reserved(LogRecord::Batch(BatchRecord {
+                component: self.component.clone(),
+                decisions: std::mem::take(&mut out.entries),
+            }))
+        } else {
+            self.logger.refuse(n);
+            false
+        };
+        if !queued {
+            // The frame was refused whole: every decision in it is shed.
+            if let Some(obs) = self.metrics.obs() {
+                for d in &out.decisions {
+                    obs.tracer().shed(d.request_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Chaos hook: poisons `shard`'s lock by panicking (and catching the
     /// panic) while holding it — exactly the state a caller crash would
     /// leave behind. The next [`decide`](DecisionEngine::decide) on the
@@ -350,6 +593,41 @@ mod tests {
         drop((small, big));
         ws.finish().unwrap();
         wb.finish().unwrap();
+    }
+
+    #[test]
+    fn batched_decisions_match_single_calls_bit_for_bit() {
+        let ctx = SimpleContext::new(vec![0.5], 4);
+        let (single, ws) = engine(1, 99);
+        let (batched, wb) = engine(1, 99);
+        let contexts: Vec<SimpleContext> = (0..16).map(|_| ctx.clone()).collect();
+        let mut out = DecisionBatch::with_capacity(16);
+        for step in 0..10u64 {
+            let now = step * 1000;
+            let singles: Vec<Decision> = (0..16)
+                .map(|_| single.decide(0, now, &ctx).unwrap())
+                .collect();
+            batched.decide_batch(0, now, &contexts, &mut out).unwrap();
+            assert_eq!(out.decisions(), &singles[..], "step {step}");
+        }
+        drop((single, batched));
+        // Recovery flattens batch frames: the two logs replay identically.
+        let (sr, _) = ws.finish().unwrap().recover();
+        let (br, _) = wb.finish().unwrap().recover();
+        assert_eq!(sr, br);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (e, w) = engine(1, 5);
+        let mut out = DecisionBatch::new();
+        e.decide_batch(0, 0, &[], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(e.metrics.snapshot().decisions, 0);
+        assert_eq!(e.metrics.snapshot().log_enqueued, 0);
+        drop(e);
+        let (records, _) = w.finish().unwrap().recover();
+        assert!(records.is_empty());
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum ServeError {
     },
     /// The training pipeline returned a structured error.
     Train(HarvestError),
+    /// A config builder was given values the service cannot run with
+    /// (zero shards, an ε outside `(0, 1]`, a zero breaker window, …).
+    InvalidConfig {
+        /// What was wrong, in words.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -54,6 +60,7 @@ impl fmt::Display for ServeError {
                 write!(f, "trainer crashed mid-fit in round {round}")
             }
             ServeError::Train(e) => write!(f, "training round failed: {e}"),
+            ServeError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
         }
     }
 }
@@ -133,6 +140,9 @@ mod tests {
             },
             ServeError::WriterDown,
             ServeError::TrainerCrashed { round: 3 },
+            ServeError::InvalidConfig {
+                reason: "zero shards".to_string(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -73,6 +73,24 @@ impl RewardJoiner {
     /// its original deadline.
     pub fn track(&mut self, request_id: u64, now_ns: u64) {
         self.sweep(now_ns);
+        self.track_swept(request_id, now_ns);
+    }
+
+    /// Bulk form of [`track`](RewardJoiner::track) for one batch of
+    /// decisions made at the same logical instant. Equivalent to calling
+    /// `track` once per id in order — the expiry sweep runs once up front
+    /// (repeat sweeps at the same `now_ns` are no-ops), and the depth
+    /// histogram still samples after every insert, exactly as the single
+    /// calls would.
+    pub fn track_many(&mut self, request_ids: impl IntoIterator<Item = u64>, now_ns: u64) {
+        self.sweep(now_ns);
+        for request_id in request_ids {
+            self.track_swept(request_id, now_ns);
+        }
+    }
+
+    /// Insert + depth sample for one id, after the caller has swept.
+    fn track_swept(&mut self, request_id: u64, now_ns: u64) {
         if !(self.joined.contains(&request_id)
             || self.expired.contains(&request_id)
             || self.pending.contains_key(&request_id))

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod breaker;
 pub mod chaos;
 pub mod engine;
@@ -74,19 +75,26 @@ pub mod service;
 pub mod supervisor;
 pub mod trainer;
 
-pub use breaker::{BreakerConfig, CircuitBreaker, TripReason};
+pub use batch::DecisionBatch;
+pub use breaker::{BreakerConfig, BreakerConfigBuilder, CircuitBreaker, TripReason};
 pub use chaos::apply_at_rest_faults;
-pub use engine::{Decision, DecisionEngine, EngineConfig};
+pub use engine::{Decision, DecisionEngine, EngineConfig, EngineConfigBuilder};
 pub use error::ServeError;
 pub use export::{export_prometheus, obs_snapshot, ObsSnapshot};
 pub use joiner::{JoinOutcome, RewardJoiner};
-pub use logger::{Backpressure, DecisionLogger, LoggerConfig};
+pub use logger::{Backpressure, DecisionLogger, LoggerConfig, LoggerConfigBuilder};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use obs::{ObsConfig, ServeObs};
+pub use obs::{ObsConfig, ObsConfigBuilder, ServeObs};
 pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
-pub use service::{DecisionService, PromotionReport, ServiceConfig};
-pub use supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
-pub use trainer::{GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig};
+#[allow(deprecated)]
+pub use service::ServiceConfig;
+pub use service::{DecisionService, PromotionReport, ServeConfig, ServeConfigBuilder};
+pub use supervisor::{
+    spawn_supervised_writer, SupervisorConfig, SupervisorConfigBuilder, WriterSupervisorHandle,
+};
+pub use trainer::{
+    GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig, TrainerConfigBuilder,
+};
 
 // The tracer and histogram primitives, re-exported so exporters and tests
 // need only this crate.
@@ -94,5 +102,6 @@ pub use harvest_obs::{DecisionTrace, Histogram, HistogramSummary, Terminal, Trac
 
 // Re-exported so chaos tests and examples need only this crate.
 pub use harvest_sim_net::fault::{
-    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanConfig, RewardFault, WriterFault,
+    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanBuilder, ChaosPlanConfig, RewardFault,
+    WriterFault,
 };

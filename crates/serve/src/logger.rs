@@ -15,12 +15,77 @@
 //! writer death — can make a record vanish from that ledger.
 
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use harvest_log::record::LogRecord;
 use harvest_log::segment::SegmentConfig;
 
 use crate::metrics::ServeMetrics;
+
+/// The queue bound, counted in **logical records**: a frame weighs
+/// [`LogRecord::record_count`], so a 256-decision batch frame consumes 256
+/// units of capacity, not one channel slot. Without this, batched serving
+/// would queue `capacity × batch_size` decisions where single calls queue
+/// `capacity` — an unbounded memory multiplier and a silent change to what
+/// "full" means. The channel itself is sized in frames (frames ≤ records,
+/// so it can never fill before the budget does); this semaphore is the real
+/// bound. The writer releases a frame's weight when it pops the frame —
+/// *before* persisting it, so an injected mid-write panic can never leak
+/// capacity and wedge Block-mode producers.
+///
+/// One edge: a single frame heavier than the whole capacity can never fit,
+/// so it is admitted when the queue is empty rather than deadlocking — the
+/// bound degrades to "one oversized frame at a time".
+#[derive(Debug)]
+pub(crate) struct QueueBudget {
+    capacity: u64,
+    queued: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl QueueBudget {
+    pub(crate) fn new(capacity: u64) -> Self {
+        QueueBudget {
+            capacity,
+            queued: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
+        // The budget lock is only ever held for arithmetic; a poisoned
+        // guard still holds a consistent count, so recover it silently.
+        self.queued.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `n` records fit (or the queue is empty, for frames
+    /// heavier than the whole capacity), then reserves them.
+    pub(crate) fn acquire_blocking(&self, n: u64) {
+        let mut queued = self.lock();
+        while *queued + n > self.capacity && *queued > 0 {
+            queued = self.freed.wait(queued).unwrap_or_else(|e| e.into_inner());
+        }
+        *queued += n;
+    }
+
+    /// Reserves `n` records if they fit right now; `false` refuses.
+    pub(crate) fn try_acquire(&self, n: u64) -> bool {
+        let mut queued = self.lock();
+        if *queued + n > self.capacity && *queued > 0 {
+            return false;
+        }
+        *queued += n;
+        true
+    }
+
+    /// Returns `n` records to the budget and wakes blocked producers.
+    pub(crate) fn release(&self, n: u64) {
+        let mut queued = self.lock();
+        *queued = queued.saturating_sub(n);
+        drop(queued);
+        self.freed.notify_all();
+    }
+}
 
 /// What to do when the log queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,9 +101,17 @@ pub enum Backpressure {
 }
 
 /// Log queue and segment configuration.
+///
+/// Construct via [`LoggerConfig::builder`] or from
+/// [`LoggerConfig::default`]; `#[non_exhaustive]`, so out-of-crate literal
+/// construction no longer compiles.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct LoggerConfig {
-    /// Queue capacity in records.
+    /// Queue capacity in **logical records**: a batch frame counts every
+    /// decision it carries ([`LogRecord::record_count`]), so the bound —
+    /// and the memory it implies — is the same whether producers log
+    /// singles or batches.
     pub capacity: usize,
     /// Full-queue behavior.
     pub backpressure: Backpressure,
@@ -56,10 +129,47 @@ impl Default for LoggerConfig {
     }
 }
 
+impl LoggerConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> LoggerConfigBuilder {
+        LoggerConfigBuilder(LoggerConfig::default())
+    }
+}
+
+/// Builder for [`LoggerConfig`].
+#[derive(Debug, Clone)]
+pub struct LoggerConfigBuilder(LoggerConfig);
+
+impl LoggerConfigBuilder {
+    /// Queue capacity in records.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.0.capacity = capacity;
+        self
+    }
+
+    /// Full-queue behavior.
+    pub fn backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.0.backpressure = backpressure;
+        self
+    }
+
+    /// Segment rotation thresholds.
+    pub fn segment(mut self, segment: SegmentConfig) -> Self {
+        self.0.segment = segment;
+        self
+    }
+
+    /// Returns the config.
+    pub fn build(self) -> LoggerConfig {
+        self.0
+    }
+}
+
 /// The producer half: cheap to clone, one per shard or caller thread.
 #[derive(Debug, Clone)]
 pub struct DecisionLogger {
     tx: SyncSender<LogRecord>,
+    budget: Arc<QueueBudget>,
     backpressure: Backpressure,
     metrics: Arc<ServeMetrics>,
 }
@@ -70,40 +180,102 @@ impl DecisionLogger {
     /// [`spawn_supervised_writer`](crate::supervisor::spawn_supervised_writer).
     pub(crate) fn new(
         tx: SyncSender<LogRecord>,
+        budget: Arc<QueueBudget>,
         backpressure: Backpressure,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
         DecisionLogger {
             tx,
+            budget,
             backpressure,
             metrics,
         }
     }
 
-    /// Offers one record to the queue. Every offer counts as `enqueued`;
-    /// offers refused by a full queue (under [`Backpressure::DropNewest`])
-    /// or by a shut-down writer additionally count as `dropped`.
+    /// Offers one record to the queue. Every offer counts as `enqueued` —
+    /// scaled by [`LogRecord::record_count`], so a batch frame counts every
+    /// decision it carries; offers refused by a full queue (under
+    /// [`Backpressure::DropNewest`]) or by a shut-down writer additionally
+    /// count as `dropped` (again in logical records).
     ///
     /// Returns `true` when the record entered the queue, `false` when it
     /// was refused at the door — the caller-side signal the tracer needs
     /// to mark a shed decision terminal without waiting on the writer.
     pub fn log(&self, record: LogRecord) -> bool {
-        self.metrics.record_enqueued();
+        let n = record.record_count() as u64;
+        self.metrics.record_enqueued_n(n);
         match self.backpressure {
             Backpressure::Block => {
+                self.budget.acquire_blocking(n);
                 if self.tx.send(record).is_err() {
-                    self.metrics.record_dropped();
+                    self.budget.release(n);
+                    self.metrics.record_dropped_n(n);
                     return false;
                 }
                 true
             }
-            Backpressure::DropNewest => match self.tx.try_send(record) {
-                Ok(()) => true,
-                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                    self.metrics.record_dropped();
-                    false
+            Backpressure::DropNewest => {
+                if !self.budget.try_acquire(n) {
+                    self.metrics.record_dropped_n(n);
+                    return false;
                 }
-            },
+                match self.tx.try_send(record) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                        self.budget.release(n);
+                        self.metrics.record_dropped_n(n);
+                        false
+                    }
+                }
+            }
         }
+    }
+
+    /// Reserves capacity for an `n`-record frame *before* the frame is
+    /// built. `true` means the frame is admitted and must be delivered via
+    /// [`send_reserved`](DecisionLogger::send_reserved); `false` (only
+    /// under [`Backpressure::DropNewest`]) means the frame is refused and
+    /// the caller should account for it via
+    /// [`refuse`](DecisionLogger::refuse) instead of building it at all.
+    ///
+    /// This is the batch path's admission control: a refused 256-decision
+    /// frame costs one failed reservation, not 256 feature clones plus a
+    /// record allocation that would be dropped at the door anyway.
+    pub(crate) fn reserve(&self, n: u64) -> bool {
+        match self.backpressure {
+            Backpressure::Block => {
+                self.budget.acquire_blocking(n);
+                true
+            }
+            Backpressure::DropNewest => self.budget.try_acquire(n),
+        }
+    }
+
+    /// Offers a frame whose capacity was reserved by
+    /// [`reserve`](DecisionLogger::reserve). Counts `enqueued` exactly like
+    /// [`log`](DecisionLogger::log); the reservation guarantees a channel
+    /// slot (frames ≤ records), so refusal here means the writer side hung
+    /// up — the reservation is returned and the frame counts `dropped`.
+    pub(crate) fn send_reserved(&self, record: LogRecord) -> bool {
+        let n = record.record_count() as u64;
+        self.metrics.record_enqueued_n(n);
+        match self.tx.try_send(record) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.budget.release(n);
+                self.metrics.record_dropped_n(n);
+                false
+            }
+        }
+    }
+
+    /// Accounts for an `n`-record frame refused by a failed
+    /// [`reserve`](DecisionLogger::reserve): the conservation ledger counts
+    /// it offered (`enqueued`) and shed (`dropped`), exactly as if the
+    /// built frame had been offered to [`log`](DecisionLogger::log) and
+    /// turned away at the door.
+    pub(crate) fn refuse(&self, n: u64) {
+        self.metrics.record_enqueued_n(n);
+        self.metrics.record_dropped_n(n);
     }
 }

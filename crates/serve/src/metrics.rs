@@ -84,6 +84,22 @@ impl ServeMetrics {
         self.last_decision_ns.fetch_max(now_ns, RELAXED);
     }
 
+    /// Records `n` decisions sharing one logical stamp, of which
+    /// `explorations` fired the exploration branch — the batched hot path's
+    /// equivalent of `n` [`record_decision`](Self::record_decision) calls,
+    /// paid as one pass over the atomics.
+    pub fn record_decisions(&self, now_ns: u64, n: u64, explorations: u64) {
+        if n == 0 {
+            return;
+        }
+        self.decisions.fetch_add(n, RELAXED);
+        if explorations > 0 {
+            self.explorations.fetch_add(explorations, RELAXED);
+        }
+        self.first_decision_ns.fetch_min(now_ns, RELAXED);
+        self.last_decision_ns.fetch_max(now_ns, RELAXED);
+    }
+
     /// Records one record offered to the log pipeline. Every offer lands
     /// here; the pipeline's conservation law is
     /// `enqueued == written + dropped + quarantined` once drained.
@@ -91,15 +107,33 @@ impl ServeMetrics {
         self.log_enqueued.fetch_add(1, RELAXED);
     }
 
+    /// Records `n` records offered to the log pipeline at once (a batch
+    /// frame counts every decision it carries — the ledger is in logical
+    /// records, not frames).
+    pub fn record_enqueued_n(&self, n: u64) {
+        self.log_enqueued.fetch_add(n, RELAXED);
+    }
+
     /// Records one record persisted by the writer thread.
     pub fn record_written(&self) {
         self.log_written.fetch_add(1, RELAXED);
+    }
+
+    /// Records `n` records persisted at once (one batch frame).
+    pub fn record_written_n(&self, n: u64) {
+        self.log_written.fetch_add(n, RELAXED);
     }
 
     /// Records one record dropped: refused by backpressure, offered after
     /// shutdown, or discarded by a permanently-failed writer.
     pub fn record_dropped(&self) {
         self.log_dropped.fetch_add(1, RELAXED);
+    }
+
+    /// Records `n` records dropped at once (a refused batch frame drops
+    /// every decision it carries).
+    pub fn record_dropped_n(&self, n: u64) {
+        self.log_dropped.fetch_add(n, RELAXED);
     }
 
     /// Records a reward joined to its decision within the TTL.
@@ -166,6 +200,13 @@ impl ServeMetrics {
     /// Records one decision served by the safe fallback policy.
     pub fn record_degraded(&self) {
         self.degraded_decisions.fetch_add(1, RELAXED);
+    }
+
+    /// Records `n` decisions served by the safe fallback policy.
+    pub fn record_degraded_n(&self, n: u64) {
+        if n > 0 {
+            self.degraded_decisions.fetch_add(n, RELAXED);
+        }
     }
 
     /// Records one reward delivery lost before reaching the joiner.

@@ -28,7 +28,12 @@ use harvest_log::SealObserver;
 use harvest_obs::{AtomicHistogram, Histogram, StripedHistogram, Tracer, TracerConfig};
 
 /// Observability sizing and switches for the service.
+///
+/// Construct via [`ObsConfig::builder`] or from [`ObsConfig::default`];
+/// `#[non_exhaustive]`, so out-of-crate literal construction no longer
+/// compiles and new switches can ship without breaking callers.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ObsConfig {
     /// Master switch: `false` builds the service with no tracer and no
     /// histograms (zero overhead beyond the plain counters).
@@ -47,6 +52,46 @@ impl Default for ObsConfig {
             trace_shards: 16,
             trace_capacity_per_shard: 4096,
         }
+    }
+}
+
+impl ObsConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> ObsConfigBuilder {
+        ObsConfigBuilder(ObsConfig::default())
+    }
+}
+
+/// Builder for [`ObsConfig`].
+#[derive(Debug, Clone)]
+pub struct ObsConfigBuilder(ObsConfig);
+
+impl ObsConfigBuilder {
+    /// Master switch: `false` builds the service with no tracer and no
+    /// histograms.
+    pub fn enabled(mut self, enabled: bool) -> Self {
+        self.0.enabled = enabled;
+        self
+    }
+
+    /// Trace ring shards (must stay ≥ 1).
+    pub fn trace_shards(mut self, shards: usize) -> Self {
+        self.0.trace_shards = shards;
+        self
+    }
+
+    /// Trace ring capacity per shard.
+    pub fn trace_capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.0.trace_capacity_per_shard = capacity;
+        self
+    }
+
+    /// Returns the config; `trace_shards` is clamped to at least 1 so the
+    /// striped histograms always have a stripe to land on.
+    pub fn build(self) -> ObsConfig {
+        let mut cfg = self.0;
+        cfg.trace_shards = cfg.trace_shards.max(1);
+        cfg
     }
 }
 
@@ -104,6 +149,14 @@ impl ServeObs {
     /// on the deciding shard's stripe.
     pub fn record_interarrival(&self, shard: usize, gap_ns: u64) {
         self.decision_interarrival_ns.record(shard, gap_ns);
+    }
+
+    /// Bulk form of [`record_interarrival`](Self::record_interarrival):
+    /// records the same gap `n` times in O(1). The batched decide path uses
+    /// this for the `n − 1` zero gaps inside one batch, keeping the
+    /// histogram identical to `n` single calls at one logical instant.
+    pub fn record_interarrival_n(&self, shard: usize, gap_ns: u64, n: u64) {
+        self.decision_interarrival_ns.record_n(shard, gap_ns, n);
     }
 
     /// Records one reward-join delay (observation − decision, logical ns),

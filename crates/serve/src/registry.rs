@@ -11,9 +11,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use harvest_core::policy::GreedyPolicy;
-use harvest_core::scorer::LinearScorer;
-use harvest_core::{Context, Policy, SimpleContext};
+use harvest_core::scorer::{LinearScorer, Scorer};
+use harvest_core::{Context, SimpleContext};
 
 use crate::error::lock_recovering;
 use crate::metrics::ServeMetrics;
@@ -32,10 +31,26 @@ pub enum ServePolicy {
 impl ServePolicy {
     /// The greedy (exploitation) action, or `None` for the uniform
     /// bootstrap, which has no preferred action.
+    ///
+    /// Ties break toward the lowest action index — the same rule as
+    /// [`GreedyPolicy`](harvest_core::policy::GreedyPolicy), inlined here
+    /// so the per-decision hot path scores through a borrow instead of
+    /// cloning the scorer's weight matrix.
     pub fn greedy_action(&self, ctx: &SimpleContext) -> Option<usize> {
         match self {
             ServePolicy::Uniform => None,
-            ServePolicy::Greedy(scorer) => Some(GreedyPolicy::new(scorer.clone()).choose(ctx)),
+            ServePolicy::Greedy(scorer) => {
+                let mut best = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for a in 0..ctx.num_actions() {
+                    let s = scorer.score(ctx, a);
+                    if s > best_score {
+                        best_score = s;
+                        best = a;
+                    }
+                }
+                Some(best)
+            }
         }
     }
 

@@ -46,6 +46,7 @@ use harvest_log::segment::SegmentSink;
 use harvest_sim_net::fault::{ChaosPlan, RewardFault};
 use serde::Serialize;
 
+use crate::batch::DecisionBatch;
 use crate::breaker::{BreakerConfig, CircuitBreaker, TripReason};
 use crate::engine::{Decision, DecisionEngine, EngineConfig};
 use crate::error::{lock_recovering, ServeError};
@@ -59,8 +60,15 @@ use crate::supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervi
 use crate::trainer::{GateReport, Trainer, TrainerConfig};
 
 /// Everything configurable about the service.
+///
+/// Construct via [`ServeConfig::builder`] (validating, with flattened
+/// conveniences for the common engine knobs) or start from
+/// [`ServeConfig::default`] and set fields. The struct is
+/// `#[non_exhaustive]`: literal construction outside this crate no longer
+/// compiles, so new knobs can ship without breaking callers.
 #[derive(Debug, Clone)]
-pub struct ServiceConfig {
+#[non_exhaustive]
+pub struct ServeConfig {
     /// Decision engine: shards, ε floor, master seed.
     pub engine: EngineConfig,
     /// Log queue, backpressure, and segment rotation.
@@ -81,10 +89,10 @@ pub struct ServiceConfig {
     pub obs: ObsConfig,
 }
 
-impl Default for ServiceConfig {
+impl Default for ServeConfig {
     fn default() -> Self {
         let engine = EngineConfig::default();
-        ServiceConfig {
+        ServeConfig {
             trainer: TrainerConfig {
                 epsilon: engine.epsilon,
                 ..TrainerConfig::default()
@@ -97,6 +105,134 @@ impl Default for ServiceConfig {
             join_ttl_ns: 10_000_000_000, // 10 logical seconds
             obs: ObsConfig::default(),
         }
+    }
+}
+
+/// Former name of [`ServeConfig`].
+#[deprecated(since = "0.1.0", note = "renamed to ServeConfig")]
+pub type ServiceConfig = ServeConfig;
+
+impl ServeConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder(ServeConfig::default())
+    }
+}
+
+/// Builder for [`ServeConfig`].
+///
+/// The engine's everyday knobs — [`shards`](ServeConfigBuilder::shards),
+/// [`epsilon`](ServeConfigBuilder::epsilon),
+/// [`master_seed`](ServeConfigBuilder::master_seed),
+/// [`component`](ServeConfigBuilder::component) — are flattened onto the
+/// builder; whole sub-configs can still be swapped in via
+/// [`engine`](ServeConfigBuilder::engine) and friends.
+/// [`build`](ServeConfigBuilder::build) validates everything the service
+/// would otherwise panic on at construction.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder(ServeConfig);
+
+impl ServeConfigBuilder {
+    /// Number of decision shards (must stay ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.0.engine.shards = shards;
+        self
+    }
+
+    /// The exploration floor ε, applied to serving *and* to the trainer's
+    /// as-served gate evaluation (must stay in `(0, 1]`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.0.engine.epsilon = epsilon;
+        self.0.trainer.epsilon = epsilon;
+        self
+    }
+
+    /// Master seed for the per-shard RNG streams.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.0.engine.master_seed = seed;
+        self
+    }
+
+    /// Component name stamped into decision records.
+    pub fn component(mut self, component: impl Into<String>) -> Self {
+        self.0.engine.component = component.into();
+        self
+    }
+
+    /// Replaces the whole engine config.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.0.engine = engine;
+        self
+    }
+
+    /// Replaces the log queue / segment config.
+    pub fn logger(mut self, logger: LoggerConfig) -> Self {
+        self.0.logger = logger;
+        self
+    }
+
+    /// Replaces the writer supervision config.
+    pub fn supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.0.supervisor = supervisor;
+        self
+    }
+
+    /// Replaces the circuit-breaker thresholds.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.0.breaker = breaker;
+        self
+    }
+
+    /// The safe arm served while the breaker is open.
+    pub fn safe_policy(mut self, policy: ServePolicy) -> Self {
+        self.0.safe_policy = policy;
+        self
+    }
+
+    /// Reward-join TTL in logical nanoseconds.
+    pub fn join_ttl_ns(mut self, ttl_ns: u64) -> Self {
+        self.0.join_ttl_ns = ttl_ns;
+        self
+    }
+
+    /// Replaces the trainer / promotion-gate config.
+    pub fn trainer(mut self, trainer: TrainerConfig) -> Self {
+        self.0.trainer = trainer;
+        self
+    }
+
+    /// Replaces the observability config.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.0.obs = obs;
+        self
+    }
+
+    /// Validates and returns the config: the engine needs ≥ 1 shard and ε
+    /// in `(0, 1]`, and the breaker's window, trip, and re-arm thresholds
+    /// must be nonzero.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        if self.0.engine.shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "engine needs at least one shard".to_string(),
+            });
+        }
+        if !(self.0.engine.epsilon > 0.0 && self.0.engine.epsilon <= 1.0) {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("epsilon must be in (0, 1], got {}", self.0.engine.epsilon),
+            });
+        }
+        for (name, v) in [
+            ("window", self.0.breaker.window),
+            ("trip_faults", self.0.breaker.trip_faults),
+            ("rearm_healthy", self.0.breaker.rearm_healthy),
+        ] {
+            if v == 0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("breaker {name} must be nonzero"),
+                });
+            }
+        }
+        Ok(self.0)
     }
 }
 
@@ -140,18 +276,18 @@ pub struct DecisionService<S: SegmentSink + Send + 'static> {
 impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     /// Boots the service with a uniform (explore-only) generation-0
     /// incumbent, logging segments into `sink`.
-    pub fn new(cfg: ServiceConfig, sink: S) -> Self {
+    pub fn new(cfg: ServeConfig, sink: S) -> Self {
         Self::build(cfg, sink, None)
     }
 
     /// Like [`DecisionService::new`], with a deterministic fault schedule.
     /// The same `(config, plan, call sequence)` triple reproduces the same
     /// faults, the same decisions, and byte-identical log segments.
-    pub fn with_chaos(cfg: ServiceConfig, sink: S, plan: ChaosPlan) -> Self {
+    pub fn with_chaos(cfg: ServeConfig, sink: S, plan: ChaosPlan) -> Self {
         Self::build(cfg, sink, Some(Arc::new(plan)))
     }
 
-    fn build(cfg: ServiceConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
+    fn build(cfg: ServeConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
         let metrics = if cfg.obs.enabled {
             Arc::new(ServeMetrics::with_obs(Arc::new(ServeObs::new(&cfg.obs))))
         } else {
@@ -223,6 +359,52 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         let decision = self.engine.decide_with(shard, now_ns, ctx, fallback)?;
         lock_recovering(&self.joiner, Some(&self.metrics)).track(decision.request_id, now_ns);
         Ok(decision)
+    }
+
+    /// Serves a batch of decisions on `shard`, all stamped at logical time
+    /// `now_ns`, into the caller-owned `out` buffer (cleared first; reuse
+    /// one buffer across calls to keep the hot path allocation-amortized).
+    ///
+    /// Semantically this is [`decide`](DecisionService::decide) called once
+    /// per context, and a same-seed batch run reproduces the single-call
+    /// run's decision stream byte for byte: the circuit breaker is
+    /// consulted *per decision* (it can open or re-arm mid-batch), chaos
+    /// poison faults scheduled anywhere in the batch's decision-index range
+    /// fire before the batch is served, and segment recovery flattens the
+    /// batch's single log frame back into the individual decision records.
+    /// What is amortized: one shard-lock acquisition, one id-range
+    /// reservation, one log-queue hand-off, and bulk joiner tracking per
+    /// batch instead of per decision.
+    pub fn decide_batch(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        contexts: &[SimpleContext],
+        out: &mut DecisionBatch,
+    ) -> Result<(), ServeError> {
+        out.reset();
+        let n = contexts.len() as u64;
+        let first_index = self.decision_seq.fetch_add(n, Ordering::SeqCst);
+        if let Some(chaos) = &self.chaos {
+            // Any poison scheduled inside this batch's index range fires up
+            // front; the engine recovers the shard once at its single lock
+            // acquisition. (Several poisons in one batch therefore collapse
+            // into one recovery — schedule at most one per batch when
+            // counting recoveries.)
+            if (first_index..first_index + n).any(|i| chaos.poison_at(i)) {
+                self.engine.poison_shard(shard);
+            }
+        }
+        for _ in contexts {
+            let writer_alive = self.writer.as_ref().map(|w| w.alive()).unwrap_or(false);
+            out.degraded
+                .push(self.breaker.on_decision(writer_alive, &self.metrics));
+        }
+        self.engine
+            .decide_batch_with(shard, now_ns, contexts, Some(&self.safe_policy), out)?;
+        lock_recovering(&self.joiner, Some(&self.metrics))
+            .track_many(out.decisions.iter().map(|d| d.request_id), now_ns);
+        Ok(())
     }
 
     /// Reports the delayed reward for `request_id`. Joins within the TTL
@@ -401,7 +583,12 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     /// Shuts down: disconnects the log queue, waits for the writer to drain
     /// and seal it, and returns the sink holding the complete segments.
     pub fn shutdown(mut self) -> io::Result<S> {
-        let writer = self.writer.take().expect("shutdown called once");
+        // `writer` is only ever taken here, and `shutdown` consumes the
+        // service — but return an error rather than panic if that ever
+        // changes.
+        let Some(writer) = self.writer.take() else {
+            return Err(io::Error::other("service writer already shut down"));
+        };
         // Drop both producer handles so the channel disconnects.
         drop(self.engine);
         drop(self.logger);
@@ -414,15 +601,15 @@ mod tests {
     use super::*;
     use harvest_log::segment::MemorySegments;
 
-    fn config(seed: u64) -> ServiceConfig {
-        ServiceConfig {
+    fn config(seed: u64) -> ServeConfig {
+        ServeConfig {
             engine: EngineConfig {
                 shards: 2,
                 epsilon: 0.2,
                 master_seed: seed,
                 component: "svc-test".to_string(),
             },
-            ..ServiceConfig::default()
+            ..ServeConfig::default()
         }
     }
 
@@ -456,7 +643,7 @@ mod tests {
     fn training_round_promotes_and_decisions_follow() {
         let store = MemorySegments::new();
         let svc = DecisionService::new(
-            ServiceConfig {
+            ServeConfig {
                 trainer: TrainerConfig {
                     lambda: 1e-3,
                     epsilon: 0.2,
@@ -496,7 +683,7 @@ mod tests {
 
     #[test]
     fn dead_writer_opens_the_breaker_and_decisions_degrade() {
-        let cfg = ServiceConfig {
+        let cfg = ServeConfig {
             supervisor: SupervisorConfig {
                 max_restarts: 0,
                 ..SupervisorConfig::default()

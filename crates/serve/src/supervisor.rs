@@ -39,14 +39,19 @@ use harvest_sim_net::fault::{ChaosPlan, WriterFault};
 use harvest_obs::Terminal;
 
 use crate::error::lock_recovering;
-use crate::logger::{DecisionLogger, LoggerConfig};
+use crate::logger::{DecisionLogger, LoggerConfig, QueueBudget};
 use crate::metrics::ServeMetrics;
 use crate::obs::seal_observer;
 
 const SEQ: Ordering = Ordering::SeqCst;
 
 /// Restart policy for the supervised writer.
+///
+/// Construct via [`SupervisorConfig::builder`] or from
+/// [`SupervisorConfig::default`]; `#[non_exhaustive]`, so out-of-crate
+/// literal construction no longer compiles.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SupervisorConfig {
     /// How many times a crashed writer is restarted before it is declared
     /// permanently down.
@@ -68,9 +73,47 @@ impl Default for SupervisorConfig {
     }
 }
 
+impl SupervisorConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> SupervisorConfigBuilder {
+        SupervisorConfigBuilder(SupervisorConfig::default())
+    }
+}
+
+/// Builder for [`SupervisorConfig`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfigBuilder(SupervisorConfig);
+
+impl SupervisorConfigBuilder {
+    /// Restart budget before the writer is declared permanently down.
+    pub fn max_restarts(mut self, max_restarts: u32) -> Self {
+        self.0.max_restarts = max_restarts;
+        self
+    }
+
+    /// First backoff sleep in milliseconds (doubles per restart).
+    pub fn backoff_base_ms(mut self, ms: u64) -> Self {
+        self.0.backoff_base_ms = ms;
+        self
+    }
+
+    /// Backoff ceiling in milliseconds.
+    pub fn backoff_cap_ms(mut self, ms: u64) -> Self {
+        self.0.backoff_cap_ms = ms;
+        self
+    }
+
+    /// Returns the config.
+    pub fn build(self) -> SupervisorConfig {
+        self.0
+    }
+}
+
 /// State shared between incarnations, the supervisor, and the handle.
 struct WriterShared<S> {
     rx: Mutex<Receiver<LogRecord>>,
+    /// Record-weighted queue bound, released as frames are popped.
+    budget: Arc<QueueBudget>,
     /// `Some` until [`WriterSupervisorHandle::finish`] takes the writer.
     writer: Mutex<Option<SegmentedLogWriter<S>>>,
     /// Records popped from the queue so far — the fault-index clock.
@@ -91,11 +134,19 @@ impl<S: SegmentSink> WriterShared<S> {
     /// taking a trace-shard lock per record. Outcome records carry no
     /// trace of their own and are skipped.
     fn note_terminal(&self, record: &LogRecord, terminal: Terminal) {
-        if record.is_decision() {
-            if let Some(obs) = self.metrics.obs() {
-                obs.tracer()
-                    .terminal_deferred(record.request_id(), terminal);
+        let Some(obs) = self.metrics.obs() else {
+            return;
+        };
+        match record {
+            LogRecord::Decision(d) => obs.tracer().terminal_deferred(d.request_id, terminal),
+            // A batch frame terminates every decision it carries — same
+            // terminal, one inbox push per id.
+            LogRecord::Batch(b) => {
+                for d in &b.decisions {
+                    obs.tracer().terminal_deferred(d.request_id, terminal);
+                }
             }
+            LogRecord::Outcome(_) => {}
         }
     }
 
@@ -110,43 +161,52 @@ impl<S: SegmentSink> WriterShared<S> {
         }
     }
 
-    /// Persists one popped record, applying any scheduled tear fault.
+    /// Persists one popped record, applying any scheduled tear fault. A
+    /// batch frame advances the fault-index clock by its batch length (the
+    /// clock counts *logical* records, matching the single-call run), and a
+    /// fault scheduled anywhere inside that range fires on the whole frame.
     fn write_one(&self, record: &LogRecord) {
-        let index = self.attempted.fetch_add(1, SEQ);
-        let fault = self.chaos.as_ref().and_then(|c| c.writer_fault_at(index));
+        let count = record.record_count() as u64;
+        let index = self.attempted.fetch_add(count.max(1), SEQ);
+        let fault = self
+            .chaos
+            .as_ref()
+            .and_then(|c| (index..index + count.max(1)).find_map(|i| c.writer_fault_at(i)));
         let mut guard = lock_recovering(&self.writer, Some(&self.metrics));
         let Some(writer) = guard.as_mut() else {
             // The writer was already taken at shutdown; nothing to do but
             // keep the ledger honest.
             self.note_terminal(record, Terminal::Dropped);
-            self.metrics.record_dropped();
+            self.metrics.record_dropped_n(count);
             return;
         };
         if let Some(WriterFault::Tear { keep_frac }) = fault {
             // A crash mid-append: persist a strict prefix of the frame,
-            // count the record quarantined (recovery will count the same
-            // partial frame exactly once), and die holding the lock — the
-            // poisoned mutex is part of the fault being injected.
+            // count the record(s) quarantined, and die holding the lock —
+            // the poisoned mutex is part of the fault being injected. The
+            // runtime ledger counts the whole batch; at-rest recovery of a
+            // torn *batch* frame can only count the unparsable partial
+            // frame once, an undercount DESIGN.md §10 records.
             if let Ok(frame) = encode_frame(record) {
                 let keep = (((frame.len() - 1) as f64) * keep_frac.clamp(0.0, 1.0)) as usize;
                 let keep = keep.clamp(1, frame.len() - 1);
                 let _ = writer.append_raw(&frame[..keep]);
             }
             self.note_terminal(record, Terminal::Quarantined);
-            self.metrics.record_quarantined(1);
+            self.metrics.record_quarantined(count);
             panic!("chaos: torn write of record {index}");
         }
         match writer.write(record) {
             Ok(_) => {
                 self.note_terminal(record, Terminal::Written);
-                self.metrics.record_written();
+                self.metrics.record_written_n(count);
             }
             Err(_) => {
                 // The sink refused the append; the frame may be partial.
-                // Count the record quarantined and seal the segment so the
-                // damage cannot spread into later frames.
+                // Count the record(s) quarantined and seal the segment so
+                // the damage cannot spread into later frames.
                 self.note_terminal(record, Terminal::Quarantined);
-                self.metrics.record_quarantined(1);
+                self.metrics.record_quarantined(count);
                 let _ = writer.rotate();
             }
         }
@@ -170,6 +230,9 @@ fn incarnation<S: SegmentSink>(shared: &WriterShared<S>) {
             }
             return;
         };
+        // Release the budget at pop, before persisting: an injected
+        // mid-write panic must never leak queue capacity.
+        shared.budget.release(first.record_count() as u64);
         shared.write_one(&first);
         // Batch: drain whatever is already queued before one flush.
         loop {
@@ -179,7 +242,10 @@ fn incarnation<S: SegmentSink>(shared: &WriterShared<S>) {
                 rx.try_recv()
             };
             match next {
-                Ok(record) => shared.write_one(&record),
+                Ok(record) => {
+                    shared.budget.release(record.record_count() as u64);
+                    shared.write_one(&record);
+                }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
@@ -230,8 +296,11 @@ fn supervise<S: SegmentSink + Send + 'static>(
                         };
                         match next {
                             Ok(record) => {
+                                shared.budget.release(record.record_count() as u64);
                                 shared.note_terminal(&record, Terminal::Dropped);
-                                shared.metrics.record_dropped();
+                                shared
+                                    .metrics
+                                    .record_dropped_n(record.record_count() as u64);
                             }
                             Err(_) => return,
                         }
@@ -297,7 +366,11 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
     chaos: Option<Arc<ChaosPlan>>,
     sink: S,
 ) -> (DecisionLogger, WriterSupervisorHandle<S>) {
+    // The channel is sized in frames only as a backstop; the record-
+    // weighted QueueBudget is the real bound (frames ≤ records, so the
+    // channel can never fill while the budget has room).
     let (tx, rx) = sync_channel(cfg.capacity.max(1));
+    let budget = Arc::new(QueueBudget::new(cfg.capacity.max(1) as u64));
     let kills = chaos.as_ref().map(|c| c.writer_kills()).unwrap_or_default();
     let mut writer = SegmentedLogWriter::new(sink, cfg.segment);
     if let Some(obs) = metrics.obs() {
@@ -305,6 +378,7 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
     }
     let shared = Arc::new(WriterShared {
         rx: Mutex::new(rx),
+        budget: Arc::clone(&budget),
         writer: Mutex::new(Some(writer)),
         attempted: AtomicU64::new(0),
         kills,
@@ -322,7 +396,7 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
             .expect("spawn log writer supervisor")
     };
     (
-        DecisionLogger::new(tx, cfg.backpressure, metrics),
+        DecisionLogger::new(tx, budget, cfg.backpressure, metrics),
         WriterSupervisorHandle {
             supervisor,
             shared,

@@ -39,7 +39,12 @@ pub enum GateEstimator {
 }
 
 /// Trainer and gate configuration.
+///
+/// Construct via [`TrainerConfig::builder`] or from
+/// [`TrainerConfig::default`]; `#[non_exhaustive]`, so out-of-crate
+/// literal construction no longer compiles.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TrainerConfig {
     /// The exploration floor the engine serves with; candidate and
     /// incumbent are both evaluated as served (ε-floored).
@@ -69,6 +74,61 @@ impl Default for TrainerConfig {
             estimator: GateEstimator::Snips,
             min_samples: 100,
         }
+    }
+}
+
+impl TrainerConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> TrainerConfigBuilder {
+        TrainerConfigBuilder(TrainerConfig::default())
+    }
+}
+
+/// Builder for [`TrainerConfig`].
+#[derive(Debug, Clone)]
+pub struct TrainerConfigBuilder(TrainerConfig);
+
+impl TrainerConfigBuilder {
+    /// The exploration floor candidates are evaluated under (should match
+    /// the engine's ε).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.0.epsilon = epsilon;
+        self
+    }
+
+    /// Ridge regularizer for the candidate reward model.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.0.lambda = lambda;
+        self
+    }
+
+    /// How (context, action) pairs are featurized.
+    pub fn modeling(mut self, modeling: ModelingMode) -> Self {
+        self.0.modeling = modeling;
+        self
+    }
+
+    /// Constants for the confidence radius.
+    pub fn bound(mut self, bound: BoundConfig) -> Self {
+        self.0.bound = bound;
+        self
+    }
+
+    /// The gate's off-policy estimator.
+    pub fn estimator(mut self, estimator: GateEstimator) -> Self {
+        self.0.estimator = estimator;
+        self
+    }
+
+    /// Refuse to promote from fewer harvested samples than this.
+    pub fn min_samples(mut self, min_samples: usize) -> Self {
+        self.0.min_samples = min_samples;
+        self
+    }
+
+    /// Returns the config.
+    pub fn build(self) -> TrainerConfig {
+        self.0
     }
 }
 

@@ -90,11 +90,11 @@ proptest! {
         tears in proptest::collection::vec((0u64..220, 0.0f64..1.0), 0..3),
     ) {
         let metrics = Arc::new(ServeMetrics::new());
-        let cfg = LoggerConfig {
-            capacity,
-            backpressure: if block { Backpressure::Block } else { Backpressure::DropNewest },
-            segment: SegmentConfig { max_records: 16, max_bytes: usize::MAX },
-        };
+        let cfg = LoggerConfig::builder()
+            .capacity(capacity)
+            .backpressure(if block { Backpressure::Block } else { Backpressure::DropNewest })
+            .segment(SegmentConfig { max_records: 16, max_bytes: usize::MAX })
+            .build();
         let mut plan = ChaosPlan::none();
         for k in &kills {
             plan = plan.kill_writer_at(*k);
@@ -104,7 +104,11 @@ proptest! {
         }
         let (logger, writer) = spawn_supervised_writer(
             cfg,
-            SupervisorConfig { max_restarts: 16, backoff_base_ms: 1, backoff_cap_ms: 2 },
+            SupervisorConfig::builder()
+                .max_restarts(16)
+                .backoff_base_ms(1)
+                .backoff_cap_ms(2)
+                .build(),
             Arc::clone(&metrics),
             Some(Arc::new(plan)),
             MemorySegments::new(),

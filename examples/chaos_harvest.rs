@@ -21,7 +21,7 @@ use harvest::core::SimpleContext;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
     apply_at_rest_faults, Backpressure, ChaosHorizon, ChaosPlan, ChaosPlanConfig, DecisionService,
-    EngineConfig, LoggerConfig, ServeError, ServiceConfig, SupervisorConfig, TrainerConfig,
+    LoggerConfig, ServeConfig, ServeError, SupervisorConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
@@ -48,37 +48,37 @@ fn main() {
     println!("chaos-harvest: seed {seed}, schedule [{}]", plan.summary());
 
     let store = MemorySegments::new();
-    let svc = DecisionService::with_chaos(
-        ServiceConfig {
-            engine: EngineConfig {
-                shards: 2,
-                epsilon: EPSILON,
-                master_seed: seed,
-                component: "chaos-demo".to_string(),
-            },
-            logger: LoggerConfig {
-                capacity: 256,
-                backpressure: Backpressure::Block,
-                segment: SegmentConfig {
+    let cfg = ServeConfig::builder()
+        .shards(2)
+        .epsilon(EPSILON)
+        .master_seed(seed)
+        .component("chaos-demo")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(256)
+                .backpressure(Backpressure::Block)
+                .segment(SegmentConfig {
                     max_records: 128,
                     max_bytes: 64 * 1024,
-                },
-            },
-            supervisor: SupervisorConfig {
-                max_restarts: 8,
-                backoff_base_ms: 1,
-                backoff_cap_ms: 4,
-            },
-            trainer: TrainerConfig {
-                lambda: 1e-3,
-                epsilon: EPSILON,
-                ..TrainerConfig::default()
-            },
-            ..ServiceConfig::default()
-        },
-        store.clone(),
-        plan.clone(),
-    );
+                })
+                .build(),
+        )
+        .supervisor(
+            SupervisorConfig::builder()
+                .max_restarts(8)
+                .backoff_base_ms(1)
+                .backoff_cap_ms(4)
+                .build(),
+        )
+        .trainer(
+            TrainerConfig::builder()
+                .lambda(1e-3)
+                .epsilon(EPSILON)
+                .build(),
+        )
+        .build()
+        .expect("valid demo config");
+    let svc = DecisionService::with_chaos(cfg, store.clone(), plan.clone());
 
     // Training rounds are interleaved with serving so a mid-fit trainer
     // crash has live traffic after it: the breaker's safe-arm fallback and

@@ -15,91 +15,103 @@
 //! ```
 
 use harvest::lb::{ClusterConfig, LbContext};
-use harvest::serve::{
-    Backpressure, DecisionService, EngineConfig, GateEstimator, LoggerConfig, ServePolicy,
-    ServiceConfig, Trainer, TrainerConfig,
-};
+use harvest::prelude::*;
+use harvest::serve::{GateEstimator, Trainer};
 use harvest::simnet::rng::fork_rng;
 use harvest_estimators::bounds::BoundConfig;
-use harvest_log::segment::{MemorySegments, SegmentConfig};
 use rand::Rng;
 
 const SEED: u64 = 42;
 const WAVES: usize = 3;
 const REQUESTS_PER_WAVE: usize = 4000;
+const BATCH: usize = 16;
 const EPSILON: f64 = 0.15;
 
 fn trainer_config() -> TrainerConfig {
-    TrainerConfig {
-        epsilon: EPSILON,
-        lambda: 1e-3,
-        modeling: harvest::core::learner::ModelingMode::Pooled,
-        bound: BoundConfig {
+    TrainerConfig::builder()
+        .epsilon(EPSILON)
+        .lambda(1e-3)
+        .modeling(harvest::core::learner::ModelingMode::Pooled)
+        .bound(BoundConfig {
             c: 2.0,
             delta: 0.05,
-        },
-        estimator: GateEstimator::Snips,
-        min_samples: 500,
-    }
+        })
+        .estimator(GateEstimator::Snips)
+        .min_samples(500)
+        .build()
 }
 
 fn main() {
     let cluster = ClusterConfig::fig5();
     let store = MemorySegments::new();
-    let svc = DecisionService::new(
-        ServiceConfig {
-            engine: EngineConfig {
-                shards: 4,
-                epsilon: EPSILON,
-                master_seed: SEED,
-                component: "nginx-lb".to_string(),
-            },
-            logger: LoggerConfig {
-                capacity: 4096,
-                backpressure: Backpressure::Block,
-                segment: SegmentConfig::default(),
-            },
-            join_ttl_ns: 5_000_000_000,
-            trainer: trainer_config(),
-            ..ServiceConfig::default()
-        },
-        store.clone(),
-    );
+    let cfg = ServeConfig::builder()
+        .shards(4)
+        .epsilon(EPSILON)
+        .master_seed(SEED)
+        .component("nginx-lb")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(4096)
+                .backpressure(Backpressure::Block)
+                .build(),
+        )
+        .join_ttl_ns(5_000_000_000)
+        .trainer(trainer_config())
+        .build()
+        .expect("valid demo config");
+    let svc = DecisionService::new(cfg, store.clone());
 
     println!("harvest-serve: online decision service on the Fig 5 cluster");
     println!(
-        "{} shards, eps = {EPSILON}, seed = {SEED}, {REQUESTS_PER_WAVE} requests/wave\n",
+        "{} shards, eps = {EPSILON}, seed = {SEED}, {REQUESTS_PER_WAVE} requests/wave, batch {BATCH}\n",
         svc.num_shards()
     );
 
     let mut traffic = fork_rng(SEED, "lb-traffic");
     let mut now_ns = 0u64;
+    // Requests arrive in batches of BATCH (think: one poll of an accept
+    // queue); the whole batch shares a logical arrival instant and is served
+    // by one decide_batch call into this reused buffer.
+    let mut batch = DecisionBatch::with_capacity(BATCH);
+    let mut contexts: Vec<SimpleContext> = Vec::with_capacity(BATCH);
+    let mut loads: Vec<(usize, Vec<u32>)> = Vec::with_capacity(BATCH);
     for wave in 0..WAVES {
         let serving = svc.registry().current();
         let mut latency_sum = 0.0;
-        for i in 0..REQUESTS_PER_WAVE {
-            now_ns += 1_000_000; // one request per logical millisecond
-                                 // Request class from the workload mix, load snapshot per server.
-            let u: f64 = traffic.gen();
-            let class = if u < cluster.class_probs[0] { 0 } else { 1 };
-            let connections: Vec<u32> = (0..cluster.num_servers())
-                .map(|_| traffic.gen_range(0..15u32))
-                .collect();
-            let ctx = LbContext {
-                connections: connections.clone(),
-                request_class: class,
-                num_classes: cluster.num_classes(),
+        for batch_no in 0..REQUESTS_PER_WAVE / BATCH {
+            now_ns += 1_000_000; // one batch per logical millisecond
+            contexts.clear();
+            loads.clear();
+            for _ in 0..BATCH {
+                // Request class from the workload mix, load snapshot per
+                // server.
+                let u: f64 = traffic.gen();
+                let class = if u < cluster.class_probs[0] { 0 } else { 1 };
+                let connections: Vec<u32> = (0..cluster.num_servers())
+                    .map(|_| traffic.gen_range(0..15u32))
+                    .collect();
+                contexts.push(
+                    LbContext {
+                        connections: connections.clone(),
+                        request_class: class,
+                        num_classes: cluster.num_classes(),
+                    }
+                    .to_cb_context(),
+                );
+                loads.push((class, connections));
             }
-            .to_cb_context();
-
-            let d = svc.decide(i % svc.num_shards(), now_ns, &ctx).unwrap();
-            let noise: f64 = 1.0 + cluster.latency_noise * traffic.gen_range(-1.0..1.0);
-            let latency = cluster.servers[d.action].latency(class, connections[d.action]) * noise;
-            latency_sum += latency;
-            // ~2% of rewards never arrive (lost telemetry): those decisions
-            // time out of the joiner instead of joining.
-            if traffic.gen_bool(0.98) {
-                svc.reward(d.request_id, now_ns + 500_000, -latency);
+            svc.decide_batch(batch_no % svc.num_shards(), now_ns, &contexts, &mut batch)
+                .unwrap();
+            for (d, (class, connections)) in batch.iter().zip(&loads) {
+                let noise: f64 = 1.0 + cluster.latency_noise * traffic.gen_range(-1.0..1.0);
+                let latency =
+                    cluster.servers[d.action].latency(*class, connections[d.action]) * noise;
+                latency_sum += latency;
+                // ~2% of rewards never arrive (lost telemetry): those
+                // decisions time out of the joiner instead of joining.
+                if traffic.gen_bool(0.98) {
+                    svc.reward(d.request_id, now_ns + 500_000, -latency);
+                }
             }
         }
         let mean_latency = latency_sum / REQUESTS_PER_WAVE as f64;

@@ -28,9 +28,7 @@
 use harvest::core::SimpleContext;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::obs::HistogramSummary;
-use harvest::serve::{
-    Backpressure, DecisionService, EngineConfig, LoggerConfig, ServiceConfig, TrainerConfig,
-};
+use harvest::serve::{Backpressure, DecisionService, LoggerConfig, ServeConfig, TrainerConfig};
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
 
@@ -149,31 +147,30 @@ fn main() {
     );
 
     let store = MemorySegments::new();
-    let svc = DecisionService::new(
-        ServiceConfig {
-            engine: EngineConfig {
-                shards: 2,
-                epsilon: EPSILON,
-                master_seed: seed,
-                component: "harvest-top".to_string(),
-            },
-            logger: LoggerConfig {
-                capacity: 512,
-                backpressure: Backpressure::Block,
-                segment: SegmentConfig {
+    let cfg = ServeConfig::builder()
+        .shards(2)
+        .epsilon(EPSILON)
+        .master_seed(seed)
+        .component("harvest-top")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(512)
+                .backpressure(Backpressure::Block)
+                .segment(SegmentConfig {
                     max_records: 256,
                     max_bytes: 64 * 1024,
-                },
-            },
-            trainer: TrainerConfig {
-                lambda: 1e-3,
-                epsilon: EPSILON,
-                ..TrainerConfig::default()
-            },
-            ..ServiceConfig::default()
-        },
-        store.clone(),
-    );
+                })
+                .build(),
+        )
+        .trainer(
+            TrainerConfig::builder()
+                .lambda(1e-3)
+                .epsilon(EPSILON)
+                .build(),
+        )
+        .build()
+        .expect("valid demo config");
+    let svc = DecisionService::new(cfg, store.clone());
 
     // Crossing rewards (action 0 pays x, action 1 pays 1 − x), one gate
     // round after the second phase so the quality gauges have something to

@@ -99,3 +99,91 @@ pub mod serve {
 pub mod obs {
     pub use harvest_obs::*;
 }
+
+/// One error type for the whole facade surface.
+///
+/// Application code driving the serve loop otherwise juggles
+/// [`ServeError`](harvest_serve::ServeError) from decisions and training,
+/// [`std::io::Error`] from segment persistence and shutdown, and
+/// [`HarvestError`](harvest_core::HarvestError) from the offline pipeline.
+/// All three convert into `harvest::Error` via `?`.
+#[derive(Debug)]
+pub enum Error {
+    /// The decision service refused or failed an operation.
+    Serve(harvest_serve::ServeError),
+    /// The offline harvest/estimation pipeline failed.
+    Harvest(harvest_core::HarvestError),
+    /// Segment persistence, recovery, or shutdown I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Harvest(e) => write!(f, "harvest: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Serve(e) => Some(e),
+            Error::Harvest(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<harvest_serve::ServeError> for Error {
+    fn from(e: harvest_serve::ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<harvest_core::HarvestError> for Error {
+    fn from(e: harvest_core::HarvestError) -> Self {
+        Error::Harvest(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// The names an application driving the serve loop almost always needs.
+///
+/// ```
+/// use harvest::prelude::*;
+///
+/// fn run() -> Result<(), harvest::Error> {
+///     let cfg = ServeConfig::builder()
+///         .shards(2)
+///         .epsilon(0.1)
+///         .master_seed(42)
+///         .build()?;
+///     let svc = DecisionService::new(cfg, MemorySegments::new());
+///     let ctx = SimpleContext::new(vec![0.5], 4);
+///     let d = svc.decide(0, 0, &ctx)?;
+///     svc.reward(d.request_id, 50, 1.0);
+///     svc.shutdown()?;
+///     Ok(())
+/// }
+/// run().unwrap();
+/// ```
+pub mod prelude {
+    pub use harvest_core::{Context, SimpleContext};
+    pub use harvest_log::record::LogRecord;
+    pub use harvest_log::segment::MemorySegments;
+    pub use harvest_serve::{
+        Backpressure, BreakerConfig, ChaosPlan, Decision, DecisionBatch, DecisionService,
+        EngineConfig, JoinOutcome, LoggerConfig, ObsConfig, ServeConfig, ServeError, ServePolicy,
+        SupervisorConfig, TrainerConfig,
+    };
+
+    pub use crate::Error;
+}

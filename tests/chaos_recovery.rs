@@ -17,8 +17,8 @@ use harvest::logs::record::LogRecord;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
     apply_at_rest_faults, Backpressure, BreakerConfig, ChaosHorizon, ChaosPlan, ChaosPlanConfig,
-    DecisionService, EngineConfig, JoinOutcome, LoggerConfig, MetricsSnapshot, ServeError,
-    ServiceConfig, SupervisorConfig, TrainerConfig,
+    DecisionService, JoinOutcome, LoggerConfig, MetricsSnapshot, ServeConfig, ServeError,
+    SupervisorConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
@@ -26,34 +26,37 @@ use rand::Rng;
 const EPSILON: f64 = 0.2;
 const ACTIONS: usize = 3;
 
-fn service_config(seed: u64) -> ServiceConfig {
-    ServiceConfig {
-        engine: EngineConfig {
-            shards: 2,
-            epsilon: EPSILON,
-            master_seed: seed,
-            component: "chaos-test".to_string(),
-        },
-        logger: LoggerConfig {
-            capacity: 256,
-            backpressure: Backpressure::Block,
-            segment: SegmentConfig {
-                max_records: 64,
-                max_bytes: 64 * 1024,
-            },
-        },
-        supervisor: SupervisorConfig {
-            max_restarts: 8,
-            backoff_base_ms: 1,
-            backoff_cap_ms: 4,
-        },
-        trainer: TrainerConfig {
-            lambda: 1e-3,
-            epsilon: EPSILON,
-            ..TrainerConfig::default()
-        },
-        ..ServiceConfig::default()
-    }
+fn service_config(seed: u64) -> ServeConfig {
+    ServeConfig::builder()
+        .shards(2)
+        .epsilon(EPSILON)
+        .master_seed(seed)
+        .component("chaos-test")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(256)
+                .backpressure(Backpressure::Block)
+                .segment(SegmentConfig {
+                    max_records: 64,
+                    max_bytes: 64 * 1024,
+                })
+                .build(),
+        )
+        .supervisor(
+            SupervisorConfig::builder()
+                .max_restarts(8)
+                .backoff_base_ms(1)
+                .backoff_cap_ms(4)
+                .build(),
+        )
+        .trainer(
+            TrainerConfig::builder()
+                .lambda(1e-3)
+                .epsilon(EPSILON)
+                .build(),
+        )
+        .build()
+        .expect("valid test config")
 }
 
 /// Drives `n` decisions (with rewards) through a service under `plan`,
@@ -252,10 +255,10 @@ fn same_seed_chaos_runs_recover_byte_identical_prefixes() {
 #[test]
 fn breaker_falls_back_to_the_safe_arm_and_rearms() {
     let mut cfg = service_config(77);
-    cfg.breaker = BreakerConfig {
-        rearm_healthy: 16,
-        ..BreakerConfig::default()
-    };
+    cfg.breaker = BreakerConfig::builder()
+        .rearm_healthy(16)
+        .build()
+        .expect("valid breaker config");
     let store = MemorySegments::new();
     // Round 0 trains and promotes normally; round 1 crashes mid-fit.
     let svc =

@@ -3,14 +3,14 @@
 //! and both halves of the promotion gate on served data.
 
 use harvest::lb::{ClusterConfig, LbContext};
+use harvest::serve::PromotionReport;
 use harvest::serve::{
-    Backpressure, DecisionService, GateEstimator, JoinOutcome, LoggerConfig, ServePolicy,
-    ServiceConfig, Trainer, TrainerConfig,
+    Backpressure, DecisionService, GateEstimator, JoinOutcome, LoggerConfig, ServeConfig,
+    ServePolicy, Trainer, TrainerConfig,
 };
-use harvest::serve::{EngineConfig, PromotionReport};
 use harvest::simnet::rng::fork_rng;
 use harvest_estimators::bounds::BoundConfig;
-use harvest_log::segment::{MemorySegments, SegmentConfig};
+use harvest_log::segment::MemorySegments;
 use rand::Rng;
 
 const EPSILON: f64 = 0.15;
@@ -18,36 +18,35 @@ const WARMUP_REQUESTS: usize = 2500;
 const SERVE_REQUESTS: usize = 1500;
 
 fn trainer_config() -> TrainerConfig {
-    TrainerConfig {
-        epsilon: EPSILON,
-        lambda: 1e-3,
-        modeling: harvest::core::learner::ModelingMode::Pooled,
-        bound: BoundConfig {
+    TrainerConfig::builder()
+        .epsilon(EPSILON)
+        .lambda(1e-3)
+        .modeling(harvest::core::learner::ModelingMode::Pooled)
+        .bound(BoundConfig {
             c: 2.0,
             delta: 0.05,
-        },
-        estimator: GateEstimator::Snips,
-        min_samples: 500,
-    }
+        })
+        .estimator(GateEstimator::Snips)
+        .min_samples(500)
+        .build()
 }
 
-fn service_config(seed: u64, shards: usize) -> ServiceConfig {
-    ServiceConfig {
-        engine: EngineConfig {
-            shards,
-            epsilon: EPSILON,
-            master_seed: seed,
-            component: "lb-test".to_string(),
-        },
-        logger: LoggerConfig {
-            capacity: 1024,
-            backpressure: Backpressure::Block,
-            segment: SegmentConfig::default(),
-        },
-        join_ttl_ns: 5_000_000_000,
-        trainer: trainer_config(),
-        ..ServiceConfig::default()
-    }
+fn service_config(seed: u64, shards: usize) -> ServeConfig {
+    ServeConfig::builder()
+        .shards(shards)
+        .epsilon(EPSILON)
+        .master_seed(seed)
+        .component("lb-test")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(1024)
+                .backpressure(Backpressure::Block)
+                .build(),
+        )
+        .join_ttl_ns(5_000_000_000)
+        .trainer(trainer_config())
+        .build()
+        .expect("valid test config")
 }
 
 struct TraceResult {

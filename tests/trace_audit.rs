@@ -13,8 +13,8 @@
 use harvest::core::SimpleContext;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
-    Backpressure, ChaosHorizon, ChaosPlan, ChaosPlanConfig, DecisionService, EngineConfig,
-    LoggerConfig, ServiceConfig, SupervisorConfig, Terminal, TrainerConfig,
+    Backpressure, ChaosHorizon, ChaosPlan, ChaosPlanConfig, DecisionService, LoggerConfig,
+    ServeConfig, SupervisorConfig, Terminal, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
@@ -23,34 +23,37 @@ const EPSILON: f64 = 0.2;
 const ACTIONS: usize = 3;
 const REQUESTS: usize = 1500;
 
-fn service_config(seed: u64) -> ServiceConfig {
-    ServiceConfig {
-        engine: EngineConfig {
-            shards: 2,
-            epsilon: EPSILON,
-            master_seed: seed,
-            component: "trace-audit-test".to_string(),
-        },
-        logger: LoggerConfig {
-            capacity: 256,
-            backpressure: Backpressure::Block,
-            segment: SegmentConfig {
-                max_records: 64,
-                max_bytes: 64 * 1024,
-            },
-        },
-        supervisor: SupervisorConfig {
-            max_restarts: 8,
-            backoff_base_ms: 1,
-            backoff_cap_ms: 4,
-        },
-        trainer: TrainerConfig {
-            lambda: 1e-3,
-            epsilon: EPSILON,
-            ..TrainerConfig::default()
-        },
-        ..ServiceConfig::default()
-    }
+fn service_config(seed: u64) -> ServeConfig {
+    ServeConfig::builder()
+        .shards(2)
+        .epsilon(EPSILON)
+        .master_seed(seed)
+        .component("trace-audit-test")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(256)
+                .backpressure(Backpressure::Block)
+                .segment(SegmentConfig {
+                    max_records: 64,
+                    max_bytes: 64 * 1024,
+                })
+                .build(),
+        )
+        .supervisor(
+            SupervisorConfig::builder()
+                .max_restarts(8)
+                .backoff_base_ms(1)
+                .backoff_cap_ms(4)
+                .build(),
+        )
+        .trainer(
+            TrainerConfig::builder()
+                .lambda(1e-3)
+                .epsilon(EPSILON)
+                .build(),
+        )
+        .build()
+        .expect("valid test config")
 }
 
 /// Drives the seeded crossing workload: decide, reward, one training round

@@ -10,6 +10,10 @@
 //! mean/min/max nanoseconds per iteration. That is enough for the relative
 //! comparisons the repo's benches make (e.g. multi-shard vs single-shard
 //! decision throughput).
+//!
+//! Like the real crate, `-- --test` switches every benchmark to a single
+//! sample (one warm-up plus one timed pass): a CI smoke mode that catches
+//! panics and deadlocks in bench bodies without paying for a sampling run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,12 +28,14 @@ const DEFAULT_SAMPLE_SIZE: usize = 10;
 /// The benchmark driver handed to `criterion_group!` targets.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             sample_size: DEFAULT_SAMPLE_SIZE,
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -40,14 +46,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, &mut routine);
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        run_bench(name, samples, &mut routine);
         self
     }
 
     /// Starts a named group of benchmarks sharing a sample size.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.to_string(),
             sample_size: DEFAULT_SAMPLE_SIZE,
         }
@@ -56,7 +63,7 @@ impl Criterion {
 
 /// A group of related benchmarks (`<group>/<name>` labels).
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -74,7 +81,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, name);
-        run_bench(&label, self.sample_size, &mut routine);
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        run_bench(&label, samples, &mut routine);
         self
     }
 
