@@ -20,14 +20,15 @@
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
+use harvest_bench::bench_json::{merge_section, AxisResult};
 use harvest_core::scorer::LinearScorer;
 use harvest_core::SimpleContext;
 use harvest_serve::supervisor::{
     spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle,
 };
 use harvest_serve::{
-    Backpressure, DecisionBatch, DecisionEngine, EngineConfig, LoggerConfig, ObsConfig,
+    Backpressure, DecisionBatch, DecisionEngine, EngineConfig, Histogram, LoggerConfig, ObsConfig,
     PolicyRegistry, ServeMetrics, ServeObs, ServePolicy,
 };
 
@@ -202,4 +203,108 @@ fn bench_batch(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_single, bench_batch);
-criterion_main!(benches);
+
+const JSON_DECISIONS_PER_THREAD: usize = 4_096;
+
+/// One measured pass per axis for the machine-readable report: every
+/// thread records its per-call wall latency into a [`Histogram`], and the
+/// axis rolls up into decisions/sec + p50/p99 in `BENCH_serve.json`.
+/// Separate from the criterion samples so the report pass's per-call
+/// `Instant` reads never skew the timed comparisons above.
+fn json_axis<F>(axes: &mut Vec<AxisResult>, name: String, decisions: u64, run: F)
+where
+    F: Fn(usize, &mut Histogram) + Sync,
+{
+    let start = std::time::Instant::now();
+    let hists: Vec<Histogram> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let run = &run;
+                s.spawn(move || {
+                    let mut h = Histogram::new();
+                    run(t, &mut h);
+                    h
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let mut merged = Histogram::new();
+    for h in &hists {
+        merged.merge(h);
+    }
+    axes.push(AxisResult::from_run(name, decisions, elapsed_ns, &merged));
+}
+
+/// Regenerates the `serve_throughput` section of `BENCH_serve.json`: the
+/// same axes as the criterion groups (shards × tracing for single calls,
+/// shards × batch size for the batched path), one measured pass each.
+fn write_json_report() -> std::io::Result<()> {
+    let mut axes = Vec::new();
+    for (shards, traced) in [
+        (1usize, false),
+        (1usize, true),
+        (THREADS, false),
+        (THREADS, true),
+    ] {
+        let (engine, _writer) = make_engine(shards, traced, greedy_policy());
+        let ctx = bench_context();
+        let tracing = if traced { "tracing_on" } else { "tracing_off" };
+        json_axis(
+            &mut axes,
+            format!("{THREADS}threads_{shards}shards_{tracing}"),
+            (THREADS * JSON_DECISIONS_PER_THREAD) as u64,
+            |t, h| {
+                let shard = t % shards;
+                for i in 0..JSON_DECISIONS_PER_THREAD {
+                    let t0 = std::time::Instant::now();
+                    black_box(engine.decide(shard, i as u64, &ctx).unwrap());
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            },
+        );
+    }
+    for shards in [1usize, THREADS] {
+        for batch_size in [1usize, 16, 256] {
+            let (engine, _writer) = make_engine(shards, false, ServePolicy::Uniform);
+            let contexts: Vec<SimpleContext> = (0..batch_size).map(|_| bench_context()).collect();
+            json_axis(
+                &mut axes,
+                format!("{THREADS}threads_{shards}shards_batch{batch_size}"),
+                (THREADS * (JSON_DECISIONS_PER_THREAD / batch_size) * batch_size) as u64,
+                |t, h| {
+                    let shard = t % shards;
+                    let mut out = DecisionBatch::with_capacity(batch_size);
+                    for i in 0..JSON_DECISIONS_PER_THREAD / batch_size {
+                        let t0 = std::time::Instant::now();
+                        engine
+                            .decide_batch(shard, i as u64, &contexts, &mut out)
+                            .unwrap();
+                        black_box(out.len());
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
+                },
+            );
+        }
+    }
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve.json"
+    ));
+    merge_section(path, "serve_throughput", &axes)?;
+    eprintln!(
+        "wrote serve_throughput section ({} axes) to {}",
+        axes.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn main() {
+    benches();
+    write_json_report().expect("write BENCH_serve.json");
+}

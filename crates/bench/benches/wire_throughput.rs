@@ -1,0 +1,168 @@
+//! Closed-loop wire throughput: N client connections hammering the TCP
+//! front-end over loopback.
+//!
+//! Each connection is one client thread running a closed loop — send one
+//! request, wait for its response, repeat — so the measured number is the
+//! end-to-end serve rate through the full stack: frame encode, socket,
+//! reader decode, admission door, shard-affine worker, serve, response
+//! frame, client decode. The axes are connection count × request shape
+//! (single `Decide` vs `DecideBatch` of 16, which amortizes framing and
+//! queue hops exactly like `decide_batch` amortizes the shard lock).
+//!
+//! Connections spread across shards (conn *i* targets shard *i* mod
+//! shards), so with multiple connections the shard-affine worker pool
+//! genuinely runs in parallel. Admission is configured wide open (no rate
+//! limit, deep pending budget): this bench measures throughput, not
+//! shedding — `tests/wire_equivalence.rs` covers the overload behavior.
+//!
+//! Results are printed per axis and written to the `wire_throughput`
+//! section of `BENCH_serve.json` (decisions/sec, p50/p99 per-call wall
+//! latency). Pass `--test` for a quick smoke run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use harvest_bench::bench_json::{merge_section, AxisResult};
+use harvest_core::SimpleContext;
+use harvest_log::segment::MemorySegments;
+use harvest_serve::{Backpressure, DecisionService, Histogram, LoggerConfig, ServeConfig};
+use harvest_wire::{Connection, Request, Response, TcpServer, Transport, WireConfig, WireCore};
+
+const SHARDS: usize = 4;
+const WORKERS: usize = 4;
+const ACTIONS: usize = 8;
+const FEATURES: usize = 32;
+const BATCH: usize = 16;
+
+fn service(seed: u64) -> Arc<DecisionService<MemorySegments>> {
+    let cfg = ServeConfig::builder()
+        .shards(SHARDS)
+        .epsilon(0.1)
+        .master_seed(seed)
+        .component("wire-bench")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(4096)
+                // Under saturation the hot path pays a failed try_send and
+                // a counter bump, never a stall on the writer thread.
+                .backpressure(Backpressure::DropNewest)
+                .build(),
+        )
+        .build()
+        .expect("valid bench config");
+    Arc::new(DecisionService::new(cfg, MemorySegments::new()))
+}
+
+fn bench_context() -> SimpleContext {
+    SimpleContext::new(
+        (0..FEATURES).map(|f| (f as f64 * 0.37).sin()).collect(),
+        ACTIONS,
+    )
+}
+
+/// One axis: `conns` closed-loop connections, each issuing `calls`
+/// requests of `batch` decisions (`batch == 1` sends single `Decide`s).
+fn run_axis(conns: usize, calls: usize, batch: usize) -> AxisResult {
+    let svc = service(42);
+    let core = Arc::new(WireCore::new(
+        Arc::clone(&svc),
+        WireConfig::builder().pending_capacity(4096).build(),
+    ));
+    let server = TcpServer::bind(Arc::clone(&core), "127.0.0.1:0", WORKERS).expect("bind loopback");
+
+    let start = Instant::now();
+    let hists: Vec<Histogram> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut client = server.connect().expect("connect");
+                    let mut h = Histogram::new();
+                    let ctx = bench_context();
+                    let shard = (c % SHARDS) as u32;
+                    for i in 0..calls {
+                        let now_ns = (i as u64 + 1) * 1_000;
+                        let req = if batch == 1 {
+                            Request::Decide {
+                                shard,
+                                now_ns,
+                                budget_ns: 0,
+                                context: ctx.clone(),
+                            }
+                        } else {
+                            Request::DecideBatch {
+                                shard,
+                                now_ns,
+                                budget_ns: 0,
+                                contexts: vec![ctx.clone(); batch],
+                            }
+                        };
+                        let t0 = Instant::now();
+                        let resp = client.call(&req).expect("closed-loop call");
+                        h.record(t0.elapsed().as_nanos() as u64);
+                        match resp {
+                            Response::Decision(_) | Response::Batch(_) => {}
+                            other => panic!("bench must be served, got {other:?}"),
+                        }
+                    }
+                    h
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let decisions = (conns * calls * batch) as u64;
+
+    let snap = core.metrics().snapshot();
+    assert!(snap.ledger_ok, "bench traffic must reconcile: {snap:?}");
+    assert_eq!(snap.decisions_served, decisions);
+    server.shutdown();
+
+    let mut merged = Histogram::new();
+    for h in &hists {
+        merged.merge(h);
+    }
+    let shape = if batch == 1 {
+        "decide".to_string()
+    } else {
+        format!("batch{batch}")
+    };
+    AxisResult::from_run(
+        format!("{conns}conns_{shape}"),
+        decisions,
+        elapsed_ns,
+        &merged,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let (calls_single, calls_batch) = if quick { (50, 10) } else { (2_000, 400) };
+    let mut axes = Vec::new();
+    for conns in [1usize, 4, 8] {
+        axes.push(run_axis(conns, calls_single, 1));
+    }
+    for conns in [4usize, 8] {
+        axes.push(run_axis(conns, calls_batch, BATCH));
+    }
+    for a in &axes {
+        println!(
+            "wire_throughput/{}: {} decisions/sec (p50 {} ns, p99 {} ns, {} decisions)",
+            a.axis, a.decisions_per_sec, a.p50_ns, a.p99_ns, a.decisions
+        );
+    }
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve.json"
+    ));
+    merge_section(path, "wire_throughput", &axes).expect("write BENCH_serve.json");
+    eprintln!(
+        "wrote wire_throughput section ({} axes) to {}",
+        axes.len(),
+        path.display()
+    );
+}

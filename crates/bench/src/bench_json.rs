@@ -1,0 +1,135 @@
+//! Machine-readable bench results: `BENCH_serve.json` at the repo root.
+//!
+//! The criterion stand-in prints human-readable timings but writes no
+//! artifact, so the throughput benches (`serve_throughput`,
+//! `wire_throughput`) call [`merge_section`] after their measured pass to
+//! persist one JSON section each. Sections merge read-modify-write, so
+//! running one bench never clobbers the other's numbers, and key order is
+//! deterministic (insertion order) so reruns diff cleanly.
+//!
+//! Layout:
+//!
+//! ```json
+//! {
+//!   "serve_throughput": [
+//!     {"axis": "8threads_8shards_tracing_off", "decisions": 32000,
+//!      "elapsed_ns": 1234, "decisions_per_sec": 100000,
+//!      "p50_ns": 800, "p99_ns": 2100},
+//!     ...
+//!   ],
+//!   "wire_throughput": [...]
+//! }
+//! ```
+//!
+//! Latency percentiles come from a [`Histogram`] (the same log-bucketed
+//! histogram the serve loop exports), recorded around each call by the
+//! bench's load generator.
+
+use std::io;
+use std::path::Path;
+
+use harvest_serve::Histogram;
+use serde::Serialize;
+use serde_json::Value;
+
+/// One bench axis: a named configuration's throughput and latency tail.
+#[derive(Debug, Serialize)]
+pub struct AxisResult {
+    /// The axis name (mirrors the criterion bench id).
+    pub axis: String,
+    /// Total decisions served across all threads/connections.
+    pub decisions: u64,
+    /// Wall-clock duration of the measured pass.
+    pub elapsed_ns: u64,
+    /// `decisions / elapsed`, the headline number.
+    pub decisions_per_sec: u64,
+    /// Median per-call latency from the recorded histogram.
+    pub p50_ns: u64,
+    /// Tail per-call latency from the recorded histogram.
+    pub p99_ns: u64,
+}
+
+impl AxisResult {
+    /// Builds an axis result from a measured run and its per-call latency
+    /// histogram.
+    pub fn from_run(
+        axis: impl Into<String>,
+        decisions: u64,
+        elapsed_ns: u64,
+        latencies: &Histogram,
+    ) -> Self {
+        let secs = elapsed_ns as f64 / 1e9;
+        AxisResult {
+            axis: axis.into(),
+            decisions,
+            elapsed_ns,
+            decisions_per_sec: if secs > 0.0 {
+                (decisions as f64 / secs) as u64
+            } else {
+                0
+            },
+            p50_ns: latencies.percentile(0.50),
+            p99_ns: latencies.percentile(0.99),
+        }
+    }
+}
+
+/// Replaces (or appends) `section` in the JSON report at `path`, leaving
+/// every other section untouched. A missing or unparsable file starts
+/// fresh.
+pub fn merge_section(path: &Path, section: &str, axes: &[AxisResult]) -> io::Result<()> {
+    let mut root: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(entries)) => entries,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let rendered = Value::Array(axes.iter().map(serde_json::to_value).collect());
+    match root.iter_mut().find(|(key, _)| key == section) {
+        Some(slot) => slot.1 = rendered,
+        None => root.push((section.to_string(), rendered)),
+    }
+    let text = serde_json::to_string(&Value::Object(root))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_merge_without_clobbering() {
+        let dir = std::env::temp_dir().join("harvest-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut hist = Histogram::new();
+        for v in [100u64, 200, 300, 10_000] {
+            hist.record(v);
+        }
+        let a = AxisResult::from_run("axis_a", 4, 2_000_000_000, &hist);
+        assert_eq!(a.decisions_per_sec, 2);
+        merge_section(&path, "serve_throughput", &[a]).unwrap();
+        let b = AxisResult::from_run("axis_b", 8, 1_000_000_000, &hist);
+        merge_section(&path, "wire_throughput", &[b]).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let Value::Object(root) = serde_json::from_str::<Value>(&text).unwrap() else {
+            panic!("report must be an object");
+        };
+        assert_eq!(root.len(), 2, "both sections present: {text}");
+        assert_eq!(root[0].0, "serve_throughput");
+        assert_eq!(root[1].0, "wire_throughput");
+
+        // Re-merging a section replaces it in place, preserving the rest.
+        let c = AxisResult::from_run("axis_c", 16, 1_000_000_000, &hist);
+        merge_section(&path, "serve_throughput", &[c]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("axis_c") && !text.contains("axis_a"));
+        assert!(text.contains("axis_b"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,142 @@
+//! Reusable admission primitives.
+//!
+//! [`QueueBudget`] began life as the decision logger's private queue bound
+//! and is promoted here because the same shape — a weighted semaphore whose
+//! units are *logical records*, with a blocking and a refusing acquire —
+//! is exactly what a network front-end needs for load shedding: the wire
+//! layer (`harvest-wire`) bounds its in-flight decision work with one of
+//! these, refusing excess at the door instead of queueing unboundedly.
+//!
+//! Refusals shed by out-of-crate admission layers are surfaced in the
+//! conservation ledger via [`ServeMetrics::record_admission_shed_n`], so a
+//! drained system still accounts for every request it turned away.
+//!
+//! [`ServeMetrics::record_admission_shed_n`]: crate::metrics::ServeMetrics::record_admission_shed_n
+
+use std::sync::{Condvar, Mutex};
+
+/// A capacity budget counted in **logical records**: a frame weighs
+/// [`record_count`](harvest_log::record::LogRecord::record_count), so a
+/// 256-decision batch frame consumes 256 units of capacity, not one channel
+/// slot. Without this, batched work would queue `capacity × batch_size`
+/// decisions where single calls queue `capacity` — an unbounded memory
+/// multiplier and a silent change to what "full" means.
+///
+/// Two acquire flavors serve the two admission stances:
+/// [`acquire_blocking`](QueueBudget::acquire_blocking) (lossless, adds
+/// latency — the logger's `Block` backpressure) and
+/// [`try_acquire`](QueueBudget::try_acquire) (refusing — `DropNewest`
+/// backpressure and wire-level load shedding). Callers release a
+/// reservation when the work it covered leaves the queue — *before* the
+/// work is completed, so a mid-completion panic can never leak capacity
+/// and wedge blocked producers.
+///
+/// One edge: a single acquisition heavier than the whole capacity can
+/// never fit, so it is admitted when the budget is idle rather than
+/// deadlocking — the bound degrades to "one oversized acquisition at a
+/// time".
+#[derive(Debug)]
+pub struct QueueBudget {
+    capacity: u64,
+    queued: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl QueueBudget {
+    /// A fresh budget admitting up to `capacity` logical records.
+    pub fn new(capacity: u64) -> Self {
+        QueueBudget {
+            capacity,
+            queued: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity in logical records.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Records currently reserved.
+    pub fn in_use(&self) -> u64 {
+        *self.lock()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
+        // The budget lock is only ever held for arithmetic; a poisoned
+        // guard still holds a consistent count, so recover it silently.
+        self.queued.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `n` records fit (or the queue is empty, for frames
+    /// heavier than the whole capacity), then reserves them.
+    pub fn acquire_blocking(&self, n: u64) {
+        let mut queued = self.lock();
+        while *queued + n > self.capacity && *queued > 0 {
+            queued = self.freed.wait(queued).unwrap_or_else(|e| e.into_inner());
+        }
+        *queued += n;
+    }
+
+    /// Reserves `n` records if they fit right now; `false` refuses.
+    pub fn try_acquire(&self, n: u64) -> bool {
+        let mut queued = self.lock();
+        if *queued + n > self.capacity && *queued > 0 {
+            return false;
+        }
+        *queued += n;
+        true
+    }
+
+    /// Returns `n` records to the budget and wakes blocked producers.
+    pub fn release(&self, n: u64) {
+        let mut queued = self.lock();
+        *queued = queued.saturating_sub(n);
+        drop(queued);
+        self.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_refuses_past_capacity_and_release_restores() {
+        let b = QueueBudget::new(4);
+        assert_eq!(b.capacity(), 4);
+        assert!(b.try_acquire(3));
+        assert_eq!(b.in_use(), 3);
+        assert!(!b.try_acquire(2), "3 + 2 > 4 must refuse");
+        assert!(b.try_acquire(1));
+        b.release(4);
+        assert_eq!(b.in_use(), 0);
+        assert!(b.try_acquire(4));
+    }
+
+    #[test]
+    fn oversized_acquisition_is_admitted_when_idle() {
+        let b = QueueBudget::new(2);
+        // Heavier than the whole budget: admitted alone rather than
+        // deadlocking, refused while anything else is queued.
+        assert!(b.try_acquire(10));
+        assert!(!b.try_acquire(1));
+        b.release(10);
+        assert!(b.try_acquire(1));
+    }
+
+    #[test]
+    fn acquire_blocking_waits_for_release() {
+        let b = Arc::new(QueueBudget::new(1));
+        b.acquire_blocking(1);
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            b2.acquire_blocking(1); // blocks until the release below
+            b2.release(1);
+        });
+        b.release(1);
+        t.join().unwrap();
+        assert_eq!(b.in_use(), 0);
+    }
+}

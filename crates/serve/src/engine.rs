@@ -131,8 +131,9 @@ pub struct Decision {
 
 /// Bits reserved for the per-shard sequence number inside a request id.
 /// Ids are `shard << 40 | seq`: unique across shards, deterministic, and
-/// good for a trillion decisions per shard.
-pub(crate) const SEQ_BITS: u32 = 40;
+/// good for a trillion decisions per shard. Public so front-ends can route
+/// a reward back to the shard that made its decision (`id >> SEQ_BITS`).
+pub const SEQ_BITS: u32 = 40;
 
 struct Shard {
     rng: DetRng,

@@ -185,6 +185,11 @@ pub fn export_prometheus(
         "Reward deliveries lost in flight.",
         s.rewards_lost,
     );
+    p.counter(
+        "harvest_admission_shed_total",
+        "Requests refused at the admission door before reaching a shard.",
+        s.admission_shed,
+    );
     p.gauge(
         "harvest_exploration_rate",
         "explorations / decisions.",

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batch;
 pub mod breaker;
 pub mod chaos;
@@ -75,10 +76,11 @@ pub mod service;
 pub mod supervisor;
 pub mod trainer;
 
+pub use admission::QueueBudget;
 pub use batch::DecisionBatch;
 pub use breaker::{BreakerConfig, BreakerConfigBuilder, CircuitBreaker, TripReason};
 pub use chaos::apply_at_rest_faults;
-pub use engine::{Decision, DecisionEngine, EngineConfig, EngineConfigBuilder};
+pub use engine::{Decision, DecisionEngine, EngineConfig, EngineConfigBuilder, SEQ_BITS};
 pub use error::ServeError;
 pub use export::{export_prometheus, obs_snapshot, ObsSnapshot};
 pub use joiner::{JoinOutcome, RewardJoiner};

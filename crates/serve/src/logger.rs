@@ -15,77 +15,20 @@
 //! writer death — can make a record vanish from that ledger.
 
 use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 use harvest_log::record::LogRecord;
 use harvest_log::segment::SegmentConfig;
 
+// The queue bound lives in [`crate::admission`] now (promoted to a shared
+// admission primitive; the wire front-end bounds its in-flight work with
+// the same type). The channel itself is sized in frames (frames ≤ records,
+// so it can never fill before the budget does); the budget is the real
+// bound. The writer releases a frame's weight when it pops the frame —
+// *before* persisting it, so an injected mid-write panic can never leak
+// capacity and wedge Block-mode producers.
+use crate::admission::QueueBudget;
 use crate::metrics::ServeMetrics;
-
-/// The queue bound, counted in **logical records**: a frame weighs
-/// [`LogRecord::record_count`], so a 256-decision batch frame consumes 256
-/// units of capacity, not one channel slot. Without this, batched serving
-/// would queue `capacity × batch_size` decisions where single calls queue
-/// `capacity` — an unbounded memory multiplier and a silent change to what
-/// "full" means. The channel itself is sized in frames (frames ≤ records,
-/// so it can never fill before the budget does); this semaphore is the real
-/// bound. The writer releases a frame's weight when it pops the frame —
-/// *before* persisting it, so an injected mid-write panic can never leak
-/// capacity and wedge Block-mode producers.
-///
-/// One edge: a single frame heavier than the whole capacity can never fit,
-/// so it is admitted when the queue is empty rather than deadlocking — the
-/// bound degrades to "one oversized frame at a time".
-#[derive(Debug)]
-pub(crate) struct QueueBudget {
-    capacity: u64,
-    queued: Mutex<u64>,
-    freed: Condvar,
-}
-
-impl QueueBudget {
-    pub(crate) fn new(capacity: u64) -> Self {
-        QueueBudget {
-            capacity,
-            queued: Mutex::new(0),
-            freed: Condvar::new(),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
-        // The budget lock is only ever held for arithmetic; a poisoned
-        // guard still holds a consistent count, so recover it silently.
-        self.queued.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Blocks until `n` records fit (or the queue is empty, for frames
-    /// heavier than the whole capacity), then reserves them.
-    pub(crate) fn acquire_blocking(&self, n: u64) {
-        let mut queued = self.lock();
-        while *queued + n > self.capacity && *queued > 0 {
-            queued = self.freed.wait(queued).unwrap_or_else(|e| e.into_inner());
-        }
-        *queued += n;
-    }
-
-    /// Reserves `n` records if they fit right now; `false` refuses.
-    pub(crate) fn try_acquire(&self, n: u64) -> bool {
-        let mut queued = self.lock();
-        if *queued + n > self.capacity && *queued > 0 {
-            return false;
-        }
-        *queued += n;
-        true
-    }
-
-    /// Returns `n` records to the budget and wakes blocked producers.
-    pub(crate) fn release(&self, n: u64) {
-        let mut queued = self.lock();
-        *queued = queued.saturating_sub(n);
-        drop(queued);
-        self.freed.notify_all();
-    }
-}
 
 /// What to do when the log queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

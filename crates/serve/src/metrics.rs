@@ -46,6 +46,13 @@ pub struct ServeMetrics {
     breaker_rearms: AtomicU64,
     degraded_decisions: AtomicU64,
     rewards_lost: AtomicU64,
+    /// Requests refused by an admission layer *in front of* the service —
+    /// wire-level rate limits, queue budgets, and deadline sheds. These
+    /// never reach a shard or the log pipeline, so they are ledgered
+    /// separately from `log_dropped`: the conservation law for the log
+    /// stays `enqueued == written + dropped + quarantined`, and this
+    /// counter extends it outward to cover work turned away at the door.
+    admission_shed: AtomicU64,
     /// Optional observability bundle (tracer + histograms). Riding inside
     /// the metrics handle means every component that already holds
     /// `Arc<ServeMetrics>` can emit trace events without new plumbing.
@@ -214,6 +221,14 @@ impl ServeMetrics {
         self.rewards_lost.fetch_add(1, RELAXED);
     }
 
+    /// Records `n` requests refused by a front-door admission layer (rate
+    /// limit, queue budget, or deadline shed) before reaching a shard.
+    pub fn record_admission_shed_n(&self, n: u64) {
+        if n > 0 {
+            self.admission_shed.fetch_add(n, RELAXED);
+        }
+    }
+
     /// The fault signal the circuit breaker watches: a monotone count of
     /// everything that indicates the log pipeline or trainer is degrading.
     /// Healthy operation keeps this flat; the breaker trips on its slope.
@@ -273,6 +288,7 @@ impl ServeMetrics {
             breaker_rearms: self.breaker_rearms.load(RELAXED),
             degraded_decisions: self.degraded_decisions.load(RELAXED),
             rewards_lost: self.rewards_lost.load(RELAXED),
+            admission_shed: self.admission_shed.load(RELAXED),
         }
     }
 }
@@ -341,6 +357,9 @@ pub struct MetricsSnapshot {
     pub degraded_decisions: u64,
     /// Reward deliveries lost before reaching the joiner.
     pub rewards_lost: u64,
+    /// Requests refused by a front-door admission layer (wire rate limits,
+    /// queue budgets, deadline sheds) before reaching a shard.
+    pub admission_shed: u64,
 }
 
 #[cfg(test)]

@@ -540,6 +540,13 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         self.metrics.snapshot()
     }
 
+    /// The live counter handle, for admission layers that sit in front of
+    /// the service (e.g. the wire front-end) and must ledger the work they
+    /// shed into the same conservation accounting.
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// The observability bundle, when the service was built with
     /// [`ObsConfig::enabled`] (the default).
     pub fn obs(&self) -> Option<&Arc<ServeObs>> {

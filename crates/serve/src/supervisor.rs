@@ -38,8 +38,9 @@ use harvest_sim_net::fault::{ChaosPlan, WriterFault};
 
 use harvest_obs::Terminal;
 
+use crate::admission::QueueBudget;
 use crate::error::lock_recovering;
-use crate::logger::{DecisionLogger, LoggerConfig, QueueBudget};
+use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::ServeMetrics;
 use crate::obs::seal_observer;
 

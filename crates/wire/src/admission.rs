@@ -1,0 +1,111 @@
+//! Per-connection rate limiting on the logical clock.
+//!
+//! A classic token bucket, but refilled from *logical* nanoseconds rather
+//! than the wall clock — the same determinism rule as the rest of the
+//! decision path (DESIGN.md §4): admission verdicts are a pure function of
+//! the request stamps, so a same-seed replay sheds exactly the same
+//! requests. Token arithmetic is integer-exact (tokens scaled by 10⁹, u128
+//! intermediates), so no float drift can make two replays disagree.
+
+/// Tokens are tracked scaled by 10⁹ so refill stays integer-exact: one
+/// logical nanosecond at `rate_per_sec = r` adds exactly `r` scaled tokens.
+const SCALE: u128 = 1_000_000_000;
+
+/// A token bucket keyed to a connection: `rate_per_sec` tokens accrue per
+/// logical second up to a `burst` cap, and each admitted decision spends
+/// one token (a batch spends its size). A rate of 0 disables limiting.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    burst: u64,
+    tokens_scaled: u128,
+    last_refill_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket starting full. `rate_per_sec = 0` means unlimited.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens_scaled: u128::from(burst) * SCALE,
+            last_refill_ns: 0,
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        (self.tokens_scaled / SCALE) as u64
+    }
+
+    /// Spends `n` tokens at logical time `now_ns` if the bucket (after
+    /// refill) holds them; `false` refuses and spends nothing. Time moving
+    /// backwards (out-of-order stamps across a connection) refills nothing
+    /// but never underflows.
+    pub fn try_take(&mut self, n: u64, now_ns: u64) -> bool {
+        if self.rate_per_sec == 0 {
+            return true;
+        }
+        if now_ns > self.last_refill_ns {
+            let dt = u128::from(now_ns - self.last_refill_ns);
+            let cap = u128::from(self.burst) * SCALE;
+            self.tokens_scaled = (self.tokens_scaled + dt * u128::from(self.rate_per_sec)).min(cap);
+            self.last_refill_ns = now_ns;
+        }
+        let need = u128::from(n) * SCALE;
+        if self.tokens_scaled >= need {
+            self.tokens_scaled -= need;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_refill_at_rate() {
+        // 2 tokens per logical second, burst 4.
+        let mut b = TokenBucket::new(2, 4);
+        assert_eq!(b.available(), 4);
+        assert!(b.try_take(4, 0), "full burst spends");
+        assert!(!b.try_take(1, 0), "bucket empty at t=0");
+        // Half a logical second refills one token.
+        assert!(b.try_take(1, 500_000_000));
+        assert!(!b.try_take(1, 500_000_000));
+        // A long idle period caps at burst, not unbounded.
+        assert!(b.try_take(4, 1_000_000_000_000));
+        assert!(!b.try_take(1, 1_000_000_000_000));
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = TokenBucket::new(0, 0);
+        for t in 0..1000 {
+            assert!(b.try_take(1_000_000, t));
+        }
+    }
+
+    #[test]
+    fn backwards_time_never_refills_or_panics() {
+        let mut b = TokenBucket::new(1, 1);
+        assert!(b.try_take(1, 1_000_000_000));
+        // An older stamp: no refill, no underflow, just a refusal.
+        assert!(!b.try_take(1, 0));
+        // Deterministic replay: the same stamp sequence always refuses the
+        // same takes.
+        assert!(b.try_take(1, 2_000_000_000));
+    }
+
+    #[test]
+    fn refill_is_integer_exact() {
+        // 3 tokens/s: 333_333_333 ns is *just short* of one token.
+        let mut b = TokenBucket::new(3, 1);
+        assert!(b.try_take(1, 0));
+        assert!(!b.try_take(1, 333_333_333));
+        assert!(b.try_take(1, 333_333_334), "3 × 333_333_334 ≥ 10⁹");
+    }
+}

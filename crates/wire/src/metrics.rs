@@ -1,0 +1,399 @@
+//! Wire-layer telemetry: request counters, shed accounting, histograms.
+//!
+//! Same shape as `harvest-serve`'s metrics: relaxed atomics on the hot
+//! path, a serializable point-in-time snapshot, and a deterministic
+//! Prometheus exposition. The load-bearing piece is the **wire ledger**:
+//!
+//! ```text
+//! decisions_requested == decisions_served + shed_rate_limited
+//!                                        + shed_queue_full
+//!                                        + shed_deadline
+//!                                        + decisions_errored
+//! ```
+//!
+//! Every decision a client asks for is either served (possibly degraded,
+//! with valid propensities) or explicitly shed with a reason — overload is
+//! never allowed to become a silent gap or a protocol error. The ledger is
+//! checkable from any snapshot because counters are bumped response-first:
+//! a request is counted `requested` at admission, and exactly one of the
+//! outcome counters fires before its response frame is encoded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use harvest_obs::{AtomicHistogram, HistogramSummary, PromText};
+use serde::Serialize;
+
+const RELAXED: Ordering = Ordering::Relaxed;
+
+/// Shared atomic counters and histograms for the wire layer.
+#[derive(Default)]
+pub struct WireMetrics {
+    // Request frames by type.
+    ping_requests: AtomicU64,
+    decide_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    reward_requests: AtomicU64,
+    // The decision ledger, in logical decisions (a batch counts its size).
+    decisions_requested: AtomicU64,
+    decisions_served: AtomicU64,
+    decisions_degraded: AtomicU64,
+    shed_rate_limited: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    decisions_errored: AtomicU64,
+    // Rewards: forwarded to the joiner, or shed by the rate limit.
+    rewards_forwarded: AtomicU64,
+    rewards_shed: AtomicU64,
+    // Protocol health.
+    frames_corrupt: AtomicU64,
+    protocol_errors: AtomicU64,
+    responses_sent: AtomicU64,
+    // Logical-time histograms (recorded from request stamps, so they are
+    // deterministic under same-seed replay).
+    queue_wait_ns: AtomicHistogram,
+    request_latency_ns: AtomicHistogram,
+    batch_sizes: AtomicHistogram,
+}
+
+impl WireMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        WireMetrics::default()
+    }
+
+    /// Counts one ping frame.
+    pub fn record_ping(&self) {
+        self.ping_requests.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one decide frame asking for one decision.
+    pub fn record_decide_request(&self) {
+        self.decide_requests.fetch_add(1, RELAXED);
+        self.decisions_requested.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one batch frame asking for `n` decisions.
+    pub fn record_batch_request(&self, n: u64) {
+        self.batch_requests.fetch_add(1, RELAXED);
+        self.decisions_requested.fetch_add(n, RELAXED);
+        self.batch_sizes.record(n);
+    }
+
+    /// Counts one reward frame.
+    pub fn record_reward_request(&self) {
+        self.reward_requests.fetch_add(1, RELAXED);
+    }
+
+    /// Counts `n` decisions served, `degraded` of them by the safe arm.
+    pub fn record_served(&self, n: u64, degraded: u64) {
+        self.decisions_served.fetch_add(n, RELAXED);
+        if degraded > 0 {
+            self.decisions_degraded.fetch_add(degraded, RELAXED);
+        }
+    }
+
+    /// Counts `n` decisions shed by the per-connection rate limit.
+    pub fn record_shed_rate_limited(&self, n: u64) {
+        self.shed_rate_limited.fetch_add(n, RELAXED);
+    }
+
+    /// Counts `n` decisions shed by the pending-work budget.
+    pub fn record_shed_queue_full(&self, n: u64) {
+        self.shed_queue_full.fetch_add(n, RELAXED);
+    }
+
+    /// Counts `n` decisions shed because their deadline lapsed in queue.
+    pub fn record_shed_deadline(&self, n: u64) {
+        self.shed_deadline.fetch_add(n, RELAXED);
+    }
+
+    /// Counts `n` decisions answered with an `Error` response (invalid
+    /// shard, internal failure) — still ledgered, never silently lost.
+    pub fn record_errored(&self, n: u64) {
+        self.decisions_errored.fetch_add(n, RELAXED);
+        self.protocol_errors.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one reward forwarded to the joiner.
+    pub fn record_reward_forwarded(&self) {
+        self.rewards_forwarded.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one reward shed by the rate limit.
+    pub fn record_reward_shed(&self) {
+        self.rewards_shed.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one corrupt frame (the connection is closed after this).
+    pub fn record_corrupt_frame(&self) {
+        self.frames_corrupt.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one `Error` response (invalid request, never overload).
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one response frame sent.
+    pub fn record_response(&self) {
+        self.responses_sent.fetch_add(1, RELAXED);
+    }
+
+    /// Records how long a request sat queued, in logical ns.
+    pub fn record_queue_wait(&self, ns: u64) {
+        self.queue_wait_ns.record(ns);
+    }
+
+    /// Records a request's admission-to-response logical latency.
+    pub fn record_request_latency(&self, ns: u64) {
+        self.request_latency_ns.record(ns);
+    }
+
+    /// Total decisions shed, across all three reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate_limited.load(RELAXED)
+            + self.shed_queue_full.load(RELAXED)
+            + self.shed_deadline.load(RELAXED)
+    }
+
+    /// Reads every counter at one instant.
+    pub fn snapshot(&self) -> WireSnapshot {
+        let requested = self.decisions_requested.load(RELAXED);
+        let served = self.decisions_served.load(RELAXED);
+        let shed_rate_limited = self.shed_rate_limited.load(RELAXED);
+        let shed_queue_full = self.shed_queue_full.load(RELAXED);
+        let shed_deadline = self.shed_deadline.load(RELAXED);
+        let shed_total = shed_rate_limited + shed_queue_full + shed_deadline;
+        let errored = self.decisions_errored.load(RELAXED);
+        WireSnapshot {
+            ping_requests: self.ping_requests.load(RELAXED),
+            decide_requests: self.decide_requests.load(RELAXED),
+            batch_requests: self.batch_requests.load(RELAXED),
+            reward_requests: self.reward_requests.load(RELAXED),
+            decisions_requested: requested,
+            decisions_served: served,
+            decisions_degraded: self.decisions_degraded.load(RELAXED),
+            shed_rate_limited,
+            shed_queue_full,
+            shed_deadline,
+            shed_total,
+            decisions_errored: errored,
+            rewards_forwarded: self.rewards_forwarded.load(RELAXED),
+            rewards_shed: self.rewards_shed.load(RELAXED),
+            frames_corrupt: self.frames_corrupt.load(RELAXED),
+            protocol_errors: self.protocol_errors.load(RELAXED),
+            responses_sent: self.responses_sent.load(RELAXED),
+            ledger_ok: requested == served + shed_total + errored,
+            queue_wait_ns: self.queue_wait_ns.snapshot().summary(),
+            request_latency_ns: self.request_latency_ns.snapshot().summary(),
+            batch_sizes: self.batch_sizes.snapshot().summary(),
+        }
+    }
+
+    /// Renders the `harvest_wire_*` Prometheus families. Deterministic:
+    /// same counters, byte-identical page.
+    pub fn export_prometheus(&self) -> String {
+        let s = self.snapshot();
+        let mut p = PromText::new();
+        p.counter(
+            "harvest_wire_ping_requests_total",
+            "Ping frames received.",
+            s.ping_requests,
+        );
+        p.counter(
+            "harvest_wire_decide_requests_total",
+            "Single-decision frames received.",
+            s.decide_requests,
+        );
+        p.counter(
+            "harvest_wire_batch_requests_total",
+            "Batch frames received.",
+            s.batch_requests,
+        );
+        p.counter(
+            "harvest_wire_reward_requests_total",
+            "Reward frames received.",
+            s.reward_requests,
+        );
+        p.counter(
+            "harvest_wire_decisions_requested_total",
+            "Decisions asked for over the wire (batches count their size).",
+            s.decisions_requested,
+        );
+        p.counter(
+            "harvest_wire_decisions_served_total",
+            "Decisions answered with a valid propensity.",
+            s.decisions_served,
+        );
+        p.counter(
+            "harvest_wire_decisions_degraded_total",
+            "Served decisions that came from the safe arm (breaker open).",
+            s.decisions_degraded,
+        );
+        p.counter(
+            "harvest_wire_shed_rate_limited_total",
+            "Decisions shed by per-connection rate limits.",
+            s.shed_rate_limited,
+        );
+        p.counter(
+            "harvest_wire_shed_queue_full_total",
+            "Decisions shed by the pending-work budget.",
+            s.shed_queue_full,
+        );
+        p.counter(
+            "harvest_wire_shed_deadline_total",
+            "Decisions shed because their deadline lapsed in queue.",
+            s.shed_deadline,
+        );
+        p.counter(
+            "harvest_wire_decisions_errored_total",
+            "Decisions answered with an Error response.",
+            s.decisions_errored,
+        );
+        p.counter(
+            "harvest_wire_rewards_forwarded_total",
+            "Rewards forwarded to the joiner.",
+            s.rewards_forwarded,
+        );
+        p.counter(
+            "harvest_wire_rewards_shed_total",
+            "Rewards shed by rate limits.",
+            s.rewards_shed,
+        );
+        p.counter(
+            "harvest_wire_frames_corrupt_total",
+            "Corrupt frames (each closes its connection).",
+            s.frames_corrupt,
+        );
+        p.counter(
+            "harvest_wire_protocol_errors_total",
+            "Error responses to invalid requests (never overload).",
+            s.protocol_errors,
+        );
+        p.counter(
+            "harvest_wire_responses_total",
+            "Response frames sent.",
+            s.responses_sent,
+        );
+        p.gauge(
+            "harvest_wire_ledger_ok",
+            "1 when requested == served + shed + errored.",
+            if s.ledger_ok { 1.0 } else { 0.0 },
+        );
+        p.histogram(
+            "harvest_wire_queue_wait_ns",
+            "Logical ns a request sat queued before processing.",
+            &self.queue_wait_ns.snapshot(),
+        );
+        p.histogram(
+            "harvest_wire_request_latency_ns",
+            "Logical ns from admission to response.",
+            &self.request_latency_ns.snapshot(),
+        );
+        p.histogram(
+            "harvest_wire_batch_sizes",
+            "Decisions per batch frame.",
+            &self.batch_sizes.snapshot(),
+        );
+        p.finish()
+    }
+}
+
+/// A point-in-time reading of the wire counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WireSnapshot {
+    /// Ping frames received.
+    pub ping_requests: u64,
+    /// Single-decision frames received.
+    pub decide_requests: u64,
+    /// Batch frames received.
+    pub batch_requests: u64,
+    /// Reward frames received.
+    pub reward_requests: u64,
+    /// Decisions asked for (batches count their size).
+    pub decisions_requested: u64,
+    /// Decisions answered with a valid propensity.
+    pub decisions_served: u64,
+    /// Served decisions that came from the safe arm.
+    pub decisions_degraded: u64,
+    /// Decisions shed by rate limits.
+    pub shed_rate_limited: u64,
+    /// Decisions shed by the pending-work budget.
+    pub shed_queue_full: u64,
+    /// Decisions shed past their deadline.
+    pub shed_deadline: u64,
+    /// All sheds summed.
+    pub shed_total: u64,
+    /// Decisions answered with an `Error` response.
+    pub decisions_errored: u64,
+    /// Rewards forwarded to the joiner.
+    pub rewards_forwarded: u64,
+    /// Rewards shed by rate limits.
+    pub rewards_shed: u64,
+    /// Corrupt frames seen.
+    pub frames_corrupt: u64,
+    /// Error responses to invalid requests.
+    pub protocol_errors: u64,
+    /// Response frames sent.
+    pub responses_sent: u64,
+    /// Whether `requested == served + shed_total` held at read time.
+    pub ledger_ok: bool,
+    /// Logical queue-wait distribution.
+    pub queue_wait_ns: HistogramSummary,
+    /// Logical admission-to-response latency distribution.
+    pub request_latency_ns: HistogramSummary,
+    /// Decisions per batch frame.
+    pub batch_sizes: HistogramSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_balances_when_every_request_is_accounted() {
+        let m = WireMetrics::new();
+        m.record_decide_request();
+        m.record_batch_request(4);
+        m.record_served(3, 1);
+        m.record_shed_rate_limited(1);
+        m.record_shed_queue_full(1);
+        let s = m.snapshot();
+        assert_eq!(s.decisions_requested, 5);
+        assert_eq!(s.shed_total, 2);
+        assert!(s.ledger_ok, "5 == 3 served + 2 shed");
+        assert_eq!(s.decisions_degraded, 1);
+    }
+
+    #[test]
+    fn ledger_flags_an_unaccounted_request() {
+        let m = WireMetrics::new();
+        m.record_decide_request();
+        assert!(
+            !m.snapshot().ledger_ok,
+            "requested but neither served nor shed"
+        );
+        m.record_served(1, 0);
+        assert!(m.snapshot().ledger_ok);
+    }
+
+    #[test]
+    fn exposition_is_stable_and_carries_wire_families() {
+        let m = WireMetrics::new();
+        m.record_decide_request();
+        m.record_served(1, 0);
+        m.record_queue_wait(1_000);
+        m.record_request_latency(2_000);
+        let a = m.export_prometheus();
+        let b = m.export_prometheus();
+        assert_eq!(a, b, "same state must render byte-identically");
+        for family in [
+            "harvest_wire_decisions_requested_total 1",
+            "harvest_wire_decisions_served_total 1",
+            "harvest_wire_ledger_ok 1",
+            "# TYPE harvest_wire_request_latency_ns histogram",
+        ] {
+            assert!(a.contains(family), "missing `{family}` in:\n{a}");
+        }
+    }
+}

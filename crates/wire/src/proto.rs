@@ -1,0 +1,358 @@
+//! Typed request/response bodies carried inside wire frames.
+//!
+//! Bodies are JSON (via the workspace's deterministic serde stand-in — key
+//! order is declaration order, so encoding is byte-stable across same-seed
+//! runs). Four request types mirror the service surface: `Decide`,
+//! `DecideBatch`, `Reward`, and `Ping`. Responses never use `Error` for
+//! overload or degraded operation: overload answers `Shed` with an explicit
+//! reason, and a degraded service answers a normal `Decision` served by the
+//! safe arm with valid propensities (`degraded = true`). `Error` is
+//! reserved for genuinely invalid requests (an out-of-range shard, an
+//! internal serve failure).
+
+use harvest_core::SimpleContext;
+use harvest_serve::{Decision, JoinOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{decode_frame, encode_frame, CorruptKind, Decoded, FrameKind};
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued or shed.
+    Ping {
+        /// Echoed back in the pong.
+        nonce: u64,
+    },
+    /// Serve one decision.
+    Decide {
+        /// Target decision shard.
+        shard: u32,
+        /// The caller's logical clock stamp for this decision.
+        now_ns: u64,
+        /// Deadline budget in logical ns from `now_ns`; 0 means no
+        /// deadline. Work still queued past the deadline is shed without
+        /// touching a shard.
+        budget_ns: u64,
+        /// The decision context.
+        context: SimpleContext,
+    },
+    /// Serve a batch of decisions on one shard, all stamped `now_ns`.
+    DecideBatch {
+        /// Target decision shard.
+        shard: u32,
+        /// The caller's logical clock stamp for the whole batch.
+        now_ns: u64,
+        /// Deadline budget in logical ns from `now_ns`; 0 = none.
+        budget_ns: u64,
+        /// The decision contexts.
+        contexts: Vec<SimpleContext>,
+    },
+    /// Report the delayed reward for an earlier decision.
+    Reward {
+        /// The decision's request id.
+        request_id: u64,
+        /// The caller's logical clock stamp for the reward observation.
+        now_ns: u64,
+        /// The observed reward.
+        reward: f64,
+    },
+}
+
+impl Request {
+    /// The caller's logical clock stamp, used to advance the server clock
+    /// (pings carry none and advance nothing).
+    pub fn stamp_ns(&self) -> Option<u64> {
+        match self {
+            Request::Ping { .. } => None,
+            Request::Decide { now_ns, .. }
+            | Request::DecideBatch { now_ns, .. }
+            | Request::Reward { now_ns, .. } => Some(*now_ns),
+        }
+    }
+
+    /// Admission weight in logical decisions: what this request costs
+    /// against rate limits and the pending-work budget.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Request::Ping { .. } => 0,
+            Request::Decide { .. } | Request::Reward { .. } => 1,
+            Request::DecideBatch { contexts, .. } => contexts.len() as u64,
+        }
+    }
+
+    /// The shard this request routes to, for shard-affine dispatch.
+    /// Rewards route by the shard encoded in their request id, so a
+    /// reward contends only with the shard that made its decision.
+    pub fn route_shard(&self, seq_bits: u32) -> Option<u64> {
+        match self {
+            Request::Ping { .. } => None,
+            Request::Decide { shard, .. } | Request::DecideBatch { shard, .. } => {
+                Some(u64::from(*shard))
+            }
+            Request::Reward { request_id, .. } => Some(request_id >> seq_bits),
+        }
+    }
+}
+
+/// A served decision, as it crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireDecision {
+    /// Unique id correlating this decision with its delayed reward.
+    pub request_id: u64,
+    /// The shard that served it.
+    pub shard: u32,
+    /// The chosen action.
+    pub action: u32,
+    /// The exact probability with which `action` was chosen.
+    pub propensity: f64,
+    /// Whether the exploration branch fired.
+    pub explored: bool,
+    /// The policy generation that made the call.
+    pub generation: u64,
+    /// Whether the safe fallback policy served this (breaker open). Still
+    /// carries an exact propensity and is logged normally server-side.
+    pub degraded: bool,
+}
+
+impl From<&Decision> for WireDecision {
+    fn from(d: &Decision) -> Self {
+        WireDecision {
+            request_id: d.request_id,
+            shard: d.shard as u32,
+            action: d.action as u32,
+            propensity: d.propensity,
+            explored: d.explored,
+            generation: d.generation,
+            degraded: d.degraded,
+        }
+    }
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The connection exceeded its token-bucket rate limit.
+    RateLimited,
+    /// The server's pending-work budget is full.
+    QueueFull,
+    /// The request's deadline budget lapsed before a shard was reached.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineExpired => "deadline_expired",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The reward join verdict, as it crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireJoinOutcome {
+    /// Joined inside the TTL; an outcome record was logged.
+    Joined,
+    /// The decision was already joined.
+    Duplicate,
+    /// The decision's TTL had lapsed.
+    Expired,
+    /// No decision with this id was ever tracked.
+    Unknown,
+    /// Lost in flight before reaching the joiner (chaos drop).
+    Lost,
+}
+
+impl From<JoinOutcome> for WireJoinOutcome {
+    fn from(o: JoinOutcome) -> Self {
+        match o {
+            JoinOutcome::Joined => WireJoinOutcome::Joined,
+            JoinOutcome::Duplicate => WireJoinOutcome::Duplicate,
+            JoinOutcome::Expired => WireJoinOutcome::Expired,
+            JoinOutcome::Unknown => WireJoinOutcome::Unknown,
+            JoinOutcome::Lost => WireJoinOutcome::Lost,
+        }
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Liveness answer.
+    Pong {
+        /// The ping's nonce, echoed.
+        nonce: u64,
+    },
+    /// One served decision.
+    Decision(WireDecision),
+    /// A served batch, in context order.
+    Batch(Vec<WireDecision>),
+    /// The reward join verdict.
+    RewardAck {
+        /// The decision's request id, echoed.
+        request_id: u64,
+        /// What the joiner decided.
+        outcome: WireJoinOutcome,
+    },
+    /// The request was refused by admission control. Not an error: the
+    /// client is told exactly why and may retry or back off.
+    Shed {
+        /// Why admission refused it.
+        reason: ShedReason,
+    },
+    /// A genuinely invalid request (bad shard, internal failure). Never
+    /// used for overload or degraded operation.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Encodes a request into a complete wire frame.
+pub fn encode_request(seq: u64, req: &Request) -> Vec<u8> {
+    let payload = serde_json::to_string(req).expect("requests always serialize");
+    encode_frame(FrameKind::Request, seq, payload.as_bytes())
+}
+
+/// Encodes a response into a complete wire frame.
+pub fn encode_response(seq: u64, resp: &Response) -> Vec<u8> {
+    let payload = serde_json::to_string(resp).expect("responses always serialize");
+    encode_frame(FrameKind::Response, seq, payload.as_bytes())
+}
+
+/// Parses a request body from frame payload bytes.
+pub fn decode_request_payload(payload: &[u8]) -> Result<Request, CorruptKind> {
+    let text = std::str::from_utf8(payload).map_err(|_| CorruptKind::BadPayload)?;
+    serde_json::from_str(text).map_err(|_| CorruptKind::BadPayload)
+}
+
+/// Parses a response body from frame payload bytes.
+pub fn decode_response_payload(payload: &[u8]) -> Result<Response, CorruptKind> {
+    let text = std::str::from_utf8(payload).map_err(|_| CorruptKind::BadPayload)?;
+    serde_json::from_str(text).map_err(|_| CorruptKind::BadPayload)
+}
+
+/// Decodes one whole request frame (frame layer + body in one step — the
+/// deterministic transports use this; the TCP reader streams through
+/// [`FrameDecoder`](crate::frame::FrameDecoder) instead).
+pub fn decode_request_frame(buf: &[u8]) -> Result<(u64, Request, usize), CorruptKind> {
+    match decode_frame(buf) {
+        Decoded::Frame {
+            kind: FrameKind::Request,
+            seq,
+            payload,
+            consumed,
+        } => Ok((seq, decode_request_payload(&payload)?, consumed)),
+        Decoded::Frame { .. } => Err(CorruptKind::UnknownKind),
+        Decoded::Corrupt(kind) => Err(kind),
+        Decoded::Incomplete => Err(CorruptKind::BadPayload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        let reqs = [
+            Request::Ping { nonce: 5 },
+            Request::Decide {
+                shard: 1,
+                now_ns: 1_000,
+                budget_ns: 500,
+                context: SimpleContext::new(vec![0.25, 0.5], 3),
+            },
+            Request::DecideBatch {
+                shard: 0,
+                now_ns: 2_000,
+                budget_ns: 0,
+                contexts: vec![
+                    SimpleContext::contextless(2),
+                    SimpleContext::new(vec![1.0], 2),
+                ],
+            },
+            Request::Reward {
+                request_id: (3 << 40) | 7,
+                now_ns: 3_000,
+                reward: 0.75,
+            },
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let frame = encode_request(i as u64, req);
+            let (seq, back, consumed) = decode_request_frame(&frame).expect("valid frame");
+            assert_eq!(seq, i as u64);
+            assert_eq!(&back, req);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        let resps = [
+            Response::Pong { nonce: 9 },
+            Response::Decision(WireDecision {
+                request_id: 1,
+                shard: 0,
+                action: 2,
+                propensity: 0.85,
+                explored: false,
+                generation: 3,
+                degraded: false,
+            }),
+            Response::Batch(vec![]),
+            Response::RewardAck {
+                request_id: 1,
+                outcome: WireJoinOutcome::Joined,
+            },
+            Response::Shed {
+                reason: ShedReason::QueueFull,
+            },
+            Response::Error {
+                message: "shard 9 out of range".to_string(),
+            },
+        ];
+        for (i, resp) in resps.iter().enumerate() {
+            let frame = encode_response(i as u64, resp);
+            match decode_frame(&frame) {
+                Decoded::Frame {
+                    kind: FrameKind::Response,
+                    seq,
+                    payload,
+                    ..
+                } => {
+                    assert_eq!(seq, i as u64);
+                    let back = decode_response_payload(&payload).expect("valid body");
+                    assert_eq!(&back, resp);
+                }
+                other => panic!("expected response frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weights_and_routing_follow_the_request_shape() {
+        let ping = Request::Ping { nonce: 0 };
+        assert_eq!(ping.weight(), 0);
+        assert_eq!(ping.route_shard(40), None);
+        let batch = Request::DecideBatch {
+            shard: 3,
+            now_ns: 0,
+            budget_ns: 0,
+            contexts: vec![SimpleContext::contextless(2); 5],
+        };
+        assert_eq!(batch.weight(), 5);
+        assert_eq!(batch.route_shard(40), Some(3));
+        let reward = Request::Reward {
+            request_id: (2 << 40) | 123,
+            now_ns: 0,
+            reward: 1.0,
+        };
+        assert_eq!(reward.weight(), 1);
+        // Rewards route to the shard baked into their request id.
+        assert_eq!(reward.route_shard(40), Some(2));
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`cache`] | `harvest-sim-cache` | Redis-style cache simulator |
 //! | [`mh`] | `harvest-sim-mh` | Azure-style machine-health simulator |
 //! | [`serve`] | `harvest-serve` | online decision service (harvest → train → promote) |
+//! | [`wire`] | `harvest-wire` | TCP front-end: framed protocol, admission control |
 //! | [`obs`] | `harvest-obs` | decision tracer, histograms, Prometheus exposition |
 
 #![forbid(unsafe_code)]
@@ -93,6 +94,11 @@ pub mod mh {
 /// Online decision service (re-export of `harvest-serve`).
 pub mod serve {
     pub use harvest_serve::*;
+}
+
+/// Socket front-end for the decision service (re-export of `harvest-wire`).
+pub mod wire {
+    pub use harvest_wire::*;
 }
 
 /// Observability primitives (re-export of `harvest-obs`).
@@ -183,6 +189,9 @@ pub mod prelude {
         Backpressure, BreakerConfig, ChaosPlan, Decision, DecisionBatch, DecisionService,
         EngineConfig, JoinOutcome, LoggerConfig, ObsConfig, ServeConfig, ServeError, ServePolicy,
         SupervisorConfig, TrainerConfig,
+    };
+    pub use harvest_wire::{
+        Connection, Request, Response, TcpClient, TcpServer, Transport, WireConfig, WireCore,
     };
 
     pub use crate::Error;

@@ -13,7 +13,10 @@ use std::path::Path;
 /// serves decisions — plus the crash-safe log (recovery must replay a
 /// byte-identical prefix) and the chaos plumbing in `sim-net` (fault
 /// schedules and RNG forks must be pure functions of the seed, or the
-/// same seed would inject different faults on replay).
+/// same seed would inject different faults on replay). The wire front-end
+/// is held to the same bar across the whole crate, sockets included:
+/// admission verdicts, rate-limit refills, and deadline sheds are
+/// functions of the logical clock, never the wall clock.
 const LINTED: &[&str] = &[
     "crates/core/src",
     "crates/estimators/src",
@@ -21,6 +24,7 @@ const LINTED: &[&str] = &[
     "crates/obs/src",
     "crates/serve/src",
     "crates/sim-net/src",
+    "crates/wire/src",
 ];
 
 /// Ambient-nondeterminism tokens. `thread_rng` is the OS-seeded RNG;
