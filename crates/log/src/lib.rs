@@ -27,11 +27,16 @@
 //! existing system), [`segment`] provides the crash-safe on-disk format:
 //! checksummed, length-prefixed frames in rotating segments, recovered by
 //! replaying the longest valid prefix and quarantining — counting, never
-//! silently skipping — damaged tails.
+//! silently skipping — damaged tails. The control-plane state that
+//! interprets those logs (incumbent policy, RNG positions, ledger counters)
+//! is made durable by [`checkpoint`], and [`lifecycle`] folds fully-joined
+//! segments into compact training shards with retention tiers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod lifecycle;
 pub mod nginx;
 pub mod pipeline;
 pub mod propensity;
@@ -40,6 +45,11 @@ pub mod reward;
 pub mod scavenge;
 pub mod segment;
 
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_latest, load_latest_filtered, CheckpointError,
+    CheckpointRecovery, CheckpointStore, CheckpointWriter, DirCheckpoints, MemoryCheckpoints,
+};
+pub use lifecycle::{compact_segments, CompactionReport, LifecycleConfig};
 pub use pipeline::{HarvestPipeline, HarvestReport};
 pub use propensity::{EstimatedPropensity, KnownPropensity, PropensityModel};
 pub use record::{DecisionRecord, OutcomeRecord};

@@ -1,0 +1,459 @@
+//! Segment lifecycle: compaction, tiering, and retention.
+//!
+//! A long-lived serve loop accretes segments forever; this module is the
+//! maintenance pass that keeps the log bounded without losing a single
+//! joined `⟨x, a, r⟩` triple. Segments move through three tiers:
+//!
+//! * **hot** — the trailing `hot_segments` raw segments, still receiving
+//!   appends and joins; never touched.
+//! * **compacted shards** — clean cold segments are folded: each decision
+//!   absorbs its outcome's reward into its own `reward` field (the outcome
+//!   wins over a synchronous reward, exactly as [`crate::scavenge`]
+//!   resolves precedence) and the now-redundant outcome records are
+//!   dropped. Contiguous runs of clean segments are re-framed through a
+//!   [`SegmentedLogWriter`] with shard-sized rotation thresholds.
+//! * **residue** — segments with a quarantined tail are carried verbatim,
+//!   damaged bytes and all, so recovery accounting (`quarantined_records`,
+//!   `corrupt_segments`) is identical before and after compaction.
+//!
+//! The invariant the proptests enforce: scavenging the compacted store
+//! yields the **exact multiset of joined samples** that scavenging the
+//! original store would. Compaction is transparent to training.
+//!
+//! Retention (`max_shards`) expires the oldest compacted shards; expired
+//! records are counted in the report, never silently discarded.
+//!
+//! Determinism: compaction is a pure function of the segment bytes and the
+//! config — no clocks, no randomness — so same-seed runs compact to
+//! byte-identical shards.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::LogRecord;
+use crate::segment::{
+    recover_segment, recover_segments, MemorySegments, SegmentConfig, SegmentedLogWriter,
+};
+
+/// Tiering and retention knobs for [`compact_segments`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleConfig {
+    /// Rotation thresholds for compacted shards.
+    pub shard: SegmentConfig,
+    /// Trailing raw segments left untouched (the writer's active tail and
+    /// recently-sealed segments whose outcomes are still arriving).
+    pub hot_segments: usize,
+    /// Keep at most this many compacted shards; the oldest expire first.
+    pub max_shards: usize,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            shard: SegmentConfig::default(),
+            hot_segments: 1,
+            max_shards: usize::MAX,
+        }
+    }
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Input segments examined (all tiers).
+    pub segments_in: usize,
+    /// Output segments produced (all tiers).
+    pub segments_out: usize,
+    /// Clean cold segments folded into shards.
+    pub segments_compacted: usize,
+    /// Damaged cold segments carried verbatim.
+    pub residue_segments: usize,
+    /// Trailing segments left untouched.
+    pub hot_segments: usize,
+    /// Compacted shards in the output (before retention).
+    pub shards: usize,
+    /// Decisions whose reward was folded in from an outcome record.
+    pub folded_rewards: usize,
+    /// Outcome records dropped because their decision now carries the
+    /// reward.
+    pub outcomes_dropped: usize,
+    /// Logical records written into shards.
+    pub records_carried: usize,
+    /// Shards removed by retention.
+    pub expired_shards: usize,
+    /// Logical records removed by retention — counted, never silent.
+    pub expired_records: usize,
+}
+
+/// Runs one compaction pass over a full segment list, returning the new
+/// segment list and the accounting. See the module docs for the tier
+/// semantics; the caller commits the result with
+/// [`MemorySegments::replace_all`] (or the filesystem equivalent) and
+/// re-anchors any live writer at the new segment count.
+pub fn compact_segments(
+    segments: &[Vec<u8>],
+    cfg: &LifecycleConfig,
+) -> (Vec<Vec<u8>>, CompactionReport) {
+    let mut report = CompactionReport {
+        segments_in: segments.len(),
+        ..CompactionReport::default()
+    };
+    let hot_start = segments.len().saturating_sub(cfg.hot_segments);
+    let cold = &segments[..hot_start];
+
+    // Pass 1: recover every cold segment and build the fold plan. Outcome
+    // precedence matches scavenging (last outcome for an id wins), and an
+    // outcome may only be dropped when its decision lives in a *clean*
+    // cold segment — a decision in a damaged segment or the hot tail keeps
+    // its outcome record untouched.
+    let recovered: Vec<(Vec<LogRecord>, bool)> = cold
+        .iter()
+        .map(|bytes| {
+            let (records, stats) = recover_segment(bytes);
+            (records, stats.is_clean())
+        })
+        .collect();
+    let mut outcome_rewards: HashMap<u64, f64> = HashMap::new();
+    let mut clean_decision_ids: HashSet<u64> = HashSet::new();
+    for (records, clean) in &recovered {
+        for r in records {
+            match r {
+                LogRecord::Outcome(o) => {
+                    outcome_rewards.insert(o.request_id, o.reward);
+                }
+                LogRecord::Decision(d) if *clean => {
+                    clean_decision_ids.insert(d.request_id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass 2: emit. Contiguous runs of clean segments fold into shards;
+    // damaged segments flush the run and pass through verbatim, keeping
+    // global record order intact.
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    let mut shard_indices: Vec<usize> = Vec::new();
+    let mut run: Vec<LogRecord> = Vec::new();
+    let flush_run = |run: &mut Vec<LogRecord>,
+                     out: &mut Vec<Vec<u8>>,
+                     shard_indices: &mut Vec<usize>,
+                     report: &mut CompactionReport| {
+        if run.is_empty() {
+            return;
+        }
+        let mut w = SegmentedLogWriter::new(MemorySegments::new(), cfg.shard);
+        for record in run.drain(..) {
+            match record {
+                LogRecord::Decision(mut d) => {
+                    if let Some(&r) = outcome_rewards.get(&d.request_id) {
+                        if d.reward != Some(r) {
+                            d.reward = Some(r);
+                        }
+                        report.folded_rewards += 1;
+                    }
+                    report.records_carried += 1;
+                    w.write(&LogRecord::Decision(d)).expect("memory sink");
+                }
+                LogRecord::Outcome(o) => {
+                    if clean_decision_ids.contains(&o.request_id) {
+                        report.outcomes_dropped += 1;
+                    } else {
+                        report.records_carried += 1;
+                        w.write(&LogRecord::Outcome(o)).expect("memory sink");
+                    }
+                }
+                // Recovery flattens batches; none reach here. Carry one
+                // defensively rather than lose it.
+                other => {
+                    report.records_carried += other.record_count();
+                    w.write(&other).expect("memory sink");
+                }
+            }
+        }
+        for shard in w.into_sink().expect("memory sink").snapshot() {
+            shard_indices.push(out.len());
+            out.push(shard);
+            report.shards += 1;
+        }
+    };
+    for (i, (records, clean)) in recovered.iter().enumerate() {
+        if *clean {
+            report.segments_compacted += 1;
+            run.extend(records.iter().cloned());
+        } else {
+            flush_run(&mut run, &mut out, &mut shard_indices, &mut report);
+            report.residue_segments += 1;
+            out.push(cold[i].clone());
+        }
+    }
+    flush_run(&mut run, &mut out, &mut shard_indices, &mut report);
+    for hot in &segments[hot_start..] {
+        report.hot_segments += 1;
+        out.push(hot.clone());
+    }
+
+    // Retention: expire the oldest shards beyond the keep budget, counting
+    // every record that leaves.
+    if shard_indices.len() > cfg.max_shards {
+        let expire = &shard_indices[..shard_indices.len() - cfg.max_shards];
+        let expired_bytes: Vec<Vec<u8>> = expire.iter().map(|&i| out[i].clone()).collect();
+        let (_, stats) = recover_segments(&expired_bytes);
+        report.expired_shards = expire.len();
+        report.expired_records = stats.recovered;
+        let expired_set: HashSet<usize> = expire.iter().copied().collect();
+        out = out
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, seg)| (!expired_set.contains(&i)).then_some(seg))
+            .collect();
+    }
+    report.segments_out = out.len();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DecisionRecord, OutcomeRecord};
+    use crate::scavenge::scavenge_segments;
+
+    fn decision(id: u64, reward: Option<f64>) -> LogRecord {
+        LogRecord::Decision(DecisionRecord {
+            request_id: id,
+            timestamp_ns: id * 100,
+            component: "serve".to_string(),
+            shared_features: vec![id as f64],
+            action_features: None,
+            num_actions: 3,
+            action: (id % 3) as usize,
+            propensity: Some(0.4),
+            reward,
+        })
+    }
+
+    fn outcome(id: u64, reward: f64) -> LogRecord {
+        LogRecord::Outcome(OutcomeRecord {
+            request_id: id,
+            timestamp_ns: id * 100 + 50,
+            reward,
+        })
+    }
+
+    fn build_store(cfg: SegmentConfig, records: &[LogRecord]) -> MemorySegments {
+        let mut w = SegmentedLogWriter::new(MemorySegments::new(), cfg);
+        for r in records {
+            w.write(r).unwrap();
+        }
+        w.into_sink().unwrap()
+    }
+
+    fn small_segments() -> SegmentConfig {
+        SegmentConfig {
+            max_records: 4,
+            max_bytes: usize::MAX,
+            max_span_ns: u64::MAX,
+        }
+    }
+
+    /// Sorted joined samples, for multiset comparison.
+    fn joined_multiset(segments: &[Vec<u8>]) -> Vec<(usize, String, String)> {
+        let (samples, _, _) = scavenge_segments(segments);
+        let mut keyed: Vec<(usize, String, String)> = samples
+            .iter()
+            .map(|s| {
+                (
+                    s.action,
+                    format!("{:?}", s.reward),
+                    format!("{:?}", s.context),
+                )
+            })
+            .collect();
+        keyed.sort();
+        keyed
+    }
+
+    #[test]
+    fn compaction_preserves_the_joined_multiset() {
+        let records: Vec<LogRecord> = (0..10)
+            .flat_map(|id| vec![decision(id, None), outcome(id, id as f64 * 0.1)])
+            .collect();
+        let store = build_store(small_segments(), &records);
+        let before = joined_multiset(&store.snapshot());
+        let (compacted, report) = compact_segments(
+            &store.snapshot(),
+            &LifecycleConfig {
+                shard: SegmentConfig::default(),
+                hot_segments: 0,
+                max_shards: usize::MAX,
+            },
+        );
+        assert_eq!(joined_multiset(&compacted), before);
+        assert_eq!(report.folded_rewards, 10);
+        assert_eq!(report.outcomes_dropped, 10);
+        assert_eq!(report.records_carried, 10);
+        assert!(report.segments_out < report.segments_in);
+    }
+
+    #[test]
+    fn outcome_overrides_synchronous_reward_when_folding() {
+        // Decision logs reward 0.42 synchronously; the outcome later says
+        // 0.9. Scavenging prefers the outcome, so folding must too.
+        let records = vec![decision(1, Some(0.42)), outcome(1, 0.9)];
+        let store = build_store(small_segments(), &records);
+        let before = joined_multiset(&store.snapshot());
+        let (compacted, report) = compact_segments(
+            &store.snapshot(),
+            &LifecycleConfig {
+                hot_segments: 0,
+                ..LifecycleConfig::default()
+            },
+        );
+        assert_eq!(joined_multiset(&compacted), before);
+        assert_eq!(report.folded_rewards, 1);
+        let (samples, _, _) = scavenge_segments(&compacted);
+        assert_eq!(samples[0].reward, 0.9);
+    }
+
+    #[test]
+    fn damaged_segments_are_carried_verbatim() {
+        let records: Vec<LogRecord> = (0..12)
+            .flat_map(|id| vec![decision(id, None), outcome(id, 1.0)])
+            .collect();
+        let store = build_store(small_segments(), &records);
+        assert!(store.corrupt_payload(1, 1, 0x20));
+        let damaged = store.snapshot()[1].clone();
+        let (_, before_stats) = store.recover();
+        let (compacted, report) = compact_segments(
+            &store.snapshot(),
+            &LifecycleConfig {
+                hot_segments: 0,
+                ..LifecycleConfig::default()
+            },
+        );
+        assert_eq!(report.residue_segments, 1);
+        // The damaged bytes pass through untouched, so quarantine
+        // accounting is unchanged.
+        assert!(compacted.contains(&damaged));
+        let (_, after_stats) = recover_segments(&compacted);
+        assert_eq!(
+            after_stats.quarantined_records,
+            before_stats.quarantined_records
+        );
+        assert_eq!(
+            after_stats.quarantined_bytes,
+            before_stats.quarantined_bytes
+        );
+        assert_eq!(after_stats.corrupt_segments, 1);
+    }
+
+    #[test]
+    fn outcome_for_a_damaged_decision_is_kept() {
+        // Decision 0 lands in a segment that gets damaged before its frame;
+        // its outcome (in a clean segment) must survive compaction so the
+        // join can still happen if the decision is ever re-recovered — and
+        // so the orphan count stays honest.
+        let store = build_store(
+            SegmentConfig {
+                max_records: 2,
+                max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
+            },
+            &[
+                decision(0, None),
+                decision(1, None),
+                outcome(0, 0.5),
+                outcome(1, 0.6),
+            ],
+        );
+        assert!(store.corrupt_payload(0, 0, 0x01)); // damages both decisions' segment
+        let (compacted, report) = compact_segments(
+            &store.snapshot(),
+            &LifecycleConfig {
+                hot_segments: 0,
+                ..LifecycleConfig::default()
+            },
+        );
+        assert_eq!(report.outcomes_dropped, 0);
+        let (records, _) = recover_segments(&compacted);
+        let outcomes = records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Outcome(_)))
+            .count();
+        assert_eq!(outcomes, 2);
+    }
+
+    #[test]
+    fn hot_tail_is_never_touched() {
+        let records: Vec<LogRecord> = (0..10)
+            .flat_map(|id| vec![decision(id, None), outcome(id, 1.0)])
+            .collect();
+        let store = build_store(small_segments(), &records);
+        let original = store.snapshot();
+        let (compacted, report) = compact_segments(
+            &original,
+            &LifecycleConfig {
+                hot_segments: 2,
+                ..LifecycleConfig::default()
+            },
+        );
+        assert_eq!(report.hot_segments, 2);
+        let n = compacted.len();
+        assert_eq!(compacted[n - 2..], original[original.len() - 2..]);
+    }
+
+    #[test]
+    fn hot_segments_covering_everything_is_a_no_op() {
+        let store = build_store(small_segments(), &[decision(0, Some(1.0))]);
+        let original = store.snapshot();
+        let (compacted, report) = compact_segments(
+            &original,
+            &LifecycleConfig {
+                hot_segments: 100,
+                ..LifecycleConfig::default()
+            },
+        );
+        assert_eq!(compacted, original);
+        assert_eq!(report.segments_compacted, 0);
+        assert_eq!(report.shards, 0);
+    }
+
+    #[test]
+    fn retention_expires_oldest_shards_and_counts_records() {
+        let records: Vec<LogRecord> = (0..20).map(|id| decision(id, Some(1.0))).collect();
+        let store = build_store(small_segments(), &records);
+        let (compacted, report) = compact_segments(
+            &store.snapshot(),
+            &LifecycleConfig {
+                shard: small_segments(),
+                hot_segments: 0,
+                max_shards: 2,
+            },
+        );
+        assert_eq!(report.shards, 5);
+        assert_eq!(report.expired_shards, 3);
+        assert_eq!(report.expired_records, 12);
+        assert_eq!(compacted.len(), 2);
+        let (remaining, _) = recover_segments(&compacted);
+        // The newest records survive.
+        assert_eq!(remaining.len(), 8);
+        assert_eq!(remaining[0].request_id(), 12);
+    }
+
+    #[test]
+    fn compaction_is_idempotent_on_fully_folded_input() {
+        let records: Vec<LogRecord> = (0..8)
+            .flat_map(|id| vec![decision(id, None), outcome(id, 2.0)])
+            .collect();
+        let store = build_store(small_segments(), &records);
+        let cfg = LifecycleConfig {
+            hot_segments: 0,
+            ..LifecycleConfig::default()
+        };
+        let (once, r1) = compact_segments(&store.snapshot(), &cfg);
+        let (twice, r2) = compact_segments(&once, &cfg);
+        assert_eq!(once, twice);
+        assert_eq!(r1.outcomes_dropped, 8);
+        assert_eq!(r2.outcomes_dropped, 0);
+        assert_eq!(r2.folded_rewards, 0);
+    }
+}

@@ -164,6 +164,17 @@ impl LogRecord {
         }
     }
 
+    /// The logical timestamp this record was stamped with — for a batch,
+    /// the first decision's (`0` for an empty batch). Drives time-based
+    /// segment rotation; never a wall clock.
+    pub fn timestamp_ns(&self) -> u64 {
+        match self {
+            LogRecord::Decision(d) => d.timestamp_ns,
+            LogRecord::Outcome(o) => o.timestamp_ns,
+            LogRecord::Batch(b) => b.decisions.first().map_or(0, |d| d.timestamp_ns),
+        }
+    }
+
     /// Whether this is a decision-time record. A batch is all decisions,
     /// but callers that need per-decision handling (tracing, joining)
     /// must iterate [`BatchRecord::decisions`] — so this stays `false`

@@ -53,7 +53,11 @@ pub struct ScavengeStats {
     pub quarantined: usize,
 }
 
-fn context_of(d: &DecisionRecord) -> Option<SimpleContext> {
+/// Rebuilds the [`SimpleContext`] a decision record was logged with, or
+/// `None` when its fields are inconsistent (action out of range, ragged
+/// action features). Shared with warm-restart replay, which must re-score
+/// the exact context the original incarnation saw.
+pub fn context_of(d: &DecisionRecord) -> Option<SimpleContext> {
     if d.num_actions == 0 || d.action >= d.num_actions {
         return None;
     }
@@ -290,6 +294,7 @@ mod tests {
             SegmentConfig {
                 max_records: 4,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
         );
         for id in 0..8 {

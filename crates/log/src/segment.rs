@@ -143,6 +143,14 @@ impl MemorySegments {
         self.lock().len()
     }
 
+    /// Replaces the entire segment list — the maintenance-time commit of a
+    /// [`crate::lifecycle`] compaction pass. Callers that keep an active
+    /// writer over this store must re-anchor it (via
+    /// [`SegmentedLogWriter::with_start`]) at the new segment count.
+    pub fn replace_all(&self, segments: Vec<Vec<u8>>) {
+        *self.lock() = segments;
+    }
+
     /// Recovers all records: longest valid prefix per segment, with the
     /// damaged remainders counted in the stats.
     pub fn recover(&self) -> (Vec<LogRecord>, RecoveryStats) {
@@ -222,6 +230,10 @@ pub struct SegmentConfig {
     pub max_records: usize,
     /// Rotate after this many bytes in a segment.
     pub max_bytes: usize,
+    /// Rotate when a segment spans more than this many nanoseconds of
+    /// *record* time (the logical, caller-stamped clock — wall time never
+    /// enters the format). `u64::MAX` disables time-based rotation.
+    pub max_span_ns: u64,
 }
 
 impl Default for SegmentConfig {
@@ -229,6 +241,7 @@ impl Default for SegmentConfig {
         SegmentConfig {
             max_records: 1024,
             max_bytes: 256 * 1024,
+            max_span_ns: u64::MAX,
         }
     }
 }
@@ -250,6 +263,7 @@ pub struct SegmentedLogWriter<S> {
     segment: u64,
     records_in_segment: usize,
     bytes_in_segment: usize,
+    first_ts_in_segment: Option<u64>,
     observer: Option<Arc<dyn SealObserver>>,
 }
 
@@ -267,14 +281,23 @@ impl<S: fmt::Debug> fmt::Debug for SegmentedLogWriter<S> {
 }
 
 impl<S: SegmentSink> SegmentedLogWriter<S> {
-    /// Wraps a sink.
+    /// Wraps a sink, starting at segment 0.
     pub fn new(sink: S, cfg: SegmentConfig) -> Self {
+        Self::with_start(sink, cfg, 0)
+    }
+
+    /// Wraps a sink, appending from `first_segment` onward. This is the
+    /// warm-restart entry point: a restarted writer resumes *past* the
+    /// segments its previous incarnation sealed instead of overwriting
+    /// segment 0.
+    pub fn with_start(sink: S, cfg: SegmentConfig, first_segment: u64) -> Self {
         SegmentedLogWriter {
             sink,
             cfg,
-            segment: 0,
+            segment: first_segment,
             records_in_segment: 0,
             bytes_in_segment: 0,
+            first_ts_in_segment: None,
             observer: None,
         }
     }
@@ -295,8 +318,13 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
     /// bounded in *logical* records regardless of batching. Returns the
     /// number of frame bytes appended.
     pub fn write(&mut self, record: &LogRecord) -> io::Result<usize> {
+        let ts = record.timestamp_ns();
+        let span_full = self
+            .first_ts_in_segment
+            .is_some_and(|first| ts.saturating_sub(first) >= self.cfg.max_span_ns);
         if self.records_in_segment >= self.cfg.max_records
             || self.bytes_in_segment >= self.cfg.max_bytes
+            || span_full
         {
             self.rotate()?;
         }
@@ -304,6 +332,7 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
         self.sink.append(self.segment, &frame)?;
         self.records_in_segment += record.record_count();
         self.bytes_in_segment += frame.len();
+        self.first_ts_in_segment.get_or_insert(ts);
         Ok(frame.len())
     }
 
@@ -330,6 +359,7 @@ impl<S: SegmentSink> SegmentedLogWriter<S> {
         self.segment += 1;
         self.records_in_segment = 0;
         self.bytes_in_segment = 0;
+        self.first_ts_in_segment = None;
         Ok(())
     }
 
@@ -597,6 +627,7 @@ mod tests {
             SegmentConfig {
                 max_records: 3,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
         );
         for i in 0..7 {
@@ -610,6 +641,55 @@ mod tests {
         assert_eq!(stats.recovered, 7);
         assert_eq!(stats.quarantined_records, 0);
         assert_eq!(stats.corrupt_segments, 0);
+    }
+
+    #[test]
+    fn writer_rotates_by_record_time_span() {
+        let mut w = SegmentedLogWriter::new(
+            MemorySegments::new(),
+            SegmentConfig {
+                max_records: usize::MAX,
+                max_bytes: usize::MAX,
+                max_span_ns: 100,
+            },
+        );
+        // outcome(i) is stamped at i*10 ns: spans close at 100 ns, so the
+        // stream splits at timestamps 100 and 200.
+        for i in 0..25 {
+            w.write(&outcome(i)).unwrap();
+        }
+        let store = w.into_sink().unwrap();
+        assert_eq!(store.segment_count(), 3);
+        let (records, stats) = store.recover();
+        assert_eq!(records.len(), 25);
+        assert!(stats.quarantined_records == 0);
+    }
+
+    #[test]
+    fn with_start_resumes_past_existing_segments() {
+        let store = MemorySegments::new();
+        let cfg = SegmentConfig {
+            max_records: 4,
+            max_bytes: usize::MAX,
+            max_span_ns: u64::MAX,
+        };
+        let mut w = SegmentedLogWriter::new(store.clone(), cfg);
+        for i in 0..6 {
+            w.write(&outcome(i)).unwrap();
+        }
+        drop(w); // crash: the writer dies without sealing segment 1
+        let mut w2 =
+            SegmentedLogWriter::with_start(store.clone(), cfg, store.segment_count() as u64);
+        assert_eq!(w2.current_segment(), 2);
+        for i in 6..9 {
+            w2.write(&outcome(i)).unwrap();
+        }
+        drop(w2);
+        // Nothing overwritten: all nine records recover, in order.
+        let (records, stats) = store.recover();
+        assert_eq!(stats.recovered, 9);
+        let ids: Vec<u64> = records.iter().map(|r| r.request_id()).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -656,6 +736,7 @@ mod tests {
             SegmentConfig {
                 max_records: 4,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
         );
         // 3 + 3 logical records in two frames: the first frame fills the
@@ -711,6 +792,7 @@ mod tests {
             SegmentConfig {
                 max_records: 4,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
         );
         for i in 0..11 {

@@ -265,6 +265,20 @@ impl CircuitBreaker {
         }
     }
 
+    /// Re-bases the fault-slope window on the current fault signal. A warm
+    /// restart restores the previous incarnation's fault counters in one
+    /// step; without a rebase the breaker's first window would read that
+    /// entire history as a single-window rise and trip spuriously. Resets
+    /// only the window accounting — a breaker is born closed, and whether
+    /// it should re-open is judged on post-restart evidence.
+    pub fn rebase(&self, metrics: &ServeMetrics) {
+        let faults = metrics.fault_signal();
+        let mut s = lock_recovering(&self.state, Some(metrics));
+        s.window_decisions = 0;
+        s.window_start_faults = faults;
+        s.last_faults = faults;
+    }
+
     /// Reports a trainer crash: trips the breaker unconditionally.
     pub fn note_trainer_crash(&self, metrics: &ServeMetrics) {
         let mut s = lock_recovering(&self.state, Some(metrics));
@@ -406,6 +420,28 @@ mod tests {
             b.last_trip(),
             Some(TripReason::GateCollapsed { .. })
         ));
+    }
+
+    #[test]
+    fn rebase_absorbs_restored_fault_counters() {
+        let (b, m) = breaker(4, 2, 8);
+        // A warm restart restores a fault-heavy history in one step …
+        for _ in 0..10 {
+            m.record_dropped();
+        }
+        b.rebase(&m);
+        // … which a rebased breaker does not read as a fresh fault slope.
+        for _ in 0..20 {
+            assert!(!b.on_decision(true, &m));
+        }
+        assert_eq!(m.snapshot().breaker_trips, 0);
+        // New faults after the rebase still trip normally.
+        m.record_dropped();
+        m.record_dropped();
+        for _ in 0..4 {
+            b.on_decision(true, &m);
+        }
+        assert!(b.is_open());
     }
 
     #[test]

@@ -91,6 +91,7 @@ mod tests {
             SegmentConfig {
                 max_records: per_segment,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
         );
         for id in 0..records {

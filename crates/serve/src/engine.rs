@@ -14,8 +14,9 @@ use std::sync::{Arc, Mutex};
 
 use harvest_core::{Context, SimpleContext};
 use harvest_log::record::{BatchDecision, BatchRecord, DecisionRecord, LogRecord};
-use harvest_sim_net::rng::{fork_rng_indexed, DetRng};
+use harvest_sim_net::rng::{fork_rng_indexed, rng_from_state, rng_state, DetRng};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::batch::DecisionBatch;
 use crate::error::{lock_recovering, ServeError};
@@ -145,6 +146,54 @@ struct Shard {
     last_ns: Option<u64>,
 }
 
+/// Durable per-shard engine state: the RNG stream position, the next
+/// sequence number, and the previous decision's logical stamp. Everything a
+/// warm restart needs to continue a shard's decision stream without reusing
+/// a request id or replaying a random draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardState {
+    /// The RNG's raw xoshiro256++ state words.
+    pub rng: [u64; 4],
+    /// The next decision's sequence number on this shard.
+    pub seq: u64,
+    /// Logical stamp of the shard's most recent decision.
+    pub last_ns: Option<u64>,
+}
+
+/// The ε-greedy draw every decision path shares — single, batch, and
+/// warm-restart replay. A policy with no greedy action costs exactly one
+/// draw (`gen_range`); a greedy policy costs one (`gen_bool`, exploit) or
+/// two (`gen_bool` + `gen_range`, explore). Replay leans on this being the
+/// *only* way the engine touches a shard RNG: re-running the draw for each
+/// logged decision advances the restored stream to exactly where the
+/// previous incarnation left it.
+fn sample_epsilon_greedy(
+    rng: &mut DetRng,
+    policy: &ServePolicy,
+    ctx: &SimpleContext,
+    epsilon: f64,
+) -> (usize, f64, bool) {
+    let k = ctx.num_actions();
+    match policy.greedy_action(ctx) {
+        None => (rng.gen_range(0..k), 1.0 / k as f64, true),
+        Some(greedy) => {
+            let floor = epsilon / k as f64;
+            let explored = rng.gen_bool(epsilon);
+            let action = if explored {
+                rng.gen_range(0..k)
+            } else {
+                greedy
+            };
+            let p = if action == greedy {
+                1.0 - epsilon + floor
+            } else {
+                floor
+            };
+            (action, p, explored)
+        }
+    }
+}
+
 /// The sharded decision engine. `decide` is safe to call concurrently from
 /// one thread per shard; different shards share nothing but atomics.
 pub struct DecisionEngine {
@@ -200,6 +249,76 @@ impl DecisionEngine {
         self.shards.len()
     }
 
+    /// Snapshots every shard's durable state (RNG position, next sequence
+    /// number, last decision stamp) for the control-plane checkpoint. Call
+    /// from a quiescent point — between waves, not mid-decision — so the
+    /// snapshot is a consistent cut of all shards.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.shards
+            .iter()
+            .map(|slot| {
+                let guard = lock_recovering(slot, Some(&self.metrics));
+                ShardState {
+                    rng: rng_state(&guard.rng),
+                    seq: guard.seq,
+                    last_ns: guard.last_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Restores every shard's durable state from a checkpoint. The shard
+    /// count must match the checkpointed one: shard `i`'s stream is defined
+    /// by `(seed, i)`, so resuming under a different topology would splice
+    /// streams together incoherently.
+    pub fn restore_shard_states(&self, states: &[ShardState]) -> Result<(), ServeError> {
+        if states.len() != self.shards.len() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "checkpoint has {} shards, engine has {}",
+                    states.len(),
+                    self.shards.len()
+                ),
+            });
+        }
+        for (slot, state) in self.shards.iter().zip(states) {
+            let mut guard = lock_recovering(slot, Some(&self.metrics));
+            guard.rng = rng_from_state(state.rng);
+            guard.seq = state.seq;
+            guard.last_ns = state.last_ns;
+        }
+        Ok(())
+    }
+
+    /// Warm-restart replay of one logged decision: re-runs the exact
+    /// ε-greedy draw the previous incarnation made for this context,
+    /// advancing the shard's RNG and sequence counter — but touching no
+    /// tracer and no log queue; the record already exists in the durable
+    /// log. Returns the replayed `(request_id, action, explored)` so the
+    /// caller can detect divergence from the logged record and re-count the
+    /// decision into the restored ledger.
+    pub(crate) fn replay_decision(
+        &self,
+        shard: usize,
+        now_ns: u64,
+        ctx: &SimpleContext,
+    ) -> Result<(u64, usize, bool), ServeError> {
+        if shard >= self.shards.len() {
+            return Err(ServeError::ShardOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
+        let version = Arc::clone(guard.cache.get(&self.registry));
+        let (action, _propensity, explored) =
+            sample_epsilon_greedy(&mut guard.rng, &version.policy, ctx, self.epsilon);
+        let request_id = ((shard as u64) << SEQ_BITS) | guard.seq;
+        guard.seq += 1;
+        guard.last_ns = Some(now_ns);
+        Ok((request_id, action, explored))
+    }
+
     /// Serves one decision on `shard` at logical time `now_ns` under the
     /// incumbent policy. See [`DecisionEngine::decide_with`].
     pub fn decide(
@@ -242,24 +361,8 @@ impl DecisionEngine {
         let degraded = fallback.is_some();
         let policy = fallback.unwrap_or(&version.policy);
         let k = ctx.num_actions();
-        let (action, propensity, explored) = match policy.greedy_action(ctx) {
-            None => (guard.rng.gen_range(0..k), 1.0 / k as f64, true),
-            Some(greedy) => {
-                let floor = self.epsilon / k as f64;
-                let explored = guard.rng.gen_bool(self.epsilon);
-                let action = if explored {
-                    guard.rng.gen_range(0..k)
-                } else {
-                    greedy
-                };
-                let p = if action == greedy {
-                    1.0 - self.epsilon + floor
-                } else {
-                    floor
-                };
-                (action, p, explored)
-            }
-        };
+        let (action, propensity, explored) =
+            sample_epsilon_greedy(&mut guard.rng, policy, ctx, self.epsilon);
         let request_id = ((shard as u64) << SEQ_BITS) | guard.seq;
         guard.seq += 1;
         let gap_ns = guard.last_ns.map(|prev| now_ns.saturating_sub(prev));
@@ -398,25 +501,8 @@ impl DecisionEngine {
             } else {
                 &version.policy
             };
-            let k = ctx.num_actions();
-            let (action, propensity, explored) = match policy.greedy_action(ctx) {
-                None => (rng.gen_range(0..k), 1.0 / k as f64, true),
-                Some(greedy) => {
-                    let floor = self.epsilon / k as f64;
-                    let explored = rng.gen_bool(self.epsilon);
-                    let action = if explored {
-                        rng.gen_range(0..k)
-                    } else {
-                        greedy
-                    };
-                    let p = if action == greedy {
-                        1.0 - self.epsilon + floor
-                    } else {
-                        floor
-                    };
-                    (action, p, explored)
-                }
-            };
+            let (action, propensity, explored) =
+                sample_epsilon_greedy(rng, policy, ctx, self.epsilon);
             out.decisions.push(Decision {
                 request_id: ((shard as u64) << SEQ_BITS) | (first_seq + i as u64),
                 shard,

@@ -190,6 +190,41 @@ pub fn export_prometheus(
         "Requests refused at the admission door before reaching a shard.",
         s.admission_shed,
     );
+    p.counter(
+        "harvest_checkpoints_written_total",
+        "Control-plane checkpoints published.",
+        s.checkpoints_written,
+    );
+    p.counter(
+        "harvest_checkpoints_discarded_total",
+        "Checkpoints rejected at recovery as torn, corrupt, or unparsable.",
+        s.checkpoints_discarded,
+    );
+    p.counter(
+        "harvest_recovered_records_total",
+        "Log records recovered from durable segments at warm restart.",
+        s.recovered_records,
+    );
+    p.counter(
+        "harvest_replayed_joins_total",
+        "Outcomes replayed into the joiner during warm restart.",
+        s.replayed_joins,
+    );
+    p.counter(
+        "harvest_segments_compacted_total",
+        "Sealed segments retired by lifecycle compaction.",
+        s.segments_compacted,
+    );
+    p.counter(
+        "harvest_restarts_total",
+        "Warm restarts (service resumed from checkpoint or cold replay).",
+        s.restart_count,
+    );
+    p.gauge(
+        "harvest_checkpoint_age_ns",
+        "Logical ns between the last decision and the last checkpoint.",
+        s.checkpoint_age_ns as f64,
+    );
     p.gauge(
         "harvest_exploration_rate",
         "explorations / decisions.",
@@ -387,6 +422,13 @@ mod tests {
             "harvest_quality_ess 0",
             "harvest_log_conservation_ok 1",
             "harvest_trace_decided_total 0",
+            "harvest_checkpoints_written_total 0",
+            "harvest_checkpoints_discarded_total 0",
+            "harvest_recovered_records_total 0",
+            "harvest_replayed_joins_total 0",
+            "harvest_segments_compacted_total 0",
+            "harvest_restarts_total 0",
+            "harvest_checkpoint_age_ns 0",
             "# TYPE harvest_decision_interarrival_ns histogram",
         ] {
             assert!(page_a.contains(family), "missing `{family}` in:\n{page_a}");

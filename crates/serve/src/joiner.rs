@@ -19,6 +19,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use harvest_log::record::OutcomeRecord;
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::ServeMetrics;
 
@@ -37,6 +38,20 @@ pub enum JoinOutcome {
     /// The reward was lost in flight (chaos drop) before reaching the
     /// joiner; counted as `rewards_lost`, the decision stays pending.
     Lost,
+}
+
+/// Durable joiner state for the control-plane checkpoint: the pending map
+/// and both tombstone sets, each sorted so the serialized bytes are a pure
+/// function of the joiner's logical state (hash iteration order never
+/// leaks into the checkpoint).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinerState {
+    /// `(request_id, deadline)` pairs still awaiting a reward.
+    pub pending: Vec<(u64, u64)>,
+    /// Ids that joined a reward.
+    pub joined: Vec<u64>,
+    /// Ids whose TTL lapsed unjoined.
+    pub expired: Vec<u64>,
 }
 
 /// Joins delayed rewards to tracked decisions within a logical-time TTL.
@@ -158,6 +173,50 @@ impl RewardJoiner {
         self.pending.len()
     }
 
+    /// Snapshots the joiner's durable state for a checkpoint. Sorted, so
+    /// same logical state ⇒ byte-identical serialization.
+    pub fn state(&self) -> JoinerState {
+        let mut pending: Vec<(u64, u64)> = self.pending.iter().map(|(&id, &d)| (id, d)).collect();
+        pending.sort_unstable();
+        let mut joined: Vec<u64> = self.joined.iter().copied().collect();
+        joined.sort_unstable();
+        let mut expired: Vec<u64> = self.expired.iter().copied().collect();
+        expired.sort_unstable();
+        JoinerState {
+            pending,
+            joined,
+            expired,
+        }
+    }
+
+    /// Restores a checkpointed state verbatim, replacing the current one.
+    /// Touches no metrics: the counters describing this state were restored
+    /// separately, and a restore is bookkeeping, not new join traffic.
+    pub fn restore(&mut self, state: &JoinerState) {
+        self.pending = state.pending.iter().copied().collect();
+        self.deadlines = state.pending.iter().map(|&(id, d)| (d, id)).collect();
+        self.joined = state.joined.iter().copied().collect();
+        self.expired = state.expired.iter().copied().collect();
+    }
+
+    /// Warm-restart replay of a logged outcome record. An outcome only ever
+    /// reaches the log because some incarnation joined it, so the normal
+    /// path is a re-join against the restored pending set (counted
+    /// `join_hits`, exactly as the original join was after the checkpoint).
+    /// The exception is an **orphan**: the outcome survived in the durable
+    /// log but its decision did not (quarantined with a torn segment). Its
+    /// reward can never be joined again — it is counted `rewards_lost`, not
+    /// dropped on the floor, so the reward ledger still reconciles across
+    /// incarnations.
+    pub fn replay_outcome(&mut self, request_id: u64, now_ns: u64, reward: f64) -> JoinOutcome {
+        let (outcome, _rec) = self.join(request_id, now_ns, reward);
+        if outcome == JoinOutcome::Unknown {
+            self.metrics.record_reward_lost();
+            return JoinOutcome::Lost;
+        }
+        outcome
+    }
+
     /// Moves every decision whose deadline has passed to the expired set.
     /// A reward at exactly the deadline still joins; one tick later it is
     /// late.
@@ -241,5 +300,55 @@ mod tests {
         let mut j = joiner(u64::MAX);
         j.track(1, 5);
         assert_eq!(j.join(1, u64::MAX - 1, 1.0).0, JoinOutcome::Joined);
+    }
+
+    #[test]
+    fn state_round_trips_and_is_sorted() {
+        let mut j = joiner(100);
+        for id in [9u64, 3, 7, 1] {
+            j.track(id, 0);
+        }
+        assert_eq!(j.join(3, 10, 1.0).0, JoinOutcome::Joined);
+        assert_eq!(j.join(7, 500, 1.0).0, JoinOutcome::Expired); // sweeps 1, 7, 9
+        let state = j.state();
+        assert!(state.pending.is_empty());
+        assert_eq!(state.joined, vec![3]);
+        assert_eq!(state.expired, vec![1, 7, 9]);
+        let mut restored = joiner(100);
+        restored.restore(&state);
+        assert_eq!(restored.state(), state);
+        // Restored tombstones classify rewards exactly as the original.
+        assert_eq!(restored.join(3, 600, 1.0).0, JoinOutcome::Duplicate);
+        assert_eq!(restored.join(9, 600, 1.0).0, JoinOutcome::Expired);
+    }
+
+    #[test]
+    fn restored_pending_decisions_still_join() {
+        let mut j = joiner(100);
+        j.track(5, 1000);
+        let state = j.state();
+        assert_eq!(state.pending, vec![(5, 1100)]);
+        let mut restored = joiner(100);
+        restored.restore(&state);
+        let (outcome, rec) = restored.join(5, 1050, 0.4);
+        assert_eq!(outcome, JoinOutcome::Joined);
+        assert_eq!(rec.unwrap().reward, 0.4);
+        // The original deadline survives the restart: one tick past it and
+        // the reward is late, exactly as in an uninterrupted run.
+        let mut late = joiner(100);
+        late.restore(&state);
+        assert_eq!(late.join(5, 1101, 0.4).0, JoinOutcome::Expired);
+    }
+
+    #[test]
+    fn replayed_orphan_outcome_is_counted_lost() {
+        let mut j = joiner(100);
+        j.track(1, 0);
+        // Id 1 replays as a normal join; id 99's decision never survived.
+        assert_eq!(j.replay_outcome(1, 10, 1.0), JoinOutcome::Joined);
+        assert_eq!(j.replay_outcome(99, 10, 1.0), JoinOutcome::Lost);
+        let s = j.metrics.snapshot();
+        assert_eq!(s.join_hits, 1);
+        assert_eq!(s.rewards_lost, 1);
     }
 }

@@ -71,6 +71,7 @@ pub mod joiner;
 pub mod logger;
 pub mod metrics;
 pub mod obs;
+pub mod recovery;
 pub mod registry;
 pub mod service;
 pub mod supervisor;
@@ -87,9 +88,8 @@ pub use joiner::{JoinOutcome, RewardJoiner};
 pub use logger::{Backpressure, DecisionLogger, LoggerConfig, LoggerConfigBuilder};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use obs::{ObsConfig, ObsConfigBuilder, ServeObs};
+pub use recovery::{RecoveryReport, ServiceCheckpoint};
 pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
-#[allow(deprecated)]
-pub use service::ServiceConfig;
 pub use service::{DecisionService, PromotionReport, ServeConfig, ServeConfigBuilder};
 pub use supervisor::{
     spawn_supervised_writer, SupervisorConfig, SupervisorConfigBuilder, WriterSupervisorHandle,
@@ -104,6 +104,6 @@ pub use harvest_obs::{DecisionTrace, Histogram, HistogramSummary, Terminal, Trac
 
 // Re-exported so chaos tests and examples need only this crate.
 pub use harvest_sim_net::fault::{
-    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanBuilder, ChaosPlanConfig, RewardFault,
-    WriterFault,
+    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanBuilder, ChaosPlanConfig, CheckpointFault,
+    RewardFault, WriterFault,
 };

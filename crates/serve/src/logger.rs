@@ -60,6 +60,10 @@ pub struct LoggerConfig {
     pub backpressure: Backpressure,
     /// Rotation thresholds for the crash-safe segments the writer emits.
     pub segment: SegmentConfig,
+    /// Index of the first segment the writer creates. Zero for a fresh
+    /// service; a warm restart sets it past the segments already on disk so
+    /// the new incarnation appends instead of overwriting history.
+    pub first_segment: u64,
 }
 
 impl Default for LoggerConfig {
@@ -68,6 +72,7 @@ impl Default for LoggerConfig {
             capacity: 4096,
             backpressure: Backpressure::Block,
             segment: SegmentConfig::default(),
+            first_segment: 0,
         }
     }
 }
@@ -99,6 +104,13 @@ impl LoggerConfigBuilder {
     /// Segment rotation thresholds.
     pub fn segment(mut self, segment: SegmentConfig) -> Self {
         self.0.segment = segment;
+        self
+    }
+
+    /// First segment index the writer creates (warm restarts resume past
+    /// the segments already persisted).
+    pub fn first_segment(mut self, first_segment: u64) -> Self {
+        self.0.first_segment = first_segment;
         self
     }
 

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::obs::ServeObs;
 
@@ -53,6 +53,16 @@ pub struct ServeMetrics {
     /// stays `enqueued == written + dropped + quarantined`, and this
     /// counter extends it outward to cover work turned away at the door.
     admission_shed: AtomicU64,
+    // Durability counters: the warm-restart path is as observable as the
+    // fault path — every checkpoint written or rejected, every record
+    // replayed, every restart is counted.
+    checkpoints_written: AtomicU64,
+    checkpoints_discarded: AtomicU64,
+    last_checkpoint_ns: AtomicU64,
+    recovered_records: AtomicU64,
+    replayed_joins: AtomicU64,
+    segments_compacted: AtomicU64,
+    restart_count: AtomicU64,
     /// Optional observability bundle (tracer + histograms). Riding inside
     /// the metrics handle means every component that already holds
     /// `Arc<ServeMetrics>` can emit trace events without new plumbing.
@@ -64,6 +74,7 @@ impl ServeMetrics {
     pub fn new() -> Self {
         ServeMetrics {
             first_decision_ns: AtomicU64::new(u64::MAX),
+            last_checkpoint_ns: AtomicU64::new(u64::MAX),
             ..ServeMetrics::default()
         }
     }
@@ -229,6 +240,120 @@ impl ServeMetrics {
         }
     }
 
+    /// Records one control-plane checkpoint published at logical time
+    /// `now_ns`; the stamp feeds the `checkpoint_age_ns` gauge.
+    pub fn record_checkpoint(&self, now_ns: u64) {
+        self.checkpoints_written.fetch_add(1, RELAXED);
+        self.last_checkpoint_ns.store(now_ns, RELAXED);
+    }
+
+    /// Records `n` checkpoints rejected at recovery (torn, corrupt, or
+    /// unparsable) before a valid one was found.
+    pub fn record_checkpoints_discarded(&self, n: u64) {
+        if n > 0 {
+            self.checkpoints_discarded.fetch_add(n, RELAXED);
+        }
+    }
+
+    /// Records `n` log records recovered from durable segments at startup.
+    pub fn record_recovered_records(&self, n: u64) {
+        if n > 0 {
+            self.recovered_records.fetch_add(n, RELAXED);
+        }
+    }
+
+    /// Records one outcome replayed into the joiner during warm restart.
+    pub fn record_replayed_join(&self) {
+        self.replayed_joins.fetch_add(1, RELAXED);
+    }
+
+    /// Records `n` cold segments folded into training shards by the
+    /// lifecycle compactor.
+    pub fn record_segments_compacted(&self, n: u64) {
+        if n > 0 {
+            self.segments_compacted.fetch_add(n, RELAXED);
+        }
+    }
+
+    /// Records one warm restart (a service resumed from a checkpoint or
+    /// rebuilt its state by full-log replay).
+    pub fn record_restart(&self) {
+        self.restart_count.fetch_add(1, RELAXED);
+    }
+
+    /// Exports the durable counters for the control-plane checkpoint.
+    pub fn checkpoint_counters(&self) -> MetricsState {
+        MetricsState {
+            decisions: self.decisions.load(RELAXED),
+            explorations: self.explorations.load(RELAXED),
+            log_enqueued: self.log_enqueued.load(RELAXED),
+            log_written: self.log_written.load(RELAXED),
+            log_dropped: self.log_dropped.load(RELAXED),
+            log_quarantined: self.log_quarantined.load(RELAXED),
+            join_hits: self.join_hits.load(RELAXED),
+            join_duplicates: self.join_duplicates.load(RELAXED),
+            join_late: self.join_late.load(RELAXED),
+            join_unknown: self.join_unknown.load(RELAXED),
+            timed_out_decisions: self.timed_out_decisions.load(RELAXED),
+            swaps: self.swaps.load(RELAXED),
+            first_decision_ns: self.first_decision_ns.load(RELAXED),
+            last_decision_ns: self.last_decision_ns.load(RELAXED),
+            lock_recoveries: self.lock_recoveries.load(RELAXED),
+            writer_restarts: self.writer_restarts.load(RELAXED),
+            trainer_crashes: self.trainer_crashes.load(RELAXED),
+            breaker_trips: self.breaker_trips.load(RELAXED),
+            breaker_rearms: self.breaker_rearms.load(RELAXED),
+            degraded_decisions: self.degraded_decisions.load(RELAXED),
+            rewards_lost: self.rewards_lost.load(RELAXED),
+            admission_shed: self.admission_shed.load(RELAXED),
+            checkpoints_written: self.checkpoints_written.load(RELAXED),
+            checkpoints_discarded: self.checkpoints_discarded.load(RELAXED),
+            last_checkpoint_ns: self.last_checkpoint_ns.load(RELAXED),
+            recovered_records: self.recovered_records.load(RELAXED),
+            replayed_joins: self.replayed_joins.load(RELAXED),
+            segments_compacted: self.segments_compacted.load(RELAXED),
+            restart_count: self.restart_count.load(RELAXED),
+        }
+    }
+
+    /// Restores checkpointed counters verbatim. The conservation ledger
+    /// resumes exactly where the previous incarnation left it; replay then
+    /// advances it for the post-checkpoint log suffix.
+    pub fn restore_counters(&self, s: &MetricsState) {
+        self.decisions.store(s.decisions, RELAXED);
+        self.explorations.store(s.explorations, RELAXED);
+        self.log_enqueued.store(s.log_enqueued, RELAXED);
+        self.log_written.store(s.log_written, RELAXED);
+        self.log_dropped.store(s.log_dropped, RELAXED);
+        self.log_quarantined.store(s.log_quarantined, RELAXED);
+        self.join_hits.store(s.join_hits, RELAXED);
+        self.join_duplicates.store(s.join_duplicates, RELAXED);
+        self.join_late.store(s.join_late, RELAXED);
+        self.join_unknown.store(s.join_unknown, RELAXED);
+        self.timed_out_decisions
+            .store(s.timed_out_decisions, RELAXED);
+        self.swaps.store(s.swaps, RELAXED);
+        self.first_decision_ns.store(s.first_decision_ns, RELAXED);
+        self.last_decision_ns.store(s.last_decision_ns, RELAXED);
+        self.lock_recoveries.store(s.lock_recoveries, RELAXED);
+        self.writer_restarts.store(s.writer_restarts, RELAXED);
+        self.trainer_crashes.store(s.trainer_crashes, RELAXED);
+        self.breaker_trips.store(s.breaker_trips, RELAXED);
+        self.breaker_rearms.store(s.breaker_rearms, RELAXED);
+        self.degraded_decisions.store(s.degraded_decisions, RELAXED);
+        self.rewards_lost.store(s.rewards_lost, RELAXED);
+        self.admission_shed.store(s.admission_shed, RELAXED);
+        self.checkpoints_written
+            .store(s.checkpoints_written, RELAXED);
+        self.checkpoints_discarded
+            .store(s.checkpoints_discarded, RELAXED);
+        self.last_checkpoint_ns.store(s.last_checkpoint_ns, RELAXED);
+        self.recovered_records.store(s.recovered_records, RELAXED);
+        self.replayed_joins.store(s.replayed_joins, RELAXED);
+        self.segments_compacted.store(s.segments_compacted, RELAXED);
+        self.restart_count.store(s.restart_count, RELAXED);
+    }
+
     /// The fault signal the circuit breaker watches: a monotone count of
     /// everything that indicates the log pipeline or trainer is degrading.
     /// Healthy operation keeps this flat; the breaker trips on its slope.
@@ -289,6 +414,20 @@ impl ServeMetrics {
             degraded_decisions: self.degraded_decisions.load(RELAXED),
             rewards_lost: self.rewards_lost.load(RELAXED),
             admission_shed: self.admission_shed.load(RELAXED),
+            checkpoints_written: self.checkpoints_written.load(RELAXED),
+            checkpoints_discarded: self.checkpoints_discarded.load(RELAXED),
+            checkpoint_age_ns: {
+                let ckpt = self.last_checkpoint_ns.load(RELAXED);
+                if ckpt == u64::MAX {
+                    0
+                } else {
+                    last.saturating_sub(ckpt)
+                }
+            },
+            recovered_records: self.recovered_records.load(RELAXED),
+            replayed_joins: self.replayed_joins.load(RELAXED),
+            segments_compacted: self.segments_compacted.load(RELAXED),
+            restart_count: self.restart_count.load(RELAXED),
         }
     }
 }
@@ -360,6 +499,61 @@ pub struct MetricsSnapshot {
     /// Requests refused by a front-door admission layer (wire rate limits,
     /// queue budgets, deadline sheds) before reaching a shard.
     pub admission_shed: u64,
+    /// Control-plane checkpoints published.
+    pub checkpoints_written: u64,
+    /// Checkpoints rejected at recovery (torn, corrupt, or unparsable)
+    /// before a valid one was found — counted, never silent.
+    pub checkpoints_discarded: u64,
+    /// Logical nanoseconds from the newest checkpoint to the newest
+    /// decision — the replay exposure a crash right now would incur. Zero
+    /// until the first checkpoint is published.
+    pub checkpoint_age_ns: u64,
+    /// Log records recovered from durable segments at startup.
+    pub recovered_records: u64,
+    /// Outcomes replayed into the joiner during warm restart.
+    pub replayed_joins: u64,
+    /// Cold segments folded into training shards by the lifecycle
+    /// compactor.
+    pub segments_compacted: u64,
+    /// Warm restarts performed (resume from checkpoint or full-log replay).
+    pub restart_count: u64,
+}
+
+/// The durable counter set carried inside a control-plane checkpoint: every
+/// monotone counter (and the logical time stamps), excluding the derived
+/// rates a snapshot computes on the fly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field-for-field mirror of the counters above
+pub struct MetricsState {
+    pub decisions: u64,
+    pub explorations: u64,
+    pub log_enqueued: u64,
+    pub log_written: u64,
+    pub log_dropped: u64,
+    pub log_quarantined: u64,
+    pub join_hits: u64,
+    pub join_duplicates: u64,
+    pub join_late: u64,
+    pub join_unknown: u64,
+    pub timed_out_decisions: u64,
+    pub swaps: u64,
+    pub first_decision_ns: u64,
+    pub last_decision_ns: u64,
+    pub lock_recoveries: u64,
+    pub writer_restarts: u64,
+    pub trainer_crashes: u64,
+    pub breaker_trips: u64,
+    pub breaker_rearms: u64,
+    pub degraded_decisions: u64,
+    pub rewards_lost: u64,
+    pub admission_shed: u64,
+    pub checkpoints_written: u64,
+    pub checkpoints_discarded: u64,
+    pub last_checkpoint_ns: u64,
+    pub recovered_records: u64,
+    pub replayed_joins: u64,
+    pub segments_compacted: u64,
+    pub restart_count: u64,
 }
 
 #[cfg(test)]
@@ -447,6 +641,44 @@ mod tests {
                 "empty snapshot leaked `{token}`: {json}"
             );
         }
+    }
+
+    #[test]
+    fn counters_round_trip_through_checkpoint_state() {
+        let m = ServeMetrics::new();
+        for i in 0..7 {
+            m.record_decision(i * 1000, i % 3 == 0);
+        }
+        m.record_enqueued_n(7);
+        m.record_written_n(6);
+        m.record_dropped();
+        m.record_join_hit();
+        m.record_checkpoint(5000);
+        m.record_recovered_records(6);
+        m.record_replayed_join();
+        m.record_segments_compacted(2);
+        m.record_restart();
+        m.record_checkpoints_discarded(1);
+        let state = m.checkpoint_counters();
+        let restored = ServeMetrics::new();
+        restored.restore_counters(&state);
+        assert_eq!(restored.checkpoint_counters(), state);
+        assert_eq!(restored.snapshot(), m.snapshot());
+        let s = restored.snapshot();
+        assert_eq!(s.checkpoints_written, 1);
+        assert_eq!(s.checkpoints_discarded, 1);
+        assert_eq!(s.checkpoint_age_ns, 1000); // last decision 6000, ckpt 5000
+        assert_eq!(s.recovered_records, 6);
+        assert_eq!(s.replayed_joins, 1);
+        assert_eq!(s.segments_compacted, 2);
+        assert_eq!(s.restart_count, 1);
+    }
+
+    #[test]
+    fn checkpoint_age_is_zero_before_the_first_checkpoint() {
+        let m = ServeMetrics::new();
+        m.record_decision(9999, false);
+        assert_eq!(m.snapshot().checkpoint_age_ns, 0);
     }
 
     #[test]

@@ -13,13 +13,16 @@ use std::sync::{Arc, Mutex};
 
 use harvest_core::scorer::{LinearScorer, Scorer};
 use harvest_core::{Context, SimpleContext};
+use serde::{Deserialize, Serialize};
 
 use crate::error::lock_recovering;
 use crate::metrics::ServeMetrics;
 
 /// A servable policy: either the explore-only bootstrap or a learned scorer
 /// exploited greedily. The engine wraps either in an ε exploration floor.
-#[derive(Debug, Clone)]
+/// Serializable because the incumbent is part of the durable control-plane
+/// checkpoint (see [`crate::recovery`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ServePolicy {
     /// Uniform over the action set — the bootstrap incumbent before any
     /// model has been trained. Every action has propensity `1/K`.
@@ -72,7 +75,7 @@ impl ServePolicy {
 }
 
 /// One immutable registered policy version.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PolicyVersion {
     /// Monotone version number; the bootstrap incumbent is generation 0.
     pub generation: u64,
@@ -166,6 +169,20 @@ impl PolicyRegistry {
         self.generation.store(gen, Ordering::SeqCst);
         self.swaps.fetch_add(1, Ordering::SeqCst);
         gen
+    }
+
+    /// Restores a checkpointed incumbent verbatim: generation, name, policy,
+    /// and the lifetime swap count. Unlike [`promote`](Self::promote) this
+    /// neither advances the generation nor counts a swap — a warm restart
+    /// resumes the old incarnation's history, it does not rewrite it.
+    pub fn restore(&self, version: PolicyVersion, swaps: u64) {
+        let gen = version.generation;
+        let next = Arc::new(version);
+        let inactive = 1 - self.active.load(Ordering::SeqCst);
+        *lock_recovering(&self.slots[inactive], self.metrics.as_deref()) = next;
+        self.active.store(inactive, Ordering::SeqCst);
+        self.generation.store(gen, Ordering::SeqCst);
+        self.swaps.store(swaps, Ordering::SeqCst);
     }
 }
 

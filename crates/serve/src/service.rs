@@ -108,10 +108,6 @@ impl Default for ServeConfig {
     }
 }
 
-/// Former name of [`ServeConfig`].
-#[deprecated(since = "0.1.0", note = "renamed to ServeConfig")]
-pub type ServiceConfig = ServeConfig;
-
 impl ServeConfig {
     /// A builder starting from the defaults.
     pub fn builder() -> ServeConfigBuilder {
@@ -253,24 +249,27 @@ pub struct PromotionReport {
 ///
 /// [`MemorySegments`]: harvest_log::segment::MemorySegments
 pub struct DecisionService<S: SegmentSink + Send + 'static> {
-    registry: Arc<PolicyRegistry>,
-    engine: DecisionEngine,
-    joiner: Mutex<RewardJoiner>,
+    // Fields are crate-visible so the warm-restart path
+    // ([`crate::recovery`]) can capture and restore them without widening
+    // the public surface.
+    pub(crate) registry: Arc<PolicyRegistry>,
+    pub(crate) engine: DecisionEngine,
+    pub(crate) joiner: Mutex<RewardJoiner>,
     logger: DecisionLogger,
     writer: Option<WriterSupervisorHandle<S>>,
-    metrics: Arc<ServeMetrics>,
+    pub(crate) metrics: Arc<ServeMetrics>,
     trainer: Trainer,
     /// Promotion naming counter (`cb-round-N`); advances only on promotion.
-    rounds: Mutex<u64>,
+    pub(crate) rounds: Mutex<u64>,
     /// Training-round index for chaos crash scheduling; advances per call.
-    train_rounds: AtomicU64,
-    breaker: CircuitBreaker,
+    pub(crate) train_rounds: AtomicU64,
+    pub(crate) breaker: CircuitBreaker,
     safe_policy: ServePolicy,
-    chaos: Option<Arc<ChaosPlan>>,
+    pub(crate) chaos: Option<Arc<ChaosPlan>>,
     /// Global decision index for chaos scheduling (poison faults).
-    decision_seq: AtomicU64,
+    pub(crate) decision_seq: AtomicU64,
     /// Global reward-call index for chaos scheduling (drop/delay faults).
-    reward_seq: AtomicU64,
+    pub(crate) reward_seq: AtomicU64,
 }
 
 impl<S: SegmentSink + Send + 'static> DecisionService<S> {
@@ -287,7 +286,7 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         Self::build(cfg, sink, Some(Arc::new(plan)))
     }
 
-    fn build(cfg: ServeConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
+    pub(crate) fn build(cfg: ServeConfig, sink: S, chaos: Option<Arc<ChaosPlan>>) -> Self {
         let metrics = if cfg.obs.enabled {
             Arc::new(ServeMetrics::with_obs(Arc::new(ServeObs::new(&cfg.obs))))
         } else {

@@ -62,6 +62,12 @@ pub struct SupervisorConfig {
     pub backoff_base_ms: u64,
     /// Backoff ceiling in milliseconds.
     pub backoff_cap_ms: u64,
+    /// Starting value of the fault-index clock (records popped so far).
+    /// Zero for a fresh service; a warm restart sets it to the records the
+    /// previous incarnation durably accounted (`written + quarantined`), so
+    /// a seeded [`ChaosPlan`]'s writer faults keyed below it — already
+    /// consumed before the crash — can never re-fire.
+    pub first_record_index: u64,
 }
 
 impl Default for SupervisorConfig {
@@ -70,6 +76,7 @@ impl Default for SupervisorConfig {
             max_restarts: 8,
             backoff_base_ms: 1,
             backoff_cap_ms: 50,
+            first_record_index: 0,
         }
     }
 }
@@ -101,6 +108,13 @@ impl SupervisorConfigBuilder {
     /// Backoff ceiling in milliseconds.
     pub fn backoff_cap_ms(mut self, ms: u64) -> Self {
         self.0.backoff_cap_ms = ms;
+        self
+    }
+
+    /// Starting value of the fault-index clock (warm restarts resume it at
+    /// the previous incarnation's `written + quarantined`).
+    pub fn first_record_index(mut self, index: u64) -> Self {
+        self.0.first_record_index = index;
         self
     }
 
@@ -373,17 +387,22 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
     let (tx, rx) = sync_channel(cfg.capacity.max(1));
     let budget = Arc::new(QueueBudget::new(cfg.capacity.max(1) as u64));
     let kills = chaos.as_ref().map(|c| c.writer_kills()).unwrap_or_default();
-    let mut writer = SegmentedLogWriter::new(sink, cfg.segment);
+    let mut writer = SegmentedLogWriter::with_start(sink, cfg.segment, cfg.first_segment);
     if let Some(obs) = metrics.obs() {
         writer.set_observer(seal_observer(obs));
     }
+    // Resume the fault-index clock where the previous incarnation durably
+    // left it: kills keyed strictly below it already fired before the
+    // crash, so the cursor starts past them; a kill keyed exactly at the
+    // resume index targets a record not yet popped and stays armed.
+    let kill_cursor = kills.partition_point(|&k| k < sup.first_record_index);
     let shared = Arc::new(WriterShared {
         rx: Mutex::new(rx),
         budget: Arc::clone(&budget),
         writer: Mutex::new(Some(writer)),
-        attempted: AtomicU64::new(0),
+        attempted: AtomicU64::new(sup.first_record_index),
         kills,
-        kill_cursor: AtomicUsize::new(0),
+        kill_cursor: AtomicUsize::new(kill_cursor),
         chaos,
         metrics: Arc::clone(&metrics),
     });
@@ -428,7 +447,9 @@ mod tests {
             segment: SegmentConfig {
                 max_records: 16,
                 max_bytes: usize::MAX,
+                max_span_ns: u64::MAX,
             },
+            first_segment: 0,
         }
     }
 
@@ -538,6 +559,7 @@ mod tests {
                 max_restarts: 2,
                 backoff_base_ms: 1,
                 backoff_cap_ms: 2,
+                first_record_index: 0,
             },
             Arc::clone(&metrics),
             Some(Arc::new(plan)),

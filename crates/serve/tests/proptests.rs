@@ -93,7 +93,7 @@ proptest! {
         let cfg = LoggerConfig::builder()
             .capacity(capacity)
             .backpressure(if block { Backpressure::Block } else { Backpressure::DropNewest })
-            .segment(SegmentConfig { max_records: 16, max_bytes: usize::MAX })
+            .segment(SegmentConfig { max_records: 16, max_bytes: usize::MAX, max_span_ns: u64::MAX })
             .build();
         let mut plan = ChaosPlan::none();
         for k in &kills {

@@ -259,6 +259,33 @@ pub enum AtRestFault {
     },
 }
 
+/// A fault aimed at the checkpoint path, keyed by checkpoint index (the Nth
+/// `DecisionService::checkpoint` call). The first two variants model a crash
+/// racing the checkpoint write; the last two damage the checkpoint itself —
+/// recovery must fall back to the previous valid one, counted never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointFault {
+    /// The process dies before any checkpoint bytes are written: the newest
+    /// durable state is the *previous* checkpoint plus the decision log.
+    KillBefore,
+    /// The checkpoint write tears mid-frame (only `keep_frac` of the bytes
+    /// land) and the process dies: the torn blob must fail validation.
+    Tear {
+        /// Fraction of the checkpoint blob to persist, in `(0, 1)`.
+        keep_frac: f64,
+    },
+    /// The checkpoint is written whole, then one payload byte rots at rest
+    /// (XOR mask, non-zero). The process continues; a later restart must
+    /// detect the damage via the CRC and fall back.
+    Corrupt {
+        /// The XOR mask (non-zero).
+        xor: u8,
+    },
+    /// The checkpoint is written cleanly and the process dies immediately
+    /// after: the pure warm-restart case, with an empty replay suffix.
+    KillAfter,
+}
+
 /// Sizing for [`ChaosPlan::generate`]: how many operations of each kind the
 /// driven trace will perform, so fault indices land inside it.
 #[derive(Debug, Clone, Copy, Default)]
@@ -271,6 +298,8 @@ pub struct ChaosHorizon {
     pub decisions: u64,
     /// Training rounds (fault window for trainer crashes).
     pub rounds: u64,
+    /// Checkpoint calls (fault window for checkpoint faults).
+    pub checkpoints: u64,
 }
 
 /// How many faults of each class [`ChaosPlan::generate`] schedules.
@@ -294,6 +323,14 @@ pub struct ChaosPlanConfig {
     pub at_rest_corruptions: usize,
     /// At-rest torn tails.
     pub at_rest_tears: usize,
+    /// Crashes just before a checkpoint write.
+    pub checkpoint_kills_before: usize,
+    /// Torn checkpoint writes (crash mid-write).
+    pub checkpoint_tears: usize,
+    /// At-rest checkpoint corruptions.
+    pub checkpoint_corruptions: usize,
+    /// Crashes just after a clean checkpoint write.
+    pub checkpoint_kills_after: usize,
 }
 
 impl Default for ChaosPlanConfig {
@@ -308,6 +345,10 @@ impl Default for ChaosPlanConfig {
             trainer_crashes: 1,
             at_rest_corruptions: 1,
             at_rest_tears: 1,
+            checkpoint_kills_before: 0,
+            checkpoint_tears: 0,
+            checkpoint_corruptions: 0,
+            checkpoint_kills_after: 0,
         }
     }
 }
@@ -327,6 +368,7 @@ pub struct ChaosPlan {
     poisons: std::collections::BTreeSet<u64>,
     trainer: std::collections::BTreeSet<u64>,
     at_rest: Vec<AtRestFault>,
+    checkpoints: std::collections::BTreeMap<u64, CheckpointFault>,
 }
 
 impl ChaosPlan {
@@ -382,6 +424,12 @@ impl ChaosPlan {
     /// Adds an at-rest damage entry, applied by the harness between waves.
     pub fn damage_at_rest(mut self, fault: AtRestFault) -> Self {
         self.at_rest.push(fault);
+        self
+    }
+
+    /// Schedules a checkpoint fault at checkpoint call `index`.
+    pub fn fault_checkpoint_at(mut self, index: u64, fault: CheckpointFault) -> Self {
+        self.checkpoints.insert(index, fault);
         self
     }
 
@@ -442,6 +490,33 @@ impl ChaosPlan {
                 keep_frac: rng.gen_range(0.05..0.95),
             });
         }
+        let ckpt_idx = sample_distinct(
+            cfg.checkpoint_kills_before
+                + cfg.checkpoint_tears
+                + cfg.checkpoint_corruptions
+                + cfg.checkpoint_kills_after,
+            horizon.checkpoints,
+            rng,
+        );
+        for (i, idx) in ckpt_idx.into_iter().enumerate() {
+            let fault = if i < cfg.checkpoint_kills_before {
+                CheckpointFault::KillBefore
+            } else if i < cfg.checkpoint_kills_before + cfg.checkpoint_tears {
+                CheckpointFault::Tear {
+                    keep_frac: rng.gen_range(0.05..0.95),
+                }
+            } else if i < cfg.checkpoint_kills_before
+                + cfg.checkpoint_tears
+                + cfg.checkpoint_corruptions
+            {
+                CheckpointFault::Corrupt {
+                    xor: rng.gen_range(1..256u32) as u8,
+                }
+            } else {
+                CheckpointFault::KillAfter
+            };
+            plan.checkpoints.insert(idx, fault);
+        }
         plan
     }
 
@@ -479,6 +554,16 @@ impl ChaosPlan {
         &self.at_rest
     }
 
+    /// The checkpoint fault scheduled for checkpoint call `index`, if any.
+    pub fn checkpoint_fault_at(&self, index: u64) -> Option<CheckpointFault> {
+        self.checkpoints.get(&index).copied()
+    }
+
+    /// All scheduled checkpoint faults, keyed by checkpoint index, sorted.
+    pub fn checkpoint_faults(&self) -> Vec<(u64, CheckpointFault)> {
+        self.checkpoints.iter().map(|(&i, &f)| (i, f)).collect()
+    }
+
     /// Total scheduled faults across all classes.
     pub fn len(&self) -> usize {
         self.writer.len()
@@ -486,6 +571,7 @@ impl ChaosPlan {
             + self.poisons.len()
             + self.trainer.len()
             + self.at_rest.len()
+            + self.checkpoints.len()
     }
 
     /// True when no faults are scheduled.
@@ -496,12 +582,13 @@ impl ChaosPlan {
     /// One-line human summary ("2 writer, 4 reward, …").
     pub fn summary(&self) -> String {
         format!(
-            "{} writer, {} reward, {} poison, {} trainer, {} at-rest",
+            "{} writer, {} reward, {} poison, {} trainer, {} at-rest, {} checkpoint",
             self.writer.len(),
             self.rewards.len(),
             self.poisons.len(),
             self.trainer.len(),
-            self.at_rest.len()
+            self.at_rest.len(),
+            self.checkpoints.len()
         )
     }
 }
@@ -552,6 +639,12 @@ impl ChaosPlanBuilder {
     /// Adds an at-rest damage entry, applied by the harness between waves.
     pub fn damage_at_rest(mut self, fault: AtRestFault) -> Self {
         self.0 = self.0.damage_at_rest(fault);
+        self
+    }
+
+    /// Schedules a checkpoint fault at checkpoint call `index`.
+    pub fn fault_checkpoint_at(mut self, index: u64, fault: CheckpointFault) -> Self {
+        self.0 = self.0.fault_checkpoint_at(index, fault);
         self
     }
 
@@ -671,6 +764,7 @@ mod tests {
             rewards: 10_000,
             decisions: 10_000,
             rounds: 4,
+            checkpoints: 0,
         };
         let a = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "chaos"));
         let b = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "chaos"));
@@ -704,6 +798,7 @@ mod tests {
             rewards: 100,
             decisions: 100,
             rounds: 2,
+            checkpoints: 0,
         };
         let plan = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(9, "sat"));
         // 100 requested writer faults cannot exceed 10 distinct indices.
@@ -727,7 +822,8 @@ mod tests {
             .damage_at_rest(AtRestFault::TearTail {
                 segment_frac: 0.5,
                 keep_frac: 0.5,
-            });
+            })
+            .fault_checkpoint_at(2, CheckpointFault::Tear { keep_frac: 0.5 });
         assert_eq!(plan.writer_fault_at(5), Some(WriterFault::Kill));
         assert_eq!(plan.writer_fault_at(6), None);
         assert_eq!(plan.writer_kills(), vec![5]);
@@ -742,12 +838,57 @@ mod tests {
         );
         assert!(plan.poison_at(7) && !plan.poison_at(8));
         assert!(plan.trainer_crash_at(1) && !plan.trainer_crash_at(0));
-        assert_eq!(plan.len(), 7);
+        assert_eq!(
+            plan.checkpoint_fault_at(2),
+            Some(CheckpointFault::Tear { keep_frac: 0.5 })
+        );
+        assert_eq!(plan.checkpoint_fault_at(3), None);
+        assert_eq!(
+            plan.checkpoint_faults(),
+            vec![(2, CheckpointFault::Tear { keep_frac: 0.5 })]
+        );
+        assert_eq!(plan.len(), 8);
         assert!(!plan.is_empty());
         assert_eq!(
             plan.summary(),
-            "2 writer, 2 reward, 1 poison, 1 trainer, 1 at-rest"
+            "2 writer, 2 reward, 1 poison, 1 trainer, 1 at-rest, 1 checkpoint"
         );
+    }
+
+    #[test]
+    fn generated_checkpoint_faults_are_sized_and_deterministic() {
+        let cfg = ChaosPlanConfig {
+            checkpoint_kills_before: 1,
+            checkpoint_tears: 1,
+            checkpoint_corruptions: 1,
+            checkpoint_kills_after: 1,
+            ..ChaosPlanConfig::default()
+        };
+        let horizon = ChaosHorizon {
+            writer_records: 1_000,
+            rewards: 1_000,
+            decisions: 1_000,
+            rounds: 4,
+            checkpoints: 16,
+        };
+        let a = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "ckpt"));
+        let b = ChaosPlan::generate(&cfg, &horizon, &mut fork_rng(7, "ckpt"));
+        assert_eq!(a.checkpoint_faults(), b.checkpoint_faults());
+        assert_eq!(a.checkpoint_faults().len(), 4);
+        let kinds: Vec<CheckpointFault> =
+            a.checkpoint_faults().into_iter().map(|(_, f)| f).collect();
+        assert!(kinds
+            .iter()
+            .any(|f| matches!(f, CheckpointFault::KillBefore)));
+        assert!(kinds
+            .iter()
+            .any(|f| matches!(f, CheckpointFault::Tear { .. })));
+        assert!(kinds
+            .iter()
+            .any(|f| matches!(f, CheckpointFault::Corrupt { xor } if *xor != 0)));
+        assert!(kinds
+            .iter()
+            .any(|f| matches!(f, CheckpointFault::KillAfter)));
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub mod trace;
 pub mod workload;
 
 pub use event::{EventQueue, ScheduledEvent, Simulator};
-pub use fault::{AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanConfig, RewardFault, WriterFault};
-pub use rng::{fork_rng, DetRng};
+pub use fault::{
+    AtRestFault, ChaosHorizon, ChaosPlan, ChaosPlanConfig, CheckpointFault, RewardFault,
+    WriterFault,
+};
+pub use rng::{fork_rng, rng_from_state, rng_state, DetRng};
 pub use time::{SimDuration, SimTime};

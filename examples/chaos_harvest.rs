@@ -42,6 +42,7 @@ fn main() {
         rewards: REQUESTS as u64,
         decisions: REQUESTS as u64,
         rounds: TRAIN_ROUNDS as u64,
+        checkpoints: 0,
     };
     let mut plan_rng = fork_rng(seed, "chaos-plan");
     let plan = ChaosPlan::generate(&ChaosPlanConfig::default(), &horizon, &mut plan_rng);
@@ -60,6 +61,7 @@ fn main() {
                 .segment(SegmentConfig {
                     max_records: 128,
                     max_bytes: 64 * 1024,
+                    max_span_ns: u64::MAX,
                 })
                 .build(),
         )

@@ -159,6 +159,7 @@ fn main() {
                 .segment(SegmentConfig {
                     max_records: 256,
                     max_bytes: 64 * 1024,
+                    max_span_ns: u64::MAX,
                 })
                 .build(),
         )

@@ -39,6 +39,7 @@ fn service_config(seed: u64) -> ServeConfig {
                 .segment(SegmentConfig {
                     max_records: 64,
                     max_bytes: 64 * 1024,
+                    max_span_ns: u64::MAX,
                 })
                 .build(),
         )
@@ -186,6 +187,7 @@ fn a_generated_chaos_schedule_conserves_every_record() {
             rewards: 400,
             decisions: 400,
             rounds: 2,
+            checkpoints: 0,
         };
         let mut rng = fork_rng(seed, "chaos-plan");
         let plan = ChaosPlan::generate(&ChaosPlanConfig::default(), &horizon, &mut rng);
@@ -222,6 +224,7 @@ fn same_seed_chaos_runs_recover_byte_identical_prefixes() {
             rewards: 300,
             decisions: 300,
             rounds: 1,
+            checkpoints: 0,
         };
         let mut rng = fork_rng(seed, "chaos-plan");
         let plan = ChaosPlan::generate(&ChaosPlanConfig::default(), &horizon, &mut rng);

@@ -27,9 +27,16 @@ const LINTED: &[&str] = &[
     "crates/wire/src",
 ];
 
-/// Ambient-nondeterminism tokens. `thread_rng` is the OS-seeded RNG;
-/// the two `now`s read the wall clock.
-const FORBIDDEN: &[&str] = &["thread_rng", "SystemTime::now", "Instant::now"];
+/// Ambient-nondeterminism tokens. `thread_rng` is the OS-seeded RNG, the
+/// two `now`s read the wall clock, and `from_entropy` seeds an RNG from
+/// the OS — any of them would make a warm restart's replayed RNG stream
+/// diverge from the incarnation that logged the decisions.
+const FORBIDDEN: &[&str] = &[
+    "thread_rng",
+    "SystemTime::now",
+    "Instant::now",
+    "from_entropy",
+];
 
 fn scan(dir: &Path, violations: &mut Vec<String>) {
     for entry in std::fs::read_dir(dir).unwrap() {

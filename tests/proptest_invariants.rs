@@ -271,7 +271,7 @@ proptest! {
         let store = MemorySegments::new();
         let mut writer = SegmentedLogWriter::new(
             store.clone(),
-            SegmentConfig { max_records, max_bytes: usize::MAX },
+            SegmentConfig { max_records, max_bytes: usize::MAX, max_span_ns: u64::MAX },
         );
         for r in &records {
             writer.write(r).unwrap();

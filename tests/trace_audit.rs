@@ -36,6 +36,7 @@ fn service_config(seed: u64) -> ServeConfig {
                 .segment(SegmentConfig {
                     max_records: 64,
                     max_bytes: 64 * 1024,
+                    max_span_ns: u64::MAX,
                 })
                 .build(),
         )
@@ -93,6 +94,7 @@ fn every_decision_reaches_exactly_one_terminal_state_under_chaos() {
             rewards: REQUESTS as u64,
             decisions: REQUESTS as u64,
             rounds: 1,
+            checkpoints: 0,
         };
         let mut plan_rng = fork_rng(seed, "trace-audit-plan");
         let plan = ChaosPlan::generate(&ChaosPlanConfig::default(), &horizon, &mut plan_rng);

@@ -51,6 +51,7 @@ fn config(seed: u64) -> ServeConfig {
                 .segment(SegmentConfig {
                     max_records: 96,
                     max_bytes: 64 * 1024,
+                    max_span_ns: u64::MAX,
                 })
                 .build(),
         )
