@@ -4,16 +4,17 @@
 //! Worker threads hammer a [`DecisionEngine`] under a greedy incumbent
 //! (the realistic hot path: one atomic generation check, a scorer pass, one
 //! or two RNG draws, one record enqueue). With a single shard every thread
-//! serializes on the same lock; with one shard per thread each lock is
-//! effectively private. Sharding wins in both worlds: on multi-core
-//! hardware the shards genuinely run in parallel, and even on a single
-//! core the uncontended locks skip the futex sleep/wake churn that a
-//! contended shard pays on every decision.
+//! serializes on the same shard cell; with one shard per thread each cell
+//! is effectively private and its acquire is one uncontended atomic swap.
+//! The cross-shard axis rotates every thread across all shards so the cost
+//! of violating affinity (cache-line bouncing, spin handoffs) stays
+//! visible next to the affine number — the regression the pre-refactor
+//! bench never measured.
 //!
 //! The batch axis measures what `decide_batch` amortizes: batch 1 is the
 //! degenerate case (batch framing overhead with no amortization), batch 16
-//! pays the lock/sequence/queue-admission/log-frame cost once per 16
-//! decisions, batch 256 almost never. That group serves the uniform
+//! pays the cell-acquire/sequence/queue-admission/log-frame cost once per
+//! 16 decisions, batch 256 almost never. That group serves the uniform
 //! bootstrap incumbent and carries its own single-call baseline (see
 //! [`bench_batch`]); the acceptance floor is batch 256 on 8 shards at
 //! ≥ 2× that baseline's decisions/sec.
@@ -57,11 +58,14 @@ fn make_engine(
         Arc::new(ServeMetrics::new())
     };
     let registry = Arc::new(PolicyRegistry::new(policy, "bench-policy"));
-    // DropNewest: under saturation the hot path pays a failed try_send and
-    // a counter bump, never a stall on the writer thread.
+    // DropNewest: under saturation the hot path pays a failed ring push and
+    // a counter bump, never a stall on the writer thread. One SPSC ring per
+    // shard so the bench exercises the same producer routing the service
+    // wires up.
     let cfg = LoggerConfig::builder()
         .capacity(4096)
         .backpressure(Backpressure::DropNewest)
+        .shard_rings(shards)
         .build();
     let (logger, writer) = spawn_supervised_writer(
         cfg,
@@ -82,7 +86,7 @@ fn make_engine(
 }
 
 /// A realistically-sized model: 8 actions × 32 shared features. The scorer
-/// pass runs under the shard lock, so this is the contended work.
+/// pass runs while the shard cell is held, so this is the contended work.
 fn greedy_policy() -> ServePolicy {
     ServePolicy::Greedy(LinearScorer::PerAction {
         weights: (0..ACTIONS)
@@ -134,12 +138,47 @@ fn bench_single(c: &mut Criterion) {
     g.finish();
 }
 
+/// The affinity axis: the same 8-thread/8-shard workload served affine
+/// (each thread owns its shard — the deployment the engine is built for)
+/// vs rotating every thread across all shards each call. The rotating
+/// variant makes every cell acquire a contended cross-core handoff, so the
+/// cost of violating shard affinity is a first-class bench number instead
+/// of an accident smeared into the shard-count comparison (the pre-refactor
+/// bench had no such axis, which is how an 8-shard slowdown shipped
+/// unnoticed — see DESIGN.md).
+fn bench_cross_shard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_throughput_routing");
+    g.sample_size(40);
+    for affine in [true, false] {
+        let (engine, _writer) = make_engine(THREADS, false, greedy_policy());
+        let ctx = bench_context();
+        let name = if affine { "affine" } else { "cross_shard" };
+        g.bench_function(&format!("{THREADS}threads_{THREADS}shards_{name}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let engine = &engine;
+                        let ctx = &ctx;
+                        s.spawn(move || {
+                            for i in 0..DECISIONS_PER_THREAD {
+                                let shard = if affine { t } else { (t + i) % THREADS };
+                                black_box(engine.decide(shard, i as u64, ctx).unwrap());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The batch axis: single calls vs batch size {1, 16, 256}, on {1, 8}
 /// shards. This group runs the **uniform bootstrap incumbent** (the
 /// generation-0 policy every deployment serves before its first trained
 /// model promotes), so the per-decision work under the lock is one RNG
 /// draw — the workload where the fixed per-call costs that `decide_batch`
-/// amortizes (lock acquire, id reservation, queue admission, ledger
+/// amortizes (cell acquire, id reservation, queue admission, ledger
 /// update, log-frame build) *are* the cost being measured, instead of
 /// being masked by a scorer pass that batching cannot amortize. The
 /// `single` entry is the baseline for the acceptance floor: batch 256 on
@@ -202,24 +241,33 @@ fn bench_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single, bench_batch);
+criterion_group!(benches, bench_single, bench_cross_shard, bench_batch);
 
 const JSON_DECISIONS_PER_THREAD: usize = 4_096;
+/// Untimed passes before measurement: warm the allocator, fault in the
+/// ring buffers, and let the branch predictors settle. One warmup pass was
+/// enough to stop `tracing_on` occasionally "beating" `tracing_off` — the
+/// first pass pays one-time costs (page faults, lazy thread-pool state)
+/// that have nothing to do with the axis under test.
+const WARMUP_RUNS: usize = 1;
+/// Measured passes per axis. The reported throughput is the **median**
+/// run (robust to a run eating a scheduler hiccup — the fastest batch
+/// passes finish in under a millisecond, so a single 100µs preemption
+/// swings one run by 20%); the latency percentiles come from the
+/// histograms of *all* measured runs pooled, so tail samples aren't
+/// discarded with the non-median runs.
+const MEASURED_RUNS: usize = 5;
 
-/// One measured pass per axis for the machine-readable report: every
-/// thread records its per-call wall latency into a [`Histogram`], and the
-/// axis rolls up into decisions/sec + p50/p99 in `BENCH_serve.json`.
-/// Separate from the criterion samples so the report pass's per-call
-/// `Instant` reads never skew the timed comparisons above.
-fn json_axis<F>(axes: &mut Vec<AxisResult>, name: String, decisions: u64, run: F)
+/// One timed pass: every thread records its per-call wall latency into a
+/// [`Histogram`]; returns wall time and the merged per-thread histograms.
+fn timed_pass<F>(threads: usize, run: &F) -> (u64, Histogram)
 where
     F: Fn(usize, &mut Histogram) + Sync,
 {
     let start = std::time::Instant::now();
     let hists: Vec<Histogram> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..THREADS)
+        let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let run = &run;
                 s.spawn(move || {
                     let mut h = Histogram::new();
                     run(t, &mut h);
@@ -237,12 +285,44 @@ where
     for h in &hists {
         merged.merge(h);
     }
-    axes.push(AxisResult::from_run(name, decisions, elapsed_ns, &merged));
+    (elapsed_ns, merged)
+}
+
+/// Warmup + multi-run measurement for the machine-readable report: the
+/// axis rolls up into decisions/sec (median run) + pooled p50/p99 in
+/// `BENCH_serve.json`. Separate from the criterion samples so the report
+/// pass's per-call `Instant` reads never skew the timed comparisons above.
+fn json_axis_on<F>(axes: &mut Vec<AxisResult>, name: String, threads: usize, decisions: u64, run: F)
+where
+    F: Fn(usize, &mut Histogram) + Sync,
+{
+    for _ in 0..WARMUP_RUNS {
+        timed_pass(threads, &run);
+    }
+    let mut elapsed = Vec::with_capacity(MEASURED_RUNS);
+    let mut pooled = Histogram::new();
+    for _ in 0..MEASURED_RUNS {
+        let (ns, hist) = timed_pass(threads, &run);
+        elapsed.push(ns);
+        pooled.merge(&hist);
+    }
+    elapsed.sort_unstable();
+    let median_ns = elapsed[elapsed.len() / 2];
+    axes.push(AxisResult::from_run(name, decisions, median_ns, &pooled));
+}
+
+fn json_axis<F>(axes: &mut Vec<AxisResult>, name: String, decisions: u64, run: F)
+where
+    F: Fn(usize, &mut Histogram) + Sync,
+{
+    json_axis_on(axes, name, THREADS, decisions, run);
 }
 
 /// Regenerates the `serve_throughput` section of `BENCH_serve.json`: the
 /// same axes as the criterion groups (shards × tracing for single calls,
-/// shards × batch size for the batched path), one measured pass each.
+/// affine vs cross-shard routing, shards × batch size for the batched
+/// path), plus an uncontended single-decision latency axis — warmup plus
+/// three measured passes each (median throughput, pooled percentiles).
 fn write_json_report() -> std::io::Result<()> {
     let mut axes = Vec::new();
     for (shards, traced) in [
@@ -263,6 +343,46 @@ fn write_json_report() -> std::io::Result<()> {
                 for i in 0..JSON_DECISIONS_PER_THREAD {
                     let t0 = std::time::Instant::now();
                     black_box(engine.decide(shard, i as u64, &ctx).unwrap());
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            },
+        );
+    }
+    // Routing axis: affine (thread t owns shard t) vs rotating every call
+    // across all shards. The delta is the price of violating affinity.
+    for affine in [true, false] {
+        let (engine, _writer) = make_engine(THREADS, false, greedy_policy());
+        let ctx = bench_context();
+        let name = if affine { "affine" } else { "cross_shard" };
+        json_axis(
+            &mut axes,
+            format!("{THREADS}threads_{THREADS}shards_{name}"),
+            (THREADS * JSON_DECISIONS_PER_THREAD) as u64,
+            |t, h| {
+                for i in 0..JSON_DECISIONS_PER_THREAD {
+                    let shard = if affine { t } else { (t + i) % THREADS };
+                    let t0 = std::time::Instant::now();
+                    black_box(engine.decide(shard, i as u64, &ctx).unwrap());
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            },
+        );
+    }
+    // Single-decision latency: one thread, one shard, no contention — the
+    // floor a caller sees per decide() when the hot path has the cell, the
+    // policy slot, and the ring producer gate all to itself.
+    {
+        let (engine, _writer) = make_engine(1, false, greedy_policy());
+        let ctx = bench_context();
+        json_axis_on(
+            &mut axes,
+            "single_decision_latency".to_string(),
+            1,
+            JSON_DECISIONS_PER_THREAD as u64,
+            |_, h| {
+                for i in 0..JSON_DECISIONS_PER_THREAD {
+                    let t0 = std::time::Instant::now();
+                    black_box(engine.decide(0, i as u64, &ctx).unwrap());
                     h.record(t0.elapsed().as_nanos() as u64);
                 }
             },

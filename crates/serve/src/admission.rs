@@ -13,6 +13,7 @@
 //!
 //! [`ServeMetrics::record_admission_shed_n`]: crate::metrics::ServeMetrics::record_admission_shed_n
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// A capacity budget counted in **logical records**: a frame weighs
@@ -31,6 +32,12 @@ use std::sync::{Condvar, Mutex};
 /// work is completed, so a mid-completion panic can never leak capacity
 /// and wedge blocked producers.
 ///
+/// The count itself is a lone atomic: `try_acquire` and `release` — the
+/// lock-free hot path — are a CAS loop each, with no mutex and no futex.
+/// The mutex/condvar pair exists only for `acquire_blocking` waiters, and
+/// `release` touches it only when the waiter counter says someone is
+/// actually parked.
+///
 /// One edge: a single acquisition heavier than the whole capacity can
 /// never fit, so it is admitted when the budget is idle rather than
 /// deadlocking — the bound degrades to "one oversized acquisition at a
@@ -38,7 +45,10 @@ use std::sync::{Condvar, Mutex};
 #[derive(Debug)]
 pub struct QueueBudget {
     capacity: u64,
-    queued: Mutex<u64>,
+    queued: AtomicU64,
+    /// Parked `acquire_blocking` callers; `release` skips the mutex when 0.
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
     freed: Condvar,
 }
 
@@ -47,7 +57,9 @@ impl QueueBudget {
     pub fn new(capacity: u64) -> Self {
         QueueBudget {
             capacity,
-            queued: Mutex::new(0),
+            queued: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            lock: Mutex::new(()),
             freed: Condvar::new(),
         }
     }
@@ -59,41 +71,75 @@ impl QueueBudget {
 
     /// Records currently reserved.
     pub fn in_use(&self) -> u64 {
-        *self.lock()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
-        // The budget lock is only ever held for arithmetic; a poisoned
-        // guard still holds a consistent count, so recover it silently.
-        self.queued.lock().unwrap_or_else(|e| e.into_inner())
+        self.queued.load(Ordering::Acquire)
     }
 
     /// Blocks until `n` records fit (or the queue is empty, for frames
     /// heavier than the whole capacity), then reserves them.
     pub fn acquire_blocking(&self, n: u64) {
-        let mut queued = self.lock();
-        while *queued + n > self.capacity && *queued > 0 {
-            queued = self.freed.wait(queued).unwrap_or_else(|e| e.into_inner());
+        if self.try_acquire(n) {
+            return;
         }
-        *queued += n;
+        // Slow path: register as a waiter, then re-check *inside* the
+        // mutex before every wait — `release` only notifies under the same
+        // mutex (and only when `waiters > 0`), so a release between our
+        // failed try and the wait cannot be missed.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !self.try_acquire(n) {
+            // Bounded wait: the notify-under-mutex protocol makes a lost
+            // wakeup unreachable in practice, and the timeout makes even a
+            // theoretical one cost a stall instead of a deadlock.
+            guard = self
+                .freed
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Reserves `n` records if they fit right now; `false` refuses.
     pub fn try_acquire(&self, n: u64) -> bool {
-        let mut queued = self.lock();
-        if *queued + n > self.capacity && *queued > 0 {
-            return false;
+        let mut queued = self.queued.load(Ordering::Relaxed);
+        loop {
+            if queued.saturating_add(n) > self.capacity && queued > 0 {
+                return false;
+            }
+            match self.queued.compare_exchange_weak(
+                queued,
+                queued.saturating_add(n),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => queued = actual,
+            }
         }
-        *queued += n;
-        true
     }
 
     /// Returns `n` records to the budget and wakes blocked producers.
     pub fn release(&self, n: u64) {
-        let mut queued = self.lock();
-        *queued = queued.saturating_sub(n);
-        drop(queued);
-        self.freed.notify_all();
+        let mut queued = self.queued.load(Ordering::Relaxed);
+        loop {
+            match self.queued.compare_exchange_weak(
+                queued,
+                queued.saturating_sub(n),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => queued = actual,
+            }
+        }
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Take the mutex before notifying: a waiter is either still
+            // inside it (it will re-try and see our decrement) or already
+            // parked (the notify reaches it).
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.freed.notify_all();
+        }
     }
 }
 
@@ -138,5 +184,26 @@ mod tests {
         b.release(1);
         t.join().unwrap();
         assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn contended_acquire_release_conserves_capacity() {
+        let b = Arc::new(QueueBudget::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        b.acquire_blocking(2);
+                        b.release(2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(b.in_use(), 0);
+        assert!(b.try_acquire(8));
     }
 }

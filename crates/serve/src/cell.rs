@@ -1,0 +1,156 @@
+//! Shard-affine ownership cells: the lock-free replacement for
+//! `Vec<Mutex<Shard>>` on the decide path.
+//!
+//! Under the intended deployment each shard's mutable state (RNG stream,
+//! sequence counter, scratch buffers) is touched by exactly one worker
+//! thread, so the cell's gate is **uncontended by construction**: acquiring
+//! it is one uncontended atomic swap, with no futex, no syscall, and no
+//! poisoning machinery. When a caller violates affinity — two threads
+//! hitting the same shard — a striped test-and-test-and-set spin path keeps
+//! the public `decide(shard, ...)` API exactly as correct as the old mutex,
+//! just slower for the offender.
+//!
+//! The cell also carries the *wedge* flag that replaced lock poisoning as
+//! the shard-level chaos fault: there is no mutex left to poison, so
+//! `ChaosPlan` shard poisoning now wedges the cell, and the next acquisition
+//! clears the wedge and reports it (see
+//! [`DecisionEngine::poison_shard`](crate::engine::DecisionEngine::poison_shard)).
+//!
+//! This module is one of the three audited `unsafe` islands in the crate
+//! (with [`ring`](crate::ring) and [`rcu`](crate::rcu)); every `unsafe`
+//! block carries a `// SAFETY:` comment checked by `tests/unsafe_audit.rs`
+//! and the CI grep.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A cache-line-isolated cell owning one shard's mutable state.
+///
+/// `lock` is a TATAS spin acquire: the fast path (shard affinity respected)
+/// is a single uncontended `swap`; the contended path spins on a read
+/// (cheap: no cache-line ping-pong) and yields to the scheduler, which
+/// matters on machines with fewer cores than workers.
+#[repr(align(128))]
+#[derive(Debug)]
+pub(crate) struct ShardCell<T> {
+    gate: AtomicBool,
+    /// Chaos wedge: set by the shard-poison fault, cleared (and counted)
+    /// by the next acquisition.
+    wedged: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the `gate` flag enforces mutual exclusion over `value` — a guard
+// exists only while the gate is held, and `lock` establishes acquire/release
+// ordering with the previous holder — so `&ShardCell<T>` may be shared
+// across threads whenever `T` itself may be sent between them.
+unsafe impl<T: Send> Sync for ShardCell<T> {}
+
+impl<T> ShardCell<T> {
+    pub(crate) fn new(value: T) -> Self {
+        ShardCell {
+            gate: AtomicBool::new(false),
+            wedged: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires exclusive access. Uncontended under shard affinity; spins
+    /// (read-only, yielding) when callers violate it.
+    pub(crate) fn lock(&self) -> ShardCellGuard<'_, T> {
+        loop {
+            if !self.gate.swap(true, Ordering::Acquire) {
+                return ShardCellGuard { cell: self };
+            }
+            // Contended: somebody violated shard affinity. Spin on a plain
+            // load until the gate looks free, yielding so a single-core
+            // host can schedule the holder.
+            let mut spins = 0u32;
+            while self.gate.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Arms the chaos wedge: the next [`lock`](Self::lock)-holder that asks
+    /// will observe (and clear) it.
+    pub(crate) fn wedge(&self) {
+        self.wedged.store(true, Ordering::Release);
+    }
+
+    /// Clears the wedge flag, returning whether it was set. Call while
+    /// holding the guard so wedge recovery is serialized with shard use.
+    pub(crate) fn take_wedge(&self) -> bool {
+        self.wedged.swap(false, Ordering::AcqRel)
+    }
+}
+
+/// Exclusive access to the cell's value; releases the gate on drop.
+#[derive(Debug)]
+pub(crate) struct ShardCellGuard<'a, T> {
+    cell: &'a ShardCell<T>,
+}
+
+impl<T> Deref for ShardCellGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only between a successful gate swap and
+        // the release in `drop`, so this thread has exclusive access.
+        unsafe { &*self.cell.value.get() }
+    }
+}
+
+impl<T> DerefMut for ShardCellGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the gate gives this guard exclusive
+        // access for its whole lifetime.
+        unsafe { &mut *self.cell.value.get() }
+    }
+}
+
+impl<T> Drop for ShardCellGuard<'_, T> {
+    fn drop(&mut self) {
+        self.cell.gate.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_increments_never_lose_updates() {
+        let cell = Arc::new(ShardCell::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *cell.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*cell.lock(), 40_000);
+    }
+
+    #[test]
+    fn wedge_is_observed_once() {
+        let cell = ShardCell::new(());
+        assert!(!cell.take_wedge());
+        cell.wedge();
+        assert!(cell.take_wedge());
+        assert!(!cell.take_wedge());
+    }
+}

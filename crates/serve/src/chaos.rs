@@ -1,7 +1,7 @@
 //! At-rest fault application: simulated disk damage between run and recovery.
 //!
 //! The in-flight fault classes (writer kills, torn writes, reward drops,
-//! poisoned locks, trainer crashes) are injected while the service runs.
+//! shard wedges, trainer crashes) are injected while the service runs.
 //! At-rest faults model what happens *after* the process is gone — bit rot
 //! and torn final writes discovered only when the segments are read back.
 //! [`apply_at_rest_faults`] translates a [`ChaosPlan`]'s fractional damage

@@ -10,7 +10,7 @@
 //! discipline the whole harvesting methodology rests on (paper §2): logged
 //! randomness is only reusable if its probabilities are known.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use harvest_core::{Context, SimpleContext};
 use harvest_log::record::{BatchDecision, BatchRecord, DecisionRecord, LogRecord};
@@ -19,7 +19,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::DecisionBatch;
-use crate::error::{lock_recovering, ServeError};
+use crate::cell::{ShardCell, ShardCellGuard};
+use crate::error::ServeError;
 use crate::logger::DecisionLogger;
 use crate::metrics::ServeMetrics;
 use crate::registry::{CachedPolicy, PolicyRegistry, ServePolicy};
@@ -34,7 +35,9 @@ use crate::registry::{CachedPolicy, PolicyRegistry, ServePolicy};
 #[non_exhaustive]
 pub struct EngineConfig {
     /// Number of decision shards. Each gets an independent RNG stream and
-    /// its own lock, so disjoint shards never contend.
+    /// its own affine ownership cell, so disjoint shards never contend —
+    /// and same-shard calls from the shard's own worker are uncontended by
+    /// construction.
     pub shards: usize,
     /// The exploration floor ε: every action keeps propensity ≥ ε/K.
     pub epsilon: f64,
@@ -194,10 +197,14 @@ fn sample_epsilon_greedy(
     }
 }
 
-/// The sharded decision engine. `decide` is safe to call concurrently from
-/// one thread per shard; different shards share nothing but atomics.
+/// The sharded decision engine. Each shard's mutable state lives in a
+/// shard-affine [`ShardCell`]: the intended one-worker-per-shard deployment
+/// acquires it with a single uncontended atomic swap (no mutex, no futex),
+/// and callers that violate affinity fall back to a striped spin path that
+/// keeps `decide(shard, ...)` exactly as correct as the old per-shard
+/// mutex. Different shards share nothing but atomics.
 pub struct DecisionEngine {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardCell<Shard>>,
     registry: Arc<PolicyRegistry>,
     epsilon: f64,
     component: String,
@@ -226,7 +233,7 @@ impl DecisionEngine {
         );
         let shards = (0..cfg.shards)
             .map(|i| {
-                Mutex::new(Shard {
+                ShardCell::new(Shard {
                     rng: fork_rng_indexed(cfg.master_seed, "serve-shard", i as u64),
                     seq: 0,
                     cache: CachedPolicy::new(&registry),
@@ -249,15 +256,28 @@ impl DecisionEngine {
         self.shards.len()
     }
 
+    /// Acquires shard `shard`'s cell — uncontended under shard affinity —
+    /// and services any pending chaos wedge: a wedged shard is recovered
+    /// and counted here, at its next acquisition, exactly where the old
+    /// mutex recovered from poisoning. The caller must have bounds-checked
+    /// `shard`.
+    fn lock_shard(&self, shard: usize) -> ShardCellGuard<'_, Shard> {
+        let cell = &self.shards[shard];
+        let guard = cell.lock();
+        if cell.take_wedge() {
+            self.metrics.record_shard_wedge();
+        }
+        guard
+    }
+
     /// Snapshots every shard's durable state (RNG position, next sequence
     /// number, last decision stamp) for the control-plane checkpoint. Call
     /// from a quiescent point — between waves, not mid-decision — so the
     /// snapshot is a consistent cut of all shards.
     pub fn shard_states(&self) -> Vec<ShardState> {
-        self.shards
-            .iter()
-            .map(|slot| {
-                let guard = lock_recovering(slot, Some(&self.metrics));
+        (0..self.shards.len())
+            .map(|i| {
+                let guard = self.lock_shard(i);
                 ShardState {
                     rng: rng_state(&guard.rng),
                     seq: guard.seq,
@@ -281,8 +301,8 @@ impl DecisionEngine {
                 ),
             });
         }
-        for (slot, state) in self.shards.iter().zip(states) {
-            let mut guard = lock_recovering(slot, Some(&self.metrics));
+        for (i, state) in states.iter().enumerate() {
+            let mut guard = self.lock_shard(i);
             guard.rng = rng_from_state(state.rng);
             guard.seq = state.seq;
             guard.last_ns = state.last_ns;
@@ -309,7 +329,7 @@ impl DecisionEngine {
                 shards: self.shards.len(),
             });
         }
-        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
+        let mut guard = self.lock_shard(shard);
         let version = Arc::clone(guard.cache.get(&self.registry));
         let (action, _propensity, explored) =
             sample_epsilon_greedy(&mut guard.rng, &version.policy, ctx, self.epsilon);
@@ -340,8 +360,9 @@ impl DecisionEngine {
     /// log queue before this returns, degraded or not: even safe-arm
     /// traffic stays harvestable.
     ///
-    /// A poisoned shard lock (another caller panicked mid-decision) is
-    /// recovered and counted, never propagated: the shard's RNG, sequence
+    /// A wedged shard (the chaos fault that replaced lock poisoning — see
+    /// [`poison_shard`](DecisionEngine::poison_shard)) is recovered and
+    /// counted at acquisition, never propagated: the shard's RNG, sequence
     /// counter, and policy cache are each valid at every instant.
     pub fn decide_with(
         &self,
@@ -356,7 +377,7 @@ impl DecisionEngine {
                 shards: self.shards.len(),
             });
         }
-        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
+        let mut guard = self.lock_shard(shard);
         let version = Arc::clone(guard.cache.get(&self.registry));
         let degraded = fallback.is_some();
         let policy = fallback.unwrap_or(&version.policy);
@@ -478,7 +499,7 @@ impl DecisionEngine {
         out.decisions.reserve(contexts.len());
         out.entries.reserve(contexts.len());
 
-        let mut guard = lock_recovering(&self.shards[shard], Some(&self.metrics));
+        let mut guard = self.lock_shard(shard);
         // One reservation for the whole batch: the contiguous id range the
         // same number of single calls would have drawn one by one.
         let first_seq = guard.seq;
@@ -590,19 +611,20 @@ impl DecisionEngine {
         Ok(())
     }
 
-    /// Chaos hook: poisons `shard`'s lock by panicking (and catching the
-    /// panic) while holding it — exactly the state a caller crash would
-    /// leave behind. The next [`decide`](DecisionEngine::decide) on the
-    /// shard recovers and counts it. Returns `false` for an unknown shard.
+    /// Chaos hook: wedges `shard`'s cell — the lock-free analogue of the
+    /// poisoned mutex this fault used to inject (there is no mutex left to
+    /// poison). The next acquisition of the shard — the next
+    /// [`decide`](DecisionEngine::decide), batch, replay, or snapshot —
+    /// clears the wedge and counts the recovery (`shard_wedges`, aliased
+    /// into the legacy `lock_recoveries` counter); the shard's RNG,
+    /// sequence counter, and policy cache are untouched, so the decision
+    /// stream continues bit-identically. Returns `false` for an unknown
+    /// shard.
     pub fn poison_shard(&self, shard: usize) -> bool {
-        let Some(slot) = self.shards.get(shard) else {
+        let Some(cell) = self.shards.get(shard) else {
             return false;
         };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = slot.lock().unwrap_or_else(|e| e.into_inner());
-            panic!("chaos: shard {shard} lock poisoned");
-        }));
-        debug_assert!(result.is_err());
+        cell.wedge();
         true
     }
 }

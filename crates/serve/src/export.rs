@@ -152,8 +152,13 @@ pub fn export_prometheus(
     p.counter("harvest_swaps_total", "Policy hot-swaps.", s.swaps);
     p.counter(
         "harvest_lock_recoveries_total",
-        "Poisoned locks recovered.",
+        "Shard-level faults recovered (wedge recoveries included; legacy name).",
         s.lock_recoveries,
+    );
+    p.counter(
+        "harvest_shard_wedges_total",
+        "Wedged shard cells recovered at acquisition.",
+        s.shard_wedges,
     );
     p.counter(
         "harvest_writer_restarts_total",

@@ -1,34 +1,38 @@
-//! The decision-log producer: a bounded queue into the supervised writer.
+//! The decision-log producer: per-shard SPSC rings into the supervised
+//! writer.
 //!
-//! The decision path must never do file I/O, so shards push records into a
-//! bounded MPSC channel and the supervised writer thread (see
-//! [`supervisor`](crate::supervisor)) drains it in batches into crash-safe
-//! log segments ([`harvest_log::segment`]). The queue bound forces an
-//! explicit [`Backpressure`] choice: block the decision path until the
-//! writer catches up (lossless, adds latency) or drop the newest record and
-//! count it (lossy, never stalls serving).
+//! The decision path must never do file I/O, so shards push records into
+//! their own single-producer rings ([`crate::ring`]) and the supervised
+//! writer thread (see [`supervisor`](crate::supervisor)) drains the rings
+//! in global ticket order into crash-safe log segments
+//! ([`harvest_log::segment`]). The record-weighted [`QueueBudget`] bound
+//! forces an explicit [`Backpressure`] choice: block the decision path
+//! until the writer catches up (lossless, adds latency) or drop the newest
+//! record and count it (lossy, never stalls serving).
 //!
 //! Accounting invariant, checked by property and chaos tests: **every**
 //! record offered to [`DecisionLogger::log`] is counted `enqueued`, and
 //! once the pipeline drains, `enqueued == written + dropped + quarantined`.
 //! No fault class — backpressure, writer crash, torn write, permanent
 //! writer death — can make a record vanish from that ledger.
+//!
+//! [`QueueBudget`]: crate::admission::QueueBudget
 
-use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 
 use harvest_log::record::LogRecord;
 use harvest_log::segment::SegmentConfig;
 
-// The queue bound lives in [`crate::admission`] now (promoted to a shared
+// The queue bound lives in [`crate::admission`] (promoted to a shared
 // admission primitive; the wire front-end bounds its in-flight work with
-// the same type). The channel itself is sized in frames (frames ≤ records,
-// so it can never fill before the budget does); the budget is the real
-// bound. The writer releases a frame's weight when it pops the frame —
-// *before* persisting it, so an injected mid-write panic can never leak
-// capacity and wedge Block-mode producers.
+// the same type). The rings are sized in frames (frames ≤ records, so no
+// ring can fill before the budget does); the budget is the real bound. The
+// writer releases a frame's weight when it pops the frame — *before*
+// persisting it, so an injected mid-write panic can never leak capacity
+// and wedge Block-mode producers.
 use crate::admission::QueueBudget;
 use crate::metrics::ServeMetrics;
+use crate::ring::LogRings;
 
 /// What to do when the log queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +68,12 @@ pub struct LoggerConfig {
     /// service; a warm restart sets it past the segments already on disk so
     /// the new incarnation appends instead of overwriting history.
     pub first_segment: u64,
+    /// How many per-shard SPSC rings to spread producers across — set this
+    /// to the engine's shard count (the service does so automatically) so
+    /// each shard owns a ring and pushes are uncontended by construction.
+    /// Records route by deciding shard (`request_id >> SEQ_BITS`), so any
+    /// value ≥ 1 is correct; fewer rings than shards just shares them.
+    pub shard_rings: usize,
 }
 
 impl Default for LoggerConfig {
@@ -73,6 +83,7 @@ impl Default for LoggerConfig {
             backpressure: Backpressure::Block,
             segment: SegmentConfig::default(),
             first_segment: 0,
+            shard_rings: 1,
         }
     }
 }
@@ -114,44 +125,69 @@ impl LoggerConfigBuilder {
         self
     }
 
+    /// Number of per-shard SPSC rings (match the engine's shard count).
+    pub fn shard_rings(mut self, shard_rings: usize) -> Self {
+        self.0.shard_rings = shard_rings;
+        self
+    }
+
     /// Returns the config.
     pub fn build(self) -> LoggerConfig {
         self.0
     }
 }
 
+/// Hang-up token: every [`DecisionLogger`] clone shares one; when the last
+/// clone drops, the writer learns the producers are gone — the ring
+/// equivalent of the old channel disconnect.
+#[derive(Debug)]
+struct ProducerToken {
+    rings: Arc<LogRings>,
+}
+
+impl Drop for ProducerToken {
+    fn drop(&mut self) {
+        self.rings.producer_gone();
+    }
+}
+
 /// The producer half: cheap to clone, one per shard or caller thread.
 #[derive(Debug, Clone)]
 pub struct DecisionLogger {
-    tx: SyncSender<LogRecord>,
+    rings: Arc<LogRings>,
     budget: Arc<QueueBudget>,
     backpressure: Backpressure,
     metrics: Arc<ServeMetrics>,
+    _token: Arc<ProducerToken>,
 }
 
 impl DecisionLogger {
-    /// Builds the producer half over an existing channel sender. Crate-
-    /// internal: producers come from
+    /// Builds the producer half over an existing ring set. Crate-internal:
+    /// producers come from
     /// [`spawn_supervised_writer`](crate::supervisor::spawn_supervised_writer).
     pub(crate) fn new(
-        tx: SyncSender<LogRecord>,
+        rings: Arc<LogRings>,
         budget: Arc<QueueBudget>,
         backpressure: Backpressure,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
+        let token = Arc::new(ProducerToken {
+            rings: Arc::clone(&rings),
+        });
         DecisionLogger {
-            tx,
+            rings,
             budget,
             backpressure,
             metrics,
+            _token: token,
         }
     }
 
     /// Offers one record to the queue. Every offer counts as `enqueued` —
     /// scaled by [`LogRecord::record_count`], so a batch frame counts every
     /// decision it carries; offers refused by a full queue (under
-    /// [`Backpressure::DropNewest`]) or by a shut-down writer additionally
-    /// count as `dropped` (again in logical records).
+    /// [`Backpressure::DropNewest`]) additionally count as `dropped` (again
+    /// in logical records).
     ///
     /// Returns `true` when the record entered the queue, `false` when it
     /// was refused at the door — the caller-side signal the tracer needs
@@ -162,11 +198,7 @@ impl DecisionLogger {
         match self.backpressure {
             Backpressure::Block => {
                 self.budget.acquire_blocking(n);
-                if self.tx.send(record).is_err() {
-                    self.budget.release(n);
-                    self.metrics.record_dropped_n(n);
-                    return false;
-                }
+                self.rings.push(record);
                 true
             }
             Backpressure::DropNewest => {
@@ -174,14 +206,8 @@ impl DecisionLogger {
                     self.metrics.record_dropped_n(n);
                     return false;
                 }
-                match self.tx.try_send(record) {
-                    Ok(()) => true,
-                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                        self.budget.release(n);
-                        self.metrics.record_dropped_n(n);
-                        false
-                    }
-                }
+                self.rings.push(record);
+                true
             }
         }
     }
@@ -208,20 +234,14 @@ impl DecisionLogger {
 
     /// Offers a frame whose capacity was reserved by
     /// [`reserve`](DecisionLogger::reserve). Counts `enqueued` exactly like
-    /// [`log`](DecisionLogger::log); the reservation guarantees a channel
-    /// slot (frames ≤ records), so refusal here means the writer side hung
-    /// up — the reservation is returned and the frame counts `dropped`.
+    /// [`log`](DecisionLogger::log); the reservation guarantees ring space
+    /// (frames ≤ records), so the push cannot be refused — as long as any
+    /// producer is alive the writer (or its post-mortem drain) pops.
     pub(crate) fn send_reserved(&self, record: LogRecord) -> bool {
         let n = record.record_count() as u64;
         self.metrics.record_enqueued_n(n);
-        match self.tx.try_send(record) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
-                self.budget.release(n);
-                self.metrics.record_dropped_n(n);
-                false
-            }
-        }
+        self.rings.push(record);
+        true
     }
 
     /// Accounts for an `n`-record frame refused by a failed

@@ -40,6 +40,12 @@ pub struct ServeMetrics {
     // visible here, so "no silent data loss" is checkable from a snapshot.
     log_quarantined: AtomicU64,
     lock_recoveries: AtomicU64,
+    /// Wedged shard cells recovered at acquisition — the lock-free
+    /// successor of `lock_recoveries` (the mutexes this fault used to
+    /// poison are gone). Every wedge recovery also bumps
+    /// `lock_recoveries`, so the breaker's fault signal and existing
+    /// dashboards keep working unchanged.
+    shard_wedges: AtomicU64,
     writer_restarts: AtomicU64,
     trainer_crashes: AtomicU64,
     breaker_trips: AtomicU64,
@@ -195,6 +201,15 @@ impl ServeMetrics {
         self.lock_recoveries.fetch_add(1, RELAXED);
     }
 
+    /// Records one wedged shard cell recovered at its next acquisition —
+    /// the shard-level chaos fault that replaced lock poisoning. Bumps the
+    /// legacy `lock_recoveries` alias too, so the circuit breaker's fault
+    /// signal and existing dashboards see the fault without renaming.
+    pub fn record_shard_wedge(&self) {
+        self.shard_wedges.fetch_add(1, RELAXED);
+        self.lock_recoveries.fetch_add(1, RELAXED);
+    }
+
     /// Records one writer-thread restart by the supervisor.
     pub fn record_writer_restart(&self) {
         self.writer_restarts.fetch_add(1, RELAXED);
@@ -299,6 +314,7 @@ impl ServeMetrics {
             first_decision_ns: self.first_decision_ns.load(RELAXED),
             last_decision_ns: self.last_decision_ns.load(RELAXED),
             lock_recoveries: self.lock_recoveries.load(RELAXED),
+            shard_wedges: self.shard_wedges.load(RELAXED),
             writer_restarts: self.writer_restarts.load(RELAXED),
             trainer_crashes: self.trainer_crashes.load(RELAXED),
             breaker_trips: self.breaker_trips.load(RELAXED),
@@ -336,6 +352,7 @@ impl ServeMetrics {
         self.first_decision_ns.store(s.first_decision_ns, RELAXED);
         self.last_decision_ns.store(s.last_decision_ns, RELAXED);
         self.lock_recoveries.store(s.lock_recoveries, RELAXED);
+        self.shard_wedges.store(s.shard_wedges, RELAXED);
         self.writer_restarts.store(s.writer_restarts, RELAXED);
         self.trainer_crashes.store(s.trainer_crashes, RELAXED);
         self.breaker_trips.store(s.breaker_trips, RELAXED);
@@ -407,6 +424,7 @@ impl ServeMetrics {
             timed_out_decisions: self.timed_out_decisions.load(RELAXED),
             swaps: self.swaps.load(RELAXED),
             lock_recoveries: self.lock_recoveries.load(RELAXED),
+            shard_wedges: self.shard_wedges.load(RELAXED),
             writer_restarts: self.writer_restarts.load(RELAXED),
             trainer_crashes: self.trainer_crashes.load(RELAXED),
             breaker_trips: self.breaker_trips.load(RELAXED),
@@ -481,8 +499,14 @@ pub struct MetricsSnapshot {
     pub timed_out_decisions: u64,
     /// Policy hot-swaps performed.
     pub swaps: u64,
-    /// Poisoned locks recovered instead of propagating the panic.
+    /// Shard-level chaos faults recovered instead of propagating: wedged
+    /// shard cells (and, historically, poisoned locks). Every
+    /// `shard_wedges` recovery is mirrored here, so this legacy counter
+    /// keeps its meaning for dashboards and the breaker's fault signal.
     pub lock_recoveries: u64,
+    /// Wedged shard cells recovered at acquisition — the lock-free
+    /// successor of the poisoned-lock fault.
+    pub shard_wedges: u64,
     /// Writer-thread restarts performed by the supervisor.
     pub writer_restarts: u64,
     /// Trainer crashes caught mid-fit.
@@ -540,6 +564,9 @@ pub struct MetricsState {
     pub first_decision_ns: u64,
     pub last_decision_ns: u64,
     pub lock_recoveries: u64,
+    /// Missing from pre-wedge checkpoints; defaults to 0 on restore.
+    #[serde(default)]
+    pub shard_wedges: u64,
     pub writer_restarts: u64,
     pub trainer_crashes: u64,
     pub breaker_trips: u64,

@@ -1,0 +1,244 @@
+//! Epoch-pinned RCU double-buffer: lock-free policy reads under hot swap.
+//!
+//! The registry used to keep its two policy slots behind mutexes; a policy
+//! read in the instant after a swap took a lock, and a promotion locked the
+//! inactive slot while writing. This cell removes both: readers do **one
+//! atomic load plus an epoch pin**, and a writer **waits for quiescence** —
+//! until no reader is pinned to the slot it is about to overwrite — before
+//! touching it. Readers never block writers for longer than one `clone`,
+//! and writers never block readers at all.
+//!
+//! # Protocol and memory-ordering rationale (DESIGN.md §Lock-free hot path)
+//!
+//! Every pin slot holds `0` (idle) or `1 + slot_index` (reading that slot).
+//! A reader:
+//!
+//! 1. loads the active index `i` (`SeqCst`),
+//! 2. publishes its pin `1 + i` (`SeqCst`),
+//! 3. re-loads the active index (`SeqCst`); if it still equals `i` the pin
+//!    is *validated* and the reader clones from slot `i`, else it retracts
+//!    the pin and retries.
+//!
+//! A writer (serialized by a mutex shared with cold readers):
+//!
+//! 1. picks the inactive slot `t`,
+//! 2. scans every pin (`SeqCst`), spinning until none reads `1 + t`,
+//! 3. overwrites slot `t`, then flips the active index to `t` (`SeqCst`).
+//!
+//! Why this cannot tear: all the operations above are `SeqCst`, so they
+//! have one total order. Suppose a reader ends up cloning from slot `t`
+//! while the writer overwrites it. The reader's validating re-load returned
+//! `t` as active, so in the total order that re-load precedes the flip that
+//! made `t` inactive — which itself precedes the current writer's pin scan
+//! (slot `t` is only a write target *after* that flip). The reader's pin
+//! store precedes its re-load, hence precedes the scan, and a pin is only
+//! cleared after the clone completes — so the scan must have observed the
+//! pin `1 + t` and waited. Contradiction. (This is the classic hazard-
+//! pointer argument; the store→load fence `SeqCst` provides on both sides
+//! is exactly what `Acquire`/`Release` alone would not.)
+//!
+//! Quiescence is bounded because a pin is held only across one `T::clone`
+//! (an `Arc` refcount bump for the registry) with no panic point inside.
+//!
+//! This module is one of the three audited `unsafe` islands in the crate
+//! (with [`cell`](crate::cell) and [`ring`](crate::ring)); every `unsafe`
+//! block carries a `// SAFETY:` comment checked by `tests/unsafe_audit.rs`
+//! and the CI grep.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cache-line-isolated reader pin. `0` = idle, `1 + idx` = reading
+/// slot `idx`.
+#[repr(align(128))]
+#[derive(Debug)]
+struct PinSlot(AtomicUsize);
+
+/// A double-buffered value with epoch-pinned lock-free reads.
+///
+/// Registered readers (up to the `max_readers` given at construction) read
+/// through [`read`](Self::read) without ever taking a lock. Unregistered
+/// ("cold") callers use [`read_cold`](Self::read_cold), which shares the
+/// writer mutex — correct for control-plane paths that run a handful of
+/// times per second.
+pub(crate) struct RcuCell<T> {
+    slots: [UnsafeCell<T>; 2],
+    active: AtomicUsize,
+    pins: Box<[PinSlot]>,
+    claimed: AtomicUsize,
+    /// Serializes writers with each other and with cold readers.
+    writer: Mutex<()>,
+}
+
+// SAFETY: slot contents are only mutated by `write`, which holds the writer
+// mutex and has observed quiescence (no pin on the target slot), and only
+// read through validated pins or under that same mutex — so sharing
+// `&RcuCell<T>` across threads is sound whenever `T` itself is `Send`
+// (values move between threads via the slots) and `Sync` (validated readers
+// clone through `&T` concurrently with each other).
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+/// A claimed reader pin; index into the cell's pin array. Pins are claimed
+/// for the life of the cell (shards never unregister).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RcuReader(usize);
+
+impl<T: Clone> RcuCell<T> {
+    /// A cell serving `initial`, with room for `max_readers` registered
+    /// lock-free readers.
+    pub(crate) fn new(initial: T, max_readers: usize) -> Self {
+        RcuCell {
+            slots: [UnsafeCell::new(initial.clone()), UnsafeCell::new(initial)],
+            active: AtomicUsize::new(0),
+            pins: (0..max_readers.max(1))
+                .map(|_| PinSlot(AtomicUsize::new(0)))
+                .collect(),
+            claimed: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Claims a reader pin, or `None` when all `max_readers` pins are
+    /// taken (such callers fall back to [`read_cold`](Self::read_cold)).
+    pub(crate) fn reader(&self) -> Option<RcuReader> {
+        let id = self.claimed.fetch_add(1, Ordering::AcqRel);
+        if id < self.pins.len() {
+            Some(RcuReader(id))
+        } else {
+            None
+        }
+    }
+
+    /// Lock-free read: one atomic load + epoch pin, then a clone of the
+    /// active value. See the module docs for the validation protocol.
+    pub(crate) fn read(&self, reader: RcuReader) -> T {
+        let pin = &self.pins[reader.0].0;
+        let idx = loop {
+            let idx = self.active.load(Ordering::SeqCst);
+            pin.store(1 + idx, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == idx {
+                break idx;
+            }
+            // A flip landed between the load and the pin: retract, retry.
+            pin.store(0, Ordering::SeqCst);
+            std::hint::spin_loop();
+        };
+        // SAFETY: the pin `1 + idx` was published and then validated
+        // against the active index, so per the module-docs argument any
+        // writer targeting slot `idx` is spinning in its quiescence scan
+        // until this pin clears; the slot cannot be mutated during the
+        // clone. Concurrent validated readers only take `&T`.
+        let value = unsafe { (*self.slots[idx].get()).clone() };
+        pin.store(0, Ordering::Release);
+        value
+    }
+
+    /// Mutex-sharing read for unregistered callers: excludes writers for
+    /// the duration of one clone of the active value.
+    pub(crate) fn read_cold(&self) -> T {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = self.active.load(Ordering::SeqCst);
+        // SAFETY: the writer mutex is held, so no `write` is running; the
+        // active slot is only ever mutated by a writer (which would hold
+        // this same mutex), so the clone cannot race a mutation.
+        unsafe { (*self.slots[idx].get()).clone() }
+    }
+
+    /// Publishes `value`: overwrites the inactive slot once it is quiescent,
+    /// then flips the active index. In-flight pinned readers finish on the
+    /// old value; nobody blocks behind the swap.
+    pub(crate) fn write(&self, value: T) {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let target = 1 - self.active.load(Ordering::SeqCst);
+        // Quiescence: wait out every reader pinned to the target slot.
+        // Each pin spans one clone, so this wait is bounded and short.
+        for pin in self.pins.iter() {
+            let mut spins = 0u32;
+            while pin.0.load(Ordering::SeqCst) == 1 + target {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // SAFETY: the writer mutex excludes other writers and cold readers;
+        // the quiescence scan above proved no pin targets this slot, and
+        // per the module-docs argument no *future* reader can validate a
+        // pin on it before the flip below makes it active again.
+        unsafe {
+            *self.slots[target].get() = value;
+        }
+        self.active.store(target, Ordering::SeqCst);
+    }
+}
+
+impl<T: std::fmt::Debug + Clone> std::fmt::Debug for RcuCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuCell")
+            .field("active", &self.active.load(Ordering::SeqCst))
+            .field("value", &self.read_cold())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reads_see_the_latest_write() {
+        let cell = RcuCell::new(0u64, 4);
+        let r = cell.reader().unwrap();
+        assert_eq!(cell.read(r), 0);
+        cell.write(7);
+        assert_eq!(cell.read(r), 7);
+        assert_eq!(cell.read_cold(), 7);
+        cell.write(9);
+        assert_eq!(cell.read(r), 9);
+    }
+
+    #[test]
+    fn reader_pool_exhaustion_falls_back_cleanly() {
+        let cell = RcuCell::new(1u32, 2);
+        assert!(cell.reader().is_some());
+        assert!(cell.reader().is_some());
+        assert!(cell.reader().is_none());
+        assert_eq!(cell.read_cold(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_across_writes_never_tear() {
+        // Values are (n, n): a torn read would observe a mixed pair.
+        let cell = Arc::new(RcuCell::new(Arc::new((0u64, 0u64)), 8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let r = cell.reader().unwrap();
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = cell.read(r);
+                        assert_eq!(v.0, v.1, "torn read");
+                        assert!(v.0 >= last, "read went backwards");
+                        last = v.0;
+                    }
+                })
+            })
+            .collect();
+        for n in 1..200u64 {
+            cell.write(Arc::new((n, n)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in readers {
+            t.join().unwrap();
+        }
+        let v = cell.read_cold();
+        assert_eq!((v.0, v.1), (199, 199));
+    }
+}

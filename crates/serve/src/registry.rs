@@ -1,22 +1,29 @@
 //! The versioned policy registry: which policy is serving right now.
 //!
-//! The registry owns two slots. Exactly one is *active* at any moment; a
-//! promotion writes the candidate into the inactive slot and then flips one
-//! atomic index. Readers keep a per-shard [`CachedPolicy`]: on the hot path
-//! a read is a single atomic generation check, and only in the instant after
-//! a swap does a reader briefly lock the (new) active slot to refresh its
-//! `Arc`. Writers never touch the slot active readers are using, so serving
-//! never stalls behind training.
+//! The registry owns an epoch/RCU double-buffer ([`crate::rcu::RcuCell`]).
+//! Exactly one slot is *active* at any moment; a promotion writes the
+//! candidate into the inactive slot — after waiting out any reader still
+//! pinned to it — and then flips one atomic index. Readers keep a per-shard
+//! [`CachedPolicy`]: on the hot path a read is a single atomic generation
+//! check, and only in the instant after a swap does a reader do the full
+//! lock-free pinned read to refresh its `Arc`. No mutex sits anywhere on
+//! the decision path, so serving never stalls behind training — and a
+//! hot-swap never stalls behind serving for more than one `Arc` clone.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use harvest_core::scorer::{LinearScorer, Scorer};
 use harvest_core::{Context, SimpleContext};
 use serde::{Deserialize, Serialize};
 
-use crate::error::lock_recovering;
 use crate::metrics::ServeMetrics;
+use crate::rcu::{RcuCell, RcuReader};
+
+/// How many registered lock-free readers the registry supports (one per
+/// shard). Shards beyond this fall back to the mutex-sharing cold read on
+/// swap — correct, just slower in the post-swap instant.
+const MAX_RCU_READERS: usize = 64;
 
 /// A servable policy: either the explore-only bootstrap or a learned scorer
 /// exploited greedily. The engine wraps either in an ε exploration floor.
@@ -88,56 +95,41 @@ pub struct PolicyVersion {
 /// The hot-swappable incumbent store.
 #[derive(Debug)]
 pub struct PolicyRegistry {
-    slots: [Mutex<Arc<PolicyVersion>>; 2],
-    active: AtomicUsize,
+    cell: RcuCell<Arc<PolicyVersion>>,
     generation: AtomicU64,
     swaps: AtomicU64,
-    /// Counts poison recoveries when present. A slot only ever holds a
-    /// complete `Arc`, so a panic while a slot lock is held cannot leave a
-    /// torn version — recovery is always sound.
-    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl PolicyRegistry {
     /// Creates a registry serving `initial` as generation 0.
     pub fn new(initial: ServePolicy, name: impl Into<String>) -> Self {
-        Self::build(initial, name, None)
-    }
-
-    /// Like [`PolicyRegistry::new`], reporting lock recoveries to `metrics`.
-    pub fn with_metrics(
-        initial: ServePolicy,
-        name: impl Into<String>,
-        metrics: Arc<ServeMetrics>,
-    ) -> Self {
-        Self::build(initial, name, Some(metrics))
-    }
-
-    fn build(
-        initial: ServePolicy,
-        name: impl Into<String>,
-        metrics: Option<Arc<ServeMetrics>>,
-    ) -> Self {
         let v0 = Arc::new(PolicyVersion {
             generation: 0,
             name: name.into(),
             policy: initial,
         });
         PolicyRegistry {
-            slots: [Mutex::new(Arc::clone(&v0)), Mutex::new(v0)],
-            active: AtomicUsize::new(0),
+            cell: RcuCell::new(v0, MAX_RCU_READERS),
             generation: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
-            metrics,
         }
     }
 
-    /// The current incumbent. Locks the active slot briefly; shards use
-    /// [`CachedPolicy`] to avoid even that in steady state. A poisoned slot
-    /// is recovered and counted, never propagated into the decision path.
+    /// Like [`PolicyRegistry::new`]. The metrics handle is accepted for
+    /// construction-site compatibility but no longer consulted: the RCU
+    /// registry has no slot locks left to poison or recover.
+    pub fn with_metrics(
+        initial: ServePolicy,
+        name: impl Into<String>,
+        _metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        Self::new(initial, name)
+    }
+
+    /// The current incumbent. A cold (mutex-sharing) read — control-plane
+    /// callers only; shards use [`CachedPolicy`], which reads lock-free.
     pub fn current(&self) -> Arc<PolicyVersion> {
-        let idx = self.active.load(Ordering::SeqCst);
-        Arc::clone(&lock_recovering(&self.slots[idx], self.metrics.as_deref()))
+        self.cell.read_cold()
     }
 
     /// The incumbent's generation number.
@@ -150,12 +142,24 @@ impl PolicyRegistry {
         self.swaps.load(Ordering::SeqCst)
     }
 
+    /// Claims a lock-free reader pin for a shard's [`CachedPolicy`], or
+    /// `None` when the pool (64) is exhausted.
+    pub(crate) fn reader(&self) -> Option<RcuReader> {
+        self.cell.reader()
+    }
+
+    /// The incumbent via a pinned lock-free read.
+    pub(crate) fn read(&self, reader: RcuReader) -> Arc<PolicyVersion> {
+        self.cell.read(reader)
+    }
+
     /// Atomically promotes `policy` to incumbent; returns its generation.
     ///
-    /// The new version is written into the inactive slot, then the active
-    /// index flips, then the generation counter advances — all `SeqCst`, so
-    /// a reader that observes the new generation also observes the new
-    /// index. In-flight readers finish on the old version; nobody blocks.
+    /// The new version is written into the inactive slot — after the RCU
+    /// quiescence wait for readers still pinned there — then the active
+    /// index flips, then the generation counter advances, all `SeqCst`: a
+    /// reader that observes the new generation also observes the new index.
+    /// In-flight readers finish on the old version; nobody blocks.
     pub fn promote(&self, policy: ServePolicy, name: impl Into<String>) -> u64 {
         let gen = self.generation.load(Ordering::SeqCst) + 1;
         let next = Arc::new(PolicyVersion {
@@ -163,9 +167,7 @@ impl PolicyRegistry {
             name: name.into(),
             policy,
         });
-        let inactive = 1 - self.active.load(Ordering::SeqCst);
-        *lock_recovering(&self.slots[inactive], self.metrics.as_deref()) = next;
-        self.active.store(inactive, Ordering::SeqCst);
+        self.cell.write(next);
         self.generation.store(gen, Ordering::SeqCst);
         self.swaps.fetch_add(1, Ordering::SeqCst);
         gen
@@ -177,27 +179,28 @@ impl PolicyRegistry {
     /// resumes the old incarnation's history, it does not rewrite it.
     pub fn restore(&self, version: PolicyVersion, swaps: u64) {
         let gen = version.generation;
-        let next = Arc::new(version);
-        let inactive = 1 - self.active.load(Ordering::SeqCst);
-        *lock_recovering(&self.slots[inactive], self.metrics.as_deref()) = next;
-        self.active.store(inactive, Ordering::SeqCst);
+        self.cell.write(Arc::new(version));
         self.generation.store(gen, Ordering::SeqCst);
         self.swaps.store(swaps, Ordering::SeqCst);
     }
 }
 
 /// A shard-local cache of the incumbent `Arc`. The common case — no swap
-/// since the last decision — is one atomic load and no locking.
+/// since the last decision — is one atomic load and nothing else; a swap
+/// triggers one epoch-pinned lock-free refresh.
 #[derive(Debug)]
 pub struct CachedPolicy {
     version: Arc<PolicyVersion>,
+    reader: Option<RcuReader>,
 }
 
 impl CachedPolicy {
-    /// Seeds the cache from the registry's current incumbent.
+    /// Seeds the cache from the registry's current incumbent and claims a
+    /// lock-free reader pin (falling back to cold reads past 64 shards).
     pub fn new(registry: &PolicyRegistry) -> Self {
         CachedPolicy {
             version: registry.current(),
+            reader: registry.reader(),
         }
     }
 
@@ -205,7 +208,10 @@ impl CachedPolicy {
     /// happened since the cached version.
     pub fn get(&mut self, registry: &PolicyRegistry) -> &Arc<PolicyVersion> {
         if registry.generation() != self.version.generation {
-            self.version = registry.current();
+            self.version = match self.reader {
+                Some(r) => registry.read(r),
+                None => registry.current(),
+            };
         }
         &self.version
     }
@@ -266,26 +272,37 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_slot_is_recovered_and_counted() {
-        let metrics = Arc::new(ServeMetrics::new());
-        let reg = Arc::new(PolicyRegistry::with_metrics(
-            ServePolicy::Uniform,
-            "v0",
-            Arc::clone(&metrics),
-        ));
-        let reg2 = Arc::clone(&reg);
-        // Poison the active slot: a thread panics while holding its lock.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            let _guard = reg2.slots[reg2.active.load(Ordering::SeqCst)]
-                .lock()
-                .unwrap();
-            panic!("poison the active slot");
-        }));
-        // Reads and promotions keep working; the recovery is counted.
-        assert_eq!(reg.current().generation, 0);
-        assert_eq!(reg.promote(ServePolicy::Uniform, "v1"), 1);
-        assert_eq!(reg.current().generation, 1);
-        assert!(metrics.snapshot().lock_recoveries >= 1);
+    fn concurrent_cached_readers_survive_a_promotion_storm() {
+        // The RCU replacement for the old poisoned-slot test: shards read
+        // through their pins while promotions rotate both slots; every read
+        // must return a complete version whose generation never regresses.
+        let reg = Arc::new(PolicyRegistry::new(ServePolicy::Uniform, "v0"));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut cache = CachedPolicy::new(&reg);
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = cache.get(&reg);
+                        assert!(v.generation >= last, "generation regressed");
+                        assert_eq!(v.name, format!("v{}", v.generation));
+                        last = v.generation;
+                    }
+                })
+            })
+            .collect();
+        for gen in 1..=200u64 {
+            assert_eq!(reg.promote(ServePolicy::Uniform, format!("v{gen}")), gen);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in readers {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.current().generation, 200);
+        assert_eq!(reg.swap_count(), 200);
     }
 
     #[test]

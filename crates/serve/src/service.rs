@@ -25,8 +25,10 @@
 //!   exponential backoff, torn tails are sealed into their segment, and a
 //!   writer past its restart budget keeps draining the queue — counting
 //!   every record dropped — so `Block`-mode callers never wedge.
-//! * **Poisoned locks** (a panic while a shard, joiner, or registry slot
-//!   lock is held) are recovered and counted, never propagated.
+//! * **Wedged shards** (the chaos fault that replaced lock poisoning on
+//!   the lock-free decide path) are recovered and counted at the shard's
+//!   next acquisition, never propagated; poisoned mutexes elsewhere
+//!   (joiner, breaker, writer) are likewise recovered and counted.
 //! * **Degraded mode**: the [`CircuitBreaker`] watches the fault signal,
 //!   the writer's liveness, and the promotion gate's confidence radius.
 //!   While open, decisions are served by the configured *safe policy*
@@ -297,8 +299,13 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
             "bootstrap-uniform",
             Arc::clone(&metrics),
         ));
+        // One SPSC ring per engine shard: each shard pushes to its own ring
+        // and the writer merges in ticket order, so log hand-off never
+        // contends across shards.
+        let mut logger_cfg = cfg.logger;
+        logger_cfg.shard_rings = cfg.engine.shards.max(1);
         let (logger, writer) = spawn_supervised_writer(
-            cfg.logger,
+            logger_cfg,
             cfg.supervisor,
             Arc::clone(&metrics),
             chaos.clone(),
@@ -595,7 +602,7 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         let Some(writer) = self.writer.take() else {
             return Err(io::Error::other("service writer already shut down"));
         };
-        // Drop both producer handles so the channel disconnects.
+        // Drop both producer handles so the rings signal hang-up.
         drop(self.engine);
         drop(self.logger);
         writer.finish()

@@ -23,11 +23,15 @@
 //! count *popped* records, so a kill — which pops nothing — cannot re-fire
 //! after restart; a cursor over the sorted kill list advances exactly once
 //! per scheduled kill.
+//!
+//! The queue itself is the per-shard SPSC ring set ([`crate::ring`]): the
+//! writer pops frames in global ticket order, so the persisted stream for
+//! any deterministic call sequence is identical to what the old bounded
+//! MPSC channel produced, while producers never share a channel lock.
 
 use std::io;
 use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -43,6 +47,7 @@ use crate::error::lock_recovering;
 use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::ServeMetrics;
 use crate::obs::seal_observer;
+use crate::ring::LogRings;
 
 const SEQ: Ordering = Ordering::SeqCst;
 
@@ -126,7 +131,8 @@ impl SupervisorConfigBuilder {
 
 /// State shared between incarnations, the supervisor, and the handle.
 struct WriterShared<S> {
-    rx: Mutex<Receiver<LogRecord>>,
+    /// The per-shard ring set; popped in global ticket order.
+    rings: Arc<LogRings>,
     /// Record-weighted queue bound, released as frames are popped.
     budget: Arc<QueueBudget>,
     /// `Some` until [`WriterSupervisorHandle::finish`] takes the writer.
@@ -228,17 +234,13 @@ impl<S: SegmentSink> WriterShared<S> {
     }
 }
 
-/// One writer incarnation: drain the queue in batches until the producers
-/// hang up. Returns normally only on disconnect.
+/// One writer incarnation: drain the rings (in global ticket order) in
+/// batches until the producers hang up. Returns normally only on hang-up.
 fn incarnation<S: SegmentSink>(shared: &WriterShared<S>) {
     loop {
         shared.maybe_fire_kill(shared.attempted.load(SEQ));
-        let first = {
-            let rx = lock_recovering(&shared.rx, Some(&shared.metrics));
-            rx.recv()
-        };
-        let Ok(first) = first else {
-            // Producers gone and queue empty: flush and exit cleanly.
+        let Some(first) = shared.rings.pop_next(true) else {
+            // Producers gone and rings empty: flush and exit cleanly.
             let mut guard = lock_recovering(&shared.writer, Some(&shared.metrics));
             if let Some(w) = guard.as_mut() {
                 let _ = w.flush();
@@ -252,16 +254,12 @@ fn incarnation<S: SegmentSink>(shared: &WriterShared<S>) {
         // Batch: drain whatever is already queued before one flush.
         loop {
             shared.maybe_fire_kill(shared.attempted.load(SEQ));
-            let next = {
-                let rx = lock_recovering(&shared.rx, Some(&shared.metrics));
-                rx.try_recv()
-            };
-            match next {
-                Ok(record) => {
+            match shared.rings.pop_next(false) {
+                Some(record) => {
                     shared.budget.release(record.record_count() as u64);
                     shared.write_one(&record);
                 }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                None => break,
             }
         }
         let mut guard = lock_recovering(&shared.writer, Some(&shared.metrics));
@@ -304,22 +302,14 @@ fn supervise<S: SegmentSink + Send + 'static>(
                     // producers never wedge; every queued or future record
                     // is counted dropped.
                     alive.store(false, SEQ);
-                    loop {
-                        let next = {
-                            let rx = lock_recovering(&shared.rx, Some(&shared.metrics));
-                            rx.recv()
-                        };
-                        match next {
-                            Ok(record) => {
-                                shared.budget.release(record.record_count() as u64);
-                                shared.note_terminal(&record, Terminal::Dropped);
-                                shared
-                                    .metrics
-                                    .record_dropped_n(record.record_count() as u64);
-                            }
-                            Err(_) => return,
-                        }
+                    while let Some(record) = shared.rings.pop_next(true) {
+                        shared.budget.release(record.record_count() as u64);
+                        shared.note_terminal(&record, Terminal::Dropped);
+                        shared
+                            .metrics
+                            .record_dropped_n(record.record_count() as u64);
                     }
+                    return;
                 }
                 restarts += 1;
                 shared.metrics.record_writer_restart();
@@ -381,10 +371,10 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
     chaos: Option<Arc<ChaosPlan>>,
     sink: S,
 ) -> (DecisionLogger, WriterSupervisorHandle<S>) {
-    // The channel is sized in frames only as a backstop; the record-
-    // weighted QueueBudget is the real bound (frames ≤ records, so the
-    // channel can never fill while the budget has room).
-    let (tx, rx) = sync_channel(cfg.capacity.max(1));
+    // The rings are sized in frames only as a backstop; the record-
+    // weighted QueueBudget is the real bound (frames ≤ records, so no ring
+    // can fill while the budget has room).
+    let rings = Arc::new(LogRings::new(cfg.shard_rings.max(1), cfg.capacity.max(1)));
     let budget = Arc::new(QueueBudget::new(cfg.capacity.max(1) as u64));
     let kills = chaos.as_ref().map(|c| c.writer_kills()).unwrap_or_default();
     let mut writer = SegmentedLogWriter::with_start(sink, cfg.segment, cfg.first_segment);
@@ -397,7 +387,7 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
     // resume index targets a record not yet popped and stays armed.
     let kill_cursor = kills.partition_point(|&k| k < sup.first_record_index);
     let shared = Arc::new(WriterShared {
-        rx: Mutex::new(rx),
+        rings: Arc::clone(&rings),
         budget: Arc::clone(&budget),
         writer: Mutex::new(Some(writer)),
         attempted: AtomicU64::new(sup.first_record_index),
@@ -416,7 +406,7 @@ pub fn spawn_supervised_writer<S: SegmentSink + Send + 'static>(
             .expect("spawn log writer supervisor")
     };
     (
-        DecisionLogger::new(tx, budget, cfg.backpressure, metrics),
+        DecisionLogger::new(rings, budget, cfg.backpressure, metrics),
         WriterSupervisorHandle {
             supervisor,
             shared,
@@ -450,6 +440,7 @@ mod tests {
                 max_span_ns: u64::MAX,
             },
             first_segment: 0,
+            shard_rings: 1,
         }
     }
 
