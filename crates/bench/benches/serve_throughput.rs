@@ -19,19 +19,22 @@
 //! [`bench_batch`]); the acceptance floor is batch 256 on 8 shards at
 //! ≥ 2× that baseline's decisions/sec.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, Criterion};
 use harvest_bench::bench_json::{merge_section, AxisResult};
 use harvest_core::scorer::LinearScorer;
 use harvest_core::SimpleContext;
+use harvest_log::segment::MemorySegments;
 use harvest_serve::supervisor::{
     spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle,
 };
 use harvest_serve::{
-    Backpressure, DecisionBatch, DecisionEngine, EngineConfig, Histogram, LoggerConfig, ObsConfig,
-    PolicyRegistry, ServeMetrics, ServeObs, ServePolicy,
+    Backpressure, DecisionBatch, DecisionEngine, DecisionService, EngineConfig, Histogram,
+    LoggerConfig, ObsConfig, PolicyRegistry, ServeConfig, ServeMetrics, ServeObs, ServePolicy,
 };
+use harvest_wire::{Duplex, OpsQuery, OpsResponse, WireConfig, WireCore};
 
 const THREADS: usize = 8;
 const DECISIONS_PER_THREAD: usize = 4_000;
@@ -241,7 +244,128 @@ fn bench_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single, bench_cross_shard, bench_batch);
+/// The scrape axis: the batched hot path through the full
+/// [`DecisionService`] with 0 vs 4 concurrent OPS scrapers hammering the
+/// wire ops endpoint (full Prometheus render per scrape, through the
+/// duplex frame codec). The delta between the two entries is the cost a
+/// scrape storm levies on serving. Scrapes never touch a shard cell — they
+/// read relaxed counters, the obs histograms, and the scope mutex — so on
+/// a machine with spare cores the delta is lock/cache interference only;
+/// on a core-starved host it also includes plain CPU sharing with the
+/// spinning scrapers, which is the honest number for that deployment.
+const SCRAPE_BATCH: usize = 16;
+const SCRAPE_BATCHES_PER_THREAD: usize = JSON_DECISIONS_PER_THREAD / SCRAPE_BATCH;
+
+fn make_scrape_rig() -> (
+    Arc<DecisionService<MemorySegments>>,
+    Arc<Duplex<MemorySegments>>,
+) {
+    // Same logging posture as `make_engine`: DropNewest with one ring per
+    // shard, so the axis measures scrape interference, not writer-thread
+    // backpressure stalls.
+    let cfg = ServeConfig::builder()
+        .shards(THREADS)
+        .epsilon(0.1)
+        .master_seed(42)
+        .component("bench-scrape")
+        .logger(
+            LoggerConfig::builder()
+                .capacity(4096)
+                .backpressure(Backpressure::DropNewest)
+                .shard_rings(THREADS)
+                .build(),
+        )
+        .build()
+        .expect("valid bench config");
+    let svc = Arc::new(DecisionService::new(cfg, MemorySegments::new()));
+    let core = Arc::new(WireCore::new(Arc::clone(&svc), WireConfig::default()));
+    (svc, Duplex::new(core))
+}
+
+/// One pass: THREADS decide-batch threads (shard-affine) race to
+/// completion while `scrapers` extra threads scrape the ops endpoint in a
+/// closed loop until the hot path finishes. Returns wall time and the
+/// merged per-batch latency histogram (decide threads only — scrapers are
+/// load, not the measurement).
+fn scrape_pass(
+    svc: &Arc<DecisionService<MemorySegments>>,
+    duplex: &Arc<Duplex<MemorySegments>>,
+    contexts: &[SimpleContext],
+    scrapers: usize,
+) -> (u64, Histogram) {
+    let done = AtomicUsize::new(0);
+    let start = std::time::Instant::now();
+    let hists: Vec<Histogram> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = &*svc;
+                let done = &done;
+                s.spawn(move || {
+                    let mut h = Histogram::new();
+                    let mut out = DecisionBatch::with_capacity(SCRAPE_BATCH);
+                    for i in 0..SCRAPE_BATCHES_PER_THREAD {
+                        let t0 = std::time::Instant::now();
+                        svc.decide_batch(t, i as u64, contexts, &mut out).unwrap();
+                        black_box(out.len());
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    h
+                })
+            })
+            .collect();
+        for _ in 0..scrapers {
+            let mut conn = duplex.connect();
+            let done = &done;
+            s.spawn(move || {
+                while done.load(Ordering::SeqCst) < THREADS {
+                    match conn.ops(&OpsQuery::Prometheus).expect("scrape") {
+                        OpsResponse::Report { body } => {
+                            black_box(body.len());
+                        }
+                        OpsResponse::Shed { .. } => {}
+                    }
+                }
+            });
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let mut merged = Histogram::new();
+    for h in &hists {
+        merged.merge(h);
+    }
+    (elapsed_ns, merged)
+}
+
+fn bench_scrape_under_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_throughput_scrape");
+    g.sample_size(20);
+    for scrapers in [0usize, 4] {
+        let (svc, duplex) = make_scrape_rig();
+        let contexts: Vec<SimpleContext> = (0..SCRAPE_BATCH).map(|_| bench_context()).collect();
+        g.bench_function(
+            &format!("{THREADS}threads_{THREADS}shards_batch{SCRAPE_BATCH}_{scrapers}scrapers"),
+            |b| {
+                b.iter(|| {
+                    black_box(scrape_pass(&svc, &duplex, &contexts, scrapers));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single,
+    bench_cross_shard,
+    bench_batch,
+    bench_scrape_under_load
+);
 
 const JSON_DECISIONS_PER_THREAD: usize = 4_096;
 /// Untimed passes before measurement: warm the allocator, fault in the
@@ -410,6 +534,29 @@ fn write_json_report() -> std::io::Result<()> {
                 },
             );
         }
+    }
+    // Scrape-under-load: the batched hot path with 0 vs 4 concurrent OPS
+    // scrapers. The throughput delta is the scrape tax on serving.
+    for scrapers in [0usize, 4] {
+        let (svc, duplex) = make_scrape_rig();
+        let contexts: Vec<SimpleContext> = (0..SCRAPE_BATCH).map(|_| bench_context()).collect();
+        for _ in 0..WARMUP_RUNS {
+            scrape_pass(&svc, &duplex, &contexts, scrapers);
+        }
+        let mut elapsed = Vec::with_capacity(MEASURED_RUNS);
+        let mut pooled = Histogram::new();
+        for _ in 0..MEASURED_RUNS {
+            let (ns, hist) = scrape_pass(&svc, &duplex, &contexts, scrapers);
+            elapsed.push(ns);
+            pooled.merge(&hist);
+        }
+        elapsed.sort_unstable();
+        axes.push(AxisResult::from_run(
+            format!("scrape_under_load_{scrapers}scrapers"),
+            (THREADS * SCRAPE_BATCHES_PER_THREAD * SCRAPE_BATCH) as u64,
+            elapsed[elapsed.len() / 2],
+            &pooled,
+        ));
     }
     let path = std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),

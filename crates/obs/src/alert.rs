@@ -1,0 +1,258 @@
+//! Deterministic watchdogs with hysteresis.
+//!
+//! A [`Watchdog`] evaluates one scalar signal once per sealed window and
+//! drives a two-state machine: it **fires** only after `fire_after`
+//! consecutive breaching windows and **clears** only after `clear_after`
+//! consecutive healthy ones. The hysteresis is the point — a single
+//! noisy window neither pages nor silences, and because the machine's
+//! only input is the (deterministic) window frame sequence, the full
+//! alert event log is byte-identical across same-seed runs.
+//!
+//! Transitions are reported as typed [`AlertEvent`]s and the live state
+//! as [`ObsAlert`]s; both carry the observed value and the threshold so
+//! the export is self-describing. Fired/cleared totals are monotone
+//! counters suitable for Prometheus export.
+
+use serde::Serialize;
+
+/// Which side of the threshold is a breach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BreachDirection {
+    /// Breach when `value >= threshold` (error ratios, burn rates).
+    Above,
+    /// Breach when `value <= threshold` (quality floors, ESS fraction).
+    Below,
+}
+
+/// Thresholds and hysteresis widths for one watchdog.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// The breach boundary.
+    pub threshold: f64,
+    /// Which side of the boundary breaches.
+    pub direction: BreachDirection,
+    /// Consecutive breaching windows before firing (clamped to ≥ 1).
+    pub fire_after: u32,
+    /// Consecutive healthy windows before clearing (clamped to ≥ 1).
+    pub clear_after: u32,
+}
+
+/// A state transition: the watchdog fired or cleared at `window`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlertPhase {
+    /// Entered the firing state.
+    Fired,
+    /// Left the firing state.
+    Cleared,
+}
+
+/// One alert lifecycle event, as exported (JSON-lines friendly).
+#[derive(Clone, Debug, Serialize)]
+pub struct AlertEvent {
+    /// Watchdog name.
+    pub alert: String,
+    /// Window index the transition happened at.
+    pub window: u64,
+    /// Fired or cleared.
+    pub phase: AlertPhase,
+    /// The value that completed the streak.
+    pub value: f64,
+    /// The configured breach boundary.
+    pub threshold: f64,
+}
+
+/// The live state of one watchdog, as exported.
+#[derive(Clone, Debug, Serialize)]
+pub struct ObsAlert {
+    /// Watchdog name.
+    pub alert: String,
+    /// Whether the alert is currently firing.
+    pub firing: bool,
+    /// Window the current firing episode started at (meaningful only
+    /// while `firing`).
+    pub since_window: u64,
+    /// Most recently observed value.
+    pub last_value: f64,
+    /// The configured breach boundary.
+    pub threshold: f64,
+    /// Lifetime count of fire transitions.
+    pub fired_total: u64,
+    /// Lifetime count of clear transitions.
+    pub cleared_total: u64,
+}
+
+/// One named hysteresis watchdog. Feed it one value per sealed window
+/// via [`observe`](Self::observe).
+pub struct Watchdog {
+    name: String,
+    cfg: WatchdogConfig,
+    firing: bool,
+    breach_streak: u32,
+    healthy_streak: u32,
+    since_window: u64,
+    last_value: f64,
+    fired_total: u64,
+    cleared_total: u64,
+}
+
+impl Watchdog {
+    /// A healthy watchdog named `name` under `cfg`.
+    pub fn new(name: &str, cfg: WatchdogConfig) -> Self {
+        Self {
+            name: name.to_string(),
+            cfg: WatchdogConfig {
+                fire_after: cfg.fire_after.max(1),
+                clear_after: cfg.clear_after.max(1),
+                ..cfg
+            },
+            firing: false,
+            breach_streak: 0,
+            healthy_streak: 0,
+            since_window: 0,
+            last_value: 0.0,
+            fired_total: 0,
+            cleared_total: 0,
+        }
+    }
+
+    /// Watchdog name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the alert is currently firing.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// Lifetime `(fired, cleared)` transition counts.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.fired_total, self.cleared_total)
+    }
+
+    /// Evaluate the signal for one sealed window. Returns the
+    /// transition event if this window completed a fire or clear
+    /// streak, `None` otherwise. Non-finite values are treated as
+    /// breaching — a signal that can't be computed is not healthy.
+    pub fn observe(&mut self, window: u64, value: f64) -> Option<AlertEvent> {
+        self.last_value = value;
+        let breach = !value.is_finite()
+            || match self.cfg.direction {
+                BreachDirection::Above => value >= self.cfg.threshold,
+                BreachDirection::Below => value <= self.cfg.threshold,
+            };
+        if breach {
+            self.breach_streak = self.breach_streak.saturating_add(1);
+            self.healthy_streak = 0;
+        } else {
+            self.healthy_streak = self.healthy_streak.saturating_add(1);
+            self.breach_streak = 0;
+        }
+        if !self.firing && self.breach_streak >= self.cfg.fire_after {
+            self.firing = true;
+            self.since_window = window;
+            self.fired_total += 1;
+            return Some(self.event(window, AlertPhase::Fired, value));
+        }
+        if self.firing && self.healthy_streak >= self.cfg.clear_after {
+            self.firing = false;
+            self.cleared_total += 1;
+            return Some(self.event(window, AlertPhase::Cleared, value));
+        }
+        None
+    }
+
+    fn event(&self, window: u64, phase: AlertPhase, value: f64) -> AlertEvent {
+        AlertEvent {
+            alert: self.name.clone(),
+            window,
+            phase,
+            value,
+            threshold: self.cfg.threshold,
+        }
+    }
+
+    /// The live state, for the active-alerts export.
+    pub fn state(&self) -> ObsAlert {
+        ObsAlert {
+            alert: self.name.clone(),
+            firing: self.firing,
+            since_window: self.since_window,
+            last_value: self.last_value,
+            threshold: self.cfg.threshold,
+            fired_total: self.fired_total,
+            cleared_total: self.cleared_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog(fire_after: u32, clear_after: u32) -> Watchdog {
+        Watchdog::new(
+            "slo_burn",
+            WatchdogConfig {
+                threshold: 0.5,
+                direction: BreachDirection::Above,
+                fire_after,
+                clear_after,
+            },
+        )
+    }
+
+    #[test]
+    fn fires_only_after_consecutive_breaches() {
+        let mut d = dog(3, 2);
+        assert!(d.observe(0, 0.9).is_none());
+        assert!(d.observe(1, 0.9).is_none());
+        // A healthy window resets the streak.
+        assert!(d.observe(2, 0.1).is_none());
+        assert!(d.observe(3, 0.9).is_none());
+        assert!(d.observe(4, 0.9).is_none());
+        let e = d.observe(5, 0.9).expect("fires on the third consecutive");
+        assert_eq!(e.phase, AlertPhase::Fired);
+        assert_eq!(e.window, 5);
+        assert!(d.firing());
+    }
+
+    #[test]
+    fn clears_only_after_consecutive_healthy() {
+        let mut d = dog(1, 2);
+        assert!(d.observe(0, 0.9).is_some());
+        assert!(d.observe(1, 0.1).is_none()); // one healthy: still firing
+        assert!(d.observe(2, 0.9).is_none()); // breach resets clear streak
+        assert!(d.observe(3, 0.1).is_none());
+        let e = d.observe(4, 0.1).expect("clears on the second consecutive");
+        assert_eq!(e.phase, AlertPhase::Cleared);
+        assert!(!d.firing());
+        assert_eq!(d.totals(), (1, 1));
+    }
+
+    #[test]
+    fn below_direction_guards_quality_floors() {
+        let mut d = Watchdog::new(
+            "quality",
+            WatchdogConfig {
+                threshold: 0.2,
+                direction: BreachDirection::Below,
+                fire_after: 2,
+                clear_after: 1,
+            },
+        );
+        assert!(d.observe(0, 0.8).is_none());
+        assert!(d.observe(1, 0.1).is_none());
+        assert!(d.observe(2, 0.15).is_some());
+        assert!(d.observe(3, 0.9).is_some());
+    }
+
+    #[test]
+    fn non_finite_signals_breach() {
+        let mut d = dog(1, 1);
+        let e = d.observe(0, f64::NAN).expect("NaN breaches");
+        assert_eq!(e.phase, AlertPhase::Fired);
+    }
+}

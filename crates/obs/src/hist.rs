@@ -143,6 +143,38 @@ impl Histogram {
         self.max
     }
 
+    /// The window delta `self − prev`: per-bucket saturating
+    /// subtraction, for carving one window's worth of samples out of a
+    /// cumulative histogram. When `prev` is an earlier snapshot of the
+    /// same monotone stream the delta is exact — it equals the histogram
+    /// of just the samples recorded between the two snapshots. `min` and
+    /// `max` are reconstructed from the surviving buckets (bucket
+    /// floors), which is the same resolution [`percentile`] reports at.
+    ///
+    /// [`percentile`]: Self::percentile
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        let mut first: Option<usize> = None;
+        let mut last = 0usize;
+        for i in 0..NUM_BUCKETS {
+            let c = self.counts[i].saturating_sub(prev.counts[i]);
+            if c > 0 {
+                d.counts[i] = c;
+                d.count += c;
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = i;
+            }
+        }
+        d.sum = self.sum.saturating_sub(prev.sum);
+        if let Some(f) = first {
+            d.min = bucket_floor(f);
+            d.max = bucket_floor(last);
+        }
+        d
+    }
+
     /// Non-empty buckets as `(le_bound, bucket_count)` pairs, in
     /// ascending bound order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -387,6 +419,33 @@ mod tests {
         striped.record_n(2, 7, 5);
         striped.record_n(2, 1 << 20, 3);
         assert_eq!(striped.snapshot(), bulk.snapshot());
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window_slice() {
+        let mut early = Histogram::new();
+        for v in [3u64, 40, 40, 1000] {
+            early.record(v);
+        }
+        let mut late = early.clone();
+        for v in [7u64, 40, 5000] {
+            late.record(v);
+        }
+        let mut expected = Histogram::new();
+        for v in [7u64, 40, 5000] {
+            expected.record(v);
+        }
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.count(), expected.count());
+        assert_eq!(delta.sum(), expected.sum());
+        assert_eq!(
+            delta.nonzero_buckets().collect::<Vec<_>>(),
+            expected.nonzero_buckets().collect::<Vec<_>>()
+        );
+        // Empty delta: subtracting a snapshot from itself.
+        let none = late.delta_since(&late);
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.min(), None);
     }
 
     #[test]

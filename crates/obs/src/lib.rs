@@ -21,16 +21,29 @@
 //!   by decision id, with a replayable JSON-lines export and an audit
 //!   that accounts every decision to exactly one terminal state.
 //! - [`prom`] — a deterministic Prometheus text-exposition builder
-//!   (counters, gauges, cumulative histogram series) whose output is a
-//!   pure function of the values rendered.
+//!   (counters, gauges, labeled families, cumulative histogram series)
+//!   whose output is a pure function of the values rendered, plus a
+//!   conformance validator every workspace export is tested against.
+//! - [`series`] — a windowed time-series engine over the logical clock:
+//!   a fixed ring of window frames holding exact counter deltas,
+//!   per-window histogram slices, and gauge last-values, with
+//!   associative cross-shard merge.
+//! - [`alert`] — deterministic hysteresis watchdogs that evaluate one
+//!   signal per sealed window and raise typed fire/clear events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod hist;
 pub mod prom;
+pub mod series;
 pub mod trace;
 
+pub use alert::{AlertEvent, AlertPhase, BreachDirection, ObsAlert, Watchdog, WatchdogConfig};
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary, StripedHistogram};
-pub use prom::PromText;
+pub use prom::{validate_exposition, PromText};
+pub use series::{
+    FrameExport, SeriesConfig, SeriesExport, SeriesFrame, SeriesSample, WindowSeries,
+};
 pub use trace::{Decided, DecisionTrace, Terminal, TraceAudit, Tracer, TracerConfig};

@@ -27,6 +27,33 @@ fn finite(v: f64) -> f64 {
     }
 }
 
+/// Render a label set as `{k="v",...}` (empty string for no labels),
+/// escaping `\`, `"`, and newlines in values per the text format.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 impl PromText {
     /// An empty page.
     pub fn new() -> Self {
@@ -57,6 +84,30 @@ impl PromText {
         self.out.push_str(&format!("{name} {}\n", finite(value)));
     }
 
+    /// Emit one counter family with one sample per label set, in call
+    /// order. Label values are escaped per the exposition format
+    /// (backslash, double-quote, newline).
+    pub fn counter_family(&mut self, name: &str, help: &str, samples: &[(&[(&str, &str)], u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in samples {
+            self.out
+                .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+        }
+    }
+
+    /// Emit one gauge family with one sample per label set, in call
+    /// order (values clamped to finite).
+    pub fn gauge_family(&mut self, name: &str, help: &str, samples: &[(&[(&str, &str)], f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in samples {
+            self.out.push_str(&format!(
+                "{name}{} {}\n",
+                render_labels(labels),
+                finite(*value)
+            ));
+        }
+    }
+
     /// Emit a full histogram: cumulative `_bucket` series over the
     /// non-empty buckets, then `_sum` and `_count`.
     pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
@@ -77,6 +128,260 @@ impl PromText {
     pub fn finish(self) -> String {
         self.out
     }
+}
+
+/// Metric name charset: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Label name charset: `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse the `{k="v",...}` part of a series, returning label names.
+fn parse_labels(inner: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        let mut name = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+        }
+        if name.is_empty() {
+            return Err(format!("empty label name in {{{inner}}}"));
+        }
+        names.push(name);
+        match chars.next() {
+            Some('"') => {}
+            _ => return Err(format!("label value not quoted in {{{inner}}}")),
+        }
+        // Scan the value, honouring backslash escapes.
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    chars.next();
+                }
+                Some('"') => break,
+                Some(_) => {}
+                None => return Err(format!("unterminated label value in {{{inner}}}")),
+            }
+        }
+        match chars.next() {
+            Some(',') => continue,
+            None => return Ok(names),
+            Some(c) => return Err(format!("unexpected '{c}' after label in {{{inner}}}")),
+        }
+    }
+}
+
+/// The state of the family currently being emitted.
+struct OpenFamily {
+    name: String,
+    kind: String,
+    /// Last `le` bound seen (histograms): bucket order must ascend.
+    last_le: Option<f64>,
+    /// Last cumulative bucket count (histograms): must not decrease.
+    last_bucket: Option<f64>,
+    saw_inf: bool,
+    saw_sum: bool,
+    saw_count: bool,
+    samples: usize,
+}
+
+/// Validate a Prometheus text-exposition page against the rules every
+/// export in this workspace promises: metric and label names use the
+/// legal charsets, no family is declared twice, `# HELP` and `# TYPE`
+/// precede a family's samples, every sample belongs to the most recent
+/// family (histogram samples only via `_bucket`/`_sum`/`_count`),
+/// histogram buckets ascend in `le` with non-decreasing cumulative
+/// counts and end with `+Inf`, and every value parses. Returns the
+/// first violation found.
+pub fn validate_exposition(page: &str) -> Result<(), String> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    let mut open: Option<OpenFamily> = None;
+
+    fn close(open: Option<OpenFamily>) -> Result<(), String> {
+        if let Some(f) = open {
+            if f.kind == "histogram" && !(f.saw_inf && f.saw_sum && f.saw_count) {
+                return Err(format!(
+                    "histogram family {} is missing +Inf bucket, _sum, or _count",
+                    f.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    for (lineno, line) in page.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = match rest.split_once(' ') {
+                Some(pair) => pair,
+                None => return err(format!("HELP line without help text: {line}")),
+            };
+            if !valid_metric_name(name) {
+                return err(format!("invalid metric name in HELP: {name}"));
+            }
+            if help.is_empty() {
+                return err(format!("empty help text for {name}"));
+            }
+            if pending_help.is_some() {
+                return err(format!("HELP {name} while a HELP is still unpaired"));
+            }
+            close(open.take())?;
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = match rest.split_once(' ') {
+                Some(pair) => pair,
+                None => return err(format!("TYPE line without a type: {line}")),
+            };
+            match pending_help.take() {
+                Some(h) if h == name => {}
+                Some(h) => return err(format!("TYPE {name} does not match HELP {h}")),
+                None => return err(format!("TYPE {name} without a preceding HELP")),
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return err(format!("unknown type {kind} for {name}"));
+            }
+            if seen.iter().any(|s| s == name) {
+                return err(format!("duplicate family {name}"));
+            }
+            seen.push(name.to_string());
+            open = Some(OpenFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                last_le: None,
+                last_bucket: None,
+                saw_inf: false,
+                saw_sum: false,
+                saw_count: false,
+                samples: 0,
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            return err(format!("unexpected comment line: {line}"));
+        }
+        // A sample line: `name[{labels}] value`.
+        let fam = match open.as_mut() {
+            Some(f) => f,
+            None => return err(format!("sample before any HELP/TYPE: {line}")),
+        };
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return err(format!("sample line without a value: {line}")),
+        };
+        let parsed: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => return err(format!("unparsable sample value {value}")),
+        };
+        let (sample_name, labels) = match series.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(inner) => (
+                    n,
+                    parse_labels(inner).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                ),
+                None => return err(format!("unterminated label set: {series}")),
+            },
+            None => (series, Vec::new()),
+        };
+        if !valid_metric_name(sample_name) {
+            return err(format!("invalid sample name: {sample_name}"));
+        }
+        for l in &labels {
+            if !valid_label_name(l) {
+                return err(format!("invalid label name: {l}"));
+            }
+        }
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != labels.len() {
+            return err(format!("duplicate label name in {series}"));
+        }
+        if fam.kind == "histogram" {
+            let suffix = match sample_name.strip_prefix(fam.name.as_str()) {
+                Some(s) => s,
+                None => return err(format!("sample {sample_name} outside family {}", fam.name)),
+            };
+            match suffix {
+                "_bucket" => {
+                    let le = labels.iter().any(|l| l == "le");
+                    if !le {
+                        return err(format!("histogram bucket without le label: {series}"));
+                    }
+                    // Recover the le value for order checking.
+                    let le_str = series
+                        .split("le=\"")
+                        .nth(1)
+                        .and_then(|s| s.split('"').next())
+                        .unwrap_or("");
+                    let le_val = if le_str == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        match le_str.parse::<f64>() {
+                            Ok(v) => v,
+                            Err(_) => return err(format!("unparsable le bound {le_str}")),
+                        }
+                    };
+                    if let Some(prev) = fam.last_le {
+                        if le_val <= prev {
+                            return err(format!("le bounds not ascending in {}", fam.name));
+                        }
+                    }
+                    if let Some(prev) = fam.last_bucket {
+                        if parsed < prev {
+                            return err(format!(
+                                "cumulative bucket counts decrease in {}",
+                                fam.name
+                            ));
+                        }
+                    }
+                    fam.last_le = Some(le_val);
+                    fam.last_bucket = Some(parsed);
+                    if le_val.is_infinite() {
+                        fam.saw_inf = true;
+                    }
+                }
+                "_sum" => fam.saw_sum = true,
+                "_count" => fam.saw_count = true,
+                "" => return err(format!("bare sample for histogram family {}", fam.name)),
+                other => return err(format!("unknown histogram suffix {other} in {}", fam.name)),
+            }
+        } else if sample_name != fam.name {
+            return err(format!("sample {sample_name} outside family {}", fam.name));
+        }
+        if !parsed.is_nan() && fam.kind == "counter" && parsed < 0.0 {
+            return err(format!("negative counter sample: {line}"));
+        }
+        fam.samples += 1;
+    }
+    if let Some(h) = pending_help {
+        return Err(format!("HELP {h} without a TYPE"));
+    }
+    close(open)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -109,6 +414,77 @@ mod tests {
         let mut p = PromText::new();
         p.gauge("g", "h", -0.0);
         assert!(p.finish().contains("g 0\n"));
+    }
+
+    #[test]
+    fn labeled_families_render_and_validate() {
+        let mut p = PromText::new();
+        p.counter_family(
+            "harvest_alert_fired_total",
+            "Alert fire transitions.",
+            &[
+                (&[("alert", "slo_burn")], 2),
+                (&[("alert", "harvest_quality")], 0),
+            ],
+        );
+        p.gauge_family(
+            "harvest_alert_firing",
+            "Whether the alert is firing.",
+            &[(&[("alert", "slo_burn")], 1.0)],
+        );
+        let page = p.finish();
+        assert!(page.contains("harvest_alert_fired_total{alert=\"slo_burn\"} 2\n"));
+        assert!(page.contains("harvest_alert_firing{alert=\"slo_burn\"} 1\n"));
+        validate_exposition(&page).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.counter_family("c", "h", &[(&[("k", "a\"b\\c\nd")], 1)]);
+        let page = p.finish();
+        assert!(page.contains("c{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+        validate_exposition(&page).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_pages() {
+        // Duplicate family.
+        let mut p = PromText::new();
+        p.counter("dup", "h", 1);
+        p.counter("dup", "h", 2);
+        assert!(validate_exposition(&p.finish()).is_err());
+        // Sample before HELP/TYPE.
+        assert!(validate_exposition("a 1\n").is_err());
+        // TYPE without HELP.
+        assert!(validate_exposition("# TYPE a counter\na 1\n").is_err());
+        // Bad metric name.
+        assert!(validate_exposition("# HELP 9bad h\n# TYPE 9bad counter\n9bad 1\n").is_err());
+        // Sample outside the open family.
+        assert!(
+            validate_exposition("# HELP a h\n# TYPE a counter\nb 1\n").is_err(),
+            "foreign sample must be rejected"
+        );
+        // Unparsable value.
+        assert!(validate_exposition("# HELP a h\n# TYPE a counter\na x\n").is_err());
+        // Histogram without +Inf.
+        assert!(
+            validate_exposition("# HELP h h\n# TYPE h histogram\nh_sum 1\nh_count 1\n").is_err()
+        );
+    }
+
+    #[test]
+    fn every_builder_page_validates() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 100, 10_000] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.counter("c_total", "Counter.", 7);
+        p.gauge("g", "Gauge.", 0.25);
+        p.histogram("lat_ns", "Latency.", &h);
+        p.histogram("empty_ns", "Empty histogram.", &Histogram::new());
+        validate_exposition(&p.finish()).unwrap();
     }
 
     #[test]

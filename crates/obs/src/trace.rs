@@ -22,6 +22,7 @@
 //! never silent. Events for ids no longer (or never) resident bump
 //! `late_events` instead of failing.
 
+use crate::hist::{AtomicHistogram, Histogram};
 use serde::Serialize;
 use std::sync::Mutex;
 
@@ -154,6 +155,13 @@ pub struct Tracer {
     /// and the export paths — never by the deciding hot path — so the
     /// writer stops ping-ponging the per-shard locks against deciders.
     inbox: Mutex<Vec<(u64, Terminal)>>,
+    /// Depth of the inbox at each batched apply — full batches record
+    /// [`TERMINAL_BATCH`], export-time drains record the remainder. The
+    /// health signal for trace-terminal latency: a distribution skewed
+    /// toward small drain depths means exports are doing the writer's
+    /// flushing. Deterministic once the pipeline drains, because the
+    /// deferred-terminal sequence and the export call sites both are.
+    flush_depths: AtomicHistogram,
 }
 
 impl Tracer {
@@ -176,7 +184,14 @@ impl Tracer {
             slot_mask: (capacity - 1) as u64,
             seq_bits: cfg.seq_bits,
             inbox: Mutex::new(Vec::new()),
+            flush_depths: AtomicHistogram::new(),
         }
+    }
+
+    /// Histogram of inbox depths at each batched terminal apply. See
+    /// the field docs on `flush_depths` for what the shape means.
+    pub fn flush_depth_histogram(&self) -> Histogram {
+        self.flush_depths.snapshot()
     }
 
     /// Split an id into its shard's lock and the ring slot of its seq.
@@ -261,6 +276,7 @@ impl Tracer {
         if inbox.len() >= TERMINAL_BATCH {
             let events = std::mem::take(&mut *inbox);
             drop(inbox);
+            self.flush_depths.record(events.len() as u64);
             self.apply_terminals(&events);
         }
     }
@@ -276,6 +292,7 @@ impl Tracer {
             std::mem::take(&mut *inbox)
         };
         if !events.is_empty() {
+            self.flush_depths.record(events.len() as u64);
             self.apply_terminals(&events);
         }
     }
@@ -541,6 +558,25 @@ mod tests {
         let audit = t.audit();
         assert_eq!(audit.decided, 32);
         assert_eq!(audit.evictions, 0);
+    }
+
+    #[test]
+    fn flush_depths_record_batches_and_drains() {
+        let t = Tracer::new(TracerConfig::default());
+        for id in 0..100u64 {
+            t.decided(id, decided(id));
+        }
+        for id in 0..100u64 {
+            t.terminal_deferred(id, Terminal::Written);
+        }
+        // 100 deferred terminals: one full batch of 64 applies inline,
+        // the audit drains the remaining 36.
+        let audit = t.audit();
+        assert_eq!(audit.written, 100);
+        let h = t.flush_depth_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(64));
+        assert_eq!(h.sum(), 100);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use harvest_obs::{Histogram, PromText};
+use harvest_obs::{validate_exposition, Histogram, PromText};
 
 fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..=u64::MAX, 0..200)
@@ -60,5 +60,45 @@ proptest! {
         let once = render(&record_all(&values));
         let again = render(&record_all(&values));
         prop_assert_eq!(once, again);
+    }
+
+    // Any page assembled from the builder — counters, gauges, labeled
+    // families, histograms, in any mix — satisfies the exposition grammar
+    // the scraper-facing validator enforces. This is the foundation the
+    // workspace-level conformance proptest (tests/proptest_invariants.rs)
+    // rests on: if the builder can emit a malformed family, this shrinks
+    // to it directly.
+    #[test]
+    fn assembled_pages_conform(
+        values in arb_samples(),
+        counter in any::<u64>(),
+        gauge in -1e18f64..1e18,
+        labeled in proptest::collection::vec((0usize..4, any::<u64>()), 0..6),
+    ) {
+        let h = record_all(&values);
+        let mut page = PromText::new();
+        page.counter("obs_samples_total", "Samples recorded.", counter);
+        page.gauge("obs_level", "An arbitrary gauge.", gauge);
+        let samples: Vec<(&[(&str, &str)], u64)> = labeled
+            .iter()
+            .map(|(shard, v)| {
+                let pairs: &[(&str, &str)] = match *shard {
+                    0 => &[("shard", "0")],
+                    1 => &[("shard", "1")],
+                    2 => &[("shard", "2")],
+                    _ => &[("shard", "3")],
+                };
+                (pairs, *v)
+            })
+            .collect();
+        page.counter_family("obs_labeled_total", "A labeled family.", &samples);
+        page.histogram("obs_values", "Recorded values.", &h);
+        let rendered = page.finish();
+        prop_assert!(
+            validate_exposition(&rendered).is_ok(),
+            "builder emitted a malformed page: {:?}\n{}",
+            validate_exposition(&rendered),
+            rendered
+        );
     }
 }

@@ -89,13 +89,29 @@ fn trip_code(last_trip: Option<TripReason>) -> f64 {
 /// [`MetricsSnapshot`] counter, derived-rate and breaker gauges
 /// (`harvest_log_conservation_ok` is 1 when the drained ledger balances),
 /// `harvest_quality_*` gauges (zeros until the first gate round),
-/// `harvest_trace_*` conservation-audit counters, and the five
+/// `harvest_trace_*` conservation-audit counters, and the
 /// observability histograms.
+///
+/// A service that carries a [`HarvestScope`](crate::scope::HarvestScope)
+/// appends its alert and stage-latency families before finishing the page
+/// (see `DecisionService::export_prometheus`); this free function renders
+/// the scope-less base page.
 pub fn export_prometheus(
     metrics: &ServeMetrics,
     breaker_open: bool,
     last_trip: Option<TripReason>,
 ) -> String {
+    prometheus_page(metrics, breaker_open, last_trip).finish()
+}
+
+/// The base exposition page as a builder still open for appending — the
+/// scope-carrying service adds its families before `finish()` so the
+/// in-process page and the wire OPS scrape render from one code path.
+pub(crate) fn prometheus_page(
+    metrics: &ServeMetrics,
+    breaker_open: bool,
+    last_trip: Option<TripReason>,
+) -> PromText {
     let s = metrics.snapshot();
     let mut p = PromText::new();
     p.counter("harvest_decisions_total", "Decisions served.", s.decisions);
@@ -194,6 +210,11 @@ pub fn export_prometheus(
         "harvest_admission_shed_total",
         "Requests refused at the admission door before reaching a shard.",
         s.admission_shed,
+    );
+    p.counter(
+        "harvest_watchdog_faults_total",
+        "Watchdog firings fed into the breaker's fault signal.",
+        s.watchdog_faults,
     );
     p.counter(
         "harvest_checkpoints_written_total",
@@ -359,6 +380,14 @@ pub fn export_prometheus(
             "Traces evicted by ring-buffer capacity.",
             audit.evictions,
         );
+        // Canonical tracer-health name for the same count; the legacy
+        // `harvest_trace_evictions_total` family above stays for
+        // dashboards already scraping it.
+        p.counter(
+            "harvest_trace_evicted_total",
+            "Traces evicted by ring-buffer FIFO capacity (canonical name).",
+            audit.evictions,
+        );
         p.counter(
             "harvest_trace_late_events_total",
             "Events that arrived after their trace was evicted.",
@@ -368,6 +397,21 @@ pub fn export_prometheus(
             "harvest_trace_terminal_conflicts_total",
             "Traces offered two different terminal states.",
             audit.terminal_conflicts,
+        );
+        p.counter(
+            "harvest_stage_journal_dropped_total",
+            "Stage-journal entries dropped to the ring bound.",
+            o.stage_journal_dropped(),
+        );
+        p.histogram(
+            "harvest_trace_flush_depth",
+            "Deferred-terminal events applied per tracer inbox flush.",
+            &o.tracer().flush_depth_histogram(),
+        );
+        p.histogram(
+            "harvest_gate_span_ns",
+            "Logical span of each training round's harvest (gate to promote).",
+            &o.gate_span_histogram(),
         );
         p.histogram(
             "harvest_decision_interarrival_ns",
@@ -395,7 +439,7 @@ pub fn export_prometheus(
             &o.segment_bytes_histogram(),
         );
     }
-    p.finish()
+    p
 }
 
 #[cfg(test)]
@@ -434,10 +478,16 @@ mod tests {
             "harvest_segments_compacted_total 0",
             "harvest_restarts_total 0",
             "harvest_checkpoint_age_ns 0",
+            "harvest_watchdog_faults_total 0",
+            "harvest_trace_evicted_total 0",
+            "harvest_stage_journal_dropped_total 0",
+            "# TYPE harvest_trace_flush_depth histogram",
+            "# TYPE harvest_gate_span_ns histogram",
             "# TYPE harvest_decision_interarrival_ns histogram",
         ] {
             assert!(page_a.contains(family), "missing `{family}` in:\n{page_a}");
         }
+        harvest_obs::validate_exposition(&page_a).expect("base page validates");
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub mod recovery;
 pub mod registry;
 #[allow(unsafe_code)]
 mod ring;
+pub mod scope;
 pub mod service;
 pub mod supervisor;
 pub mod trainer;
@@ -101,6 +102,7 @@ pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use obs::{ObsConfig, ObsConfigBuilder, ServeObs};
 pub use recovery::{RecoveryReport, ServiceCheckpoint};
 pub use registry::{CachedPolicy, PolicyRegistry, PolicyVersion, ServePolicy};
+pub use scope::{HarvestScope, ScopeConfig, ScopeConfigBuilder};
 pub use service::{DecisionService, PromotionReport, ServeConfig, ServeConfigBuilder};
 pub use supervisor::{
     spawn_supervised_writer, SupervisorConfig, SupervisorConfigBuilder, WriterSupervisorHandle,
@@ -111,7 +113,10 @@ pub use trainer::{
 
 // The tracer and histogram primitives, re-exported so exporters and tests
 // need only this crate.
-pub use harvest_obs::{DecisionTrace, Histogram, HistogramSummary, Terminal, TraceAudit, Tracer};
+pub use harvest_obs::{
+    AlertEvent, AlertPhase, DecisionTrace, Histogram, HistogramSummary, ObsAlert, Terminal,
+    TraceAudit, Tracer,
+};
 
 // Re-exported so chaos tests and examples need only this crate.
 pub use harvest_sim_net::fault::{

@@ -59,6 +59,11 @@ pub struct ServeMetrics {
     /// stays `enqueued == written + dropped + quarantined`, and this
     /// counter extends it outward to cover work turned away at the door.
     admission_shed: AtomicU64,
+    /// Watchdog alerts wired into the breaker's fault signal: each firing
+    /// of a scope watchdog configured with `feed_breaker` bumps this once,
+    /// so a sustained SLO burn can trip the breaker even when the raw
+    /// fault counters alone would not.
+    watchdog_faults: AtomicU64,
     // Durability counters: the warm-restart path is as observable as the
     // fault path — every checkpoint written or rejected, every record
     // replayed, every restart is counted.
@@ -255,6 +260,12 @@ impl ServeMetrics {
         }
     }
 
+    /// Records one watchdog alert firing with `feed_breaker` set — folded
+    /// into [`fault_signal`](Self::fault_signal) so the breaker sees it.
+    pub fn record_watchdog_fault(&self) {
+        self.watchdog_faults.fetch_add(1, RELAXED);
+    }
+
     /// Records one control-plane checkpoint published at logical time
     /// `now_ns`; the stamp feeds the `checkpoint_age_ns` gauge.
     pub fn record_checkpoint(&self, now_ns: u64) {
@@ -322,6 +333,7 @@ impl ServeMetrics {
             degraded_decisions: self.degraded_decisions.load(RELAXED),
             rewards_lost: self.rewards_lost.load(RELAXED),
             admission_shed: self.admission_shed.load(RELAXED),
+            watchdog_faults: self.watchdog_faults.load(RELAXED),
             checkpoints_written: self.checkpoints_written.load(RELAXED),
             checkpoints_discarded: self.checkpoints_discarded.load(RELAXED),
             last_checkpoint_ns: self.last_checkpoint_ns.load(RELAXED),
@@ -360,6 +372,7 @@ impl ServeMetrics {
         self.degraded_decisions.store(s.degraded_decisions, RELAXED);
         self.rewards_lost.store(s.rewards_lost, RELAXED);
         self.admission_shed.store(s.admission_shed, RELAXED);
+        self.watchdog_faults.store(s.watchdog_faults, RELAXED);
         self.checkpoints_written
             .store(s.checkpoints_written, RELAXED);
         self.checkpoints_discarded
@@ -380,6 +393,7 @@ impl ServeMetrics {
             + self.lock_recoveries.load(RELAXED)
             + self.writer_restarts.load(RELAXED)
             + self.trainer_crashes.load(RELAXED)
+            + self.watchdog_faults.load(RELAXED)
     }
 
     /// Reads every counter at one instant and derives the rates.
@@ -432,6 +446,7 @@ impl ServeMetrics {
             degraded_decisions: self.degraded_decisions.load(RELAXED),
             rewards_lost: self.rewards_lost.load(RELAXED),
             admission_shed: self.admission_shed.load(RELAXED),
+            watchdog_faults: self.watchdog_faults.load(RELAXED),
             checkpoints_written: self.checkpoints_written.load(RELAXED),
             checkpoints_discarded: self.checkpoints_discarded.load(RELAXED),
             checkpoint_age_ns: {
@@ -523,6 +538,9 @@ pub struct MetricsSnapshot {
     /// Requests refused by a front-door admission layer (wire rate limits,
     /// queue budgets, deadline sheds) before reaching a shard.
     pub admission_shed: u64,
+    /// Watchdog alert firings wired into the breaker's fault signal
+    /// (scope watchdogs configured with `feed_breaker`).
+    pub watchdog_faults: u64,
     /// Control-plane checkpoints published.
     pub checkpoints_written: u64,
     /// Checkpoints rejected at recovery (torn, corrupt, or unparsable)
@@ -574,6 +592,9 @@ pub struct MetricsState {
     pub degraded_decisions: u64,
     pub rewards_lost: u64,
     pub admission_shed: u64,
+    /// Missing from pre-scope checkpoints; defaults to 0 on restore.
+    #[serde(default)]
+    pub watchdog_faults: u64,
     pub checkpoints_written: u64,
     pub checkpoints_discarded: u64,
     pub last_checkpoint_ns: u64,

@@ -21,11 +21,17 @@
 //!   never-sealed segment is not recorded).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use harvest_estimators::HarvestQuality;
 use harvest_log::SealObserver;
-use harvest_obs::{AtomicHistogram, Histogram, StripedHistogram, Tracer, TracerConfig};
+use harvest_obs::{AtomicHistogram, Histogram, StripedHistogram, Terminal, Tracer, TracerConfig};
+
+/// Stage-journal ring bound: entries beyond this are dropped oldest-first
+/// (counted, never silent). 64Ki terminals outlive any tick cadence the
+/// examples or tests run at.
+const STAGE_JOURNAL_CAP: usize = 65_536;
 
 /// Observability sizing and switches for the service.
 ///
@@ -109,6 +115,17 @@ pub struct ServeObs {
     segment_bytes: AtomicHistogram,
     /// Latest per-round harvest-quality gauges (from the trainer gate).
     quality: Mutex<Option<HarvestQuality>>,
+    /// Decision-stamp/terminal pairs journaled by the writer as records
+    /// reach their terminal, awaiting the next scope tick. The tick
+    /// drains this and records `tick_now − decided_ns` per terminal
+    /// class — stage latency measured at a *deterministic* point of the
+    /// logical clock, because asynchronous writer progress is invisible
+    /// in logical time. Bounded; overflow drops oldest, counted.
+    stage_journal: Mutex<Vec<(u64, Terminal)>>,
+    stage_journal_dropped: AtomicU64,
+    /// Logical span (last − first record stamp) of each training round's
+    /// harvest — the gate→promote stage of the timeline.
+    gate_span_ns: AtomicHistogram,
 }
 
 impl fmt::Debug for ServeObs {
@@ -137,7 +154,45 @@ impl ServeObs {
             segment_records: AtomicHistogram::new(),
             segment_bytes: AtomicHistogram::new(),
             quality: Mutex::new(None),
+            stage_journal: Mutex::new(Vec::new()),
+            stage_journal_dropped: AtomicU64::new(0),
+            gate_span_ns: AtomicHistogram::new(),
         }
+    }
+
+    /// Journals one decision terminal for the stage timeline: the
+    /// decision's logical stamp plus the terminal class it reached. The
+    /// writer thread calls this alongside the trace terminal; the next
+    /// [`drain_stage_journal`](Self::drain_stage_journal) (a scope tick)
+    /// turns entries into decide→terminal latency samples.
+    pub fn journal_stage_terminal(&self, decided_ns: u64, terminal: Terminal) {
+        let mut journal = self.stage_journal.lock().unwrap_or_else(|e| e.into_inner());
+        if journal.len() >= STAGE_JOURNAL_CAP {
+            journal.remove(0);
+            self.stage_journal_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        journal.push((decided_ns, terminal));
+    }
+
+    /// Drains every journaled terminal, in writer (global ticket) order.
+    pub fn drain_stage_journal(&self) -> Vec<(u64, Terminal)> {
+        std::mem::take(&mut *self.stage_journal.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Stage-journal entries dropped to the ring bound.
+    pub fn stage_journal_dropped(&self) -> u64 {
+        self.stage_journal_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one training round's harvest span (last − first record
+    /// stamp, logical ns) — the gate→promote stage.
+    pub fn record_gate_span(&self, span_ns: u64) {
+        self.gate_span_ns.record(span_ns);
+    }
+
+    /// Snapshot of the gate→promote harvest-span histogram.
+    pub fn gate_span_histogram(&self) -> Histogram {
+        self.gate_span_ns.snapshot()
     }
 
     /// The lifecycle tracer.

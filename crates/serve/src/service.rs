@@ -52,12 +52,13 @@ use crate::batch::DecisionBatch;
 use crate::breaker::{BreakerConfig, CircuitBreaker, TripReason};
 use crate::engine::{Decision, DecisionEngine, EngineConfig};
 use crate::error::{lock_recovering, ServeError};
-use crate::export::{export_prometheus, obs_snapshot, ObsSnapshot};
+use crate::export::{obs_snapshot, prometheus_page, ObsSnapshot};
 use crate::joiner::{JoinOutcome, RewardJoiner};
 use crate::logger::{DecisionLogger, LoggerConfig};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::obs::{ObsConfig, ServeObs};
 use crate::registry::{PolicyRegistry, ServePolicy};
+use crate::scope::{HarvestScope, ScopeConfig};
 use crate::supervisor::{spawn_supervised_writer, SupervisorConfig, WriterSupervisorHandle};
 use crate::trainer::{GateReport, Trainer, TrainerConfig};
 
@@ -89,6 +90,9 @@ pub struct ServeConfig {
     pub trainer: TrainerConfig,
     /// Observability: decision tracer and telemetry histograms.
     pub obs: ObsConfig,
+    /// The ops plane: windowed time series, stage-latency timeline, and
+    /// deterministic watchdogs. Requires [`ObsConfig::enabled`].
+    pub scope: ScopeConfig,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +110,7 @@ impl Default for ServeConfig {
             safe_policy: ServePolicy::Uniform,
             join_ttl_ns: 10_000_000_000, // 10 logical seconds
             obs: ObsConfig::default(),
+            scope: ScopeConfig::default(),
         }
     }
 }
@@ -205,6 +210,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Replaces the ops-plane (scope) config.
+    pub fn scope(mut self, scope: ScopeConfig) -> Self {
+        self.0.scope = scope;
+        self
+    }
+
     /// Validates and returns the config: the engine needs ≥ 1 shard and ε
     /// in `(0, 1]`, and the breaker's window, trip, and re-arm thresholds
     /// must be nonzero.
@@ -272,6 +283,9 @@ pub struct DecisionService<S: SegmentSink + Send + 'static> {
     pub(crate) decision_seq: AtomicU64,
     /// Global reward-call index for chaos scheduling (drop/delay faults).
     pub(crate) reward_seq: AtomicU64,
+    /// The ops plane, when both obs and scope are enabled. Ticked behind a
+    /// mutex — ticks are control-plane cadence, never the hot path.
+    scope: Option<Mutex<HarvestScope>>,
 }
 
 impl<S: SegmentSink + Send + 'static> DecisionService<S> {
@@ -318,6 +332,8 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
             logger.clone(),
         );
         let joiner = Mutex::new(RewardJoiner::new(cfg.join_ttl_ns, Arc::clone(&metrics)));
+        let scope = (cfg.obs.enabled && cfg.scope.enabled)
+            .then(|| Mutex::new(HarvestScope::new(&cfg.scope)));
         DecisionService {
             registry,
             engine,
@@ -333,6 +349,7 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
             chaos,
             decision_seq: AtomicU64::new(0),
             reward_seq: AtomicU64::new(0),
+            scope,
         }
     }
 
@@ -485,6 +502,16 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
             .note_gate(round.gate.n, round.gate.candidate_radius, &self.metrics);
         if let Some(obs) = self.metrics.obs() {
             obs.set_quality(round.gate.quality);
+            // The round's harvest span — last minus first record stamp,
+            // logical ns — is the gate→promote stage of the timeline.
+            if let Some(first) = records.iter().map(|r| r.timestamp_ns()).min() {
+                let last = records
+                    .iter()
+                    .map(|r| r.timestamp_ns())
+                    .max()
+                    .unwrap_or(first);
+                obs.record_gate_span(last.saturating_sub(first));
+            }
             // Stamp `trained` on every decision trace whose record actually
             // contributed a (decision, outcome) pair to this round — the
             // same join rule the harvest pipeline applies.
@@ -584,13 +611,62 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
         )
     }
 
-    /// The Prometheus text exposition page.
+    /// One ops-plane tick at logical time `now_ns`: the scope drains the
+    /// stage journal, advances the window series, and evaluates the
+    /// watchdogs, returning any alert events raised. A no-op (empty)
+    /// when the service was built without a scope.
+    ///
+    /// For byte-identical stage histograms across same-seed runs, tick
+    /// after the log pipeline has drained (`log_backlog == 0`).
+    pub fn scope_tick(&self, now_ns: u64) -> Vec<harvest_obs::AlertEvent> {
+        match &self.scope {
+            Some(scope) => lock_recovering(scope, Some(&self.metrics)).tick(
+                now_ns,
+                &self.metrics,
+                self.breaker.is_open(),
+            ),
+            None => Vec::new(),
+        }
+    }
+
+    /// The window-series ring as deterministic JSON, when the scope is
+    /// enabled.
+    pub fn export_series_json(&self) -> Option<String> {
+        self.scope
+            .as_ref()
+            .map(|s| lock_recovering(s, Some(&self.metrics)).series_export_json())
+    }
+
+    /// Current watchdog alert states as deterministic JSON, when the
+    /// scope is enabled.
+    pub fn export_alerts_json(&self) -> Option<String> {
+        self.scope
+            .as_ref()
+            .map(|s| lock_recovering(s, Some(&self.metrics)).alerts_json())
+    }
+
+    /// Every alert fire/clear event so far as JSON lines, when the scope
+    /// is enabled.
+    pub fn export_alert_events_jsonl(&self) -> Option<String> {
+        self.scope
+            .as_ref()
+            .map(|s| lock_recovering(s, Some(&self.metrics)).events_jsonl())
+    }
+
+    /// The Prometheus text exposition page. A scope-carrying service
+    /// appends its alert and stage-latency families, so this page — and
+    /// the wire OPS scrape, which renders through this same method — is
+    /// the full ops-plane view.
     pub fn export_prometheus(&self) -> String {
-        export_prometheus(
+        let mut p = prometheus_page(
             &self.metrics,
             self.breaker.is_open(),
             self.breaker.last_trip(),
-        )
+        );
+        if let Some(scope) = &self.scope {
+            lock_recovering(scope, Some(&self.metrics)).append_prometheus(&mut p);
+        }
+        p.finish()
     }
 
     /// Shuts down: disconnects the log queue, waits for the writer to drain

@@ -159,12 +159,16 @@ impl<S: SegmentSink> WriterShared<S> {
             return;
         };
         match record {
-            LogRecord::Decision(d) => obs.tracer().terminal_deferred(d.request_id, terminal),
+            LogRecord::Decision(d) => {
+                obs.tracer().terminal_deferred(d.request_id, terminal);
+                obs.journal_stage_terminal(d.timestamp_ns, terminal);
+            }
             // A batch frame terminates every decision it carries — same
             // terminal, one inbox push per id.
             LogRecord::Batch(b) => {
                 for d in &b.decisions {
                     obs.tracer().terminal_deferred(d.request_id, terminal);
+                    obs.journal_stage_terminal(d.timestamp_ns, terminal);
                 }
             }
             LogRecord::Outcome(_) => {}

@@ -35,6 +35,7 @@ use harvest_serve::{DecisionBatch, DecisionService, QueueBudget, ServeMetrics, S
 
 use crate::admission::TokenBucket;
 use crate::metrics::WireMetrics;
+use crate::ops::{OpsQuery, OpsResponse};
 use crate::proto::{Request, Response, ShedReason, WireDecision};
 
 /// The server's logical clock: a monotone maximum over every stamp seen.
@@ -354,6 +355,54 @@ impl<S: SegmentSink + Send + 'static> WireCore<S> {
         (job.seq, response)
     }
 
+    /// Answers an ops-plane scrape at the door, like a ping — but unlike
+    /// a ping it pays admission: weight 1 against the connection's token
+    /// bucket and the pending budget, so a scrape storm sheds explicitly
+    /// instead of starving decisions. A scrape carries no logical stamp
+    /// and never advances the clock — observing the system must not
+    /// perturb same-seed byte-equivalence on the decision path. Scrape
+    /// refusals land on the separate ops ledger, not the decision ledger
+    /// and not the service's `admission_shed` (which feeds the SLO
+    /// burn-rate watchdog).
+    pub fn ops(&self, conn: &mut ConnState, query: OpsQuery) -> OpsResponse {
+        self.metrics.record_ops_request();
+        let now_ns = self.clock.now_ns();
+        if !conn.bucket.try_take(1, now_ns) {
+            self.metrics.record_ops_shed();
+            self.metrics.record_response();
+            return OpsResponse::Shed {
+                reason: ShedReason::RateLimited,
+            };
+        }
+        if !self.pending.try_acquire(1) {
+            self.metrics.record_ops_shed();
+            self.metrics.record_response();
+            return OpsResponse::Shed {
+                reason: ShedReason::QueueFull,
+            };
+        }
+        let body = match query {
+            OpsQuery::Prometheus => self.svc.export_prometheus(),
+            OpsQuery::Snapshot => {
+                serde_json::to_string(&self.svc.obs_snapshot()).expect("snapshots always serialize")
+            }
+            OpsQuery::Series => self
+                .svc
+                .export_series_json()
+                .unwrap_or_else(|| "null".to_string()),
+            OpsQuery::Alerts => self
+                .svc
+                .export_alerts_json()
+                .unwrap_or_else(|| "null".to_string()),
+            OpsQuery::AlertEvents => self.svc.export_alert_events_jsonl().unwrap_or_default(),
+            OpsQuery::WirePrometheus => self.metrics.export_prometheus(),
+        };
+        self.pending.release(1);
+        self.metrics.record_ops_served();
+        self.metrics.record_response();
+        OpsResponse::Report { body }
+    }
+
     /// Routes a request to a worker by shard, so one shard's traffic —
     /// decisions *and* the rewards joining back to them — lands on one
     /// worker. This is the worker-pool half of the engine's shard-affinity
@@ -572,6 +621,60 @@ mod tests {
                 other => panic!("ping must pong, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn ops_scrapes_pass_admission_but_never_advance_the_clock() {
+        let c = core(WireConfig::default());
+        let mut conn = c.connect();
+        let Admission::Enqueue(job) = c.admit(&mut conn, 1, decide(0, 5_000, 0)) else {
+            panic!("must admit");
+        };
+        c.process(job);
+        let before = c.clock().now_ns();
+        let resp = c.ops(&mut conn, OpsQuery::Prometheus);
+        let OpsResponse::Report { body } = resp else {
+            panic!("scrape must serve under an idle door");
+        };
+        assert!(body.contains("harvest_decisions_total"));
+        assert_eq!(c.clock().now_ns(), before, "scrapes must not move time");
+        let s = c.metrics().snapshot();
+        assert_eq!((s.ops_requests, s.ops_served, s.ops_shed), (1, 1, 0));
+        assert!(s.ledger_ok, "both ledgers balance: {s:?}");
+    }
+
+    #[test]
+    fn ops_scrapes_shed_past_the_rate_limit_without_touching_decisions() {
+        let c = core(
+            WireConfig::builder()
+                .rate_per_sec(1)
+                .burst(2)
+                .pending_capacity(100)
+                .build(),
+        );
+        let mut conn = c.connect();
+        let mut served = 0;
+        let mut shed = 0;
+        for _ in 0..10 {
+            match c.ops(&mut conn, OpsQuery::Alerts) {
+                OpsResponse::Report { .. } => served += 1,
+                OpsResponse::Shed { reason } => {
+                    assert_eq!(reason, ShedReason::RateLimited);
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!((served, shed), (2, 8), "only the burst fits at one instant");
+        let s = c.metrics().snapshot();
+        assert_eq!(s.ops_shed, 8);
+        assert_eq!(
+            s.decisions_requested, 0,
+            "scrapes stay off the decision ledger"
+        );
+        assert!(s.ledger_ok);
+        // Scrape sheds must not leak into the service's admission_shed —
+        // that counter feeds the SLO burn-rate watchdog.
+        assert_eq!(c.service().metrics().admission_shed, 0);
     }
 
     #[test]

@@ -20,6 +20,10 @@ use harvest_log::segment::SegmentSink;
 
 use crate::core::{Admission, ConnState, Job, WireCore};
 use crate::frame::{FrameDecoder, FrameKind};
+use crate::ops::{
+    decode_ops_query_payload, decode_ops_response_payload, encode_ops_query, encode_ops_response,
+    OpsQuery, OpsResponse,
+};
 use crate::proto::{
     decode_request_payload, decode_response_payload, encode_request, encode_response, Request,
     Response,
@@ -121,6 +125,24 @@ impl<S: SegmentSink + Send + 'static> Duplex<S> {
                         }
                     }
                 }
+                Ok(Some((FrameKind::Ops, seq, payload))) => {
+                    // Scrapes answer inline at the door, exactly like the
+                    // TCP reader: no queue slot, admission still charged.
+                    let query = match decode_ops_query_payload(&payload) {
+                        Ok(q) => q,
+                        Err(kind) => {
+                            self.core.metrics().record_corrupt_frame();
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("bad ops body: {kind}"),
+                            ));
+                        }
+                    };
+                    let resp = self.core.ops(&mut side.state, query);
+                    if let Some(inbox) = inboxes.get_mut(&conn_id) {
+                        inbox.extend(&encode_ops_response(seq, &resp));
+                    }
+                }
                 Ok(Some((FrameKind::Response, _, _))) => {
                     self.core.metrics().record_protocol_error();
                     return Err(io::Error::new(
@@ -210,6 +232,34 @@ impl<S: SegmentSink + Send + 'static> Duplex<S> {
             }
         }
     }
+
+    /// Reads the next buffered ops answer for `conn_id`. Scrapes answer
+    /// synchronously in [`Duplex::send_bytes`], so no pumping is needed.
+    fn recv_ops_from(&self, conn_id: u64) -> io::Result<OpsResponse> {
+        let mut s = self.lock();
+        let inbox = s
+            .inboxes
+            .get_mut(&conn_id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "unknown connection"))?;
+        match inbox.next_frame() {
+            Ok(Some((FrameKind::Ops, _, payload))) => decode_ops_response_payload(&payload)
+                .map_err(|kind| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad ops body: {kind}"))
+                }),
+            Ok(Some(_)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "non-ops frame while awaiting a scrape answer",
+            )),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "no scrape answer buffered",
+            )),
+            Err(kind) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt frame: {kind}"),
+            )),
+        }
+    }
 }
 
 /// A client connection to a [`Duplex`] server.
@@ -223,6 +273,17 @@ impl<S: SegmentSink + Send + 'static> DuplexConn<S> {
     /// The server-assigned connection id.
     pub fn conn_id(&self) -> u64 {
         self.conn_id
+    }
+
+    /// Sends one ops-plane scrape and returns its answer. Scrapes are
+    /// answered at the door, so this never pumps the job queue — a scrape
+    /// mid-workload observes the queue as it stands.
+    pub fn ops(&mut self, query: &OpsQuery) -> io::Result<OpsResponse> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.server
+            .send_bytes(self.conn_id, &encode_ops_query(seq, query))?;
+        self.server.recv_ops_from(self.conn_id)
     }
 }
 
@@ -298,6 +359,41 @@ mod tests {
         let (_, rb) = b.recv().expect("recv b");
         assert_eq!(ra, Response::Pong { nonce: 1 });
         assert_eq!(rb, Response::Pong { nonce: 2 });
+    }
+
+    #[test]
+    fn scrapes_answer_at_the_door_and_replay_byte_identically() {
+        let run = || {
+            let server = server();
+            let mut conn = server.connect();
+            for i in 0..8u64 {
+                conn.send(&Request::Decide {
+                    shard: (i % 2) as u32,
+                    now_ns: 1_000 + i * 10,
+                    budget_ns: 0,
+                    context: SimpleContext::contextless(2),
+                })
+                .expect("send");
+            }
+            server.pump();
+            // Drain the decision responses first: the inbox is FIFO, so
+            // the scrape answer lands behind them.
+            for _ in 0..8 {
+                conn.recv().expect("recv decision");
+            }
+            // Byte-identity needs a quiescent log pipeline: the async
+            // writer's progress is invisible in logical time.
+            while server.core().service().metrics().log_backlog > 0 {
+                std::thread::yield_now();
+            }
+            let OpsResponse::Report { body } = conn.ops(&OpsQuery::Prometheus).expect("scrape")
+            else {
+                panic!("scrape must serve");
+            };
+            body
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed, same traffic ⇒ byte-identical scrape");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! offset  size  field
 //! 0       2     magic  0x48 0x57 ("HW")
 //! 2       1     version (currently 1)
-//! 3       1     kind: 0 = request, 1 = response
+//! 3       1     kind: 0 = request, 1 = response, 2 = ops
 //! 4       8     seq — caller correlation id, echoed in the response
 //! 12      4     len — payload length in bytes
 //! 16      4     crc32 over bytes 2..16 and the payload
@@ -45,13 +45,18 @@ pub const WIRE_HEADER_LEN: usize = 20;
 /// not a request to buffer unboundedly.
 pub const MAX_WIRE_PAYLOAD: usize = 1 << 22;
 
-/// Whether a frame carries a request or a response.
+/// Whether a frame carries a request, a response, or an ops-plane
+/// message (scrape query client→server, report server→client).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// Client → server.
     Request,
     /// Server → client.
     Response,
+    /// Ops-plane scrape traffic, both directions: the payload is an
+    /// [`OpsQuery`](crate::ops::OpsQuery) going in and an
+    /// [`OpsResponse`](crate::ops::OpsResponse) coming back.
+    Ops,
 }
 
 impl FrameKind {
@@ -59,6 +64,7 @@ impl FrameKind {
         match self {
             FrameKind::Request => 0,
             FrameKind::Response => 1,
+            FrameKind::Ops => 2,
         }
     }
 
@@ -66,6 +72,7 @@ impl FrameKind {
         match b {
             0 => Some(FrameKind::Request),
             1 => Some(FrameKind::Response),
+            2 => Some(FrameKind::Ops),
             _ => None,
         }
     }

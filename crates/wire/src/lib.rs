@@ -52,6 +52,7 @@ pub mod core;
 pub mod duplex;
 pub mod frame;
 pub mod metrics;
+pub mod ops;
 pub mod proto;
 pub mod tcp;
 pub mod transport;
@@ -64,6 +65,10 @@ pub use frame::{
     WIRE_HEADER_LEN, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use metrics::{WireMetrics, WireSnapshot};
+pub use ops::{
+    decode_ops_query_payload, decode_ops_response_payload, encode_ops_query, encode_ops_response,
+    OpsQuery, OpsResponse,
+};
 pub use proto::{
     decode_request_frame, decode_request_payload, decode_response_payload, encode_request,
     encode_response, Request, Response, ShedReason, WireDecision, WireJoinOutcome,

@@ -44,6 +44,12 @@ pub struct WireMetrics {
     // Rewards: forwarded to the joiner, or shed by the rate limit.
     rewards_forwarded: AtomicU64,
     rewards_shed: AtomicU64,
+    // The ops-plane ledger, kept apart from the decision ledger: a scrape
+    // is observability traffic, not a decision, so scrape sheds must not
+    // perturb the SLO burn-rate signal computed over decision counters.
+    ops_requests: AtomicU64,
+    ops_served: AtomicU64,
+    ops_shed: AtomicU64,
     // Protocol health.
     frames_corrupt: AtomicU64,
     protocol_errors: AtomicU64,
@@ -124,6 +130,21 @@ impl WireMetrics {
         self.rewards_shed.fetch_add(1, RELAXED);
     }
 
+    /// Counts one ops scrape frame received.
+    pub fn record_ops_request(&self) {
+        self.ops_requests.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one ops scrape answered with a rendered report.
+    pub fn record_ops_served(&self) {
+        self.ops_served.fetch_add(1, RELAXED);
+    }
+
+    /// Counts one ops scrape refused by admission.
+    pub fn record_ops_shed(&self) {
+        self.ops_shed.fetch_add(1, RELAXED);
+    }
+
     /// Counts one corrupt frame (the connection is closed after this).
     pub fn record_corrupt_frame(&self) {
         self.frames_corrupt.fetch_add(1, RELAXED);
@@ -165,6 +186,9 @@ impl WireMetrics {
         let shed_deadline = self.shed_deadline.load(RELAXED);
         let shed_total = shed_rate_limited + shed_queue_full + shed_deadline;
         let errored = self.decisions_errored.load(RELAXED);
+        let ops_requests = self.ops_requests.load(RELAXED);
+        let ops_served = self.ops_served.load(RELAXED);
+        let ops_shed = self.ops_shed.load(RELAXED);
         WireSnapshot {
             ping_requests: self.ping_requests.load(RELAXED),
             decide_requests: self.decide_requests.load(RELAXED),
@@ -180,10 +204,14 @@ impl WireMetrics {
             decisions_errored: errored,
             rewards_forwarded: self.rewards_forwarded.load(RELAXED),
             rewards_shed: self.rewards_shed.load(RELAXED),
+            ops_requests,
+            ops_served,
+            ops_shed,
             frames_corrupt: self.frames_corrupt.load(RELAXED),
             protocol_errors: self.protocol_errors.load(RELAXED),
             responses_sent: self.responses_sent.load(RELAXED),
-            ledger_ok: requested == served + shed_total + errored,
+            ledger_ok: requested == served + shed_total + errored
+                && ops_requests == ops_served + ops_shed,
             queue_wait_ns: self.queue_wait_ns.snapshot().summary(),
             request_latency_ns: self.request_latency_ns.snapshot().summary(),
             batch_sizes: self.batch_sizes.snapshot().summary(),
@@ -261,6 +289,21 @@ impl WireMetrics {
             s.rewards_shed,
         );
         p.counter(
+            "harvest_wire_ops_requests_total",
+            "Ops scrape frames received.",
+            s.ops_requests,
+        );
+        p.counter(
+            "harvest_wire_ops_served_total",
+            "Ops scrapes answered with a rendered report.",
+            s.ops_served,
+        );
+        p.counter(
+            "harvest_wire_ops_shed_total",
+            "Ops scrapes refused by admission.",
+            s.ops_shed,
+        );
+        p.counter(
             "harvest_wire_frames_corrupt_total",
             "Corrupt frames (each closes its connection).",
             s.frames_corrupt,
@@ -330,13 +373,21 @@ pub struct WireSnapshot {
     pub rewards_forwarded: u64,
     /// Rewards shed by rate limits.
     pub rewards_shed: u64,
+    /// Ops scrape frames received.
+    pub ops_requests: u64,
+    /// Ops scrapes answered with a rendered report.
+    pub ops_served: u64,
+    /// Ops scrapes refused by admission.
+    pub ops_shed: u64,
     /// Corrupt frames seen.
     pub frames_corrupt: u64,
     /// Error responses to invalid requests.
     pub protocol_errors: u64,
     /// Response frames sent.
     pub responses_sent: u64,
-    /// Whether `requested == served + shed_total` held at read time.
+    /// Whether both ledgers held at read time: `requested == served +
+    /// shed_total + errored` for decisions and `ops_requests ==
+    /// ops_served + ops_shed` for scrapes.
     pub ledger_ok: bool,
     /// Logical queue-wait distribution.
     pub queue_wait_ns: HistogramSummary,

@@ -1,0 +1,150 @@
+//! The ops-plane scrape protocol: typed queries and report bodies carried
+//! in [`FrameKind::Ops`] frames.
+//!
+//! A scrape is read-only observability traffic: it renders an export the
+//! service already produces (Prometheus text, the JSON snapshot, the
+//! window series, active alerts, or the alert event log) and ships it back
+//! as an opaque string body. Scrapes pass the same admission door as
+//! decisions — per-connection token bucket and the pending-work budget,
+//! weight 1 — so a scrape storm degrades into explicit `Shed` answers
+//! instead of starving the hot path. Unlike decisions, scrapes carry no
+//! logical-clock stamp and never advance the server clock: observing the
+//! system must not perturb the same-seed byte-equivalence the decision
+//! path guarantees. For the same reason ops traffic keeps its own ledger
+//! (`ops_requested == ops_served + ops_shed`) instead of leaking into the
+//! decision ledger.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{encode_frame, CorruptKind, FrameKind};
+use crate::proto::ShedReason;
+
+/// What a scrape client wants rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpsQuery {
+    /// The service's Prometheus text exposition (scope families included
+    /// when the time-series plane is enabled).
+    Prometheus,
+    /// The structured JSON observability snapshot.
+    Snapshot,
+    /// The windowed time-series export (JSON), one object per sealed
+    /// window frame.
+    Series,
+    /// The current watchdog alert states (JSON).
+    Alerts,
+    /// The full alert event log (JSON lines, one fire/clear event each).
+    AlertEvents,
+    /// The wire layer's own Prometheus exposition (frames, sheds, queue
+    /// waits) — the transport observing itself.
+    WirePrometheus,
+}
+
+/// What the server answers a scrape with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpsResponse {
+    /// The rendered export. Same seed, same call sequence ⇒ byte-identical
+    /// `body` across runs.
+    Report {
+        /// The export text: Prometheus exposition, JSON, or JSON lines
+        /// depending on the query.
+        body: String,
+    },
+    /// Admission refused the scrape; retry or back off.
+    Shed {
+        /// Why admission refused it.
+        reason: ShedReason,
+    },
+}
+
+/// Encodes a scrape query into a complete ops frame.
+pub fn encode_ops_query(seq: u64, query: &OpsQuery) -> Vec<u8> {
+    let payload = serde_json::to_string(query).expect("ops queries always serialize");
+    encode_frame(FrameKind::Ops, seq, payload.as_bytes())
+}
+
+/// Encodes a scrape answer into a complete ops frame.
+pub fn encode_ops_response(seq: u64, resp: &OpsResponse) -> Vec<u8> {
+    let payload = serde_json::to_string(resp).expect("ops responses always serialize");
+    encode_frame(FrameKind::Ops, seq, payload.as_bytes())
+}
+
+/// Parses a scrape query from ops-frame payload bytes.
+pub fn decode_ops_query_payload(payload: &[u8]) -> Result<OpsQuery, CorruptKind> {
+    let text = std::str::from_utf8(payload).map_err(|_| CorruptKind::BadPayload)?;
+    serde_json::from_str(text).map_err(|_| CorruptKind::BadPayload)
+}
+
+/// Parses a scrape answer from ops-frame payload bytes.
+pub fn decode_ops_response_payload(payload: &[u8]) -> Result<OpsResponse, CorruptKind> {
+    let text = std::str::from_utf8(payload).map_err(|_| CorruptKind::BadPayload)?;
+    serde_json::from_str(text).map_err(|_| CorruptKind::BadPayload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, Decoded};
+
+    #[test]
+    fn ops_queries_round_trip_through_frames() {
+        let queries = [
+            OpsQuery::Prometheus,
+            OpsQuery::Snapshot,
+            OpsQuery::Series,
+            OpsQuery::Alerts,
+            OpsQuery::AlertEvents,
+            OpsQuery::WirePrometheus,
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let frame = encode_ops_query(i as u64, q);
+            match decode_frame(&frame) {
+                Decoded::Frame {
+                    kind: FrameKind::Ops,
+                    seq,
+                    payload,
+                    consumed,
+                } => {
+                    assert_eq!(seq, i as u64);
+                    assert_eq!(consumed, frame.len());
+                    assert_eq!(&decode_ops_query_payload(&payload).expect("body"), q);
+                }
+                other => panic!("expected ops frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ops_responses_round_trip_through_frames() {
+        let resps = [
+            OpsResponse::Report {
+                body: "# HELP harvest_decisions_total ...\n".to_string(),
+            },
+            OpsResponse::Shed {
+                reason: ShedReason::RateLimited,
+            },
+        ];
+        for (i, r) in resps.iter().enumerate() {
+            let frame = encode_ops_response(i as u64, r);
+            match decode_frame(&frame) {
+                Decoded::Frame {
+                    kind: FrameKind::Ops,
+                    seq,
+                    payload,
+                    ..
+                } => {
+                    assert_eq!(seq, i as u64);
+                    assert_eq!(&decode_ops_response_payload(&payload).expect("body"), r);
+                }
+                other => panic!("expected ops frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ops_frames_are_distinct_from_request_frames() {
+        let frame = encode_ops_query(7, &OpsQuery::Prometheus);
+        // The request-path decoder must refuse an ops frame rather than
+        // misparse it.
+        assert!(crate::proto::decode_request_frame(&frame).is_err());
+    }
+}

@@ -32,6 +32,10 @@ use harvest_log::segment::SegmentSink;
 
 use crate::core::{Admission, Job, WireCore};
 use crate::frame::{FrameDecoder, FrameKind};
+use crate::ops::{
+    decode_ops_query_payload, decode_ops_response_payload, encode_ops_query, encode_ops_response,
+    OpsQuery, OpsResponse,
+};
 use crate::proto::{
     decode_request_payload, decode_response_payload, encode_request, encode_response, Request,
     Response,
@@ -247,6 +251,23 @@ fn reader_loop<S: SegmentSink + Send + 'static>(
                         }
                     }
                 }
+                Ok(Some((FrameKind::Ops, seq, payload))) => {
+                    // Scrapes answer inline at the door like pings — no
+                    // worker dispatch — but core.ops() charges admission.
+                    let query = match decode_ops_query_payload(&payload) {
+                        Ok(q) => q,
+                        Err(_) => {
+                            core.metrics().record_corrupt_frame();
+                            break 'conn;
+                        }
+                    };
+                    let resp = core.ops(&mut conn, query);
+                    let frame = encode_ops_response(seq, &resp);
+                    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                    if w.write_all(&frame).is_err() {
+                        break 'conn;
+                    }
+                }
                 Ok(Some((FrameKind::Response, _, _))) => {
                     core.metrics().record_protocol_error();
                     break 'conn;
@@ -280,6 +301,55 @@ impl TcpClient {
             next_seq: 0,
         })
     }
+
+    /// Sends one ops-plane scrape and blocks for its answer. Don't
+    /// interleave with in-flight decision calls on the same connection —
+    /// a decision response arriving first would be misread here; use a
+    /// dedicated scrape connection (that also gives the scraper its own
+    /// token bucket, so scrape sheds never charge the decision path).
+    pub fn ops(&mut self, query: &OpsQuery) -> io::Result<OpsResponse> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stream.write_all(&encode_ops_query(seq, query))?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some((FrameKind::Ops, got_seq, payload))) => {
+                    if got_seq != seq {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "ops response for a different seq",
+                        ));
+                    }
+                    return decode_ops_response_payload(&payload).map_err(|kind| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad ops body: {kind}"))
+                    });
+                }
+                Ok(Some(_)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "non-ops frame while awaiting a scrape answer",
+                    ));
+                }
+                Ok(None) => {
+                    let n = self.stream.read(&mut buf)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ));
+                    }
+                    self.decoder.extend(&buf[..n]);
+                }
+                Err(kind) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt frame from server: {kind}"),
+                    ));
+                }
+            }
+        }
+    }
 }
 
 impl Connection for TcpClient {
@@ -303,10 +373,10 @@ impl Connection for TcpClient {
                     })?;
                     return Ok((seq, resp));
                 }
-                Ok(Some((FrameKind::Request, _, _))) => {
+                Ok(Some((FrameKind::Request, _, _))) | Ok(Some((FrameKind::Ops, _, _))) => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        "server sent a request frame",
+                        "unexpected frame kind while awaiting a response",
                     ));
                 }
                 Ok(None) => {
@@ -421,6 +491,37 @@ mod tests {
         assert_eq!(served, 100);
         let snap = server.core().metrics().snapshot();
         assert_eq!(snap.decisions_served, 100);
+        assert!(snap.ledger_ok, "{snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn ops_scrape_over_loopback_matches_the_in_process_export() {
+        let server = server(2);
+        let mut client = server.connect().expect("connect");
+        // Put some traffic on the books first.
+        for i in 0..5u64 {
+            client
+                .call(&Request::Decide {
+                    shard: 0,
+                    now_ns: 1_000 + i,
+                    budget_ns: 0,
+                    context: SimpleContext::contextless(2),
+                })
+                .expect("decide");
+        }
+        // Quiesce the log pipeline so both exports read the same state.
+        while server.core().service().metrics().log_backlog > 0 {
+            thread::yield_now();
+        }
+        let resp = client.ops(&OpsQuery::Prometheus).expect("scrape");
+        let OpsResponse::Report { body } = resp else {
+            panic!("scrape must serve, got {resp:?}");
+        };
+        // Quiescent server: the remote page is the in-process page.
+        assert_eq!(body, server.core().service().export_prometheus());
+        let snap = server.core().metrics().snapshot();
+        assert_eq!((snap.ops_requests, snap.ops_served), (1, 1));
         assert!(snap.ledger_ok, "{snap:?}");
         server.shutdown();
     }

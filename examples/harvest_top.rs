@@ -7,13 +7,18 @@
 //! percentiles, harvest-quality gauges from the gate, and the full
 //! Prometheus text exposition.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * default — a `top`-style console: one dashboard frame per workload
 //!   phase, then the final exposition;
 //! * `--once` — batch mode for CI: run the whole workload, print the
 //!   conservation/trace ledgers and the exposition page once, and assert
-//!   both ledgers balance.
+//!   both ledgers balance;
+//! * `--remote` — after the workload, bind a live `harvest-wire` TCP
+//!   server over the same service and scrape the dashboard through the
+//!   OPS frame kind (Prometheus page, JSON snapshot, window series,
+//!   alerts), asserting every remote body is byte-identical to the
+//!   in-process export.
 //!
 //! Everything is a deterministic function of the seed: logical clocks,
 //! forked RNGs, `Block` backpressure, and a drain before every render mean
@@ -22,14 +27,17 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example harvest_top -- [seed] [--once]
+//! cargo run --release --example harvest_top -- [seed] [--once] [--remote]
 //! ```
+
+use std::sync::Arc;
 
 use harvest::core::SimpleContext;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::obs::HistogramSummary;
 use harvest::serve::{Backpressure, DecisionService, LoggerConfig, ServeConfig, TrainerConfig};
 use harvest::simnet::rng::fork_rng;
+use harvest::wire::{OpsQuery, OpsResponse, TcpClient, TcpServer, WireConfig, WireCore};
 use rand::Rng;
 
 const EPSILON: f64 = 0.2;
@@ -134,16 +142,20 @@ fn frame(svc: &DecisionService<MemorySegments>, label: &str) {
 fn main() {
     let mut seed: u64 = 42;
     let mut once = false;
+    let mut remote = false;
     for arg in std::env::args().skip(1) {
         if arg == "--once" {
             once = true;
+        } else if arg == "--remote" {
+            remote = true;
         } else {
             seed = arg.parse().expect("seed must be a u64");
         }
     }
     println!(
-        "harvest-top: seed {seed}{}",
-        if once { " (--once)" } else { "" }
+        "harvest-top: seed {seed}{}{}",
+        if once { " (--once)" } else { "" },
+        if remote { " (--remote)" } else { "" }
     );
 
     let store = MemorySegments::new();
@@ -171,7 +183,7 @@ fn main() {
         )
         .build()
         .expect("valid demo config");
-    let svc = DecisionService::new(cfg, store.clone());
+    let svc = Arc::new(DecisionService::new(cfg, store.clone()));
 
     // Crossing rewards (action 0 pays x, action 1 pays 1 − x), one gate
     // round after the second phase so the quality gauges have something to
@@ -203,11 +215,18 @@ fn main() {
             .expect("service must serve");
         let reward = if d.action == 0 { x } else { 1.0 - x };
         svc.reward(d.request_id, now_ns + 500_000, reward);
-        if !once && (i + 1) % (REQUESTS / FRAMES) == 0 {
-            frame(
-                &svc,
-                &format!("[{}/{FRAMES}]", (i + 1) / (REQUESTS / FRAMES)),
-            );
+        if (i + 1) % (REQUESTS / FRAMES) == 0 {
+            // A scope tick per phase, at a deterministic stamp, so the
+            // window series and watchdogs have frames to show in every
+            // mode.
+            drain(&svc);
+            svc.scope_tick(now_ns);
+            if !once {
+                frame(
+                    &svc,
+                    &format!("[{}/{FRAMES}]", (i + 1) / (REQUESTS / FRAMES)),
+                );
+            }
         }
     }
 
@@ -250,5 +269,62 @@ fn main() {
         serde_json::to_string(&snapshot).expect("snapshot serializes")
     );
 
+    if remote {
+        scrape_remote(&svc);
+    }
+
+    let svc = Arc::try_unwrap(svc).ok().expect("all handles released");
     svc.shutdown().unwrap();
+}
+
+/// Binds a live TCP server over the (now quiescent) service and scrapes
+/// the dashboard through the wire OPS endpoint, asserting every remote
+/// body is byte-identical to the in-process export.
+fn scrape_remote(svc: &Arc<DecisionService<MemorySegments>>) {
+    let core = Arc::new(WireCore::new(Arc::clone(svc), WireConfig::default()));
+    let server = TcpServer::bind(Arc::clone(&core), "127.0.0.1:0", 1).expect("bind loopback");
+    let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+
+    let scrape = |client: &mut TcpClient, q: OpsQuery| -> String {
+        match client.ops(&q).expect("scrape") {
+            OpsResponse::Report { body } => body,
+            OpsResponse::Shed { reason } => panic!("scrape shed: {reason}"),
+        }
+    };
+    let checks = [
+        (
+            "prometheus",
+            scrape(&mut client, OpsQuery::Prometheus),
+            svc.export_prometheus(),
+        ),
+        (
+            "snapshot",
+            scrape(&mut client, OpsQuery::Snapshot),
+            serde_json::to_string(&svc.obs_snapshot()).expect("snapshot serializes"),
+        ),
+        (
+            "series",
+            scrape(&mut client, OpsQuery::Series),
+            svc.export_series_json().expect("scope enabled"),
+        ),
+        (
+            "alerts",
+            scrape(&mut client, OpsQuery::Alerts),
+            svc.export_alerts_json().expect("scope enabled"),
+        ),
+    ];
+    let ok = checks.iter().all(|(_, remote, local)| remote == local);
+    println!(
+        "\nremote scrape parity ({}) -> {}",
+        checks
+            .iter()
+            .map(|(name, _, _)| *name)
+            .collect::<Vec<_>>()
+            .join(", "),
+        if ok { "OK" } else { "VIOLATED" }
+    );
+    for (name, remote, local) in &checks {
+        assert_eq!(remote, local, "{name} scrape must match in-process export");
+    }
+    server.shutdown();
 }

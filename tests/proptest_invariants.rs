@@ -341,3 +341,113 @@ proptest! {
         prop_assert_eq!(stats.quarantined_bytes, bytes.len() - start_of[target]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance: every page the workspace produces —
+// the service export (serve + scope + trace families) and the wire
+// front-end's own metrics page — must satisfy the exposition grammar the
+// scraper-facing validator enforces (HELP/TYPE before samples, no family
+// interleaving or duplicates, histograms closed with +Inf/_sum/_count),
+// for ANY workload shape: decision count, reward mix, injected door
+// sheds, tick cadence, gate rounds, and scrape traffic are all drawn by
+// proptest.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use harvest::logs::segment::MemorySegments as PromSegments;
+use harvest::obs::validate_exposition;
+use harvest::serve::{DecisionService, ScopeConfig, ServeConfig, TrainerConfig};
+use harvest::wire::{Duplex, OpsQuery, OpsResponse, WireConfig, WireCore};
+
+proptest! {
+    // Each case builds a live service (writer thread and all), so keep the
+    // case count modest; the shapes explored per case are what matter.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn every_exposition_the_workspace_produces_conforms(
+        seed in any::<u64>(),
+        decisions in 1usize..120,
+        burst in 0u64..300,
+        ticks in 1u64..5,
+        train in any::<bool>(),
+        scrapes in 0usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let store = PromSegments::new();
+        let cfg = ServeConfig::builder()
+            .shards(2)
+            .epsilon(0.2)
+            .master_seed(seed)
+            .component("prom-conformance")
+            .trainer(TrainerConfig::builder().lambda(1e-3).epsilon(0.2).build())
+            .scope(
+                ScopeConfig::builder()
+                    .window_ns(10_000_000)
+                    .windows(16)
+                    .build(),
+            )
+            .build()
+            .expect("valid config");
+        let svc = DecisionService::new(cfg, store.clone());
+        let mut traffic = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut now_ns = 0u64;
+        for i in 0..decisions {
+            now_ns += 1_000_000;
+            let x: f64 = traffic.gen_range(0.0..1.0);
+            let ctx = SimpleContext::new(vec![x], 2);
+            let d = svc.decide(i % 2, now_ns, &ctx).expect("decide");
+            svc.reward(d.request_id, now_ns + 500_000, if d.action == 0 { x } else { 1.0 - x });
+        }
+        svc.metrics_handle().record_admission_shed_n(burst);
+        while svc.metrics().log_backlog > 0 {
+            std::thread::yield_now();
+        }
+        if train {
+            let (records, _) = store.recover();
+            let _ = svc.train_and_maybe_promote(&records);
+        }
+        for t in 1..=ticks {
+            svc.scope_tick(now_ns + t * 10_000_000);
+        }
+
+        // The wire front-end's own page, after a proptest-chosen amount of
+        // scrape traffic has moved its ops ledger.
+        let svc = Arc::new(svc);
+        let core = Arc::new(WireCore::new(Arc::clone(&svc), WireConfig::default()));
+        let duplex = Duplex::new(core.clone());
+        let mut conn = duplex.connect();
+        for _ in 0..scrapes {
+            match conn.ops(&OpsQuery::Prometheus).expect("scrape") {
+                OpsResponse::Report { .. } | OpsResponse::Shed { .. } => {}
+            }
+        }
+        let wire_page = core.metrics().export_prometheus();
+        prop_assert!(
+            validate_exposition(&wire_page).is_ok(),
+            "wire exposition violated: {:?}",
+            validate_exposition(&wire_page)
+        );
+
+        // The service page — serve counters, stage/scope families, trace
+        // health, quality gauges when a gate round ran — scraped remotely
+        // must be the same conforming bytes.
+        let remote = match conn.ops(&OpsQuery::Prometheus).expect("scrape") {
+            OpsResponse::Report { body } => body,
+            OpsResponse::Shed { reason } => panic!("scrape shed: {reason}"),
+        };
+        let local = svc.export_prometheus();
+        prop_assert!(
+            validate_exposition(&local).is_ok(),
+            "service exposition violated: {:?}",
+            validate_exposition(&local)
+        );
+        prop_assert_eq!(remote, local);
+
+        drop(conn);
+        drop(duplex);
+        drop(core);
+        let svc = Arc::try_unwrap(svc).ok().expect("wire handles released");
+        svc.shutdown().expect("clean shutdown");
+    }
+}
