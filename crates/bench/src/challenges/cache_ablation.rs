@@ -194,7 +194,7 @@ pub struct OpeMismatchRow {
 pub fn cache_ope_mismatch(cfg: &ExperimentConfig) -> Vec<OpeMismatchRow> {
     use harvest_core::policy::FnPolicy;
     use harvest_core::{Context, SimpleContext};
-    use harvest_estimators::ips::ips;
+    use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
     use harvest_sim_cache::policy::CbEviction;
     use harvest_sim_cache::runner::{big_small_trace, table3_cache_config};
 
@@ -229,6 +229,7 @@ pub fn cache_ope_mismatch(cfg: &ExperimentConfig) -> Vec<OpeMismatchRow> {
     let cb_core = harvest_core::policy::GreedyPolicy::new(scorer.clone()).named("cb-policy");
 
     // Random's short-term OPE = mean logged reward (on-policy).
+    let ev = OffPolicyEvaluator::new(EstimatorKind::Ips);
     let mut rows = vec![OpeMismatchRow {
         policy: "random".to_string(),
         short_term_ope: data.mean_logged_reward().unwrap_or(0.0),
@@ -236,18 +237,18 @@ pub fn cache_ope_mismatch(cfg: &ExperimentConfig) -> Vec<OpeMismatchRow> {
     }];
     rows.push(OpeMismatchRow {
         policy: "lru".to_string(),
-        short_term_ope: ips(&data, &lru).value,
+        short_term_ope: ev.evaluate(&data, &lru).value,
         online_hit_rate: run_cache_workload(&run_cfg, &mut LruEviction, &trace).hit_rate(),
     });
     rows.push(OpeMismatchRow {
         policy: "cb-policy".to_string(),
-        short_term_ope: ips(&data, &cb_core).value,
+        short_term_ope: ev.evaluate(&data, &cb_core).value,
         online_hit_rate: run_cache_workload(&run_cfg, &mut CbEviction::greedy(scorer), &trace)
             .hit_rate(),
     });
     rows.push(OpeMismatchRow {
         policy: "freq-size".to_string(),
-        short_term_ope: ips(&data, &freq_size).value,
+        short_term_ope: ev.evaluate(&data, &freq_size).value,
         online_hit_rate: run_cache_workload(&run_cfg, &mut FreqSizeEviction, &trace).hit_rate(),
     });
     rows

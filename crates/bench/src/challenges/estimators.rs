@@ -4,9 +4,8 @@ use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
 use harvest_core::policy::UniformPolicy;
 use harvest_core::simulate::simulate_exploration;
 use harvest_estimators::direct::direct_method;
-use harvest_estimators::dr::doubly_robust;
-use harvest_estimators::ips::ips;
-use harvest_estimators::snips::snips;
+use harvest_estimators::evaluator::ModelEstimatorKind;
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest_sim_mh::{generate_dataset, MachineHealthConfig};
 use harvest_sim_net::rng::fork_rng_indexed;
 
@@ -54,10 +53,20 @@ pub fn estimator_ablation(cfg: &ExperimentConfig) -> Vec<EstimatorRow> {
         let mut rng = fork_rng_indexed(cfg.seed, "ablation-trial", t as u64);
         let expl = simulate_exploration(&test, &UniformPolicy::new(), &mut rng);
         let values = [
-            ips(&expl, &policy).value,
-            snips(&expl, &policy).value,
+            OffPolicyEvaluator::new(EstimatorKind::Ips)
+                .evaluate(&expl, &policy)
+                .value,
+            OffPolicyEvaluator::new(EstimatorKind::Snips)
+                .evaluate(&expl, &policy)
+                .value,
             direct_method(&expl, &policy, &model).value,
-            doubly_robust(&expl, &policy, &model).value,
+            OffPolicyEvaluator::evaluate_with_model(
+                &expl,
+                &policy,
+                &model,
+                ModelEstimatorKind::DoublyRobust,
+            )
+            .value,
         ];
         for (i, v) in values.into_iter().enumerate() {
             sums[i] += v;

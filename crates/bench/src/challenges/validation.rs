@@ -64,7 +64,11 @@ pub fn simultaneous_evaluation(
                     .expect("valid prefix");
             let mut max_abs_error = 0.0f64;
             for p in &class {
-                let est = harvest_estimators::ips::ips(&prefix, p).value;
+                let est = harvest_estimators::OffPolicyEvaluator::new(
+                    harvest_estimators::EstimatorKind::Ips,
+                )
+                .evaluate(&prefix, p)
+                .value;
                 let truth = full_prefix.value_of_policy(p).expect("non-empty");
                 max_abs_error = max_abs_error.max((est - truth).abs());
             }

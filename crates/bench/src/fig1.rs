@@ -89,7 +89,7 @@ pub fn run_empirical(cfg: &crate::ExperimentConfig, ks: &[usize]) -> Vec<Fig1Emp
     use harvest_core::policy::{enumerate_stumps, UniformPolicy};
     use harvest_core::simulate::simulate_exploration;
     use harvest_estimators::ab::ab_test;
-    use harvest_estimators::ips::ips;
+    use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
     use harvest_sim_mh::failure::NUM_ACTIONS;
     use harvest_sim_mh::machine::MachineSpec;
     use harvest_sim_mh::{generate_dataset, MachineHealthConfig};
@@ -121,7 +121,11 @@ pub fn run_empirical(cfg: &crate::ExperimentConfig, ks: &[usize]) -> Vec<Fig1Emp
             for (p, arm) in candidates.iter().zip(&arms) {
                 let truth = full.value_of_policy(p).expect("non-empty");
                 ab_err += (arm.estimate.value - truth).abs();
-                cb_err += (ips(&expl, p).value - truth).abs();
+                cb_err += (OffPolicyEvaluator::new(EstimatorKind::Ips)
+                    .evaluate(&expl, p)
+                    .value
+                    - truth)
+                    .abs();
             }
             Fig1EmpiricalRow {
                 k: candidates.len(),

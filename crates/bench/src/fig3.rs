@@ -12,7 +12,7 @@ use harvest_core::learner::{ModelingMode, RegressionCbLearner, SampleWeighting};
 use harvest_core::policy::UniformPolicy;
 use harvest_core::simulate::{simulate_exploration, simulate_exploration_n};
 use harvest_core::{FullFeedbackDataset, SimpleContext};
-use harvest_estimators::ips::ips;
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest_sim_mh::{generate_dataset, MachineHealthConfig};
 use harvest_sim_net::rng::fork_rng_indexed;
 
@@ -131,7 +131,9 @@ fn run_trials(
                         prefix.len(),
                         &mut rng,
                     );
-                    *slot = ips(&expl, policy).value;
+                    *slot = OffPolicyEvaluator::new(EstimatorKind::Ips)
+                        .evaluate(&expl, policy)
+                        .value;
                 }
             });
         }

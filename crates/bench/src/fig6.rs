@@ -9,7 +9,7 @@
 
 use harvest_core::policy::ConstantPolicy;
 use harvest_estimators::bounds::{ips_radius, BoundConfig};
-use harvest_estimators::ips::ips;
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest_sim_lb::hierarchy::{
     run_hierarchical, run_hierarchical_with_policies, CbLevel, HierarchyConfig, UniformLevel,
 };
@@ -80,11 +80,18 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
     let bounds = BoundConfig::fig2();
     let n = result.edge_dataset.len();
 
+    let ev = OffPolicyEvaluator::new(EstimatorKind::Ips);
     let best_edge = (0..hcfg.endpoints)
-        .map(|a| ips(&result.edge_dataset, &ConstantPolicy::new(a)).value)
+        .map(|a| {
+            ev.evaluate(&result.edge_dataset, &ConstantPolicy::new(a))
+                .value
+        })
         .fold(f64::NEG_INFINITY, f64::max);
     let best_local = (0..hcfg.servers_per_endpoint)
-        .map(|a| ips(&result.local_dataset, &ConstantPolicy::new(a)).value)
+        .map(|a| {
+            ev.evaluate(&result.local_dataset, &ConstantPolicy::new(a))
+                .value
+        })
         .fold(f64::NEG_INFINITY, f64::max);
 
     vec![

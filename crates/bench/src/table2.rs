@@ -9,7 +9,7 @@
 
 use harvest_core::policy::{FnPolicy, GreedyPolicy, Policy};
 use harvest_core::{Context, SimpleContext};
-use harvest_estimators::ips::ips;
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest_sim_lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
 use harvest_sim_lb::sim::{run_simulation, SimConfig};
 use harvest_sim_lb::ClusterConfig;
@@ -68,7 +68,11 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table2Row> {
     let cb = GreedyPolicy::new(scorer.clone()).named("cb-policy");
 
     // OPE values (rewards are negated latencies; flip sign back).
-    let ope = |p: &dyn Policy<SimpleContext>| -ips(&exploration, &p).value;
+    let ope = |p: &dyn Policy<SimpleContext>| {
+        -OffPolicyEvaluator::new(EstimatorKind::Ips)
+            .evaluate(&exploration, p)
+            .value
+    };
     let rows_ope = [
         (
             "random".to_string(),

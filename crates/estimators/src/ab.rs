@@ -61,7 +61,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ips::ips;
+    use crate::evaluator::{EstimatorKind, OffPolicyEvaluator};
     use harvest_core::policy::{ConstantPolicy, UniformPolicy};
     use harvest_core::sample::FullFeedbackSample;
     use harvest_core::simulate::simulate_exploration;
@@ -137,7 +137,8 @@ mod tests {
         // IPS: every one of the 12 identical policies is evaluated on all
         // matched samples (~ N/2 under 2-action uniform logging).
         let expl = simulate_exploration(&data, &UniformPolicy::new(), &mut rng);
-        let e = ips(&expl, &ConstantPolicy::new(0));
+        let e =
+            OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&expl, &ConstantPolicy::new(0));
         assert!(e.matched > 5_000, "ips matched {}", e.matched);
         assert!((e.value - 0.1).abs() < 0.02);
     }

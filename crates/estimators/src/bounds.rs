@@ -45,7 +45,7 @@ impl BoundConfig {
         }
     }
 
-    fn validate(&self, k: f64) {
+    pub(crate) fn validate(&self, k: f64) {
         assert!(self.c.is_finite() && self.c > 0.0, "C must be positive");
         assert!(
             self.delta > 0.0 && self.delta < 1.0,

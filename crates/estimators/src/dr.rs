@@ -17,35 +17,30 @@ use crate::estimate::Estimate;
 
 /// The doubly-robust estimate of `policy` on `data` under reward model
 /// `model`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use OffPolicyEvaluator::evaluate_with_model(.., ModelEstimatorKind::DoublyRobust) \
+            or the portfolio::Estimator trait"
+)]
 pub fn doubly_robust<C, P, M>(data: &Dataset<C>, policy: &P, model: &M) -> Estimate
 where
     C: Context,
     P: Policy<C> + ?Sized,
     M: Scorer<C> + ?Sized,
 {
-    let mut terms = Vec::with_capacity(data.len());
-    let mut matched = 0;
-    for s in data {
-        let a_pi = policy.choose(&s.context);
-        let mut term = model.score(&s.context, a_pi);
-        if a_pi == s.action {
-            matched += 1;
-            term += (s.reward - model.score(&s.context, s.action)) / s.propensity;
-        }
-        terms.push(term);
-    }
-    Estimate::from_terms(&terms, matched)
+    crate::evaluator::eval_dr(data, policy, model)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::direct::direct_method;
-    use crate::ips::{ips, ips_terms};
+    use crate::evaluator::{eval_dr, eval_ips};
+    use crate::ips::ips_terms;
     use harvest_core::policy::{ConstantPolicy, UniformPolicy};
     use harvest_core::sample::{FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
     use harvest_core::scorer::TableScorer;
     use harvest_core::simulate::simulate_exploration;
+    use harvest_core::Dataset;
     use harvest_core::SimpleContext;
     use rand::Rng;
     use rand::SeedableRng;
@@ -81,7 +76,7 @@ mod tests {
         )
         .unwrap();
         let perfect = TableScorer::new(vec![0.3, 0.8]);
-        let e = doubly_robust(&data, &ConstantPolicy::new(1), &perfect);
+        let e = eval_dr(&data, &ConstantPolicy::new(1), &perfect);
         assert!((e.value - 0.8).abs() < 1e-12);
         assert!(e.std_err < 1e-12, "residuals are zero -> no variance");
     }
@@ -96,7 +91,7 @@ mod tests {
         let truth = full.value_of_policy(&pol).unwrap();
         let dm = direct_method(&expl, &pol, &wrong);
         assert!((dm.value - truth).abs() > 0.3, "DM should be badly biased");
-        let dr = doubly_robust(&expl, &pol, &wrong);
+        let dr = eval_dr(&expl, &pol, &wrong);
         assert!(
             (dr.value - truth).abs() < 0.03,
             "DR {} vs truth {truth}",
@@ -113,8 +108,8 @@ mod tests {
         // matches E[r] so residuals are centered.
         let model = TableScorer::new(vec![0.5, 0.5]);
         let pol = ConstantPolicy::new(0);
-        let dr = doubly_robust(&expl, &pol, &model);
-        let ips_e = ips(&expl, &pol);
+        let dr = eval_dr(&expl, &pol, &model);
+        let ips_e = eval_ips(&expl, &pol);
         assert!(
             dr.std_err < ips_e.std_err,
             "dr se {} vs ips se {}",
@@ -132,7 +127,7 @@ mod tests {
         let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
         let zero = TableScorer::new(vec![0.0, 0.0]);
         let pol = ConstantPolicy::new(1);
-        let dr = doubly_robust(&expl, &pol, &zero);
+        let dr = eval_dr(&expl, &pol, &zero);
         let terms = ips_terms(&expl, &pol);
         let ips_value = terms.iter().sum::<f64>() / terms.len() as f64;
         assert!((dr.value - ips_value).abs() < 1e-12);

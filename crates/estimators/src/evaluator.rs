@@ -7,10 +7,98 @@ use harvest_core::{Context, Dataset, Policy, Scorer};
 use serde::{Deserialize, Serialize};
 
 use crate::direct::direct_method;
-use crate::dr::doubly_robust;
 use crate::estimate::Estimate;
-use crate::ips::{clipped_ips, ips};
-use crate::snips::snips;
+
+/// Implementation behind [`crate::ips::ips`] and [`EstimatorKind::Ips`].
+pub(crate) fn eval_ips<C: Context, P: Policy<C> + ?Sized>(
+    data: &Dataset<C>,
+    policy: &P,
+) -> Estimate {
+    eval_clipped_ips(data, policy, f64::INFINITY)
+}
+
+/// Implementation behind [`crate::ips::clipped_ips`] and
+/// [`EstimatorKind::ClippedIps`].
+pub(crate) fn eval_clipped_ips<C: Context, P: Policy<C> + ?Sized>(
+    data: &Dataset<C>,
+    policy: &P,
+    max_weight: f64,
+) -> Estimate {
+    assert!(max_weight > 0.0, "max_weight must be positive");
+    let mut terms = Vec::with_capacity(data.len());
+    let mut matched = 0;
+    for s in data {
+        if policy.choose(&s.context) == s.action {
+            matched += 1;
+            let w = (1.0 / s.propensity).min(max_weight);
+            terms.push(s.reward * w);
+        } else {
+            terms.push(0.0);
+        }
+    }
+    Estimate::from_terms(&terms, matched)
+}
+
+/// Implementation behind [`crate::snips::snips`] and
+/// [`EstimatorKind::Snips`].
+pub(crate) fn eval_snips<C: Context, P: Policy<C> + ?Sized>(
+    data: &Dataset<C>,
+    policy: &P,
+) -> Estimate {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut matched = 0;
+    let mut matched_terms = Vec::new();
+    for s in data {
+        if policy.choose(&s.context) == s.action {
+            matched += 1;
+            let w = 1.0 / s.propensity;
+            num += s.reward * w;
+            den += w;
+            matched_terms.push(s.reward);
+        }
+    }
+    if den == 0.0 {
+        return Estimate {
+            value: 0.0,
+            n: data.len(),
+            matched: 0,
+            std_err: 0.0,
+        };
+    }
+    // Std-err proxy: spread of matched rewards over √matched. (The exact
+    // delta-method variance needs weight covariances; this proxy is
+    // reported for diagnostics only.)
+    let est = Estimate::from_terms(&matched_terms, matched);
+    Estimate {
+        value: num / den,
+        n: data.len(),
+        matched,
+        std_err: est.std_err,
+    }
+}
+
+/// Implementation behind [`crate::dr::doubly_robust`] and
+/// [`ModelEstimatorKind::DoublyRobust`].
+pub(crate) fn eval_dr<C, P, M>(data: &Dataset<C>, policy: &P, model: &M) -> Estimate
+where
+    C: Context,
+    P: Policy<C> + ?Sized,
+    M: Scorer<C> + ?Sized,
+{
+    let mut terms = Vec::with_capacity(data.len());
+    let mut matched = 0;
+    for s in data {
+        let a_pi = policy.choose(&s.context);
+        let mut term = model.score(&s.context, a_pi);
+        if a_pi == s.action {
+            matched += 1;
+            term += (s.reward - model.score(&s.context, s.action)) / s.propensity;
+        }
+        terms.push(term);
+    }
+    Estimate::from_terms(&terms, matched)
+}
 
 /// Which model-free estimator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,9 +144,9 @@ impl OffPolicyEvaluator {
         policy: &P,
     ) -> Estimate {
         match self.kind {
-            EstimatorKind::Ips => ips(data, policy),
-            EstimatorKind::ClippedIps(max) => clipped_ips(data, policy, max),
-            EstimatorKind::Snips => snips(data, policy),
+            EstimatorKind::Ips => eval_ips(data, policy),
+            EstimatorKind::ClippedIps(max) => eval_clipped_ips(data, policy, max),
+            EstimatorKind::Snips => eval_snips(data, policy),
         }
     }
 
@@ -76,7 +164,7 @@ impl OffPolicyEvaluator {
     {
         match kind {
             ModelEstimatorKind::DirectMethod => direct_method(data, policy, model),
-            ModelEstimatorKind::DoublyRobust => doubly_robust(data, policy, model),
+            ModelEstimatorKind::DoublyRobust => eval_dr(data, policy, model),
         }
     }
 
@@ -146,14 +234,14 @@ where
     let est = Estimate::from_terms(&terms, 0);
     let n = terms.len() as f64;
     if n < 2.0 {
-        return (crate::ips::ips(data, policy), f64::INFINITY);
+        return (eval_ips(data, policy), f64::INFINITY);
     }
     let mean = est.value;
     let var = terms.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0);
     let lo = terms.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let radius = crate::bounds::empirical_bernstein_radius(cfg, var, hi - lo, n, k);
-    (crate::ips::ips(data, policy), radius)
+    (eval_ips(data, policy), radius)
 }
 
 /// Diagnostics about how well exploration data supports evaluating a

@@ -15,8 +15,13 @@ use harvest_core::{Context, Dataset, Policy};
 use crate::estimate::Estimate;
 
 /// The IPS estimate of `policy`'s average reward on `data`.
+#[deprecated(
+    since = "0.10.0",
+    note = "use OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(..) or the \
+            portfolio::Estimator trait"
+)]
 pub fn ips<C: Context, P: Policy<C> + ?Sized>(data: &Dataset<C>, policy: &P) -> Estimate {
-    clipped_ips(data, policy, f64::INFINITY)
+    crate::evaluator::eval_ips(data, policy)
 }
 
 /// IPS with importance weights clipped at `max_weight`: matching samples
@@ -25,24 +30,17 @@ pub fn ips<C: Context, P: Policy<C> + ?Sized>(data: &Dataset<C>, policy: &P) -> 
 /// Clipping introduces downward bias on high-weight events but caps the
 /// variance contribution of any single sample; standard practice when
 /// propensities are small or estimated.
+#[deprecated(
+    since = "0.10.0",
+    note = "use OffPolicyEvaluator::new(EstimatorKind::ClippedIps(max)).evaluate(..) or the \
+            portfolio::Estimator trait"
+)]
 pub fn clipped_ips<C: Context, P: Policy<C> + ?Sized>(
     data: &Dataset<C>,
     policy: &P,
     max_weight: f64,
 ) -> Estimate {
-    assert!(max_weight > 0.0, "max_weight must be positive");
-    let mut terms = Vec::with_capacity(data.len());
-    let mut matched = 0;
-    for s in data {
-        if policy.choose(&s.context) == s.action {
-            matched += 1;
-            let w = (1.0 / s.propensity).min(max_weight);
-            terms.push(s.reward * w);
-        } else {
-            terms.push(0.0);
-        }
-    }
-    Estimate::from_terms(&terms, matched)
+    crate::evaluator::eval_clipped_ips(data, policy, max_weight)
 }
 
 /// The per-sample IPS terms (useful for bootstrap and variance analysis).
@@ -60,10 +58,12 @@ pub fn ips_terms<C: Context, P: Policy<C> + ?Sized>(data: &Dataset<C>, policy: &
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::ips_terms;
+    use crate::evaluator::{eval_clipped_ips, eval_ips};
     use harvest_core::policy::{ConstantPolicy, UniformPolicy, WeightedPolicy};
     use harvest_core::sample::{FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
     use harvest_core::simulate::simulate_exploration;
+    use harvest_core::Dataset;
     use harvest_core::SimpleContext;
     use rand::SeedableRng;
 
@@ -89,7 +89,7 @@ mod tests {
         ])
         .unwrap();
         // Policy "always 0" matches the first sample only: (1/0.5 + 0)/2 = 1.
-        let e = ips(&data, &ConstantPolicy::new(0));
+        let e = eval_ips(&data, &ConstantPolicy::new(0));
         assert_eq!(e.value, 1.0);
         assert_eq!(e.matched, 1);
         assert_eq!(e.n, 2);
@@ -114,7 +114,7 @@ mod tests {
         for target in [0usize, 1, 2] {
             let pol = ConstantPolicy::new(target);
             let truth = full.value_of_policy(&pol).unwrap();
-            let est = ips(&expl, &pol);
+            let est = eval_ips(&expl, &pol);
             assert!(
                 (est.value - truth).abs() < 0.03,
                 "action {target}: est {} vs truth {truth}",
@@ -137,7 +137,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let expl = simulate_exploration(&full, &logging, &mut rng);
         // Evaluate "always 0", rarely logged (p = 0.1).
-        let est = ips(&expl, &ConstantPolicy::new(0));
+        let est = eval_ips(&expl, &ConstantPolicy::new(0));
         assert!((est.value - 1.0).abs() < 0.05, "est {}", est.value);
         // Match rate should be near 0.1.
         assert!((est.match_rate() - 0.1).abs() < 0.02);
@@ -152,9 +152,9 @@ mod tests {
             propensity: 0.01,
         }])
         .unwrap();
-        let raw = ips(&data, &ConstantPolicy::new(0));
+        let raw = eval_ips(&data, &ConstantPolicy::new(0));
         assert_eq!(raw.value, 100.0);
-        let clipped = clipped_ips(&data, &ConstantPolicy::new(0), 10.0);
+        let clipped = eval_clipped_ips(&data, &ConstantPolicy::new(0), 10.0);
         assert_eq!(clipped.value, 10.0);
         assert!(clipped.value <= raw.value);
     }
@@ -168,7 +168,7 @@ mod tests {
             propensity: 0.5,
         }])
         .unwrap();
-        let e = ips(&data, &ConstantPolicy::new(2));
+        let e = eval_ips(&data, &ConstantPolicy::new(2));
         assert_eq!(e.value, 0.0);
         assert_eq!(e.matched, 0);
     }
@@ -193,13 +193,13 @@ mod tests {
         let pol = ConstantPolicy::new(0);
         let terms = ips_terms(&data, &pol);
         assert_eq!(terms, vec![8.0, 0.0]);
-        assert_eq!(ips(&data, &pol).value, 4.0);
+        assert_eq!(eval_ips(&data, &pol).value, 4.0);
     }
 
     #[test]
     fn empty_data_is_safe() {
         let data: Dataset<SimpleContext> = Dataset::new();
-        let e = ips(&data, &ConstantPolicy::new(0));
+        let e = eval_ips(&data, &ConstantPolicy::new(0));
         assert_eq!(e.value, 0.0);
         assert_eq!(e.n, 0);
     }

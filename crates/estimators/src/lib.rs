@@ -29,6 +29,10 @@
 //! * [`evaluator`] — one entry point over all estimators with bootstrap
 //!   confidence intervals and data diagnostics (match rate, effective
 //!   sample size).
+//! * [`portfolio`] — the streaming portfolio evaluator: one pass over
+//!   recovered segment logs scores 100+ candidate policies in parallel
+//!   behind the [`portfolio::Estimator`] trait, byte-identical at any
+//!   worker count.
 //! * [`drift`] — context-drift detection (standardized mean shifts and KS
 //!   distances), the operational tripwire for assumption-A1 violations.
 //! * [`search`] — exhaustive policy search over finite policy classes
@@ -45,12 +49,17 @@ pub mod dr;
 pub mod drift;
 pub mod evaluator;
 pub mod ips;
+pub mod portfolio;
 pub mod search;
 pub mod snips;
 pub mod trajectory;
 
 mod estimate;
 
-pub use diagnostics::{harvest_quality, HarvestQuality};
+pub use diagnostics::{harvest_quality, HarvestQuality, WeightStats};
 pub use estimate::Estimate;
 pub use evaluator::{EstimatorKind, OffPolicyEvaluator};
+pub use portfolio::{
+    Candidate, Estimator, EvaluatorConfig, GreedyScorerCandidate, LeaderboardEntry, PolicyEstimate,
+    PortfolioEvaluator, PortfolioReport,
+};

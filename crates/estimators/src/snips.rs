@@ -19,47 +19,22 @@ use crate::estimate::Estimate;
 /// Returns a zero-value estimate with `matched == 0` if the policy matches
 /// no logged action (the estimator is undefined there; callers should check
 /// `matched`).
+#[deprecated(
+    since = "0.10.0",
+    note = "use OffPolicyEvaluator::new(EstimatorKind::Snips).evaluate(..) or the \
+            portfolio::Estimator trait"
+)]
 pub fn snips<C: Context, P: Policy<C> + ?Sized>(data: &Dataset<C>, policy: &P) -> Estimate {
-    let mut num = 0.0;
-    let mut den = 0.0;
-    let mut matched = 0;
-    let mut matched_terms = Vec::new();
-    for s in data {
-        if policy.choose(&s.context) == s.action {
-            matched += 1;
-            let w = 1.0 / s.propensity;
-            num += s.reward * w;
-            den += w;
-            matched_terms.push(s.reward);
-        }
-    }
-    if den == 0.0 {
-        return Estimate {
-            value: 0.0,
-            n: data.len(),
-            matched: 0,
-            std_err: 0.0,
-        };
-    }
-    // Std-err proxy: spread of matched rewards over √matched. (The exact
-    // delta-method variance needs weight covariances; this proxy is
-    // reported for diagnostics only.)
-    let est = Estimate::from_terms(&matched_terms, matched);
-    Estimate {
-        value: num / den,
-        n: data.len(),
-        matched,
-        std_err: est.std_err,
-    }
+    crate::evaluator::eval_snips(data, policy)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::ips::ips;
+    use crate::evaluator::{eval_ips, eval_snips};
     use harvest_core::policy::{ConstantPolicy, UniformPolicy};
     use harvest_core::sample::{FullFeedbackDataset, FullFeedbackSample, LoggedDecision};
     use harvest_core::simulate::simulate_exploration;
+    use harvest_core::Dataset;
     use harvest_core::SimpleContext;
     use rand::Rng;
     use rand::SeedableRng;
@@ -92,7 +67,7 @@ mod tests {
         ])
         .unwrap();
         // Weights 2 and 4 on rewards 1 and 3: (2·1 + 4·3)/6 = 14/6.
-        let e = snips(&data, &ConstantPolicy::new(0));
+        let e = eval_snips(&data, &ConstantPolicy::new(0));
         assert!((e.value - 14.0 / 6.0).abs() < 1e-12);
         assert_eq!(e.matched, 2);
     }
@@ -116,8 +91,8 @@ mod tests {
         ])
         .unwrap();
         let pol = ConstantPolicy::new(0);
-        assert!(ips(&data, &pol).value > 100.0);
-        let e = snips(&data, &pol);
+        assert!(eval_ips(&data, &pol).value > 100.0);
+        let e = eval_snips(&data, &pol);
         assert!(e.value >= 0.0 && e.value <= 1.0, "snips {}", e.value);
     }
 
@@ -136,7 +111,7 @@ mod tests {
         let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
         let pol = ConstantPolicy::new(0);
         let truth = full.value_of_policy(&pol).unwrap();
-        let e = snips(&expl, &pol);
+        let e = eval_snips(&expl, &pol);
         assert!(
             (e.value - truth).abs() < 0.02,
             "est {} truth {truth}",
@@ -153,7 +128,7 @@ mod tests {
             propensity: 0.5,
         }])
         .unwrap();
-        let e = snips(&data, &ConstantPolicy::new(2));
+        let e = eval_snips(&data, &ConstantPolicy::new(2));
         assert_eq!(e.matched, 0);
         assert_eq!(e.value, 0.0);
     }

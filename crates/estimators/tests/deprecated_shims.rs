@@ -1,0 +1,81 @@
+//! The deprecated free-function estimators must keep returning exactly what
+//! the frozen [`OffPolicyEvaluator`] API returns, until they are removed.
+//!
+//! This file is the sanctioned home for `allow(deprecated)` in the
+//! estimators crate (CI rejects the attribute anywhere else).
+
+#![allow(deprecated)]
+
+use harvest_core::policy::ConstantPolicy;
+use harvest_core::sample::LoggedDecision;
+use harvest_core::scorer::TableScorer;
+use harvest_core::{Dataset, SimpleContext};
+use harvest_estimators::dr::doubly_robust;
+use harvest_estimators::evaluator::ModelEstimatorKind;
+use harvest_estimators::ips::{clipped_ips, ips};
+use harvest_estimators::snips::snips;
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
+
+/// A small dataset with uneven propensities so clipping and
+/// self-normalization both have work to do.
+fn data() -> Dataset<SimpleContext> {
+    let mut d = Dataset::new();
+    for i in 0..40u64 {
+        let action = (i % 3) as usize;
+        let propensity = match action {
+            0 => 0.05,
+            1 => 0.35,
+            _ => 0.60,
+        };
+        d.push(LoggedDecision {
+            context: SimpleContext::contextless(3),
+            action,
+            reward: (i as f64 * 0.73).sin(),
+            propensity,
+        })
+        .unwrap();
+    }
+    d
+}
+
+#[test]
+fn ips_shim_matches_the_evaluator() {
+    let d = data();
+    let p = ConstantPolicy::new(0);
+    let old = ips(&d, &p);
+    let new = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&d, &p);
+    assert_eq!(old, new);
+}
+
+#[test]
+fn clipped_ips_shim_matches_the_evaluator() {
+    let d = data();
+    let p = ConstantPolicy::new(0);
+    for clip in [1.0, 5.0, 50.0] {
+        let old = clipped_ips(&d, &p, clip);
+        let new = OffPolicyEvaluator::new(EstimatorKind::ClippedIps(clip)).evaluate(&d, &p);
+        assert_eq!(old, new, "clip {clip}");
+    }
+}
+
+#[test]
+fn snips_shim_matches_the_evaluator() {
+    let d = data();
+    for a in 0..3 {
+        let p = ConstantPolicy::new(a);
+        let old = snips(&d, &p);
+        let new = OffPolicyEvaluator::new(EstimatorKind::Snips).evaluate(&d, &p);
+        assert_eq!(old, new, "action {a}");
+    }
+}
+
+#[test]
+fn doubly_robust_shim_matches_the_evaluator() {
+    let d = data();
+    let p = ConstantPolicy::new(1);
+    let model = TableScorer::new(vec![0.2, -0.1, 0.4]);
+    let old = doubly_robust(&d, &p, &model);
+    let new =
+        OffPolicyEvaluator::evaluate_with_model(&d, &p, &model, ModelEstimatorKind::DoublyRobust);
+    assert_eq!(old, new);
+}

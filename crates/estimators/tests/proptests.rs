@@ -10,11 +10,10 @@ use harvest_core::SimpleContext;
 use harvest_estimators::ab::ab_test;
 use harvest_estimators::bounds::{ab_radius, ips_min_n, ips_radius, BoundConfig};
 use harvest_estimators::direct::direct_method;
-use harvest_estimators::dr::doubly_robust;
-use harvest_estimators::evaluator::diagnose;
-use harvest_estimators::ips::{clipped_ips, ips, ips_terms};
-use harvest_estimators::snips::snips;
+use harvest_estimators::evaluator::{diagnose, ModelEstimatorKind};
+use harvest_estimators::ips::ips_terms;
 use harvest_estimators::trajectory::{per_decision_is, trajectory_is, Episode, Step};
+use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 
 fn arb_dataset(k: usize) -> impl Strategy<Value = Dataset<SimpleContext>> {
     proptest::collection::vec((0..k, -3.0f64..3.0, 0.05f64..1.0), 1..80).prop_map(move |v| {
@@ -37,7 +36,7 @@ proptest! {
     fn ips_value_equals_mean_of_terms(data in arb_dataset(4), target in 0usize..4) {
         let pol = ConstantPolicy::new(target);
         let terms = ips_terms(&data, &pol);
-        let est = ips(&data, &pol);
+        let est = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&data, &pol);
         let mean = terms.iter().sum::<f64>() / terms.len() as f64;
         prop_assert!((est.value - mean).abs() < 1e-9);
         prop_assert_eq!(est.n, data.len());
@@ -54,8 +53,8 @@ proptest! {
             action: a, reward: r, propensity: p,
         }).collect()).unwrap();
         let pol = ConstantPolicy::new(target);
-        let clipped = clipped_ips(&data, &pol, max_w);
-        let raw = ips(&data, &pol);
+        let clipped = OffPolicyEvaluator::new(EstimatorKind::ClippedIps(max_w)).evaluate(&data, &pol);
+        let raw = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&data, &pol);
         prop_assert!(clipped.value <= raw.value + 1e-12);
         prop_assert!(clipped.value >= 0.0);
     }
@@ -64,8 +63,9 @@ proptest! {
     fn dr_with_zero_model_equals_ips(data in arb_dataset(3), target in 0usize..3) {
         let pol = ConstantPolicy::new(target);
         let zero = TableScorer::new(vec![0.0; 3]);
-        let dr = doubly_robust(&data, &pol, &zero);
-        let plain = ips(&data, &pol);
+        let dr = OffPolicyEvaluator::evaluate_with_model(
+            &data, &pol, &zero, ModelEstimatorKind::DoublyRobust);
+        let plain = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&data, &pol);
         prop_assert!((dr.value - plain.value).abs() < 1e-9);
     }
 
@@ -100,7 +100,7 @@ proptest! {
         let pol = ConstantPolicy::new(target);
         let matched: Vec<f64> = rewards_actions.iter()
             .filter(|(a, _)| *a == target).map(|&(_, r)| r).collect();
-        let est = snips(&data, &pol);
+        let est = OffPolicyEvaluator::new(EstimatorKind::Snips).evaluate(&data, &pol);
         if matched.is_empty() {
             prop_assert_eq!(est.matched, 0);
         } else {
@@ -207,7 +207,9 @@ proptest! {
         for seed in 0..reps {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let expl = simulate_exploration(&full, &UniformPolicy::new(), &mut rng);
-            acc += ips(&expl, &pol).value;
+            acc += OffPolicyEvaluator::new(EstimatorKind::Ips)
+                .evaluate(&expl, &pol)
+                .value;
         }
         let mean = acc / reps as f64;
         // Standard error of the mean over reps is small; allow generous slack.

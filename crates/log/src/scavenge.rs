@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use harvest_core::{LoggedDecision, SimpleContext};
 
-use crate::record::{DecisionRecord, LogRecord, OutcomeRecord};
+use crate::record::{DecisionRecord, LogRecord};
 use crate::segment::{recover_segments, RecoveryStats};
 
 /// A scavenged triple: context, action, reward — with the propensity still
@@ -79,46 +79,97 @@ pub fn context_of(d: &DecisionRecord) -> Option<SimpleContext> {
     }
 }
 
-/// Joins decision and outcome records by `request_id`.
+/// A cross-segment outcome join index: phase one of the two-phase
+/// scavenge that the portfolio evaluator parallelizes.
 ///
-/// A decision's reward comes from its own `reward` field when present,
-/// otherwise from the matching outcome record; decisions with neither are
-/// dropped (and counted). When both exist the outcome wins — it is the
-/// later, more authoritative measurement.
-pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) {
-    let mut outcomes: HashMap<u64, &OutcomeRecord> = HashMap::new();
-    let mut decision_ids: HashMap<u64, ()> = HashMap::new();
-    for r in records {
-        match r {
-            LogRecord::Outcome(o) => {
-                outcomes.insert(o.request_id, o);
-            }
-            LogRecord::Decision(d) => {
-                decision_ids.insert(d.request_id, ());
-            }
-            LogRecord::Batch(b) => {
-                for d in &b.decisions {
-                    decision_ids.insert(d.request_id, ());
+/// Rewards may land in a different (later) segment than the decision they
+/// terminate, so a per-segment join would lose them. Instead, feed every
+/// segment's recovered records through [`OutcomeIndex::index`] **in
+/// segment order** — a later insert for the same `request_id` wins,
+/// exactly like [`scavenge`]'s single-map build — and then join each
+/// segment's decisions against the finished index with
+/// [`scavenge_with_outcomes`], which is a pure function of
+/// `(segment, index)` and therefore safe to fan out across threads.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeIndex {
+    rewards: HashMap<u64, f64>,
+    decision_ids: HashMap<u64, ()>,
+}
+
+impl OutcomeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        OutcomeIndex::default()
+    }
+
+    /// Folds one record stream (a recovered segment) into the index.
+    /// Call once per segment, in segment order: for duplicate outcome ids
+    /// the last call's record wins, matching the one-pass join.
+    pub fn index(&mut self, records: &[LogRecord]) {
+        for r in records {
+            match r {
+                LogRecord::Outcome(o) => {
+                    self.rewards.insert(o.request_id, o.reward);
+                }
+                LogRecord::Decision(d) => {
+                    self.decision_ids.insert(d.request_id, ());
+                }
+                LogRecord::Batch(b) => {
+                    for d in &b.decisions {
+                        self.decision_ids.insert(d.request_id, ());
+                    }
                 }
             }
         }
     }
-    let mut stats = ScavengeStats {
-        orphan_outcomes: outcomes
-            .keys()
-            .filter(|id| !decision_ids.contains_key(id))
-            .count(),
-        ..ScavengeStats::default()
-    };
 
+    /// The reward recorded for `request_id`, if any outcome mentioned it.
+    pub fn reward_of(&self, request_id: u64) -> Option<f64> {
+        self.rewards.get(&request_id).copied()
+    }
+
+    /// Outcomes whose decision never appeared in any indexed stream
+    /// (decision log rotated away under them).
+    pub fn orphan_outcomes(&self) -> usize {
+        self.rewards
+            .keys()
+            .filter(|id| !self.decision_ids.contains_key(id))
+            .count()
+    }
+
+    /// Distinct request ids with an indexed outcome.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// True when no outcome has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+}
+
+/// Phase two of the two-phase join: scavenges one record stream against a
+/// prebuilt [`OutcomeIndex`].
+///
+/// The returned stats cover only this stream, and `orphan_outcomes` is
+/// always zero here — orphanhood is a global property, reported once by
+/// [`OutcomeIndex::orphan_outcomes`]. Running this over each segment and
+/// concatenating (in segment order) yields exactly the samples and
+/// summed stats of a single [`scavenge`] pass over the concatenated
+/// records: [`scavenge`] itself is implemented as that composition.
+pub fn scavenge_with_outcomes(
+    records: &[LogRecord],
+    outcomes: &OutcomeIndex,
+) -> (Vec<ScavengedSample>, ScavengeStats) {
+    let mut stats = ScavengeStats::default();
     let mut samples = Vec::new();
     let mut scavenge_one = |d: &DecisionRecord| {
         let Some(context) = context_of(d) else {
             stats.invalid += 1;
             return;
         };
-        let reward = match (outcomes.get(&d.request_id), d.reward) {
-            (Some(o), _) => o.reward,
+        let reward = match (outcomes.reward_of(d.request_id), d.reward) {
+            (Some(r), _) => r,
             (None, Some(r)) => r,
             (None, None) => {
                 stats.missing_outcome += 1;
@@ -154,6 +205,20 @@ pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) 
     (samples, stats)
 }
 
+/// Joins decision and outcome records by `request_id`.
+///
+/// A decision's reward comes from its own `reward` field when present,
+/// otherwise from the matching outcome record; decisions with neither are
+/// dropped (and counted). When both exist the outcome wins — it is the
+/// later, more authoritative measurement.
+pub fn scavenge(records: &[LogRecord]) -> (Vec<ScavengedSample>, ScavengeStats) {
+    let mut index = OutcomeIndex::new();
+    index.index(records);
+    let (samples, mut stats) = scavenge_with_outcomes(records, &index);
+    stats.orphan_outcomes = index.orphan_outcomes();
+    (samples, stats)
+}
+
 /// Scavenges directly from crash-safe log segments: recovers the longest
 /// valid prefix of each segment, then joins as [`scavenge`] does, carrying
 /// the quarantine count through to the stats so a damaged log is visibly
@@ -170,6 +235,7 @@ pub fn scavenge_segments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::OutcomeRecord;
 
     fn decision(id: u64, reward: Option<f64>) -> LogRecord {
         LogRecord::Decision(DecisionRecord {
@@ -310,6 +376,43 @@ mod tests {
         assert_eq!(stats.quarantined, 3);
         assert_eq!(recovery.recovered, 5);
         assert_eq!(recovery.corrupt_segments, 1);
+    }
+
+    #[test]
+    fn two_phase_join_matches_one_phase() {
+        // Rewards land one segment later than their decisions, one decision
+        // never resolves, and one outcome is orphaned — the per-segment
+        // join against a prebuilt index must reproduce the single pass
+        // sample-for-sample.
+        let segments: Vec<Vec<LogRecord>> = vec![
+            vec![decision(1, None), decision(2, Some(0.5))],
+            vec![outcome(1, 0.9), decision(3, None), outcome(2, 0.7)],
+            vec![outcome(3, 0.2), outcome(99, 1.0), decision(4, None)],
+        ];
+        let flat: Vec<LogRecord> = segments.iter().flatten().cloned().collect();
+        let (want_samples, want_stats) = scavenge(&flat);
+
+        let mut index = OutcomeIndex::new();
+        for seg in &segments {
+            index.index(seg);
+        }
+        let mut got_samples = Vec::new();
+        let mut got_stats = ScavengeStats::default();
+        for seg in &segments {
+            let (s, st) = scavenge_with_outcomes(seg, &index);
+            got_samples.extend(s);
+            got_stats.joined += st.joined;
+            got_stats.missing_outcome += st.missing_outcome;
+            got_stats.invalid += st.invalid;
+            assert_eq!(st.orphan_outcomes, 0, "orphanhood is global");
+        }
+        got_stats.orphan_outcomes = index.orphan_outcomes();
+
+        assert_eq!(got_samples, want_samples);
+        assert_eq!(got_stats, want_stats);
+        assert_eq!(got_stats.orphan_outcomes, 1);
+        assert_eq!(got_stats.missing_outcome, 1);
+        assert_eq!(index.reward_of(2), Some(0.7), "outcome overrides inline");
     }
 
     #[test]

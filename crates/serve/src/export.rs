@@ -14,7 +14,7 @@
 //! facts in text exposition format for scrape-based collection; see
 //! [`export_prometheus`] for the metric families emitted.
 
-use harvest_estimators::HarvestQuality;
+use harvest_estimators::{HarvestQuality, PortfolioReport};
 use harvest_obs::{HistogramSummary, PromText, TraceAudit};
 use serde::Serialize;
 
@@ -34,6 +34,9 @@ pub struct ObsSnapshot {
     pub breaker_last_trip: Option<String>,
     /// Harvest-quality gauges from the most recent completed gate round.
     pub quality: Option<HarvestQuality>,
+    /// Ranked portfolio leaderboard from the most recent shadow-evaluation
+    /// round.
+    pub leaderboard: Option<PortfolioReport>,
     /// Per-shard logical inter-arrival gap between consecutive decisions.
     pub decision_interarrival_ns: Option<HistogramSummary>,
     /// Logical delay between a decision and its joined reward.
@@ -61,6 +64,7 @@ pub fn obs_snapshot(
         breaker_open,
         breaker_last_trip: last_trip.map(|r| r.to_string()),
         quality: obs.and_then(|o| o.quality()),
+        leaderboard: obs.and_then(|o| o.leaderboard()),
         decision_interarrival_ns: obs.map(|o| o.interarrival_histogram().summary()),
         join_delay_ns: obs.map(|o| o.join_delay_histogram().summary()),
         join_queue_depth: obs.map(|o| o.join_queue_depth_histogram().summary()),
@@ -338,6 +342,44 @@ pub(crate) fn prometheus_page(
         "1 when within-harvest drift breaches the A1 thresholds.",
         if q.drift_suspected { 1.0 } else { 0.0 },
     );
+    // Portfolio gauges likewise always present (zeros before the first
+    // shadow-evaluation round); a non-finite winner LCB renders as 0 so the
+    // exposition stays parseable.
+    let lb = obs.and_then(|o| o.leaderboard());
+    let (lb_candidates, lb_samples, lb_winner_lcb, lb_winner_ess) =
+        match lb.as_ref().and_then(|l| l.winner().map(|w| (l, w))) {
+            Some((l, w)) => (
+                l.entries.len() as f64,
+                l.n as f64,
+                if w.snips.lcb.is_finite() {
+                    w.snips.lcb
+                } else {
+                    0.0
+                },
+                w.ess,
+            ),
+            None => (0.0, 0.0, 0.0, 0.0),
+        };
+    p.gauge(
+        "harvest_portfolio_candidates",
+        "Candidates scored by the latest shadow-evaluation round.",
+        lb_candidates,
+    );
+    p.gauge(
+        "harvest_portfolio_samples",
+        "Samples behind the latest leaderboard.",
+        lb_samples,
+    );
+    p.gauge(
+        "harvest_portfolio_winner_lcb",
+        "Leaderboard winner's SNIPS lower confidence bound (0 when not finite).",
+        lb_winner_lcb,
+    );
+    p.gauge(
+        "harvest_portfolio_winner_ess",
+        "Leaderboard winner's effective sample size.",
+        lb_winner_ess,
+    );
     if let Some(o) = obs {
         let audit = o.tracer().audit();
         p.counter(
@@ -469,6 +511,10 @@ mod tests {
         for family in [
             "harvest_decisions_total 1",
             "harvest_quality_ess 0",
+            "harvest_portfolio_candidates 0",
+            "harvest_portfolio_samples 0",
+            "harvest_portfolio_winner_lcb 0",
+            "harvest_portfolio_winner_ess 0",
             "harvest_log_conservation_ok 1",
             "harvest_trace_decided_total 0",
             "harvest_checkpoints_written_total 0",

@@ -108,7 +108,8 @@ pub use supervisor::{
     spawn_supervised_writer, SupervisorConfig, SupervisorConfigBuilder, WriterSupervisorHandle,
 };
 pub use trainer::{
-    GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig, TrainerConfigBuilder,
+    GateConfig, GateConfigBuilder, GateEstimator, GateReport, TrainRound, Trainer, TrainerConfig,
+    TrainerConfigBuilder,
 };
 
 // The tracer and histogram primitives, re-exported so exporters and tests

@@ -24,7 +24,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use harvest_estimators::HarvestQuality;
+use harvest_estimators::{HarvestQuality, PortfolioReport};
 use harvest_log::SealObserver;
 use harvest_obs::{AtomicHistogram, Histogram, StripedHistogram, Terminal, Tracer, TracerConfig};
 
@@ -115,6 +115,10 @@ pub struct ServeObs {
     segment_bytes: AtomicHistogram,
     /// Latest per-round harvest-quality gauges (from the trainer gate).
     quality: Mutex<Option<HarvestQuality>>,
+    /// Latest per-round portfolio leaderboard (from the trainer's shadow
+    /// evaluation): every candidate's estimate, CI, ESS, and clipped mass,
+    /// ranked. Deterministic — a pure function of seed and call sequence.
+    leaderboard: Mutex<Option<PortfolioReport>>,
     /// Decision-stamp/terminal pairs journaled by the writer as records
     /// reach their terminal, awaiting the next scope tick. The tick
     /// drains this and records `tick_now − decided_ns` per terminal
@@ -154,6 +158,7 @@ impl ServeObs {
             segment_records: AtomicHistogram::new(),
             segment_bytes: AtomicHistogram::new(),
             quality: Mutex::new(None),
+            leaderboard: Mutex::new(None),
             stage_journal: Mutex::new(Vec::new()),
             stage_journal_dropped: AtomicU64::new(0),
             gate_span_ns: AtomicHistogram::new(),
@@ -233,6 +238,28 @@ impl ServeObs {
     /// The latest published quality gauges, if a round has run.
     pub fn quality(&self) -> Option<HarvestQuality> {
         *self.quality.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes the latest training round's ranked leaderboard.
+    pub fn set_leaderboard(&self, report: PortfolioReport) {
+        *self.leaderboard.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+    }
+
+    /// The latest published leaderboard, if a round has run.
+    pub fn leaderboard(&self) -> Option<PortfolioReport> {
+        self.leaderboard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The latest leaderboard as deterministic JSON, if a round has run.
+    pub fn leaderboard_json(&self) -> Option<String> {
+        self.leaderboard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|r| r.to_json())
     }
 
     /// Snapshot of the decision inter-arrival histogram.

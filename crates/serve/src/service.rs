@@ -502,6 +502,7 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
             .note_gate(round.gate.n, round.gate.candidate_radius, &self.metrics);
         if let Some(obs) = self.metrics.obs() {
             obs.set_quality(round.gate.quality);
+            obs.set_leaderboard(round.leaderboard.clone());
             // The round's harvest span — last minus first record stamp,
             // logical ns — is the gate→promote stage of the timeline.
             if let Some(first) = records.iter().map(|r| r.timestamp_ns()).min() {
@@ -532,10 +533,8 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
                 *r += 1;
                 *r
             };
-            self.registry.promote(
-                ServePolicy::Greedy(round.scorer),
-                format!("cb-round-{round_no}"),
-            );
+            self.registry
+                .promote(round.winner_policy, format!("cb-round-{round_no}"));
             self.metrics.record_swap();
         }
         let serving = self.registry.current();
@@ -600,6 +599,14 @@ impl<S: SegmentSink + Send + 'static> DecisionService<S> {
     /// tracing is enabled.
     pub fn export_trace_jsonl(&self) -> Option<String> {
         self.metrics.obs().map(|o| o.tracer().export_jsonl())
+    }
+
+    /// The latest training round's ranked portfolio leaderboard as
+    /// deterministic JSON — every candidate's estimate, confidence
+    /// interval, effective sample size, and clipped mass. `None` until a
+    /// round has run (or when observability is disabled).
+    pub fn export_leaderboard_json(&self) -> Option<String> {
+        self.metrics.obs().and_then(|o| o.leaderboard_json())
     }
 
     /// The full JSON-serializable observability snapshot.

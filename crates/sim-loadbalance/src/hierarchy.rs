@@ -322,7 +322,7 @@ where
 mod tests {
     use super::*;
     use harvest_core::policy::ConstantPolicy;
-    use harvest_estimators::ips::ips;
+    use harvest_estimators::{EstimatorKind, OffPolicyEvaluator};
 
     #[test]
     fn epsilons_compose() {
@@ -351,8 +351,9 @@ mod tests {
         // it above the slowest endpoint.
         let cfg = HierarchyConfig::front_door(30_000, 3);
         let r = run_hierarchical(&cfg);
-        let v_fast = ips(&r.edge_dataset, &ConstantPolicy::new(0)).value;
-        let v_slow = ips(&r.edge_dataset, &ConstantPolicy::new(4)).value;
+        let ev = OffPolicyEvaluator::new(EstimatorKind::Ips);
+        let v_fast = ev.evaluate(&r.edge_dataset, &ConstantPolicy::new(0)).value;
+        let v_slow = ev.evaluate(&r.edge_dataset, &ConstantPolicy::new(4)).value;
         assert!(
             v_fast > v_slow,
             "fast endpoint {v_fast} vs slow {v_slow} (rewards are negated latency)"

@@ -395,6 +395,10 @@ impl<S: SegmentSink + Send + 'static> WireCore<S> {
                 .export_alerts_json()
                 .unwrap_or_else(|| "null".to_string()),
             OpsQuery::AlertEvents => self.svc.export_alert_events_jsonl().unwrap_or_default(),
+            OpsQuery::Leaderboard => self
+                .svc
+                .export_leaderboard_json()
+                .unwrap_or_else(|| "null".to_string()),
             OpsQuery::WirePrometheus => self.metrics.export_prometheus(),
         };
         self.pending.release(1);

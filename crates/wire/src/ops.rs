@@ -34,6 +34,9 @@ pub enum OpsQuery {
     Alerts,
     /// The full alert event log (JSON lines, one fire/clear event each).
     AlertEvents,
+    /// The latest training round's ranked portfolio leaderboard (JSON) —
+    /// per-candidate estimate, confidence interval, ESS, clipped mass.
+    Leaderboard,
     /// The wire layer's own Prometheus exposition (frames, sheds, queue
     /// waits) — the transport observing itself.
     WirePrometheus,
@@ -93,6 +96,7 @@ mod tests {
             OpsQuery::Series,
             OpsQuery::Alerts,
             OpsQuery::AlertEvents,
+            OpsQuery::Leaderboard,
             OpsQuery::WirePrometheus,
         ];
         for (i, q) in queries.iter().enumerate() {

@@ -28,8 +28,8 @@ use harvest::logs::checkpoint::{CheckpointWriter, MemoryCheckpoints};
 use harvest::logs::record::LogRecord;
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
-    Backpressure, ChaosPlan, CheckpointFault, DecisionService, LoggerConfig, MetricsSnapshot,
-    RecoveryReport, ServeConfig, TrainerConfig,
+    Backpressure, ChaosPlan, CheckpointFault, DecisionService, GateConfig, LoggerConfig,
+    MetricsSnapshot, RecoveryReport, ServeConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
@@ -62,8 +62,16 @@ fn config(seed: u64) -> ServeConfig {
             TrainerConfig::builder()
                 .lambda(1e-3)
                 .epsilon(0.2)
-                .bound(BoundConfig { c: 2.0, delta: 0.2 })
-                .min_samples(50)
+                .gate(
+                    GateConfig::builder()
+                        .bound(BoundConfig { c: 2.0, delta: 0.2 })
+                        // Single-candidate gate: the demo must promote from
+                        // a small per-wave harvest, which the k=16
+                        // simultaneous CI would (correctly) refuse.
+                        .portfolio(1)
+                        .min_samples(50)
+                        .build(),
+                )
                 .build(),
         )
         .build()

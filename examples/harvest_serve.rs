@@ -32,12 +32,16 @@ fn trainer_config() -> TrainerConfig {
         .epsilon(EPSILON)
         .lambda(1e-3)
         .modeling(harvest::core::learner::ModelingMode::Pooled)
-        .bound(BoundConfig {
-            c: 2.0,
-            delta: 0.05,
-        })
-        .estimator(GateEstimator::Snips)
-        .min_samples(500)
+        .gate(
+            GateConfig::builder()
+                .bound(BoundConfig {
+                    c: 2.0,
+                    delta: 0.05,
+                })
+                .estimator(GateEstimator::Snips)
+                .min_samples(500)
+                .build(),
+        )
         .build()
 }
 

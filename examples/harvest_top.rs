@@ -137,6 +137,20 @@ fn frame(svc: &DecisionService<MemorySegments>, label: &str) {
     } else {
         println!("  quality: (no gate round yet)");
     }
+    if let Some(board) = obs.leaderboard() {
+        let w = board.winner().expect("non-empty leaderboard");
+        println!(
+            "  portfolio: k={} n={} winner={} snips={:+.4} lcb={:+.4} ess={:.0}",
+            board.entries.len(),
+            board.n,
+            w.name,
+            w.snips.point,
+            w.snips.lcb,
+            w.ess
+        );
+    } else {
+        println!("  portfolio: (no gate round yet)");
+    }
 }
 
 fn main() {
@@ -206,6 +220,22 @@ fn main() {
                 report.gate.incumbent_value,
                 report.serving_generation
             );
+            let board = svc
+                .obs()
+                .expect("tracing is enabled")
+                .leaderboard()
+                .expect("gate round published a leaderboard");
+            println!(
+                "shadow portfolio: {} candidates in one pass, winner {}",
+                board.entries.len(),
+                report.gate.winner
+            );
+            for e in board.entries.iter().take(5) {
+                println!(
+                    "  #{:<3} {:<12} snips={:+.4} [{:+.4}, {:+.4}] ess={:.0} clipped={:.3}",
+                    e.rank, e.name, e.snips.point, e.snips.lcb, e.snips.ucb, e.ess, e.clipped_mass
+                );
+            }
         }
         now_ns += 1_000_000;
         let x: f64 = traffic.gen_range(0.0..1.0);
@@ -326,5 +356,23 @@ fn scrape_remote(svc: &Arc<DecisionService<MemorySegments>>) {
     for (name, remote, local) in &checks {
         assert_eq!(remote, local, "{name} scrape must match in-process export");
     }
+    // The leaderboard travels the same OPS path; compare it separately so
+    // the four-family parity line above stays stable for CI.
+    let remote_board = scrape(&mut client, OpsQuery::Leaderboard);
+    let local_board = svc
+        .export_leaderboard_json()
+        .unwrap_or_else(|| "null".to_string());
+    println!(
+        "leaderboard scrape parity -> {}",
+        if remote_board == local_board {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+    assert_eq!(
+        remote_board, local_board,
+        "leaderboard scrape must match in-process export"
+    );
     server.shutdown();
 }

@@ -14,7 +14,7 @@
 
 use harvest::core::policy::{ConstantPolicy, GreedyPolicy, UniformPolicy};
 use harvest::core::{Context, Dataset, LoggedDecision, SimpleContext};
-use harvest::estimators::ips::ips;
+use harvest::estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting, SendToRouting};
 use harvest::lb::sim::{run_simulation, SimConfig};
 use harvest::lb::ClusterConfig;
@@ -74,8 +74,9 @@ fn main() {
         });
     let send_to_1 = ConstantPolicy::new(0);
     println!("{:<16} {:>12} {:>12}", "policy", "OPE latency", "online");
-    let ope_ll = -ips(&data, &least_loaded).value;
-    let ope_s1 = -ips(&data, &send_to_1).value;
+    let evaluator = OffPolicyEvaluator::new(EstimatorKind::Ips);
+    let ope_ll = -evaluator.evaluate(&data, &least_loaded).value;
+    let ope_s1 = -evaluator.evaluate(&data, &send_to_1).value;
     let online_ll = run_simulation(&cfg, &mut LeastLoadedRouting).mean_latency_s;
     let online_s1 = run_simulation(&cfg, &mut SendToRouting(0)).mean_latency_s;
     let online_rand = exploration_run.mean_latency_s;
@@ -92,7 +93,9 @@ fn main() {
     // CB optimization still works where evaluation fails (paper §5).
     let scorer = exploration_run.fit_cb_scorer(1e-3).unwrap();
     let cb_core = GreedyPolicy::new(scorer.clone());
-    let ope_cb = -ips(&exploration_run.to_dataset(), &cb_core).value;
+    let ope_cb = -evaluator
+        .evaluate(&exploration_run.to_dataset(), &cb_core)
+        .value;
     let online_cb = run_simulation(&cfg, &mut CbRouting::greedy(scorer)).mean_latency_s;
     println!("{:<16} {:>11.2}s {:>11.2}s", "cb-policy", ope_cb, online_cb);
 

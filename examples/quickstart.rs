@@ -16,7 +16,7 @@ use harvest::core::learner::RegressionCbLearner;
 use harvest::core::policy::{ConstantPolicy, Policy, UniformPolicy};
 use harvest::core::simulate::simulate_exploration;
 use harvest::estimators::evaluator::diagnose;
-use harvest::estimators::ips::ips;
+use harvest::estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest::mh::{generate_dataset, MachineHealthConfig};
 use rand::SeedableRng;
 
@@ -45,7 +45,7 @@ fn main() {
     );
     for wait in [0usize, 2, 4, 9] {
         let candidate = ConstantPolicy::new(wait);
-        let est = ips(&exploration, &candidate);
+        let est = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&exploration, &candidate);
         let truth = full.value_of_policy(&candidate).unwrap();
         let diag = diagnose(&exploration, &candidate);
         println!(
@@ -60,7 +60,7 @@ fn main() {
     // Step 3b: *optimize* — train a contextual policy from the same data.
     let learner = RegressionCbLearner::default_per_action();
     let cb_policy = learner.fit_policy(&exploration).expect("training succeeds");
-    let cb_est = ips(&exploration, &cb_policy);
+    let cb_est = OffPolicyEvaluator::new(EstimatorKind::Ips).evaluate(&exploration, &cb_policy);
     let cb_truth = full.value_of_policy(&cb_policy).unwrap();
     println!(
         "{:<24} {:>10.4} {:>10.4}",

@@ -16,7 +16,7 @@
 //! ```
 //! use harvest::core::policy::{ConstantPolicy, UniformPolicy};
 //! use harvest::core::simulate::simulate_exploration;
-//! use harvest::estimators::ips::ips;
+//! use harvest::estimators::{EstimatorKind, OffPolicyEvaluator};
 //! use harvest::mh::{generate_dataset, MachineHealthConfig};
 //! use rand::SeedableRng;
 //!
@@ -33,7 +33,8 @@
 //!
 //! // 3. Evaluate a candidate policy offline — without deploying it.
 //! let candidate = ConstantPolicy::new(2); // always wait 3 minutes
-//! let estimate = ips(&exploration, &candidate);
+//! let evaluator = OffPolicyEvaluator::new(EstimatorKind::Ips);
+//! let estimate = evaluator.evaluate(&exploration, &candidate);
 //! let truth = full.value_of_policy(&candidate).unwrap();
 //! assert!((estimate.value - truth).abs() < 0.1);
 //! ```
@@ -183,12 +184,16 @@ impl From<std::io::Error> for Error {
 /// ```
 pub mod prelude {
     pub use harvest_core::{Context, SimpleContext};
+    pub use harvest_estimators::{
+        Candidate, Estimator, EstimatorKind, EvaluatorConfig, GreedyScorerCandidate,
+        LeaderboardEntry, OffPolicyEvaluator, PolicyEstimate, PortfolioEvaluator, PortfolioReport,
+    };
     pub use harvest_log::record::LogRecord;
     pub use harvest_log::segment::MemorySegments;
     pub use harvest_serve::{
         Backpressure, BreakerConfig, ChaosPlan, Decision, DecisionBatch, DecisionService,
-        EngineConfig, JoinOutcome, LoggerConfig, ObsConfig, ServeConfig, ServeError, ServePolicy,
-        SupervisorConfig, TrainerConfig,
+        EngineConfig, GateConfig, GateEstimator, JoinOutcome, LoggerConfig, ObsConfig, ServeConfig,
+        ServeError, ServePolicy, SupervisorConfig, TrainerConfig,
     };
     pub use harvest_wire::{
         Connection, Request, Response, TcpClient, TcpServer, Transport, WireConfig, WireCore,

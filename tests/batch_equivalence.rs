@@ -18,8 +18,8 @@
 use harvest::core::{Context, SimpleContext};
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
-    Backpressure, BreakerConfig, ChaosPlan, DecisionBatch, DecisionService, LoggerConfig,
-    ServeConfig, SupervisorConfig, TrainerConfig,
+    Backpressure, BreakerConfig, ChaosPlan, DecisionBatch, DecisionService, GateConfig,
+    LoggerConfig, ServeConfig, SupervisorConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use rand::Rng;
@@ -70,7 +70,10 @@ fn config(seed: u64) -> ServeConfig {
             TrainerConfig::builder()
                 .lambda(1e-3)
                 .epsilon(EPSILON)
-                .min_samples(200)
+                // Single-candidate gate: the k=16 simultaneous CI would
+                // (correctly) refuse to promote on this small a midpoint
+                // harvest, and the second half needs the swapped policy.
+                .gate(GateConfig::builder().portfolio(1).min_samples(200).build())
                 .build(),
         )
         .build()
@@ -129,7 +132,8 @@ fn run(seed: u64, batched: bool, chaos: Option<ChaosPlan>) -> RunResult {
             assert!(
                 report.gate.promoted,
                 "seed {seed}: midpoint round must promote for the second half \
-                 to exercise the swapped policy"
+                 to exercise the swapped policy (gate: {:?})",
+                report.gate
             );
         }
         now_ns += 1_000_000;

@@ -6,7 +6,7 @@
 
 use harvest::core::policy::{ConstantPolicy, GreedyPolicy, UniformPolicy};
 use harvest::core::{Context, SimpleContext};
-use harvest::estimators::ips::ips;
+use harvest::estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest::lb::policy::{CbRouting, LeastLoadedRouting, RandomRouting};
 use harvest::lb::sim::{run_simulation, SimConfig};
 use harvest::lb::ClusterConfig;
@@ -46,8 +46,9 @@ fn logs_survive_serialization_and_rebuild_the_same_dataset() {
     // The rebuilt dataset gives the same IPS estimate as the in-memory one
     // (over the overlap — the in-memory path drops warmup samples).
     let policy = ConstantPolicy::new(0);
-    let direct = ips(&run.to_dataset(), &policy).value;
-    let rebuilt = ips(&dataset, &policy).value;
+    let ev = OffPolicyEvaluator::new(EstimatorKind::Ips);
+    let direct = ev.evaluate(&run.to_dataset(), &policy).value;
+    let rebuilt = ev.evaluate(&dataset, &policy).value;
     assert!(
         (direct - rebuilt).abs() < 0.05,
         "direct {direct} vs rebuilt {rebuilt}"
@@ -104,7 +105,9 @@ fn table2_failure_reproduces_through_the_text_log_path() {
         .unwrap();
     }
 
-    let ope_send1 = -ips(&data, &ConstantPolicy::new(0)).value;
+    let ope_send1 = -OffPolicyEvaluator::new(EstimatorKind::Ips)
+        .evaluate(&data, &ConstantPolicy::new(0))
+        .value;
     let online_send1 = {
         let cfg = SimConfig::table2(ClusterConfig::fig5(), 20_000, 103);
         run_simulation(&cfg, &mut harvest::lb::policy::SendToRouting(0)).mean_latency_s
@@ -122,7 +125,9 @@ fn learned_policy_redeploys_and_beats_the_heuristic() {
 
     // Offline, the greedy policy on the learned model scores well…
     let cb_core = GreedyPolicy::new(scorer.clone());
-    let ope = -ips(&run.to_dataset(), &cb_core).value;
+    let ope = -OffPolicyEvaluator::new(EstimatorKind::Ips)
+        .evaluate(&run.to_dataset(), &cb_core)
+        .value;
     assert!(ope > 0.0 && ope < 1.0, "sane OPE latency {ope}");
 
     // …and online it beats least-loaded (Table 2's positive result).

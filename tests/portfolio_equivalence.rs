@@ -1,0 +1,187 @@
+//! Property tests for the portfolio evaluator's headline invariant: the
+//! parallel scavenge+merge over segment logs is **bit-for-bit identical**
+//! to the sequential pass — for any workload shape, any segment size, any
+//! worker count, and with at-rest log damage quarantining arbitrary
+//! suffixes.
+//!
+//! Floating-point addition is not associative, so this only holds because
+//! the evaluator fixes the partition (one partial per segment) and the
+//! merge order (segment index), leaving the thread schedule nothing to
+//! influence. These tests are the fence around that design.
+
+use proptest::prelude::*;
+
+use harvest::core::scorer::LinearScorer;
+use harvest::estimators::{Candidate, EvaluatorConfig, GreedyScorerCandidate, PortfolioEvaluator};
+use harvest::logs::record::{DecisionRecord, LogRecord, OutcomeRecord};
+use harvest::logs::segment::{MemorySegments, SegmentConfig, SegmentedLogWriter};
+use harvest::serve::{apply_at_rest_faults, AtRestFault, ChaosPlan};
+
+/// A deterministic ε-greedy workload: x sweeps a low-discrepancy sequence,
+/// rewards cross at x = 0.5, and odd requests resolve through outcome
+/// records that trail their decisions (often into the next segment).
+fn build_segments(n: usize, max_records: usize, outcome_burst: usize) -> Vec<Vec<u8>> {
+    let mut w = SegmentedLogWriter::new(
+        MemorySegments::new(),
+        SegmentConfig {
+            max_records,
+            max_bytes: usize::MAX,
+            max_span_ns: u64::MAX,
+        },
+    );
+    let mut pending: Vec<(u64, f64)> = Vec::new();
+    for i in 0..n as u64 {
+        let x = ((i as f64) * 0.618_033_988_749_895).fract();
+        let action = (i % 3 == 0) as usize;
+        let propensity = if action == 0 { 0.7 } else { 0.3 };
+        let reward = if action == 0 { x } else { 1.0 - x };
+        let deferred = i % 2 == 1;
+        w.write(&LogRecord::Decision(DecisionRecord {
+            request_id: i,
+            timestamp_ns: i * 1_000,
+            component: "portfolio-prop".to_string(),
+            shared_features: vec![x],
+            action_features: None,
+            num_actions: 2,
+            action,
+            propensity: Some(propensity),
+            reward: (!deferred).then_some(reward),
+        }))
+        .unwrap();
+        if deferred {
+            pending.push((i, reward));
+        }
+        if pending.len() >= outcome_burst {
+            for (rid, r) in pending.drain(..) {
+                w.write(&LogRecord::Outcome(OutcomeRecord {
+                    request_id: rid,
+                    timestamp_ns: rid * 1_000 + 500,
+                    reward: r,
+                }))
+                .unwrap();
+            }
+        }
+    }
+    for (rid, r) in pending.drain(..) {
+        w.write(&LogRecord::Outcome(OutcomeRecord {
+            request_id: rid,
+            timestamp_ns: rid * 1_000 + 500,
+            reward: r,
+        }))
+        .unwrap();
+    }
+    w.into_sink().unwrap().snapshot()
+}
+
+/// A k-candidate portfolio of distinct threshold policies.
+fn evaluator(k: usize, parallelism: usize) -> PortfolioEvaluator {
+    PortfolioEvaluator::builder()
+        .config(
+            EvaluatorConfig::builder()
+                .clip(10.0)
+                .delta(0.05)
+                .parallelism(parallelism)
+                .build(),
+        )
+        .candidates((0..k).map(|j| {
+            let theta = 0.1 + 0.8 * (j as f64 + 0.5) / k as f64;
+            Candidate::new(
+                format!("cand-{j:02}"),
+                GreedyScorerCandidate::new(
+                    LinearScorer::PerAction {
+                        weights: vec![vec![1.0, 0.0], vec![-1.0, 2.0 * theta]],
+                    },
+                    0.1,
+                ),
+            )
+        }))
+        .model(LinearScorer::PerAction {
+            weights: vec![vec![1.0, 0.0], vec![-1.0, 1.0]],
+        })
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Clean logs: any (workload, segmentation, k, worker count) pair of
+    // passes produces the same bytes.
+    #[test]
+    fn parallel_equals_sequential_on_clean_logs(
+        n in 40usize..400,
+        max_records in 8usize..96,
+        outcome_burst in 1usize..64,
+        k in 1usize..14,
+        workers in 2usize..9,
+    ) {
+        let segments = build_segments(n, max_records, outcome_burst);
+        let (seq, seq_rec) = evaluator(k, 1).evaluate_segments(&segments);
+        let (par, par_rec) = evaluator(k, workers).evaluate_segments(&segments);
+        prop_assert_eq!(&seq_rec, &par_rec);
+        prop_assert_eq!(&seq, &par);
+        // Bit-for-bit, through the serialized form CI and dashboards see.
+        prop_assert_eq!(seq.to_json(), par.to_json());
+        prop_assert_eq!(seq.n, n);
+        prop_assert_eq!(seq.entries.len(), k);
+    }
+
+    // Damaged logs: at-rest corruption quarantines arbitrary suffixes;
+    // the quarantine decisions and the surviving scores must still be
+    // schedule-independent.
+    #[test]
+    fn parallel_equals_sequential_under_at_rest_chaos(
+        n in 120usize..400,
+        max_records in 8usize..48,
+        segment_frac in 0.0f64..1.0,
+        frame_frac in 0.0f64..1.0,
+        tear_frac in 0.0f64..1.0,
+        keep_frac in 0.1f64..0.9,
+        xor in 1u8..255,
+        workers in 2usize..9,
+    ) {
+        let store = MemorySegments::new();
+        store.replace_all(build_segments(n, max_records, 32));
+        let plan = ChaosPlan::none()
+            .damage_at_rest(AtRestFault::CorruptPayload {
+                segment_frac,
+                frame_frac,
+                xor,
+            })
+            .damage_at_rest(AtRestFault::TearTail {
+                segment_frac: tear_frac,
+                keep_frac,
+            });
+        prop_assert!(apply_at_rest_faults(&plan, &store) > 0);
+        let damaged = store.snapshot();
+
+        let (seq, seq_rec) = evaluator(6, 1).evaluate_segments(&damaged);
+        let (par, par_rec) = evaluator(6, workers).evaluate_segments(&damaged);
+        prop_assert_eq!(&seq_rec, &par_rec);
+        prop_assert_eq!(&seq, &par);
+        prop_assert_eq!(seq.to_json(), par.to_json());
+        // The ledger accounts for the damage instead of hiding it.
+        prop_assert!(seq_rec.quarantined_records > 0);
+        prop_assert_eq!(seq.quarantined, seq_rec.quarantined_records);
+        prop_assert!(seq.n <= n);
+    }
+
+    // The exported leaderboard JSON is a pure function of the log bytes:
+    // rebuilding the same workload reproduces it exactly.
+    #[test]
+    fn leaderboard_json_is_deterministic(
+        n in 40usize..250,
+        max_records in 8usize..64,
+        k in 1usize..10,
+    ) {
+        let a = evaluator(k, 4)
+            .evaluate_segments(&build_segments(n, max_records, 16))
+            .0
+            .to_json();
+        let b = evaluator(k, 4)
+            .evaluate_segments(&build_segments(n, max_records, 16))
+            .0
+            .to_json();
+        prop_assert_eq!(a, b);
+    }
+}

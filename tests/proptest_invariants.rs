@@ -15,8 +15,7 @@ use harvest::core::simulate::simulate_exploration;
 use harvest::core::{
     Dataset, FullFeedbackDataset, FullFeedbackSample, LoggedDecision, SimpleContext,
 };
-use harvest::estimators::ips::ips;
-use harvest::estimators::snips::snips;
+use harvest::estimators::{EstimatorKind, OffPolicyEvaluator};
 use harvest::logs::nginx::{parse_line, NginxLogLine};
 use harvest::logs::reward::{reconstruct_rewards, AccessEvent, EvictionEvent};
 use harvest::simnet::{EventQueue, SimTime};
@@ -107,7 +106,8 @@ proptest! {
             propensity: 1.0,
         }).collect();
         let data = Dataset::from_samples(samples).unwrap();
-        let est = ips(&data, &ConstantPolicy::new(1));
+        let est = OffPolicyEvaluator::new(EstimatorKind::Ips)
+            .evaluate(&data, &ConstantPolicy::new(1));
         let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
         prop_assert!((est.value - mean).abs() < 1e-9);
         prop_assert_eq!(est.matched, rewards.len());
@@ -120,7 +120,7 @@ proptest! {
     ) {
         let data = Dataset::from_samples(samples.clone()).unwrap();
         let pol = ConstantPolicy::new(target);
-        let est = snips(&data, &pol);
+        let est = OffPolicyEvaluator::new(EstimatorKind::Snips).evaluate(&data, &pol);
         if est.matched > 0 {
             let matched: Vec<f64> = samples.iter()
                 .filter(|s| s.action == target)

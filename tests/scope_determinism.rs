@@ -24,8 +24,8 @@ use harvest::logs::checkpoint::{CheckpointWriter, MemoryCheckpoints};
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::obs::{validate_exposition, AlertEvent, AlertPhase};
 use harvest::serve::{
-    Backpressure, ChaosHorizon, ChaosPlan, ChaosPlanConfig, DecisionService, LoggerConfig,
-    ScopeConfig, ServeConfig, TrainerConfig,
+    Backpressure, ChaosHorizon, ChaosPlan, ChaosPlanConfig, DecisionService, GateConfig,
+    LoggerConfig, ScopeConfig, ServeConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use harvest::wire::{Duplex, OpsQuery, OpsResponse, WireConfig, WireCore};
@@ -68,6 +68,11 @@ fn config(seed: u64) -> ServeConfig {
             TrainerConfig::builder()
                 .lambda(1e-3)
                 .epsilon(EPSILON)
+                // Single-candidate gate: the seeded gate round must promote
+                // (the swap is what makes different seeds' series differ),
+                // and the k=16 simultaneous CI would (correctly) refuse on
+                // this small a harvest.
+                .gate(GateConfig::builder().portfolio(1).build())
                 .build(),
         )
         .scope(

@@ -5,8 +5,8 @@
 use harvest::lb::{ClusterConfig, LbContext};
 use harvest::serve::PromotionReport;
 use harvest::serve::{
-    Backpressure, DecisionService, GateEstimator, JoinOutcome, LoggerConfig, ServeConfig,
-    ServePolicy, Trainer, TrainerConfig,
+    Backpressure, DecisionService, GateConfig, GateEstimator, JoinOutcome, LoggerConfig,
+    ServeConfig, ServePolicy, Trainer, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use harvest_estimators::bounds::BoundConfig;
@@ -22,12 +22,16 @@ fn trainer_config() -> TrainerConfig {
         .epsilon(EPSILON)
         .lambda(1e-3)
         .modeling(harvest::core::learner::ModelingMode::Pooled)
-        .bound(BoundConfig {
-            c: 2.0,
-            delta: 0.05,
-        })
-        .estimator(GateEstimator::Snips)
-        .min_samples(500)
+        .gate(
+            GateConfig::builder()
+                .bound(BoundConfig {
+                    c: 2.0,
+                    delta: 0.05,
+                })
+                .estimator(GateEstimator::Snips)
+                .min_samples(500)
+                .build(),
+        )
         .build()
 }
 

@@ -22,8 +22,8 @@ use std::sync::Arc;
 use harvest::core::{Context, SimpleContext};
 use harvest::logs::segment::{MemorySegments, SegmentConfig};
 use harvest::serve::{
-    Backpressure, BreakerConfig, ChaosPlan, DecisionBatch, DecisionService, LoggerConfig,
-    ServeConfig, SupervisorConfig, TrainerConfig,
+    Backpressure, BreakerConfig, ChaosPlan, DecisionBatch, DecisionService, GateConfig,
+    LoggerConfig, ServeConfig, SupervisorConfig, TrainerConfig,
 };
 use harvest::simnet::rng::fork_rng;
 use harvest::wire::{
@@ -74,7 +74,10 @@ fn config(seed: u64) -> ServeConfig {
             TrainerConfig::builder()
                 .lambda(1e-3)
                 .epsilon(EPSILON)
-                .min_samples(200)
+                // Single-candidate gate: the k=16 simultaneous CI would
+                // (correctly) refuse to promote on this small a midpoint
+                // harvest, and the second half needs the swapped policy.
+                .gate(GateConfig::builder().portfolio(1).min_samples(200).build())
                 .build(),
         )
         .build()
